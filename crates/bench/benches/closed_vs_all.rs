@@ -1,0 +1,38 @@
+//! Ablation: closed patterns vs all frequent patterns as rule left-hand sides
+//! (§3 of the paper argues for closed patterns to avoid duplicated tests).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sigrule::{mine_rules, RuleMiningConfig};
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+fn bench_closed_vs_all(c: &mut Criterion) {
+    let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
+        .unwrap()
+        .generate(17);
+    let min_sup = 100;
+    let mut group = c.benchmark_group("closed_vs_all_rule_lhs_D2kA20R5");
+    group.sample_size(10);
+    group.bench_function("closed_only", |b| {
+        b.iter(|| black_box(mine_rules(&dataset, &RuleMiningConfig::new(min_sup))))
+    });
+    group.bench_function("all_frequent", |b| {
+        b.iter(|| {
+            black_box(mine_rules(
+                &dataset,
+                &RuleMiningConfig::new(min_sup).with_closed_only(false),
+            ))
+        })
+    });
+    // Also report how many tests each variant performs (printed once).
+    let closed = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
+    let all = mine_rules(&dataset, &RuleMiningConfig::new(min_sup).with_closed_only(false));
+    eprintln!(
+        "closed-only tests: {}, all-frequent tests: {}",
+        closed.n_tests(),
+        all.n_tests()
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_vs_all);
+criterion_main!(benches);

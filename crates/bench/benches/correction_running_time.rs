@@ -1,0 +1,53 @@
+//! Figure 5 as a Criterion benchmark: running time of the three correction
+//! approaches (direct adjustment, holdout, permutation) on D2kA20R5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sigrule::correction::holdout::holdout_from_parts;
+use sigrule::correction::permutation::PermutationCorrection;
+use sigrule::correction::{direct, ErrorMetric};
+use sigrule::{mine_rules, RuleMiningConfig};
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+fn bench_three_approaches(c: &mut Criterion) {
+    let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
+        .unwrap()
+        .generate(11);
+    let min_sup = 100;
+    let (exploratory, evaluation) = dataset.split_at(dataset.n_records() / 2);
+
+    let mut group = c.benchmark_group("figure5_correction_running_time_D2kA20R5");
+    group.sample_size(10);
+
+    group.bench_function("direct_adjustment", |b| {
+        b.iter(|| {
+            let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
+            black_box(direct::bonferroni(&mined, 0.05))
+        })
+    });
+    group.bench_function("holdout", |b| {
+        b.iter(|| {
+            black_box(holdout_from_parts(
+                &exploratory,
+                &evaluation,
+                &RuleMiningConfig::new(min_sup / 2),
+                ErrorMetric::Fwer,
+                0.05,
+                "HD",
+            ))
+        })
+    });
+    group.bench_function("permutation_50", |b| {
+        b.iter(|| {
+            let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
+            black_box(
+                PermutationCorrection::new(50)
+                    .with_seed(5)
+                    .control_fwer(&mined, 0.05),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_approaches);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4 as a Criterion benchmark: the permutation approach at the four
+//! optimisation levels (mine-once only, + dynamic buffer, + Diffsets,
+//! + 16 MB static buffer) on the D2kA20R5 synthetic dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigrule::correction::permutation::{BufferStrategy, PermutationCorrection};
+use sigrule::{mine_rules, RuleMiningConfig};
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+fn bench_optimization_levels(c: &mut Criterion) {
+    let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
+        .unwrap()
+        .generate(7);
+    let min_sup = 100;
+    let n_permutations = 50;
+    let levels: Vec<(&str, bool, BufferStrategy)> = vec![
+        ("no_optimization", false, BufferStrategy::None),
+        ("dynamic_buffer", false, BufferStrategy::DynamicOnly),
+        ("diffsets_dynamic", true, BufferStrategy::DynamicOnly),
+        ("static_diffsets_dynamic", true, BufferStrategy::StaticAndDynamic),
+    ];
+    let mut group = c.benchmark_group("figure4_perm_optimizations_D2kA20R5");
+    group.sample_size(10);
+    for (label, diffsets, buffer) in levels {
+        let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup).with_diffsets(diffsets));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mined, |b, mined| {
+            b.iter(|| {
+                let correction = PermutationCorrection::new(n_permutations)
+                    .with_seed(3)
+                    .with_buffer(buffer);
+                black_box(correction.collect_stats(mined))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization_levels);
+criterion_main!(benches);

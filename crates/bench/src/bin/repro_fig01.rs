@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: p-value vs confidence for several coverages.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::stats_curves::figure1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: the p-value buffer worked example.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::stats_curves::figure2());
+}

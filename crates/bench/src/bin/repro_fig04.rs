@@ -1,0 +1,22 @@
+//! Regenerates Figure 4: permutation running time per optimisation level.
+//!
+//! By default only the smaller datasets are timed; set SIGRULE_FULL=1 for the
+//! complete roster (adult and mushroom take considerably longer).
+use sigrule_eval::experiments::timing;
+
+fn main() {
+    let ctx = sigrule_bench::context(1, 100);
+    for (name, dataset, min_sups) in timing::timing_datasets(ctx.seed) {
+        if !sigrule_bench::full_roster() && (name == "adult" || name == "mushroom") {
+            eprintln!("[skip] {name}: set SIGRULE_FULL=1 to include it");
+            continue;
+        }
+        let sweep: Vec<usize> = if sigrule_bench::full_roster() {
+            min_sups
+        } else {
+            // Largest two thresholds only in the quick configuration.
+            min_sups.iter().rev().take(2).rev().copied().collect()
+        };
+        sigrule_bench::emit(&timing::figure4_for_dataset(&ctx, &name, &dataset, &sweep));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: running time of the three correction approaches.
+use sigrule_eval::experiments::timing;
+
+fn main() {
+    let ctx = sigrule_bench::context(1, 100);
+    for (name, dataset, min_sups) in timing::timing_datasets(ctx.seed) {
+        if !sigrule_bench::full_roster() && (name == "adult" || name == "mushroom") {
+            eprintln!("[skip] {name}: set SIGRULE_FULL=1 to include it");
+            continue;
+        }
+        let sweep: Vec<usize> = if sigrule_bench::full_roster() {
+            min_sups
+        } else {
+            min_sups.iter().rev().take(2).rev().copied().collect()
+        };
+        sigrule_bench::emit(&timing::figure5_for_dataset(&ctx, &name, &dataset, &sweep));
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: FWER, rules tested and false positives on random data.
+use sigrule_eval::experiments::random_datasets;
+
+fn main() {
+    let ctx = sigrule_bench::context(10, 100);
+    let min_sups = if sigrule_bench::full_roster() {
+        random_datasets::paper_min_sup_sweep()
+    } else {
+        vec![100, 200, 400, 700, 1000]
+    };
+    let points = random_datasets::run(&ctx, &min_sups);
+    sigrule_bench::emit_all(&random_datasets::render(&points));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: power/FWER/#FP vs confidence, FWER controlled at 5%.
+use sigrule_eval::experiments::one_rule::{self, SweepAxis};
+use sigrule_eval::Method;
+
+fn main() {
+    let ctx = sigrule_bench::context(10, 100);
+    let axis = SweepAxis::paper_confidence_sweep();
+    let points = one_rule::run(&ctx, &axis, &Method::fwer_family());
+    sigrule_bench::emit_all(&one_rule::render_metrics(&points, &axis, "Figure 8", false));
+}

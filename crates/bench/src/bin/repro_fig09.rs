@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: p-value vs confidence at full and halved coverage.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::stats_curves::figure9());
+}

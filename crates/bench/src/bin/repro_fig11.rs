@@ -1,0 +1,10 @@
+//! Regenerates Figure 11: number of rules tested vs min_sup (conf = 0.60).
+use sigrule_eval::experiments::one_rule::{self, SweepAxis};
+use sigrule_eval::Method;
+
+fn main() {
+    let ctx = sigrule_bench::context(10, 100);
+    let axis = SweepAxis::paper_min_sup_sweep();
+    let points = one_rule::run(&ctx, &axis, &[Method::NoCorrection]);
+    sigrule_bench::emit(&one_rule::render_rules_tested(&points, &axis, "Figure 11"));
+}

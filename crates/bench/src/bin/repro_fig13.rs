@@ -1,0 +1,10 @@
+//! Regenerates Figure 13: power/FDR/#FP vs min_sup, FDR controlled at 5%.
+use sigrule_eval::experiments::one_rule::{self, SweepAxis};
+use sigrule_eval::Method;
+
+fn main() {
+    let ctx = sigrule_bench::context(10, 100);
+    let axis = SweepAxis::paper_min_sup_sweep();
+    let points = one_rule::run(&ctx, &axis, &Method::fdr_family());
+    sigrule_bench::emit_all(&one_rule::render_metrics(&points, &axis, "Figure 13", true));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 14: significant rules on real-world data, FWER at 5%.
+use sigrule_data::uci::UciDataset;
+use sigrule_eval::experiments::real_world;
+
+fn main() {
+    let ctx = sigrule_bench::context(1, 100);
+    for ds in UciDataset::all() {
+        if !sigrule_bench::full_roster() && (ds == UciDataset::Adult || ds == UciDataset::Mushroom) {
+            eprintln!("[skip] {}: set SIGRULE_FULL=1 to include it", ds.name());
+            continue;
+        }
+        let sweep = ds.paper_min_sup_sweep();
+        let sweep: Vec<usize> = if sigrule_bench::full_roster() {
+            sweep
+        } else {
+            sweep.iter().rev().take(3).rev().copied().collect()
+        };
+        sigrule_bench::emit(&real_world::significant_rule_counts(
+            &ctx,
+            ds,
+            &sweep,
+            &real_world::fwer_methods(),
+            "Figure 14",
+        ));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 15: p-value distribution on the real-world datasets.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::pvalue_distribution::figure15());
+}

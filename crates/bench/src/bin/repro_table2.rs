@@ -1,0 +1,4 @@
+//! Prints Table 2: the (emulated) real-world dataset characteristics.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::real_world::table2());
+}

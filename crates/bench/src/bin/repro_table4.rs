@@ -1,0 +1,4 @@
+//! Regenerates Table 4: rules per (confidence x p-value) band on german.
+fn main() {
+    sigrule_bench::emit(&sigrule_eval::experiments::conf_pvalue_table::table4());
+}

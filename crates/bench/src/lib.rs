@@ -1,0 +1,63 @@
+//! Shared helpers for the `repro_*` binaries and the Criterion benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the paper
+//! (see DESIGN.md for the index).  By default the binaries run a scaled-down
+//! configuration so a full pass finishes on a laptop in minutes; set the
+//! environment variables below to reproduce the paper-scale runs:
+//!
+//! * `SIGRULE_REPLICATES` — replicate datasets per configuration (paper: 100)
+//! * `SIGRULE_PERMUTATIONS` — permutations (paper: 1000)
+//! * `SIGRULE_ALPHA` — significance level (paper: 0.05)
+//! * `SIGRULE_SEED` — base seed
+//! * `SIGRULE_FULL=1` — include the large datasets (adult, mushroom) in the
+//!   timing and real-world figures
+
+use sigrule_eval::experiments::ExperimentContext;
+use sigrule_eval::Table;
+
+/// Builds the experiment context for a repro binary: scaled-down defaults,
+/// overridable through the environment.
+pub fn context(default_replicates: usize, default_permutations: usize) -> ExperimentContext {
+    ExperimentContext::quick(default_replicates, default_permutations).with_env_overrides()
+}
+
+/// True when the user asked for the full (paper-scale) dataset roster.
+pub fn full_roster() -> bool {
+    std::env::var("SIGRULE_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints a table to stdout followed by a blank line.
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+}
+
+/// Prints several tables.
+pub fn emit_all(tables: &[Table]) {
+    for t in tables {
+        emit(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_uses_defaults_without_env() {
+        let c = context(7, 42);
+        // The environment may legitimately override these in a paper-scale
+        // run; only check the invariants that always hold.
+        assert!(c.replicates >= 1);
+        assert!(c.n_permutations >= 1);
+        assert!(c.alpha > 0.0 && c.alpha < 1.0);
+        let _ = full_roster();
+    }
+
+    #[test]
+    fn emit_renders_without_panicking() {
+        let mut t = Table::new("demo", vec!["a"]);
+        t.push_row(vec!["1".into()]);
+        emit(&t);
+        emit_all(&[t]);
+    }
+}

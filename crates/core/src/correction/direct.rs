@@ -1,0 +1,142 @@
+//! The direct adjustment approach (§4.1): Bonferroni correction for FWER and
+//! Benjamini–Hochberg for FDR, with the number of tests taken from the mined
+//! rule set (`m · N_FP`).
+
+use crate::correction::{CorrectionResult, ErrorMetric};
+use crate::miner::MinedRuleSet;
+use sigrule_stats::{benjamini_hochberg_threshold, bonferroni_threshold};
+
+/// Bonferroni correction controlling FWER at `alpha` ("BC" in Table 3).
+///
+/// A rule is significant when its raw p-value is at most `alpha / N_t`, where
+/// `N_t` is the number of tests performed (`m · N_FP`, §4.1).
+pub fn bonferroni(mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
+    let cutoff = bonferroni_threshold(alpha, mined.n_tests());
+    let significant = mined.rules().iter().map(|r| r.p_value <= cutoff).collect();
+    CorrectionResult {
+        method: "BC".to_string(),
+        metric: ErrorMetric::Fwer,
+        alpha,
+        significant,
+        rules: mined.rules().to_vec(),
+        p_value_cutoff: Some(cutoff),
+        n_tests: mined.n_tests(),
+    }
+}
+
+/// Benjamini–Hochberg step-up procedure controlling FDR at `alpha`
+/// ("BH" in Table 3).
+///
+/// Sorts the raw p-values, finds the largest `k` with `p_(k) ≤ k·α/N_t`, and
+/// declares the `k` smallest p-values significant.  When fewer p-values are
+/// materialised than tests were performed (e.g. a non-zero `min_conf` filter),
+/// the denominator stays at the number of tests, keeping the procedure
+/// conservative.
+pub fn benjamini_hochberg(mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
+    let p_values = mined.p_values();
+    let (cutoff, significant) = if p_values.is_empty() {
+        (None, Vec::new())
+    } else {
+        let threshold =
+            benjamini_hochberg_threshold(&p_values, alpha, Some(mined.n_tests()))
+                .expect("validated p-values");
+        let significant: Vec<bool> = p_values.iter().map(|&p| p <= threshold).collect();
+        let cutoff = if threshold.is_finite() { Some(threshold) } else { Some(0.0) };
+        (cutoff, significant)
+    };
+    CorrectionResult {
+        method: "BH".to_string(),
+        metric: ErrorMetric::Fdr,
+        alpha,
+        significant,
+        rules: mined.rules().to_vec(),
+        p_value_cutoff: cutoff,
+        n_tests: mined.n_tests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleMiningConfig;
+    use crate::correction::no_correction;
+    use crate::miner::mine_rules;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn mined_with_rule(confidence: f64, seed: u64) -> MinedRuleSet {
+        let params = SyntheticParams::default()
+            .with_records(800)
+            .with_attributes(15)
+            .with_rules(1)
+            .with_coverage(160, 160)
+            .with_confidence(confidence, confidence);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        mine_rules(&d, &RuleMiningConfig::new(60))
+    }
+
+    fn mined_random(seed: u64) -> MinedRuleSet {
+        let params = SyntheticParams::default()
+            .with_records(800)
+            .with_attributes(15);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        mine_rules(&d, &RuleMiningConfig::new(60))
+    }
+
+    #[test]
+    fn bonferroni_threshold_is_alpha_over_n_tests() {
+        let m = mined_with_rule(0.9, 1);
+        let r = bonferroni(&m, 0.05);
+        let expected = 0.05 / m.n_tests() as f64;
+        assert!((r.p_value_cutoff.unwrap() - expected).abs() < 1e-15);
+        assert_eq!(r.method, "BC");
+        assert_eq!(r.metric, ErrorMetric::Fwer);
+    }
+
+    #[test]
+    fn corrections_are_more_conservative_than_no_correction() {
+        for seed in [2u64, 3, 4] {
+            let m = mined_with_rule(0.85, seed);
+            let none = no_correction(&m, 0.05).n_significant();
+            let bc = bonferroni(&m, 0.05).n_significant();
+            let bh = benjamini_hochberg(&m, 0.05).n_significant();
+            assert!(bc <= bh, "BC ⊆ BH expected (seed {seed})");
+            assert!(bh <= none, "BH ⊆ no-correction expected (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn strong_rule_survives_bonferroni() {
+        let m = mined_with_rule(0.95, 5);
+        let r = bonferroni(&m, 0.05);
+        assert!(
+            r.n_significant() > 0,
+            "a confidence-0.95, coverage-160 rule should survive Bonferroni"
+        );
+    }
+
+    #[test]
+    fn random_data_yields_few_or_no_discoveries_after_correction() {
+        let mut bc_total = 0usize;
+        let mut none_total = 0usize;
+        for seed in 0..5u64 {
+            let m = mined_random(seed);
+            bc_total += bonferroni(&m, 0.05).n_significant();
+            none_total += no_correction(&m, 0.05).n_significant();
+        }
+        assert!(
+            bc_total * 10 < none_total.max(1),
+            "corrections should eliminate almost all of the {none_total} uncorrected discoveries, kept {bc_total}"
+        );
+    }
+
+    #[test]
+    fn bh_rejections_align_with_threshold() {
+        let m = mined_with_rule(0.9, 7);
+        let r = benjamini_hochberg(&m, 0.05);
+        if let Some(cutoff) = r.p_value_cutoff {
+            for (rule, &sig) in r.rules.iter().zip(r.significant.iter()) {
+                assert_eq!(sig, rule.p_value <= cutoff);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The holdout approach (§4.3 of the paper; Webb 2007).
+//!
+//! The dataset is divided into an *exploratory* and an *evaluation* part.
+//! Rules are mined on the exploratory part; those with a raw p-value at most
+//! `α` become candidates and are re-tested on the evaluation part, where the
+//! multiple-testing correction only has to account for the (much smaller)
+//! number of candidates:
+//!
+//! * FWER: Bonferroni with `m = #candidates` ("HD_BC" / "RH_BC"),
+//! * FDR: Benjamini–Hochberg over the candidates ("HD_BH" / "RH_BH").
+//!
+//! Two partitioning schemes are provided, matching the paper's experiments:
+//! [`holdout_from_parts`] takes a pre-existing split (the paper's
+//! "holdout", which pairs two independently generated sub-datasets), and
+//! [`random_holdout`] splits a single dataset at random ("random holdout").
+
+use crate::config::RuleMiningConfig;
+use crate::correction::{CorrectionResult, ErrorMetric};
+use crate::miner::mine_rules;
+use crate::rule::ClassRule;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sigrule_data::Dataset;
+use sigrule_stats::{
+    benjamini_hochberg_threshold, bonferroni_threshold, FisherTest, RuleCounts, Tail,
+};
+
+/// Runs the holdout procedure on an existing exploratory/evaluation split.
+///
+/// `mining` is the configuration used on the **exploratory** dataset; the
+/// paper sets its `min_sup` to half of the value used on the whole dataset.
+/// `label_prefix` distinguishes the paper's two partitioning schemes in
+/// reports (`"HD"` for the paired construction, `"RH"` for random splits).
+pub fn holdout_from_parts(
+    exploratory: &Dataset,
+    evaluation: &Dataset,
+    mining: &RuleMiningConfig,
+    metric: ErrorMetric,
+    alpha: f64,
+    label_prefix: &str,
+) -> CorrectionResult {
+    // Step 1: discover candidate rules on the exploratory dataset.
+    let mined = mine_rules(exploratory, mining);
+    let candidates: Vec<ClassRule> = mined
+        .rules()
+        .iter()
+        .filter(|r| r.p_value <= alpha)
+        .cloned()
+        .collect();
+
+    // Step 2: re-score every candidate on the evaluation dataset.
+    let n_eval = evaluation.n_records();
+    let eval_class_counts = evaluation.class_counts();
+    let fisher = FisherTest::new(n_eval);
+    let evaluated: Vec<ClassRule> = candidates
+        .iter()
+        .map(|candidate| {
+            let coverage = evaluation.support(&candidate.pattern);
+            let support = evaluation.rule_support(&candidate.pattern, candidate.class);
+            let n_c = eval_class_counts.count(candidate.class);
+            let p_value = if n_eval == 0 {
+                1.0
+            } else {
+                let counts = RuleCounts::new(n_eval, n_c, coverage, support)
+                    .expect("counts measured on the evaluation dataset are consistent");
+                fisher.p_value(&counts, Tail::TwoSided)
+            };
+            ClassRule {
+                pattern: candidate.pattern.clone(),
+                class: candidate.class,
+                coverage,
+                support,
+                p_value,
+            }
+        })
+        .collect();
+
+    // Step 3: correct over the candidate set only.
+    let n_candidates = evaluated.len();
+    let (method, significant, cutoff) = match metric {
+        ErrorMetric::Fwer => {
+            let cutoff = bonferroni_threshold(alpha, n_candidates.max(1));
+            let significant: Vec<bool> = evaluated.iter().map(|r| r.p_value <= cutoff).collect();
+            (format!("{label_prefix}_BC"), significant, Some(cutoff))
+        }
+        ErrorMetric::Fdr => {
+            if evaluated.is_empty() {
+                (format!("{label_prefix}_BH"), Vec::new(), None)
+            } else {
+                let p_values: Vec<f64> = evaluated.iter().map(|r| r.p_value).collect();
+                let threshold = benjamini_hochberg_threshold(&p_values, alpha, None)
+                    .expect("validated p-values");
+                let significant: Vec<bool> = p_values.iter().map(|&p| p <= threshold).collect();
+                (format!("{label_prefix}_BH"), significant, None)
+            }
+        }
+    };
+
+    CorrectionResult {
+        method,
+        metric,
+        alpha,
+        significant,
+        rules: evaluated,
+        p_value_cutoff: cutoff,
+        n_tests: n_candidates,
+    }
+}
+
+/// Splits `whole` into two random halves and runs the holdout procedure
+/// ("random holdout" in the paper).  The first half is the exploratory
+/// dataset.
+pub fn random_holdout(
+    whole: &Dataset,
+    seed: u64,
+    mining: &RuleMiningConfig,
+    metric: ErrorMetric,
+    alpha: f64,
+) -> CorrectionResult {
+    let n = whole.n_records();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let half = n / 2;
+    let mut mask = vec![false; n];
+    for &i in indices.iter().take(half) {
+        mask[i] = true;
+    }
+    let (exploratory, evaluation) = whole
+        .split_by_mask(&mask)
+        .expect("mask has exactly one entry per record");
+    holdout_from_parts(&exploratory, &evaluation, mining, metric, alpha, "RH")
+}
+
+/// Number of candidate rules that pass the exploratory screen at `alpha`
+/// (used by the experiments that report "#rules tested" on the exploratory
+/// and evaluation datasets, Figures 7 and 11).
+pub fn count_exploratory_candidates(
+    exploratory: &Dataset,
+    mining: &RuleMiningConfig,
+    alpha: f64,
+) -> (usize, usize) {
+    let mined = mine_rules(exploratory, mining);
+    let candidates = mined.rules().iter().filter(|r| r.p_value <= alpha).count();
+    (mined.n_tests(), candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn paired(confidence: f64, seed: u64) -> sigrule_synth::PairedSynthetic {
+        let params = SyntheticParams::default()
+            .with_records(600)
+            .with_attributes(12)
+            .with_rules(1)
+            .with_coverage(160, 160)
+            .with_confidence(confidence, confidence);
+        SyntheticGenerator::new(params).unwrap().generate_paired(seed)
+    }
+
+    #[test]
+    fn strong_rule_survives_holdout_fwer() {
+        let p = paired(0.95, 1);
+        let r = holdout_from_parts(
+            &p.exploratory,
+            &p.evaluation,
+            &RuleMiningConfig::new(40),
+            ErrorMetric::Fwer,
+            0.05,
+            "HD",
+        );
+        assert_eq!(r.method, "HD_BC");
+        assert!(r.n_significant() > 0, "confidence-0.95 rule should survive");
+        // Every reported rule carries evaluation-dataset statistics.
+        for rule in r.significant_rules() {
+            assert!(rule.coverage <= p.evaluation.n_records());
+        }
+    }
+
+    #[test]
+    fn weak_rule_is_often_lost_by_holdout() {
+        // A moderately confident rule is harder to detect at half coverage:
+        // the holdout should report (weakly) fewer significant rules than a
+        // whole-dataset Bonferroni.
+        let p = paired(0.62, 2);
+        let hd = holdout_from_parts(
+            &p.exploratory,
+            &p.evaluation,
+            &RuleMiningConfig::new(40),
+            ErrorMetric::Fwer,
+            0.05,
+            "HD",
+        );
+        let mined_whole = mine_rules(&p.whole, &RuleMiningConfig::new(80));
+        let bc = crate::correction::direct::bonferroni(&mined_whole, 0.05);
+        assert!(
+            hd.n_significant() <= bc.n_significant() + 1,
+            "holdout ({}) should not report far more rules than BC ({})",
+            hd.n_significant(),
+            bc.n_significant()
+        );
+    }
+
+    #[test]
+    fn candidate_counting_matches_the_screen() {
+        let p = paired(0.9, 3);
+        let (n_tests, candidates) =
+            count_exploratory_candidates(&p.exploratory, &RuleMiningConfig::new(40), 0.05);
+        assert!(candidates <= n_tests);
+        let r = holdout_from_parts(
+            &p.exploratory,
+            &p.evaluation,
+            &RuleMiningConfig::new(40),
+            ErrorMetric::Fwer,
+            0.05,
+            "HD",
+        );
+        assert_eq!(r.n_tests, candidates);
+        assert_eq!(r.rules.len(), candidates);
+    }
+
+    #[test]
+    fn fdr_variant_reports_at_least_as_much_as_fwer() {
+        let p = paired(0.85, 4);
+        let mining = RuleMiningConfig::new(40);
+        let fwer = holdout_from_parts(
+            &p.exploratory,
+            &p.evaluation,
+            &mining,
+            ErrorMetric::Fwer,
+            0.05,
+            "HD",
+        );
+        let fdr = holdout_from_parts(
+            &p.exploratory,
+            &p.evaluation,
+            &mining,
+            ErrorMetric::Fdr,
+            0.05,
+            "HD",
+        );
+        assert_eq!(fdr.method, "HD_BH");
+        assert!(fdr.n_significant() >= fwer.n_significant());
+    }
+
+    #[test]
+    fn random_holdout_runs_and_is_deterministic_per_seed() {
+        let p = paired(0.9, 5);
+        let a = random_holdout(&p.whole, 7, &RuleMiningConfig::new(40), ErrorMetric::Fwer, 0.05);
+        let b = random_holdout(&p.whole, 7, &RuleMiningConfig::new(40), ErrorMetric::Fwer, 0.05);
+        assert_eq!(a.method, "RH_BC");
+        assert_eq!(a.n_significant(), b.n_significant());
+        assert_eq!(a.rules.len(), b.rules.len());
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_empty_result() {
+        // Random data with a very strict exploratory screen: no candidates.
+        let params = SyntheticParams::default()
+            .with_records(200)
+            .with_attributes(8);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(6);
+        let (explore, eval) = d.split_at(100);
+        let r = holdout_from_parts(
+            &explore,
+            &eval,
+            &RuleMiningConfig::new(30),
+            ErrorMetric::Fdr,
+            1e-12,
+            "HD",
+        );
+        assert_eq!(r.n_significant(), 0);
+        assert!(r.rules.is_empty() || r.rules.iter().all(|x| x.p_value > 0.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! The three multiple-testing correction approaches (§4 of the paper), plus
+//! the uncorrected baseline.
+//!
+//! * [`direct`] — Bonferroni (FWER) and Benjamini–Hochberg (FDR) applied to
+//!   the raw p-values with the number of tests as the correction factor.
+//! * [`permutation`] — class-label permutation with the paper's three
+//!   optimisations (mine once, Diffsets, p-value buffering).
+//! * [`holdout`] — Webb's exploratory/evaluation split.
+//!
+//! Every approach produces a [`CorrectionResult`]: per-rule significance
+//! decisions plus the effective cut-off, so the evaluation crate can score
+//! power, FWER and FDR uniformly.
+
+pub mod direct;
+pub mod holdout;
+pub mod permutation;
+
+use crate::miner::MinedRuleSet;
+use crate::rule::ClassRule;
+use serde::{Deserialize, Serialize};
+
+/// Which error rate a correction controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorMetric {
+    /// Family-wise error rate: probability of reporting ≥ 1 false positive.
+    Fwer,
+    /// False discovery rate: expected fraction of false positives among the
+    /// reported rules.
+    Fdr,
+}
+
+impl ErrorMetric {
+    /// Short label used in reports ("FWER" / "FDR").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorMetric::Fwer => "FWER",
+            ErrorMetric::Fdr => "FDR",
+        }
+    }
+}
+
+/// The outcome of running one correction approach on a mined rule set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectionResult {
+    /// Name of the method, matching Table 3 of the paper where applicable
+    /// (e.g. `"BC"`, `"BH"`, `"Perm_FWER"`, `"HD_BC"`).
+    pub method: String,
+    /// The error metric the method controls.
+    pub metric: ErrorMetric,
+    /// The significance level the method was run at.
+    pub alpha: f64,
+    /// Per-rule significance decision, aligned with the rules it was scored
+    /// against (see `rules`).
+    pub significant: Vec<bool>,
+    /// The rules that were scored (for whole-dataset methods these are the
+    /// mined rules; for the holdout they are the candidate rules from the
+    /// exploratory dataset with statistics re-computed on the evaluation
+    /// dataset).
+    pub rules: Vec<ClassRule>,
+    /// The raw p-value cut-off the method effectively applied, when the
+    /// method is threshold-based (`None` for step-up procedures evaluated per
+    /// rule).
+    pub p_value_cutoff: Option<f64>,
+    /// Number of hypothesis tests the correction accounted for.
+    pub n_tests: usize,
+}
+
+impl CorrectionResult {
+    /// Number of rules declared significant.
+    pub fn n_significant(&self) -> usize {
+        self.significant.iter().filter(|&&s| s).count()
+    }
+
+    /// The significant rules themselves.
+    pub fn significant_rules(&self) -> Vec<&ClassRule> {
+        self.rules
+            .iter()
+            .zip(self.significant.iter())
+            .filter(|(_, &s)| s)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// True when no rule was declared significant.
+    pub fn is_empty(&self) -> bool {
+        self.n_significant() == 0
+    }
+}
+
+/// The uncorrected baseline ("No correction" in the paper's figures): every
+/// rule with a raw p-value at most `alpha` is declared significant.
+pub fn no_correction(mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
+    let significant: Vec<bool> = mined.rules().iter().map(|r| r.p_value <= alpha).collect();
+    CorrectionResult {
+        method: "No correction".to_string(),
+        metric: ErrorMetric::Fwer,
+        alpha,
+        significant,
+        rules: mined.rules().to_vec(),
+        p_value_cutoff: Some(alpha),
+        n_tests: mined.n_tests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleMiningConfig;
+    use crate::miner::mine_rules;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn mined() -> MinedRuleSet {
+        let params = SyntheticParams::default()
+            .with_records(400)
+            .with_attributes(10)
+            .with_rules(1)
+            .with_coverage(80, 80)
+            .with_confidence(0.9, 0.9);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(5);
+        mine_rules(&d, &RuleMiningConfig::new(40))
+    }
+
+    #[test]
+    fn no_correction_uses_raw_alpha() {
+        let m = mined();
+        let r = no_correction(&m, 0.05);
+        assert_eq!(r.method, "No correction");
+        assert_eq!(r.significant.len(), m.rules().len());
+        assert_eq!(r.p_value_cutoff, Some(0.05));
+        for (rule, &sig) in m.rules().iter().zip(r.significant.iter()) {
+            assert_eq!(sig, rule.p_value <= 0.05);
+        }
+        assert_eq!(r.n_significant(), r.significant_rules().len());
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(ErrorMetric::Fwer.label(), "FWER");
+        assert_eq!(ErrorMetric::Fdr.label(), "FDR");
+    }
+
+    #[test]
+    fn empty_result_detection() {
+        let m = mined();
+        let strict = no_correction(&m, 0.0);
+        assert!(strict.is_empty() || strict.n_significant() > 0);
+        let lax = no_correction(&m, 1.0);
+        assert_eq!(lax.n_significant(), m.rules().len());
+    }
+}

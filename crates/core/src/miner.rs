@@ -1,0 +1,328 @@
+//! The rule-mining driver (§3 of the paper): mine frequent (closed) patterns
+//! once, turn each into class association rules, and attach two-tailed Fisher
+//! exact p-values.
+
+use crate::config::RuleMiningConfig;
+use crate::rule::ClassRule;
+use sigrule_data::{ClassId, Dataset, Schema};
+use sigrule_mining::{EclatMiner, MinerConfig, PatternForest};
+use sigrule_stats::{LogFactorialTable, PValueCache};
+
+/// Default byte budget of the static p-value buffer (the paper's best
+/// configuration uses a 16 MB static buffer, §5.3).
+pub const DEFAULT_STATIC_BUFFER_BYTES: usize = 16 * 1024 * 1024;
+
+/// The outcome of the rule-mining step: the rules tested on the original
+/// dataset plus everything the correction approaches need to re-score them
+/// (the pattern forest, the label vector and the class counts).
+#[derive(Debug, Clone)]
+pub struct MinedRuleSet {
+    rules: Vec<ClassRule>,
+    /// Forest node index backing each rule (parallel to `rules`).
+    rule_nodes: Vec<usize>,
+    forest: PatternForest,
+    labels: Vec<ClassId>,
+    class_counts: Vec<usize>,
+    schema: Schema,
+    n_tests: usize,
+    config: RuleMiningConfig,
+}
+
+impl MinedRuleSet {
+    /// The mined rules, with their statistics on the original dataset.
+    pub fn rules(&self) -> &[ClassRule] {
+        &self.rules
+    }
+
+    /// The raw p-values of the rules, in rule order.
+    pub fn p_values(&self) -> Vec<f64> {
+        self.rules.iter().map(|r| r.p_value).collect()
+    }
+
+    /// The number of hypothesis tests performed, `m · N_FP` (§4.1): the
+    /// number of patterns tested times the number of classes (1 when there
+    /// are exactly two classes, because `X ⇒ c` and `X ⇒ ¬c` are the same
+    /// test).
+    pub fn n_tests(&self) -> usize {
+        self.n_tests
+    }
+
+    /// The pattern forest the rules were generated from (mined once; reused
+    /// by every permutation).
+    pub fn forest(&self) -> &PatternForest {
+        &self.forest
+    }
+
+    /// Forest node index backing rule `i`.
+    pub fn rule_node(&self, i: usize) -> usize {
+        self.rule_nodes[i]
+    }
+
+    /// The class label of every record of the original dataset.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Per-class record counts of the original dataset.
+    pub fn class_counts(&self) -> &[usize] {
+        &self.class_counts
+    }
+
+    /// Number of records of the original dataset.
+    pub fn n_records(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    /// The schema of the mined dataset (for pretty-printing rules).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The mining configuration that produced this rule set.
+    pub fn config(&self) -> &RuleMiningConfig {
+        &self.config
+    }
+
+    /// Builds one p-value cache per class, sized for this dataset, to be used
+    /// when re-scoring the rules under permuted labels.
+    pub fn build_caches(&self, static_budget_bytes: usize) -> (LogFactorialTable, Vec<PValueCache>) {
+        let n = self.n_records();
+        let logs = LogFactorialTable::new(n);
+        let caches = self
+            .class_counts
+            .iter()
+            .map(|&n_c| PValueCache::new(n, n_c, static_budget_bytes, self.config.min_sup.max(1)))
+            .collect();
+        (logs, caches)
+    }
+}
+
+/// Mines class association rules from a dataset and attaches p-values.
+///
+/// Follows §3 of the paper: frequent patterns are mined once (Eclat over the
+/// set-enumeration tree), only closed patterns are kept as rule left-hand
+/// sides (unless configured otherwise), and every pattern yields one rule for
+/// two-class data (the class it is positively associated with) or one rule per
+/// class otherwise.
+pub fn mine_rules(dataset: &Dataset, config: &RuleMiningConfig) -> MinedRuleSet {
+    let miner = if config.use_diffsets {
+        EclatMiner::default()
+    } else {
+        EclatMiner::without_diffsets()
+    };
+    let mut miner_config = MinerConfig::new(config.min_sup);
+    if let Some(max_len) = config.max_length {
+        miner_config = miner_config.with_max_length(max_len);
+    }
+    let forest = miner.mine_forest(dataset, &miner_config);
+
+    let labels = dataset.class_labels();
+    let class_counts: Vec<usize> = dataset.class_counts().as_slice().to_vec();
+    let n = dataset.n_records();
+    let n_classes = class_counts.len();
+
+    // Which forest nodes become rule LHS.
+    let selected: Vec<usize> = if config.closed_only {
+        forest.closed_indices()
+    } else {
+        (0..forest.len()).collect()
+    };
+
+    // Rule supports for every class, computed once on the original labels.
+    let per_class_supports: Vec<Vec<usize>> = (0..n_classes)
+        .map(|c| forest.rule_supports(&labels, c as ClassId))
+        .collect();
+
+    let logs = LogFactorialTable::new(n);
+    let mut caches: Vec<PValueCache> = class_counts
+        .iter()
+        .map(|&n_c| PValueCache::new(n, n_c, DEFAULT_STATIC_BUFFER_BYTES, config.min_sup.max(1)))
+        .collect();
+
+    let mut rules = Vec::new();
+    let mut rule_nodes = Vec::new();
+    for &node_idx in &selected {
+        let node = &forest.nodes()[node_idx];
+        let coverage = node.support;
+        if n_classes == 2 {
+            // One rule per pattern: the class the pattern is positively
+            // associated with (observed support above its expectation).
+            let expected0 = coverage as f64 * class_counts[0] as f64 / n as f64;
+            let support0 = per_class_supports[0][node_idx];
+            let class: ClassId = if (support0 as f64) >= expected0 { 0 } else { 1 };
+            let support = per_class_supports[class as usize][node_idx];
+            let p_value = caches[class as usize].p_value(coverage, support, &logs);
+            let rule = ClassRule {
+                pattern: node.pattern.clone(),
+                class,
+                coverage,
+                support,
+                p_value,
+            };
+            if rule.confidence() >= config.min_conf {
+                rules.push(rule);
+                rule_nodes.push(node_idx);
+            }
+        } else {
+            for class in 0..n_classes {
+                let support = per_class_supports[class][node_idx];
+                let p_value = caches[class].p_value(coverage, support, &logs);
+                let rule = ClassRule {
+                    pattern: node.pattern.clone(),
+                    class: class as ClassId,
+                    coverage,
+                    support,
+                    p_value,
+                };
+                if rule.confidence() >= config.min_conf {
+                    rules.push(rule);
+                    rule_nodes.push(node_idx);
+                }
+            }
+        }
+    }
+
+    let tests_per_pattern = if n_classes == 2 { 1 } else { n_classes };
+    let n_tests = selected.len() * tests_per_pattern;
+
+    MinedRuleSet {
+        rules,
+        rule_nodes,
+        forest,
+        labels,
+        class_counts,
+        schema: dataset.schema().clone(),
+        n_tests,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrule_stats::{FisherTest, RuleCounts, Tail};
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn one_rule_dataset(confidence: f64, seed: u64) -> (Dataset, sigrule_synth::EmbeddedRule) {
+        let params = SyntheticParams::default()
+            .with_records(600)
+            .with_attributes(15)
+            .with_rules(1)
+            .with_coverage(120, 120)
+            .with_confidence(confidence, confidence);
+        let (d, mut rules) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        (d, rules.remove(0))
+    }
+
+    #[test]
+    fn mined_rule_statistics_match_brute_force() {
+        let (d, _) = one_rule_dataset(0.8, 3);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(60));
+        assert!(!mined.rules().is_empty());
+        let test = FisherTest::new(d.n_records());
+        for rule in mined.rules() {
+            assert_eq!(rule.coverage, d.support(&rule.pattern));
+            assert_eq!(rule.support, d.rule_support(&rule.pattern, rule.class));
+            let counts = RuleCounts::new(
+                d.n_records(),
+                d.class_counts().count(rule.class),
+                rule.coverage,
+                rule.support,
+            )
+            .unwrap();
+            let expected_p = test.p_value(&counts, Tail::TwoSided);
+            assert!(
+                (rule.p_value - expected_p).abs() < 1e-9,
+                "rule {:?}: {} vs {}",
+                rule.pattern,
+                rule.p_value,
+                expected_p
+            );
+        }
+    }
+
+    #[test]
+    fn strong_embedded_rule_is_among_the_most_significant() {
+        let (d, truth) = one_rule_dataset(0.95, 7);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(60));
+        // Some mined rule whose pattern is the embedded pattern (or a
+        // super-pattern covering the same records) must have a tiny p-value.
+        let best_matching = mined
+            .rules()
+            .iter()
+            .filter(|r| {
+                truth.pattern.is_subset_of(&r.pattern) || r.pattern.is_subset_of(&truth.pattern)
+            })
+            .map(|r| r.p_value)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_matching < 1e-6,
+            "embedded rule should be highly significant, best p = {best_matching}"
+        );
+    }
+
+    #[test]
+    fn two_class_data_yields_one_rule_per_pattern() {
+        let (d, _) = one_rule_dataset(0.8, 11);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(60));
+        assert_eq!(mined.rules().len(), mined.n_tests());
+        // every rule's class is the positively associated one: confidence is
+        // at least the class prior
+        for rule in mined.rules() {
+            let prior = mined.class_counts()[rule.class as usize] as f64 / d.n_records() as f64;
+            assert!(rule.confidence() >= prior - 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_only_reduces_or_preserves_rule_count() {
+        let (d, _) = one_rule_dataset(0.8, 13);
+        let closed = mine_rules(&d, &RuleMiningConfig::new(60));
+        let all = mine_rules(&d, &RuleMiningConfig::new(60).with_closed_only(false));
+        assert!(closed.n_tests() <= all.n_tests());
+        assert!(!closed.rules().is_empty());
+    }
+
+    #[test]
+    fn min_conf_filters_rules_but_not_test_count() {
+        let (d, _) = one_rule_dataset(0.8, 17);
+        let unfiltered = mine_rules(&d, &RuleMiningConfig::new(60));
+        let filtered = mine_rules(&d, &RuleMiningConfig::new(60).with_min_conf(0.75));
+        assert!(filtered.rules().len() <= unfiltered.rules().len());
+        assert_eq!(filtered.n_tests(), unfiltered.n_tests());
+    }
+
+    #[test]
+    fn diffsets_flag_does_not_change_rules() {
+        let (d, _) = one_rule_dataset(0.8, 19);
+        let with = mine_rules(&d, &RuleMiningConfig::new(80));
+        let without = mine_rules(&d, &RuleMiningConfig::new(80).with_diffsets(false));
+        assert_eq!(with.rules(), without.rules());
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let (d, _) = one_rule_dataset(0.8, 23);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(80));
+        assert_eq!(mined.n_records(), 600);
+        assert_eq!(mined.n_classes(), 2);
+        assert_eq!(mined.labels().len(), 600);
+        assert_eq!(mined.p_values().len(), mined.rules().len());
+        assert_eq!(mined.class_counts().iter().sum::<usize>(), 600);
+        for i in 0..mined.rules().len() {
+            let node = mined.rule_node(i);
+            assert_eq!(
+                mined.forest().nodes()[node].pattern,
+                mined.rules()[i].pattern
+            );
+        }
+        let (logs, caches) = mined.build_caches(1 << 20);
+        assert_eq!(caches.len(), 2);
+        assert_eq!(logs.n_max(), 600);
+    }
+}

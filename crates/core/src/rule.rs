@@ -1,0 +1,134 @@
+//! Class association rules (§2.1–2.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+use sigrule_data::{ClassId, Pattern, Schema};
+
+/// A class association rule `X ⇒ c` together with its statistics on the
+/// dataset it was mined from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassRule {
+    /// The rule's left-hand side (a pattern of items).
+    pub pattern: Pattern,
+    /// The rule's right-hand side (a class label).
+    pub class: ClassId,
+    /// The rule's coverage, `supp(X)`.
+    pub coverage: usize,
+    /// The rule's support, `supp(X ⇒ c)`.
+    pub support: usize,
+    /// Two-tailed Fisher exact p-value of the rule.
+    pub p_value: f64,
+}
+
+impl ClassRule {
+    /// The rule's confidence, `supp(R) / supp(X)`.
+    pub fn confidence(&self) -> f64 {
+        if self.coverage == 0 {
+            0.0
+        } else {
+            self.support as f64 / self.coverage as f64
+        }
+    }
+
+    /// Lift relative to the class prior `n_c / n`.
+    pub fn lift(&self, n_records: usize, class_count: usize) -> f64 {
+        if n_records == 0 || class_count == 0 {
+            return 0.0;
+        }
+        let prior = class_count as f64 / n_records as f64;
+        self.confidence() / prior
+    }
+
+    /// Length of the rule's left-hand side.
+    pub fn length(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Human-readable rendering against a schema, e.g.
+    /// `A3=v1 ∧ A7=v0 ⇒ c1 (cov=120, conf=0.83, p=1.2e-9)`.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let lhs = if self.pattern.is_empty() {
+            "∅".to_string()
+        } else {
+            self.pattern
+                .items()
+                .iter()
+                .map(|&i| schema.describe_item(i))
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        };
+        let class = schema
+            .class_name(self.class)
+            .unwrap_or("<unknown class>")
+            .to_string();
+        format!(
+            "{lhs} ⇒ {class} (cov={}, conf={:.3}, p={:.3e})",
+            self.coverage,
+            self.confidence(),
+            self.p_value
+        )
+    }
+}
+
+/// Sorts rules by ascending p-value (ties broken by descending coverage then
+/// pattern order), the presentation order used in reports.
+pub fn sort_by_significance(rules: &mut [ClassRule]) {
+    rules.sort_by(|a, b| {
+        a.p_value
+            .partial_cmp(&b.p_value)
+            .expect("p-values are never NaN")
+            .then(b.coverage.cmp(&a.coverage))
+            .then(a.pattern.items().cmp(b.pattern.items()))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(p: f64, coverage: usize, support: usize) -> ClassRule {
+        ClassRule {
+            pattern: Pattern::from_items([0, 2]),
+            class: 1,
+            coverage,
+            support,
+            p_value: p,
+        }
+    }
+
+    #[test]
+    fn confidence_and_lift() {
+        let r = rule(0.01, 100, 80);
+        assert!((r.confidence() - 0.8).abs() < 1e-12);
+        assert!((r.lift(1000, 500) - 1.6).abs() < 1e-12);
+        assert_eq!(r.length(), 2);
+        let degenerate = rule(1.0, 0, 0);
+        assert_eq!(degenerate.confidence(), 0.0);
+        assert_eq!(degenerate.lift(0, 0), 0.0);
+    }
+
+    #[test]
+    fn describe_uses_schema_names() {
+        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+        let r = ClassRule {
+            pattern: Pattern::from_items([0, 3]),
+            class: 1,
+            coverage: 10,
+            support: 9,
+            p_value: 1e-4,
+        };
+        let s = r.describe(&schema);
+        assert!(s.contains("A0=v0"));
+        assert!(s.contains("A1=v1"));
+        assert!(s.contains("c1"));
+        assert!(s.contains("cov=10"));
+    }
+
+    #[test]
+    fn sort_by_significance_orders_by_p_then_coverage() {
+        let mut rules = vec![rule(0.5, 10, 5), rule(0.001, 10, 9), rule(0.5, 50, 25)];
+        sort_by_significance(&mut rules);
+        assert!((rules[0].p_value - 0.001).abs() < 1e-12);
+        assert_eq!(rules[1].coverage, 50);
+        assert_eq!(rules[2].coverage, 10);
+    }
+}

@@ -1,0 +1,356 @@
+//! The [`Dataset`] type: a schema plus its records, with support counting and
+//! the bookkeeping the miners and correction approaches need.
+
+use crate::error::DataError;
+use crate::item::{ClassId, ItemId, Pattern};
+use crate::record::Record;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Per-class record counts of a dataset (`n_c` for every class `c`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    counts: Vec<usize>,
+}
+
+impl ClassCounts {
+    /// Computes the counts from class labels.
+    pub fn from_labels(labels: impl IntoIterator<Item = ClassId>, n_classes: usize) -> Self {
+        let mut counts = vec![0usize; n_classes];
+        for c in labels {
+            counts[c as usize] += 1;
+        }
+        ClassCounts { counts }
+    }
+
+    /// Count of records labelled with class `c`.
+    pub fn count(&self, class: ClassId) -> usize {
+        self.counts[class as usize]
+    }
+
+    /// Total number of records.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// All counts, indexed by class id.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Index of the majority class.
+    pub fn majority_class(&self) -> ClassId {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as ClassId)
+            .unwrap_or(0)
+    }
+}
+
+/// An attribute-valued, class-labelled dataset (§2.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating every record against the schema:
+    /// each record must carry exactly one value per attribute and a valid
+    /// class label.
+    pub fn new(schema: Schema, records: Vec<Record>) -> Result<Self, DataError> {
+        for r in &records {
+            if r.len() != schema.n_attributes() {
+                return Err(DataError::WrongArity {
+                    got: r.len(),
+                    expected: schema.n_attributes(),
+                });
+            }
+            if r.class() as usize >= schema.n_classes() {
+                return Err(DataError::UnknownClass {
+                    class: r.class() as usize,
+                });
+            }
+            for (attr, &item) in r.items().iter().enumerate() {
+                let decoded = schema.decode(item)?;
+                if decoded.attribute != attr {
+                    return Err(DataError::invalid_schema(format!(
+                        "record item {item} at position {attr} belongs to attribute {}",
+                        decoded.attribute
+                    )));
+                }
+            }
+        }
+        Ok(Dataset { schema, records })
+    }
+
+    /// Creates a dataset without per-record validation.  Intended for
+    /// generators that construct records directly from the schema and for
+    /// performance-sensitive paths (e.g. building thousands of synthetic
+    /// datasets); invariants are still expected to hold.
+    pub fn new_unchecked(schema: Schema, records: Vec<Record>) -> Self {
+        Dataset { schema, records }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records (`n` in the paper).
+    pub fn n_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.schema.n_classes()
+    }
+
+    /// The class label of every record, in record order.
+    pub fn class_labels(&self) -> Vec<ClassId> {
+        self.records.iter().map(Record::class).collect()
+    }
+
+    /// Per-class record counts.
+    pub fn class_counts(&self) -> ClassCounts {
+        ClassCounts::from_labels(self.records.iter().map(Record::class), self.n_classes())
+    }
+
+    /// Support of a single item: the number of records containing it.
+    pub fn item_support(&self, item: ItemId) -> usize {
+        self.records.iter().filter(|r| r.contains_item(item)).count()
+    }
+
+    /// Support of a pattern by a linear scan (`supp(X)`, §2.1).  The miners
+    /// use the vertical representation instead; this is the reference
+    /// implementation used in tests and by small examples.
+    pub fn support(&self, pattern: &Pattern) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.contains_pattern(pattern))
+            .count()
+    }
+
+    /// Support of a rule `X ⇒ c`: records containing `X` *and* labelled `c`.
+    pub fn rule_support(&self, pattern: &Pattern, class: ClassId) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.class() == class && r.contains_pattern(pattern))
+            .count()
+    }
+
+    /// Record ids (tids) of the records containing a pattern.
+    pub fn tids_of(&self, pattern: &Pattern) -> Vec<u32> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains_pattern(pattern))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Returns a copy of the dataset with the class labels replaced by
+    /// `labels` (record order).  Used by the permutation approach.
+    pub fn with_class_labels(&self, labels: &[ClassId]) -> Result<Self, DataError> {
+        if labels.len() != self.records.len() {
+            return Err(DataError::WrongArity {
+                got: labels.len(),
+                expected: self.records.len(),
+            });
+        }
+        let mut records = self.records.clone();
+        for (r, &c) in records.iter_mut().zip(labels) {
+            if c as usize >= self.n_classes() {
+                return Err(DataError::UnknownClass { class: c as usize });
+            }
+            r.set_class(c);
+        }
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            records,
+        })
+    }
+
+    /// Splits the dataset into two halves by record index: records
+    /// `[0, split)` and `[split, n)`.  Used by the paper's "holdout" variant
+    /// that concatenates two independently generated sub-datasets.
+    pub fn split_at(&self, split: usize) -> (Dataset, Dataset) {
+        let split = split.min(self.records.len());
+        let first = Dataset {
+            schema: self.schema.clone(),
+            records: self.records[..split].to_vec(),
+        };
+        let second = Dataset {
+            schema: self.schema.clone(),
+            records: self.records[split..].to_vec(),
+        };
+        (first, second)
+    }
+
+    /// Splits the dataset into two according to a membership mask
+    /// (`true` → first dataset).  Used by the "random holdout" variant.
+    pub fn split_by_mask(&self, mask: &[bool]) -> Result<(Dataset, Dataset), DataError> {
+        if mask.len() != self.records.len() {
+            return Err(DataError::WrongArity {
+                got: mask.len(),
+                expected: self.records.len(),
+            });
+        }
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for (r, &m) in self.records.iter().zip(mask) {
+            if m {
+                first.push(r.clone());
+            } else {
+                second.push(r.clone());
+            }
+        }
+        Ok((
+            Dataset {
+                schema: self.schema.clone(),
+                records: first,
+            },
+            Dataset {
+                schema: self.schema.clone(),
+                records: second,
+            },
+        ))
+    }
+
+    /// Concatenates two datasets over the same schema.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+        if self.schema != other.schema {
+            return Err(DataError::invalid_schema(
+                "cannot concatenate datasets with different schemas",
+            ));
+        }
+        let mut records = self.records.clone();
+        records.extend(other.records.iter().cloned());
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    /// A small hand-checkable dataset:
+    ///
+    /// | record | A0 | A1 | class |
+    /// |--------|----|----|-------|
+    /// | 0      | a  | x  | 0     |
+    /// | 1      | a  | y  | 0     |
+    /// | 2      | b  | x  | 1     |
+    /// | 3      | a  | x  | 1     |
+    /// | 4      | b  | y  | 0     |
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::new("A0", vec!["a".into(), "b".into()]),
+                Attribute::new("A1", vec!["x".into(), "y".into()]),
+            ],
+            vec!["c0".into(), "c1".into()],
+        )
+        .unwrap();
+        // item ids: A0=a → 0, A0=b → 1, A1=x → 2, A1=y → 3
+        let records = vec![
+            Record::new(vec![0, 2], 0),
+            Record::new(vec![0, 3], 0),
+            Record::new(vec![1, 2], 1),
+            Record::new(vec![0, 2], 1),
+            Record::new(vec![1, 3], 0),
+        ];
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let d = toy();
+        assert_eq!(d.n_records(), 5);
+        assert_eq!(d.n_classes(), 2);
+        let cc = d.class_counts();
+        assert_eq!(cc.count(0), 3);
+        assert_eq!(cc.count(1), 2);
+        assert_eq!(cc.total(), 5);
+        assert_eq!(cc.majority_class(), 0);
+    }
+
+    #[test]
+    fn support_counting() {
+        let d = toy();
+        assert_eq!(d.item_support(0), 3); // A0=a
+        assert_eq!(d.item_support(2), 3); // A1=x
+        assert_eq!(d.support(&Pattern::from_items([0, 2])), 2);
+        assert_eq!(d.support(&Pattern::empty()), 5);
+        assert_eq!(d.rule_support(&Pattern::from_items([0]), 0), 2);
+        assert_eq!(d.rule_support(&Pattern::from_items([0, 2]), 1), 1);
+        assert_eq!(d.tids_of(&Pattern::from_items([0, 2])), vec![0, 3]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_records() {
+        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+        // wrong arity
+        assert!(Dataset::new(schema.clone(), vec![Record::new(vec![0], 0)]).is_err());
+        // unknown class
+        assert!(Dataset::new(schema.clone(), vec![Record::new(vec![0, 2], 5)]).is_err());
+        // two values for the same attribute
+        assert!(Dataset::new(schema, vec![Record::new(vec![0, 1], 0)]).is_err());
+    }
+
+    #[test]
+    fn with_class_labels_replaces_labels() {
+        let d = toy();
+        let relabelled = d.with_class_labels(&[1, 1, 0, 0, 1]).unwrap();
+        assert_eq!(relabelled.class_labels(), vec![1, 1, 0, 0, 1]);
+        // structure untouched
+        assert_eq!(relabelled.support(&Pattern::from_items([0, 2])), 2);
+        // errors
+        assert!(d.with_class_labels(&[0, 1]).is_err());
+        assert!(d.with_class_labels(&[0, 1, 2, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn split_and_concat_round_trip() {
+        let d = toy();
+        let (a, b) = d.split_at(2);
+        assert_eq!(a.n_records(), 2);
+        assert_eq!(b.n_records(), 3);
+        let back = a.concat(&b).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn split_by_mask() {
+        let d = toy();
+        let (a, b) = d.split_by_mask(&[true, false, true, false, true]).unwrap();
+        assert_eq!(a.n_records(), 3);
+        assert_eq!(b.n_records(), 2);
+        assert!(d.split_by_mask(&[true]).is_err());
+    }
+
+    #[test]
+    fn class_counts_from_labels() {
+        let cc = ClassCounts::from_labels([0u32, 1, 1, 2, 1], 3);
+        assert_eq!(cc.as_slice(), &[1, 3, 1]);
+        assert_eq!(cc.n_classes(), 3);
+        assert_eq!(cc.majority_class(), 1);
+    }
+}

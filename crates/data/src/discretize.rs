@@ -1,0 +1,358 @@
+//! Discretization of continuous attributes.
+//!
+//! The paper discretizes the continuous attributes of the UCI datasets with
+//! MLC++'s supervised discretizer before mining.  We provide the same
+//! algorithm family — Fayyad & Irani's entropy-based method with the MDL
+//! stopping criterion — plus two unsupervised baselines (equal-width and
+//! equal-frequency binning) used by the loader when no class label is
+//! available.
+
+use crate::item::ClassId;
+
+/// Strategy used to discretize a continuous column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscretizeMethod {
+    /// Fayyad–Irani recursive entropy minimisation with the MDL stopping rule
+    /// (supervised; needs class labels).
+    EntropyMdl,
+    /// Equal-width binning with the given number of bins.
+    EqualWidth(usize),
+    /// Equal-frequency binning with the given number of bins.
+    EqualFrequency(usize),
+}
+
+/// A fitted discretizer for one continuous column: a sorted list of cut
+/// points.  A value `v` maps to bin `i` where `i` is the number of cut points
+/// `≤ v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    cuts: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fits a discretizer on a column of values (and labels, for the
+    /// supervised method).
+    ///
+    /// `labels` may be empty for the unsupervised methods; for
+    /// [`DiscretizeMethod::EntropyMdl`] it must have the same length as
+    /// `values`.
+    pub fn fit(values: &[f64], labels: &[ClassId], method: DiscretizeMethod) -> Self {
+        let cuts = match method {
+            DiscretizeMethod::EntropyMdl => {
+                assert_eq!(
+                    values.len(),
+                    labels.len(),
+                    "supervised discretization needs one label per value"
+                );
+                fit_entropy_mdl(values, labels)
+            }
+            DiscretizeMethod::EqualWidth(bins) => fit_equal_width(values, bins),
+            DiscretizeMethod::EqualFrequency(bins) => fit_equal_frequency(values, bins),
+        };
+        Discretizer { cuts }
+    }
+
+    /// The fitted cut points, sorted ascending.
+    pub fn cut_points(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Number of bins produced (`cuts + 1`).
+    pub fn n_bins(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Maps a value to its bin index.
+    pub fn bin(&self, value: f64) -> usize {
+        self.cuts.partition_point(|&c| c <= value)
+    }
+
+    /// Maps a whole column.
+    pub fn transform(&self, values: &[f64]) -> Vec<usize> {
+        values.iter().map(|&v| self.bin(v)).collect()
+    }
+
+    /// Human-readable bin labels such as `(-inf, 3.5]`, `(3.5, 7.2]`,
+    /// `(7.2, +inf)`.
+    pub fn bin_labels(&self) -> Vec<String> {
+        if self.cuts.is_empty() {
+            return vec!["(-inf, +inf)".to_string()];
+        }
+        let mut labels = Vec::with_capacity(self.n_bins());
+        labels.push(format!("(-inf, {:.4}]", self.cuts[0]));
+        for w in self.cuts.windows(2) {
+            labels.push(format!("({:.4}, {:.4}]", w[0], w[1]));
+        }
+        labels.push(format!("({:.4}, +inf)", self.cuts[self.cuts.len() - 1]));
+        labels
+    }
+}
+
+fn fit_equal_width(values: &[f64], bins: usize) -> Vec<f64> {
+    if values.is_empty() || bins <= 1 {
+        return Vec::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() || min == max {
+        return Vec::new();
+    }
+    let width = (max - min) / bins as f64;
+    (1..bins).map(|i| min + width * i as f64).collect()
+}
+
+fn fit_equal_frequency(values: &[f64], bins: usize) -> Vec<f64> {
+    if values.is_empty() || bins <= 1 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len();
+    let mut cuts = Vec::new();
+    for i in 1..bins {
+        let idx = (i * n / bins).min(n - 1);
+        let cut = sorted[idx];
+        if cuts.last().map_or(true, |&last| cut > last) && cut > sorted[0] {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// Entropy (natural log) of a class-count histogram.
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Number of distinct classes present in a histogram.
+fn n_distinct(counts: &[usize]) -> usize {
+    counts.iter().filter(|&&c| c > 0).count()
+}
+
+/// Fayyad–Irani recursive binary splitting with the MDL stopping criterion.
+fn fit_entropy_mdl(values: &[f64], labels: &[ClassId]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n_classes = labels.iter().map(|&c| c as usize).max().unwrap_or(0) + 1;
+    let mut pairs: Vec<(f64, ClassId)> = values
+        .iter()
+        .copied()
+        .zip(labels.iter().copied())
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    let mut cuts = Vec::new();
+    split_recursive(&pairs, n_classes, &mut cuts);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    cuts.dedup();
+    cuts
+}
+
+fn class_histogram(pairs: &[(f64, ClassId)], n_classes: usize) -> Vec<usize> {
+    let mut h = vec![0usize; n_classes];
+    for &(_, c) in pairs {
+        h[c as usize] += 1;
+    }
+    h
+}
+
+fn split_recursive(pairs: &[(f64, ClassId)], n_classes: usize, cuts: &mut Vec<f64>) {
+    let n = pairs.len();
+    if n < 4 {
+        return;
+    }
+    let total_hist = class_histogram(pairs, n_classes);
+    let total_entropy = entropy(&total_hist);
+    if n_distinct(&total_hist) < 2 {
+        return;
+    }
+
+    // Evaluate every boundary between distinct values, tracking the split
+    // that minimises the weighted child entropy.
+    let mut best: Option<(usize, f64, f64)> = None; // (split index, cut value, weighted entropy)
+    let mut left_hist = vec![0usize; n_classes];
+    for i in 1..n {
+        left_hist[pairs[i - 1].1 as usize] += 1;
+        if pairs[i].0 == pairs[i - 1].0 {
+            continue; // can only cut between distinct values
+        }
+        let mut right_hist = total_hist.clone();
+        for (r, l) in right_hist.iter_mut().zip(left_hist.iter()) {
+            *r -= l;
+        }
+        let w_left = i as f64 / n as f64;
+        let w_right = 1.0 - w_left;
+        let weighted = w_left * entropy(&left_hist) + w_right * entropy(&right_hist);
+        if best.map_or(true, |(_, _, e)| weighted < e) {
+            let cut = (pairs[i - 1].0 + pairs[i].0) / 2.0;
+            best = Some((i, cut, weighted));
+        }
+    }
+    let Some((split_idx, cut, weighted_entropy)) = best else {
+        return;
+    };
+
+    // MDL acceptance criterion (Fayyad & Irani 1993), with all entropies
+    // expressed in bits:
+    //   accept iff Gain > log2(N−1)/N + Δ/N,
+    //   Δ = log2(3^k − 2) − [k·Ent(S) − k1·Ent(S1) − k2·Ent(S2)].
+    const LN_2: f64 = std::f64::consts::LN_2;
+    let left = &pairs[..split_idx];
+    let right = &pairs[split_idx..];
+    let left_hist = class_histogram(left, n_classes);
+    let right_hist = class_histogram(right, n_classes);
+    let ent_s = total_entropy / LN_2;
+    let ent_s1 = entropy(&left_hist) / LN_2;
+    let ent_s2 = entropy(&right_hist) / LN_2;
+    let gain_bits = ent_s - weighted_entropy / LN_2;
+    let k = n_distinct(&total_hist) as f64;
+    let k1 = n_distinct(&left_hist) as f64;
+    let k2 = n_distinct(&right_hist) as f64;
+    let delta = (3f64.powf(k) - 2.0).log2() - (k * ent_s - k1 * ent_s1 - k2 * ent_s2);
+    let nf = n as f64;
+    let threshold = (nf - 1.0).log2() / nf + delta / nf;
+    if gain_bits <= threshold {
+        return;
+    }
+
+    cuts.push(cut);
+    split_recursive(left, n_classes, cuts);
+    split_recursive(right, n_classes, cuts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_cuts() {
+        let values: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let d = Discretizer::fit(&values, &[], DiscretizeMethod::EqualWidth(5));
+        assert_eq!(d.n_bins(), 5);
+        assert_eq!(d.cut_points(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(d.bin(1.0), 0);
+        assert_eq!(d.bin(2.0), 1); // boundary goes to the upper bin (cut <= v)
+        assert_eq!(d.bin(9.9), 4);
+        assert_eq!(d.bin(100.0), 4);
+        assert_eq!(d.bin(-5.0), 0);
+    }
+
+    #[test]
+    fn equal_width_degenerate_cases() {
+        // constant column
+        let d = Discretizer::fit(&[3.0, 3.0, 3.0], &[], DiscretizeMethod::EqualWidth(4));
+        assert_eq!(d.n_bins(), 1);
+        // empty column
+        let d = Discretizer::fit(&[], &[], DiscretizeMethod::EqualWidth(4));
+        assert_eq!(d.n_bins(), 1);
+        // single bin requested
+        let d = Discretizer::fit(&[1.0, 2.0], &[], DiscretizeMethod::EqualWidth(1));
+        assert_eq!(d.n_bins(), 1);
+    }
+
+    #[test]
+    fn equal_frequency_balances_bins() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::fit(&values, &[], DiscretizeMethod::EqualFrequency(4));
+        assert_eq!(d.n_bins(), 4);
+        let binned = d.transform(&values);
+        let mut counts = vec![0usize; 4];
+        for b in binned {
+            counts[b] += 1;
+        }
+        for &c in &counts {
+            assert!((20..=30).contains(&c), "bins should be roughly balanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equal_frequency_with_heavy_ties() {
+        // Most values identical: cannot create more bins than distinct values.
+        let values = vec![1.0; 50]
+            .into_iter()
+            .chain((0..10).map(|i| 2.0 + i as f64))
+            .collect::<Vec<_>>();
+        let d = Discretizer::fit(&values, &[], DiscretizeMethod::EqualFrequency(5));
+        assert!(d.n_bins() >= 1);
+        assert!(d.n_bins() <= 5);
+    }
+
+    #[test]
+    fn entropy_mdl_finds_obvious_boundary() {
+        // Class 0 below 50, class 1 above 50: one clean cut expected.
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<ClassId> = (0..100).map(|i| if i < 50 { 0 } else { 1 }).collect();
+        let d = Discretizer::fit(&values, &labels, DiscretizeMethod::EntropyMdl);
+        assert!(
+            !d.cut_points().is_empty(),
+            "a perfectly separable column must be cut"
+        );
+        // The first cut should sit near the class boundary.
+        let near = d.cut_points().iter().any(|&c| (c - 49.5).abs() < 2.0);
+        assert!(near, "cuts {:?} should include ~49.5", d.cut_points());
+        assert_eq!(d.bin(10.0), 0);
+        assert!(d.bin(80.0) >= 1);
+    }
+
+    #[test]
+    fn entropy_mdl_refuses_to_cut_noise() {
+        // Labels independent of the value: MDL should reject every split.
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let labels: Vec<ClassId> = (0..200).map(|i| (i % 2) as ClassId).collect();
+        let d = Discretizer::fit(&values, &labels, DiscretizeMethod::EntropyMdl);
+        assert!(
+            d.cut_points().len() <= 2,
+            "uninformative column should get few or no cuts, got {:?}",
+            d.cut_points()
+        );
+    }
+
+    #[test]
+    fn entropy_mdl_two_boundaries() {
+        // Three bands: class 0, class 1, class 0.
+        let values: Vec<f64> = (0..150).map(|i| i as f64).collect();
+        let labels: Vec<ClassId> = (0..150)
+            .map(|i| if i < 50 || i >= 100 { 0 } else { 1 })
+            .collect();
+        let d = Discretizer::fit(&values, &labels, DiscretizeMethod::EntropyMdl);
+        assert!(
+            d.cut_points().len() >= 2,
+            "expected two cuts, got {:?}",
+            d.cut_points()
+        );
+    }
+
+    #[test]
+    fn bin_labels_cover_all_bins() {
+        let d = Discretizer::fit(
+            &[0.0, 1.0, 2.0, 3.0, 4.0],
+            &[],
+            DiscretizeMethod::EqualWidth(3),
+        );
+        let labels = d.bin_labels();
+        assert_eq!(labels.len(), d.n_bins());
+        assert!(labels[0].starts_with("(-inf"));
+        assert!(labels.last().unwrap().ends_with("+inf)"));
+
+        let constant = Discretizer::fit(&[1.0, 1.0], &[], DiscretizeMethod::EqualWidth(3));
+        assert_eq!(constant.bin_labels(), vec!["(-inf, +inf)".to_string()]);
+    }
+
+    #[test]
+    fn transform_maps_whole_column() {
+        let d = Discretizer::fit(&[0.0, 10.0], &[], DiscretizeMethod::EqualWidth(2));
+        assert_eq!(d.transform(&[1.0, 6.0, 11.0]), vec![0, 1, 1]);
+    }
+}

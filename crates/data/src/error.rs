@@ -1,0 +1,129 @@
+//! Error type for dataset construction and loading.
+
+use std::fmt;
+
+/// Errors produced while building, validating or loading datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A record referenced an attribute index that does not exist in the
+    /// schema.
+    UnknownAttribute {
+        /// The offending attribute index.
+        index: usize,
+    },
+    /// A record referenced a value index outside the attribute's domain.
+    UnknownValue {
+        /// Attribute index.
+        attribute: usize,
+        /// The offending value index.
+        value: usize,
+    },
+    /// A record referenced a class label index outside the schema's class
+    /// domain.
+    UnknownClass {
+        /// The offending class index.
+        class: usize,
+    },
+    /// A record did not provide exactly one value per attribute.
+    WrongArity {
+        /// Number of items the record carried.
+        got: usize,
+        /// Number of attributes in the schema.
+        expected: usize,
+    },
+    /// The schema is structurally invalid (no attributes, no classes, an
+    /// attribute with no values, duplicate names, ...).
+    InvalidSchema {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A parse error while loading an external file.
+    Parse {
+        /// Line number (1-based) where the error occurred.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An I/O error while loading an external file.
+    Io {
+        /// Stringified source error (kept as a string so the error stays
+        /// `Clone` and `PartialEq`).
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute { index } => write!(f, "unknown attribute index {index}"),
+            DataError::UnknownValue { attribute, value } => {
+                write!(f, "unknown value {value} for attribute {attribute}")
+            }
+            DataError::UnknownClass { class } => write!(f, "unknown class index {class}"),
+            DataError::WrongArity { got, expected } => {
+                write!(f, "record has {got} items but the schema has {expected} attributes")
+            }
+            DataError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+            DataError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            DataError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl DataError {
+    /// Convenience constructor for [`DataError::InvalidSchema`].
+    pub fn invalid_schema(reason: impl Into<String>) -> Self {
+        DataError::InvalidSchema {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::UnknownAttribute { index: 3 }.to_string().contains('3'));
+        assert!(DataError::UnknownValue {
+            attribute: 1,
+            value: 9
+        }
+        .to_string()
+        .contains('9'));
+        assert!(DataError::UnknownClass { class: 2 }.to_string().contains('2'));
+        assert!(DataError::WrongArity {
+            got: 4,
+            expected: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(DataError::invalid_schema("no attributes")
+            .to_string()
+            .contains("no attributes"));
+        assert!(DataError::Parse {
+            line: 7,
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Items, class labels and patterns (§2.1 of the paper).
+//!
+//! An *item* is an attribute/value pair `A = v`.  For efficiency every item is
+//! mapped to a dense integer [`ItemId`] by the [`Schema`](crate::schema::Schema);
+//! records and patterns store item ids, and the schema can always translate an
+//! id back to its attribute and value names for display.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense integer identifier of an item (an attribute/value pair).
+///
+/// Ids are assigned contiguously per schema: attribute 0's values come first,
+/// then attribute 1's, and so on.  This makes `ItemId → attribute` lookups a
+/// binary search over offsets and keeps vertical layouts compact.
+pub type ItemId = u32;
+
+/// Dense integer identifier of a class label.
+pub type ClassId = u32;
+
+/// An attribute/value pair in symbolic (pre-schema) form.
+///
+/// Used by loaders and generators before the schema interns the pair into an
+/// [`ItemId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Item {
+    /// Index of the attribute in the schema.
+    pub attribute: usize,
+    /// Index of the value within the attribute's domain.
+    pub value: usize,
+}
+
+impl Item {
+    /// Creates a new item.
+    pub fn new(attribute: usize, value: usize) -> Self {
+        Item { attribute, value }
+    }
+}
+
+/// A pattern: a set of items, stored as a sorted, de-duplicated vector of
+/// [`ItemId`]s.
+///
+/// The sorted representation makes sub-pattern checks, joins and hashing
+/// cheap, and gives every pattern a canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Pattern {
+    items: Vec<ItemId>,
+}
+
+impl Pattern {
+    /// The empty pattern (length 0); contained in every record.
+    pub fn empty() -> Self {
+        Pattern { items: Vec::new() }
+    }
+
+    /// Builds a pattern from any iterator of item ids; duplicates are removed
+    /// and the result is sorted into canonical form.
+    pub fn from_items(items: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut items: Vec<ItemId> = items.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Pattern { items }
+    }
+
+    /// A single-item pattern.
+    pub fn singleton(item: ItemId) -> Self {
+        Pattern { items: vec![item] }
+    }
+
+    /// Number of items in the pattern (its *length*, §2.1 Definition 1).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The item ids, sorted ascending.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// True if `self` is a sub-pattern of `other` (`self ⊆ other`).
+    pub fn is_subset_of(&self, other: &Pattern) -> bool {
+        is_sorted_subset(&self.items, &other.items)
+    }
+
+    /// True if `self` is a super-pattern of `other` (`self ⊇ other`).
+    pub fn is_superset_of(&self, other: &Pattern) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// True if the pattern contains the given item.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Returns the pattern extended with one more item (no-op if the item is
+    /// already present).
+    pub fn with_item(&self, item: ItemId) -> Pattern {
+        if self.contains(item) {
+            return self.clone();
+        }
+        let mut items = self.items.clone();
+        let pos = items.partition_point(|&i| i < item);
+        items.insert(pos, item);
+        Pattern { items }
+    }
+
+    /// Union of two patterns.
+    pub fn union(&self, other: &Pattern) -> Pattern {
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.items.len() && b < other.items.len() {
+            match self.items[a].cmp(&other.items[b]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(other.items[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        items.extend_from_slice(&self.items[a..]);
+        items.extend_from_slice(&other.items[b..]);
+        Pattern { items }
+    }
+
+    /// Intersection of two patterns.
+    pub fn intersection(&self, other: &Pattern) -> Pattern {
+        let mut items = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.items.len() && b < other.items.len() {
+            match self.items[a].cmp(&other.items[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        Pattern { items }
+    }
+
+    /// Consumes the pattern and returns the underlying sorted vector.
+    pub fn into_items(self) -> Vec<ItemId> {
+        self.items
+    }
+}
+
+impl From<Vec<ItemId>> for Pattern {
+    fn from(items: Vec<ItemId>) -> Self {
+        Pattern::from_items(items)
+    }
+}
+
+impl FromIterator<ItemId> for Pattern {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Self {
+        Pattern::from_items(iter)
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// True when the sorted slice `small` is a subset of the sorted slice `big`.
+fn is_sorted_subset(small: &[ItemId], big: &[ItemId]) -> bool {
+    if small.len() > big.len() {
+        return false;
+    }
+    let mut b = 0usize;
+    for &x in small {
+        // advance in `big` until we find x or pass it
+        while b < big.len() && big[b] < x {
+            b += 1;
+        }
+        if b >= big.len() || big[b] != x {
+            return false;
+        }
+        b += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_items_sorts_and_dedups() {
+        let p = Pattern::from_items([5, 1, 3, 1, 5]);
+        assert_eq!(p.items(), &[1, 3, 5]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let e = Pattern::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let p = Pattern::from_items([1, 2]);
+        assert!(e.is_subset_of(&p));
+        assert!(!p.is_subset_of(&e));
+    }
+
+    #[test]
+    fn subset_and_superset() {
+        let a = Pattern::from_items([1, 3, 5]);
+        let b = Pattern::from_items([1, 2, 3, 4, 5]);
+        assert!(a.is_subset_of(&b));
+        assert!(b.is_superset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        let c = Pattern::from_items([1, 6]);
+        assert!(!c.is_subset_of(&b));
+    }
+
+    #[test]
+    fn contains_and_with_item() {
+        let p = Pattern::from_items([2, 4]);
+        assert!(p.contains(2));
+        assert!(!p.contains(3));
+        let q = p.with_item(3);
+        assert_eq!(q.items(), &[2, 3, 4]);
+        // inserting an existing item is a no-op
+        let r = q.with_item(3);
+        assert_eq!(r.items(), &[2, 3, 4]);
+        // the original is untouched
+        assert_eq!(p.items(), &[2, 4]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Pattern::from_items([1, 3, 5]);
+        let b = Pattern::from_items([3, 4, 5, 7]);
+        assert_eq!(a.union(&b).items(), &[1, 3, 4, 5, 7]);
+        assert_eq!(a.intersection(&b).items(), &[3, 5]);
+        assert_eq!(a.union(&Pattern::empty()).items(), a.items());
+        assert!(a.intersection(&Pattern::empty()).is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Pattern::from_items([2, 7]);
+        assert_eq!(p.to_string(), "{2, 7}");
+        assert_eq!(Pattern::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_from_vec() {
+        let p: Pattern = vec![9u32, 1, 9].into();
+        assert_eq!(p.items(), &[1, 9]);
+        let q: Pattern = [4u32, 2].into_iter().collect();
+        assert_eq!(q.items(), &[2, 4]);
+    }
+
+    #[test]
+    fn singleton() {
+        let p = Pattern::singleton(7);
+        assert_eq!(p.items(), &[7]);
+        assert_eq!(p.len(), 1);
+    }
+}

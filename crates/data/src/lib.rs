@@ -1,0 +1,39 @@
+//! Dataset substrate for class association rule mining.
+//!
+//! The paper mines *class association rules* from attribute-valued data with
+//! class labels (§2.1): each record is described by `m` categorical attributes
+//! plus a class label, every attribute/value pair is an *item*, and a
+//! *pattern* is a set of items.  This crate provides:
+//!
+//! * the schema / item / record / dataset types ([`schema`], [`item`],
+//!   [`record`], [`dataset`]),
+//! * the vertical representation used by the miners and by the permutation
+//!   engine — tid-sets and the Diffsets encoding of Zaki & Gouda ([`vertical`]),
+//! * supervised (Fayyad–Irani MDL) and unsupervised discretization for
+//!   continuous attributes ([`discretize`]) — the paper used MLC++ for this,
+//! * a small CSV loader so real datasets can be used when available
+//!   ([`loader`]),
+//! * deterministic emulators of the four UCI datasets used in the paper's
+//!   evaluation ([`uci`]) — adult, german, hypo and mushroom — which stand in
+//!   for the real files in this reproduction (see DESIGN.md for the
+//!   substitution rationale).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dataset;
+pub mod discretize;
+pub mod error;
+pub mod item;
+pub mod loader;
+pub mod record;
+pub mod schema;
+pub mod uci;
+pub mod vertical;
+
+pub use dataset::{ClassCounts, Dataset};
+pub use error::DataError;
+pub use item::{ClassId, Item, ItemId, Pattern};
+pub use record::Record;
+pub use schema::{Attribute, Schema};
+pub use vertical::{Cover, TidSet, VerticalDataset};

@@ -1,0 +1,332 @@
+//! Loading class-labelled datasets from delimited text files.
+//!
+//! A deliberately small, dependency-free CSV reader: each row is one record,
+//! one column is the class label, every other column is an attribute.
+//! Columns whose values all parse as numbers are treated as continuous and
+//! discretized (supervised Fayyad–Irani by default); all other columns are
+//! treated as categorical.  Missing values (`?` or empty) are mapped to a
+//! dedicated `"?"` category, matching the common treatment of the UCI files
+//! used in the paper.
+
+use crate::dataset::Dataset;
+use crate::discretize::{DiscretizeMethod, Discretizer};
+use crate::error::DataError;
+use crate::item::ClassId;
+use crate::record::Record;
+use crate::schema::{Attribute, Schema};
+use std::path::Path;
+
+/// Options controlling CSV parsing and preprocessing.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Column separator (default `,`).
+    pub separator: char,
+    /// Whether the first row is a header with attribute names.
+    pub has_header: bool,
+    /// Index of the class column (default: the last column).
+    pub class_column: Option<usize>,
+    /// How to discretize numeric columns.
+    pub discretize: DiscretizeMethod,
+    /// Token(s) treated as a missing value.
+    pub missing_tokens: Vec<String>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            separator: ',',
+            has_header: true,
+            class_column: None,
+            discretize: DiscretizeMethod::EntropyMdl,
+            missing_tokens: vec!["?".to_string(), String::new()],
+        }
+    }
+}
+
+/// Parses CSV text into a [`Dataset`].
+pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (header, first_data_line) = if options.has_header {
+        let (line_no, header_line) = lines.next().ok_or(DataError::Parse {
+            line: 1,
+            reason: "empty file".into(),
+        })?;
+        let _ = line_no;
+        (
+            Some(
+                header_line
+                    .split(options.separator)
+                    .map(|s| s.trim().to_string())
+                    .collect::<Vec<_>>(),
+            ),
+            None,
+        )
+    } else {
+        (None, lines.next())
+    };
+
+    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
+    if let Some((line_no, line)) = first_data_line {
+        rows.push((
+            line_no,
+            line.split(options.separator)
+                .map(|s| s.trim().to_string())
+                .collect(),
+        ));
+    }
+    for (line_no, line) in lines {
+        rows.push((
+            line_no,
+            line.split(options.separator)
+                .map(|s| s.trim().to_string())
+                .collect(),
+        ));
+    }
+    if rows.is_empty() {
+        return Err(DataError::Parse {
+            line: 1,
+            reason: "no data rows".into(),
+        });
+    }
+
+    let n_columns = rows[0].1.len();
+    if n_columns < 2 {
+        return Err(DataError::Parse {
+            line: rows[0].0,
+            reason: "need at least one attribute column and one class column".into(),
+        });
+    }
+    for (line_no, row) in &rows {
+        if row.len() != n_columns {
+            return Err(DataError::Parse {
+                line: *line_no,
+                reason: format!("expected {n_columns} columns, found {}", row.len()),
+            });
+        }
+    }
+    let class_column = options.class_column.unwrap_or(n_columns - 1);
+    if class_column >= n_columns {
+        return Err(DataError::Parse {
+            line: rows[0].0,
+            reason: format!("class column {class_column} out of range"),
+        });
+    }
+
+    let column_names: Vec<String> = match &header {
+        Some(h) => h.clone(),
+        None => (0..n_columns).map(|i| format!("A{i}")).collect(),
+    };
+
+    // Class labels.
+    let mut class_names: Vec<String> = Vec::new();
+    let mut class_ids: Vec<ClassId> = Vec::with_capacity(rows.len());
+    for (_, row) in &rows {
+        let label = &row[class_column];
+        let id = match class_names.iter().position(|c| c == label) {
+            Some(i) => i,
+            None => {
+                class_names.push(label.clone());
+                class_names.len() - 1
+            }
+        };
+        class_ids.push(id as ClassId);
+    }
+    if class_names.len() < 2 {
+        return Err(DataError::invalid_schema(
+            "class column has fewer than two distinct labels",
+        ));
+    }
+
+    // Per-column processing: numeric columns are discretized, categorical
+    // columns are interned.
+    let attribute_columns: Vec<usize> = (0..n_columns).filter(|&c| c != class_column).collect();
+    let mut attributes: Vec<Attribute> = Vec::with_capacity(attribute_columns.len());
+    let mut encoded_columns: Vec<Vec<usize>> = Vec::with_capacity(attribute_columns.len());
+
+    for &col in &attribute_columns {
+        let raw: Vec<&String> = rows.iter().map(|(_, r)| &r[col]).collect();
+        let is_missing =
+            |s: &str| options.missing_tokens.iter().any(|t| t == s);
+        let numeric: Option<Vec<f64>> = {
+            let parsed: Vec<Option<f64>> = raw
+                .iter()
+                .map(|s| {
+                    if is_missing(s) {
+                        None
+                    } else {
+                        s.parse::<f64>().ok()
+                    }
+                })
+                .collect();
+            let n_present = parsed.iter().filter(|p| p.is_some()).count();
+            let n_non_missing = raw.iter().filter(|s| !is_missing(s)).count();
+            if n_present == n_non_missing && n_present > 0 {
+                Some(parsed.iter().map(|p| p.unwrap_or(f64::NAN)).collect())
+            } else {
+                None
+            }
+        };
+
+        if let Some(values) = numeric {
+            // Fit the discretizer on non-missing values only.
+            let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+            let present_labels: Vec<ClassId> = values
+                .iter()
+                .zip(class_ids.iter())
+                .filter(|(v, _)| !v.is_nan())
+                .map(|(_, &c)| c)
+                .collect();
+            let disc = Discretizer::fit(&present, &present_labels, options.discretize);
+            let has_missing = values.iter().any(|v| v.is_nan());
+            let mut value_names = disc.bin_labels();
+            if has_missing {
+                value_names.push("?".to_string());
+            }
+            let missing_bin = disc.n_bins();
+            let encoded: Vec<usize> = values
+                .iter()
+                .map(|&v| if v.is_nan() { missing_bin } else { disc.bin(v) })
+                .collect();
+            attributes.push(Attribute::new(column_names[col].clone(), value_names));
+            encoded_columns.push(encoded);
+        } else {
+            let mut value_names: Vec<String> = Vec::new();
+            let mut encoded = Vec::with_capacity(raw.len());
+            for s in &raw {
+                let token = if is_missing(s) { "?" } else { s.as_str() };
+                let idx = match value_names.iter().position(|v| v == token) {
+                    Some(i) => i,
+                    None => {
+                        value_names.push(token.to_string());
+                        value_names.len() - 1
+                    }
+                };
+                encoded.push(idx);
+            }
+            attributes.push(Attribute::new(column_names[col].clone(), value_names));
+            encoded_columns.push(encoded);
+        }
+    }
+
+    let classes = class_names;
+    let schema = Schema::new(attributes, classes)?;
+    let mut records = Vec::with_capacity(rows.len());
+    for row_idx in 0..rows.len() {
+        let mut items = Vec::with_capacity(attribute_columns.len());
+        for (attr_idx, column) in encoded_columns.iter().enumerate() {
+            items.push(schema.item_id(attr_idx, column[row_idx])?);
+        }
+        records.push(Record::new(items, class_ids[row_idx]));
+    }
+    Dataset::new(schema, records)
+}
+
+/// Loads a CSV file from disk.
+pub fn load_csv_file(path: impl AsRef<Path>, options: &LoadOptions) -> Result<Dataset, DataError> {
+    let text = std::fs::read_to_string(path)?;
+    load_csv_str(&text, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+age,color,outcome
+23,red,yes
+31,blue,no
+45,red,yes
+52,blue,no
+29,green,yes
+61,red,no
+47,green,yes
+38,blue,no
+";
+
+    #[test]
+    fn loads_mixed_numeric_and_categorical_columns() {
+        let d = load_csv_str(SAMPLE, &LoadOptions::default()).unwrap();
+        assert_eq!(d.n_records(), 8);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.schema().n_attributes(), 2);
+        assert_eq!(d.schema().attributes()[0].name, "age");
+        assert_eq!(d.schema().attributes()[1].name, "color");
+        // color has three categories
+        assert_eq!(d.schema().attributes()[1].cardinality(), 3);
+        // classes preserve first-seen order
+        assert_eq!(d.schema().classes(), &["yes".to_string(), "no".to_string()]);
+    }
+
+    #[test]
+    fn no_header_and_custom_separator() {
+        let text = "1;a;x\n2;b;y\n3;a;x\n";
+        let opts = LoadOptions {
+            separator: ';',
+            has_header: false,
+            ..LoadOptions::default()
+        };
+        let d = load_csv_str(text, &opts).unwrap();
+        assert_eq!(d.n_records(), 3);
+        assert_eq!(d.schema().attributes()[0].name, "A0");
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn missing_values_get_their_own_category() {
+        let text = "a,b,cls\n1,?,x\n2,u,y\n3,v,x\n4,u,y\n";
+        let d = load_csv_str(text, &LoadOptions::default()).unwrap();
+        let b = &d.schema().attributes()[1];
+        assert!(b.values.contains(&"?".to_string()));
+    }
+
+    #[test]
+    fn class_column_override() {
+        let text = "cls,a\nx,1\ny,2\nx,3\n";
+        let opts = LoadOptions {
+            class_column: Some(0),
+            ..LoadOptions::default()
+        };
+        let d = load_csv_str(text, &opts).unwrap();
+        assert_eq!(d.schema().n_attributes(), 1);
+        assert_eq!(d.schema().classes().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(load_csv_str("", &LoadOptions::default()).is_err());
+        assert!(load_csv_str("only_header\n", &LoadOptions::default()).is_err());
+        // ragged rows
+        let text = "a,b,cls\n1,2,x\n1,y\n";
+        assert!(load_csv_str(text, &LoadOptions::default()).is_err());
+        // single class label
+        let text = "a,cls\n1,x\n2,x\n";
+        assert!(load_csv_str(text, &LoadOptions::default()).is_err());
+        // class column out of range
+        let opts = LoadOptions {
+            class_column: Some(9),
+            ..LoadOptions::default()
+        };
+        assert!(load_csv_str("a,b\n1,x\n2,y\n", &opts).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sigrule_loader_test.csv");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let d = load_csv_file(&path, &LoadOptions::default()).unwrap();
+        assert_eq!(d.n_records(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_csv_file("/nonexistent/sigrule.csv", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Io { .. }));
+    }
+}

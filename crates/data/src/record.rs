@@ -1,0 +1,111 @@
+//! Records: one item per attribute plus a class label.
+
+use crate::item::{ClassId, ItemId, Pattern};
+use serde::{Deserialize, Serialize};
+
+/// A single record of an attribute-valued, class-labelled dataset.
+///
+/// A record stores exactly one item (attribute/value pair) per attribute, as
+/// a sorted vector of dense item ids, plus its class label.  Because item ids
+/// are assigned attribute-by-attribute, sorting by id also sorts by attribute,
+/// so the `i`-th entry always belongs to attribute `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    items: Vec<ItemId>,
+    class: ClassId,
+}
+
+impl Record {
+    /// Creates a record from its items (one per attribute, any order) and its
+    /// class label.  The items are sorted into canonical order.
+    pub fn new(mut items: Vec<ItemId>, class: ClassId) -> Self {
+        items.sort_unstable();
+        Record { items, class }
+    }
+
+    /// The record's items, sorted ascending.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// The record's class label.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Overrides the class label (used by the permutation engine when
+    /// shuffling labels).
+    pub fn set_class(&mut self, class: ClassId) {
+        self.class = class;
+    }
+
+    /// True if the record contains the given item.
+    pub fn contains_item(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// True if the record contains every item of the pattern
+    /// (`pattern ⊆ record`, §2.1).
+    pub fn contains_pattern(&self, pattern: &Pattern) -> bool {
+        let mut pos = 0usize;
+        for &x in pattern.items() {
+            while pos < self.items.len() && self.items[pos] < x {
+                pos += 1;
+            }
+            if pos >= self.items.len() || self.items[pos] != x {
+                return false;
+            }
+            pos += 1;
+        }
+        true
+    }
+
+    /// Number of items (equals the number of attributes of the schema the
+    /// record belongs to).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the record carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_items() {
+        let r = Record::new(vec![7, 2, 5], 1);
+        assert_eq!(r.items(), &[2, 5, 7]);
+        assert_eq!(r.class(), 1);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn contains_item() {
+        let r = Record::new(vec![1, 4, 9], 0);
+        assert!(r.contains_item(4));
+        assert!(!r.contains_item(5));
+    }
+
+    #[test]
+    fn contains_pattern() {
+        let r = Record::new(vec![1, 4, 9, 12], 0);
+        assert!(r.contains_pattern(&Pattern::from_items([1, 9])));
+        assert!(r.contains_pattern(&Pattern::from_items([4])));
+        assert!(r.contains_pattern(&Pattern::empty()));
+        assert!(!r.contains_pattern(&Pattern::from_items([1, 2])));
+        assert!(!r.contains_pattern(&Pattern::from_items([13])));
+    }
+
+    #[test]
+    fn set_class_overrides_label() {
+        let mut r = Record::new(vec![0], 0);
+        r.set_class(3);
+        assert_eq!(r.class(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! Schemas: attributes, their categorical domains, class labels, and the
+//! mapping between attribute/value pairs and dense [`ItemId`]s.
+
+use crate::error::DataError;
+use crate::item::{ClassId, Item, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// A categorical attribute and its domain of values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"education"`.
+    pub name: String,
+    /// The value names, e.g. `["primary", "secondary", "tertiary"]`.
+    pub values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute from a name and value names.
+    pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Creates an attribute with anonymous values `v0..v{cardinality-1}`.
+    pub fn with_cardinality(name: impl Into<String>, cardinality: usize) -> Self {
+        Attribute {
+            name: name.into(),
+            values: (0..cardinality).map(|i| format!("v{i}")).collect(),
+        }
+    }
+
+    /// Number of values in the attribute's domain.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Index of a value name in the domain, if present.
+    pub fn value_index(&self, value: &str) -> Option<usize> {
+        self.values.iter().position(|v| v == value)
+    }
+}
+
+/// The schema of a class-labelled categorical dataset: the attributes, the
+/// class labels, and the dense item-id numbering.
+///
+/// Item ids are assigned in attribute order: attribute 0's values get ids
+/// `0..card(0)`, attribute 1's get `card(0)..card(0)+card(1)`, and so on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    classes: Vec<String>,
+    /// `offsets[a]` is the item id of attribute `a`'s first value;
+    /// `offsets[attributes.len()]` is the total number of items.
+    offsets: Vec<ItemId>,
+}
+
+impl Schema {
+    /// Builds and validates a schema.
+    ///
+    /// Requires at least one attribute, at least two class labels, and every
+    /// attribute to have at least one value.
+    pub fn new(attributes: Vec<Attribute>, classes: Vec<String>) -> Result<Self, DataError> {
+        if attributes.is_empty() {
+            return Err(DataError::invalid_schema("schema has no attributes"));
+        }
+        if classes.len() < 2 {
+            return Err(DataError::invalid_schema(
+                "schema needs at least two class labels",
+            ));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if a.values.is_empty() {
+                return Err(DataError::invalid_schema(format!(
+                    "attribute {i} ({}) has an empty domain",
+                    a.name
+                )));
+            }
+        }
+        let mut offsets = Vec::with_capacity(attributes.len() + 1);
+        let mut acc: ItemId = 0;
+        for a in &attributes {
+            offsets.push(acc);
+            acc += a.cardinality() as ItemId;
+        }
+        offsets.push(acc);
+        Ok(Schema {
+            attributes,
+            classes,
+            offsets,
+        })
+    }
+
+    /// Convenience constructor for purely synthetic schemas: `cardinalities[i]`
+    /// is the number of values of attribute `i`, classes are `c0..c{n-1}`.
+    pub fn synthetic(cardinalities: &[usize], n_classes: usize) -> Result<Self, DataError> {
+        let attributes = cardinalities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Attribute::with_cardinality(format!("A{i}"), c))
+            .collect();
+        let classes = (0..n_classes).map(|i| format!("c{i}")).collect();
+        Schema::new(attributes, classes)
+    }
+
+    /// The attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The class label names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Number of class labels.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of distinct items (attribute/value pairs).
+    pub fn n_items(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty") as usize
+    }
+
+    /// Maps an attribute/value pair to its dense item id.
+    pub fn item_id(&self, attribute: usize, value: usize) -> Result<ItemId, DataError> {
+        let attr = self
+            .attributes
+            .get(attribute)
+            .ok_or(DataError::UnknownAttribute { index: attribute })?;
+        if value >= attr.cardinality() {
+            return Err(DataError::UnknownValue { attribute, value });
+        }
+        Ok(self.offsets[attribute] + value as ItemId)
+    }
+
+    /// Maps a symbolic [`Item`] to its dense id.
+    pub fn intern(&self, item: &Item) -> Result<ItemId, DataError> {
+        self.item_id(item.attribute, item.value)
+    }
+
+    /// Maps a dense item id back to its attribute and value indices.
+    pub fn decode(&self, item: ItemId) -> Result<Item, DataError> {
+        if (item as usize) >= self.n_items() {
+            return Err(DataError::UnknownAttribute {
+                index: item as usize,
+            });
+        }
+        // offsets is sorted; find the attribute whose range contains `item`.
+        let attribute = match self.offsets.binary_search(&item) {
+            Ok(i) => {
+                // `item` is exactly the first value of attribute i, unless i is
+                // the sentinel at the end (excluded by the bound check above).
+                i
+            }
+            Err(i) => i - 1,
+        };
+        let value = (item - self.offsets[attribute]) as usize;
+        Ok(Item::new(attribute, value))
+    }
+
+    /// Human-readable rendering of an item, e.g. `education=tertiary`.
+    pub fn describe_item(&self, item: ItemId) -> String {
+        match self.decode(item) {
+            Ok(Item { attribute, value }) => {
+                let a = &self.attributes[attribute];
+                format!("{}={}", a.name, a.values[value])
+            }
+            Err(_) => format!("<invalid item {item}>"),
+        }
+    }
+
+    /// Name of a class label.
+    pub fn class_name(&self, class: ClassId) -> Result<&str, DataError> {
+        self.classes
+            .get(class as usize)
+            .map(String::as_str)
+            .ok_or(DataError::UnknownClass {
+                class: class as usize,
+            })
+    }
+
+    /// Index of a class label by name.
+    pub fn class_index(&self, name: &str) -> Option<ClassId> {
+        self.classes.iter().position(|c| c == name).map(|i| i as ClassId)
+    }
+
+    /// All item ids belonging to one attribute.
+    pub fn items_of_attribute(&self, attribute: usize) -> Result<std::ops::Range<ItemId>, DataError> {
+        if attribute >= self.attributes.len() {
+            return Err(DataError::UnknownAttribute { index: attribute });
+        }
+        Ok(self.offsets[attribute]..self.offsets[attribute + 1])
+    }
+
+    /// The attribute index an item id belongs to.
+    pub fn attribute_of(&self, item: ItemId) -> Result<usize, DataError> {
+        self.decode(item).map(|i| i.attribute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::new("color", vec!["red".into(), "green".into(), "blue".into()]),
+                Attribute::new("size", vec!["small".into(), "large".into()]),
+            ],
+            vec!["yes".into(), "no".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn item_id_assignment_is_dense_and_ordered() {
+        let s = schema();
+        assert_eq!(s.n_items(), 5);
+        assert_eq!(s.item_id(0, 0).unwrap(), 0);
+        assert_eq!(s.item_id(0, 2).unwrap(), 2);
+        assert_eq!(s.item_id(1, 0).unwrap(), 3);
+        assert_eq!(s.item_id(1, 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let s = schema();
+        for a in 0..s.n_attributes() {
+            for v in 0..s.attributes()[a].cardinality() {
+                let id = s.item_id(a, v).unwrap();
+                let back = s.decode(id).unwrap();
+                assert_eq!(back, Item::new(a, v));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let s = schema();
+        assert!(s.decode(5).is_err());
+        assert!(s.decode(999).is_err());
+    }
+
+    #[test]
+    fn item_id_rejects_invalid_pairs() {
+        let s = schema();
+        assert!(s.item_id(0, 3).is_err());
+        assert!(s.item_id(2, 0).is_err());
+    }
+
+    #[test]
+    fn describe_item_and_classes() {
+        let s = schema();
+        assert_eq!(s.describe_item(1), "color=green");
+        assert_eq!(s.describe_item(4), "size=large");
+        assert_eq!(s.class_name(0).unwrap(), "yes");
+        assert_eq!(s.class_index("no"), Some(1));
+        assert_eq!(s.class_index("maybe"), None);
+        assert!(s.class_name(7).is_err());
+    }
+
+    #[test]
+    fn items_of_attribute_ranges() {
+        let s = schema();
+        assert_eq!(s.items_of_attribute(0).unwrap(), 0..3);
+        assert_eq!(s.items_of_attribute(1).unwrap(), 3..5);
+        assert!(s.items_of_attribute(2).is_err());
+        assert_eq!(s.attribute_of(4).unwrap(), 1);
+    }
+
+    #[test]
+    fn synthetic_schema() {
+        let s = Schema::synthetic(&[2, 3, 4], 2).unwrap();
+        assert_eq!(s.n_attributes(), 3);
+        assert_eq!(s.n_items(), 9);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.attributes()[2].cardinality(), 4);
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Schema::new(vec![], vec!["a".into(), "b".into()]).is_err());
+        assert!(Schema::new(
+            vec![Attribute::with_cardinality("A", 2)],
+            vec!["only".into()]
+        )
+        .is_err());
+        assert!(Schema::new(
+            vec![Attribute::new("A", vec![])],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn intern_symbolic_item() {
+        let s = schema();
+        assert_eq!(s.intern(&Item::new(1, 1)).unwrap(), 4);
+        assert!(s.intern(&Item::new(9, 0)).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Vertical dataset layout: tid-sets and Diffsets (§4.2.2 of the paper).
+//!
+//! The permutation approach mines frequent patterns only once, stores the
+//! *record id list* (tid-set) of every frequent pattern, and recomputes rule
+//! supports on each permutation from the tid-sets and the shuffled class
+//! labels.  Tid-sets can be long, so the paper adopts the Diffsets technique
+//! of Zaki & Gouda: when a child pattern's support is more than half of its
+//! parent's, store only the *difference* between the parent's and the child's
+//! tid-sets.
+//!
+//! * [`TidSet`] — a sorted list of record ids with intersection/difference.
+//! * [`Cover`] — either a full tid-set or a diffset relative to a parent.
+//! * [`VerticalDataset`] — per-item tid-sets plus the class label vector.
+
+use crate::dataset::Dataset;
+use crate::item::{ClassId, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// A sorted set of record ids (tids).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TidSet {
+    tids: Vec<u32>,
+}
+
+impl TidSet {
+    /// Creates a tid-set from any iterator of record ids; sorts and
+    /// de-duplicates.
+    pub fn from_tids(tids: impl IntoIterator<Item = u32>) -> Self {
+        let mut tids: Vec<u32> = tids.into_iter().collect();
+        tids.sort_unstable();
+        tids.dedup();
+        TidSet { tids }
+    }
+
+    /// Creates an empty tid-set.
+    pub fn empty() -> Self {
+        TidSet { tids: Vec::new() }
+    }
+
+    /// The full tid-set `{0, 1, ..., n-1}`.
+    pub fn full(n: usize) -> Self {
+        TidSet {
+            tids: (0..n as u32).collect(),
+        }
+    }
+
+    /// The record ids, sorted ascending.
+    pub fn tids(&self) -> &[u32] {
+        &self.tids
+    }
+
+    /// Cardinality of the set (the support of the pattern it covers).
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// True when the set contains the record id.
+    pub fn contains(&self, tid: u32) -> bool {
+        self.tids.binary_search(&tid).is_ok()
+    }
+
+    /// Set intersection `self ∩ other` (both sorted, linear merge).
+    pub fn intersect(&self, other: &TidSet) -> TidSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.tids.len() && b < other.tids.len() {
+            match self.tids[a].cmp(&other.tids[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tids[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        TidSet { tids: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &TidSet) -> TidSet {
+        let mut out = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.tids.len() {
+            if b >= other.tids.len() {
+                out.extend_from_slice(&self.tids[a..]);
+                break;
+            }
+            match self.tids[a].cmp(&other.tids[b]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.tids[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        TidSet { tids: out }
+    }
+
+    /// Set union `self ∪ other`.
+    pub fn union(&self, other: &TidSet) -> TidSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.tids.len() && b < other.tids.len() {
+            match self.tids[a].cmp(&other.tids[b]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.tids[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.tids[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tids[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.tids[a..]);
+        out.extend_from_slice(&other.tids[b..]);
+        TidSet { tids: out }
+    }
+
+    /// Counts how many records in the set carry class `c`, given the label
+    /// vector of the dataset (indexed by tid).  This is the operation the
+    /// permutation engine performs for every rule on every permutation.
+    pub fn count_class(&self, labels: &[ClassId], class: ClassId) -> usize {
+        self.tids
+            .iter()
+            .filter(|&&t| labels[t as usize] == class)
+            .count()
+    }
+
+    /// Memory footprint of the tid list in bytes (used to report the Diffsets
+    /// savings in the ablation benchmarks).
+    pub fn size_bytes(&self) -> usize {
+        self.tids.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl FromIterator<u32> for TidSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        TidSet::from_tids(iter)
+    }
+}
+
+/// The cover of a pattern in the set-enumeration tree: either the full
+/// tid-set, or — when the pattern's support is close to its parent's — the
+/// diffset `tids(parent) \ tids(pattern)` (§4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cover {
+    /// The pattern's full record id list.
+    Tids(TidSet),
+    /// The ids of records that contain the parent but not this pattern.
+    Diffset(TidSet),
+}
+
+impl Cover {
+    /// Chooses the representation the paper prescribes: store the full
+    /// tid-set if `supp(X) ≤ supp(parent)/2`, otherwise store the diffset.
+    pub fn choose(parent_tids: &TidSet, own_tids: TidSet) -> Cover {
+        if own_tids.len() * 2 <= parent_tids.len() {
+            Cover::Tids(own_tids)
+        } else {
+            Cover::Diffset(parent_tids.difference(&own_tids))
+        }
+    }
+
+    /// True when the diffset representation is in use.
+    pub fn is_diffset(&self) -> bool {
+        matches!(self, Cover::Diffset(_))
+    }
+
+    /// Support of the pattern, given its parent's support.
+    pub fn support(&self, parent_support: usize) -> usize {
+        match self {
+            Cover::Tids(t) => t.len(),
+            Cover::Diffset(d) => parent_support - d.len(),
+        }
+    }
+
+    /// Reconstructs the full tid-set, given the parent's tid-set.
+    pub fn materialize(&self, parent_tids: &TidSet) -> TidSet {
+        match self {
+            Cover::Tids(t) => t.clone(),
+            Cover::Diffset(d) => parent_tids.difference(d),
+        }
+    }
+
+    /// Rule support (`supp(X ⇒ c)`) given the parent's rule support for the
+    /// same class and the label vector.
+    ///
+    /// With a full tid-set the class members are counted directly; with a
+    /// diffset the paper's identity is used:
+    /// `supp(X ⇒ c) = supp(parent ⇒ c) − |{t ∈ Diffset(X) : label(t) = c}|`.
+    pub fn rule_support(
+        &self,
+        parent_rule_support: usize,
+        labels: &[ClassId],
+        class: ClassId,
+    ) -> usize {
+        match self {
+            Cover::Tids(t) => t.count_class(labels, class),
+            Cover::Diffset(d) => parent_rule_support - d.count_class(labels, class),
+        }
+    }
+
+    /// Bytes used by the stored id list.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Cover::Tids(t) => t.size_bytes(),
+            Cover::Diffset(d) => d.size_bytes(),
+        }
+    }
+}
+
+/// Vertical view of a dataset: one tid-set per item plus the class label
+/// vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerticalDataset {
+    n_records: usize,
+    n_classes: usize,
+    item_tids: Vec<TidSet>,
+    labels: Vec<ClassId>,
+}
+
+impl VerticalDataset {
+    /// Builds the vertical layout from a horizontal dataset in one pass.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let n_items = dataset.schema().n_items();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+        for (tid, record) in dataset.records().iter().enumerate() {
+            for &item in record.items() {
+                buckets[item as usize].push(tid as u32);
+            }
+        }
+        let item_tids = buckets
+            .into_iter()
+            .map(|tids| TidSet { tids }) // already sorted: tids pushed in increasing order
+            .collect();
+        VerticalDataset {
+            n_records: dataset.n_records(),
+            n_classes: dataset.n_classes(),
+            item_tids,
+            labels: dataset.class_labels(),
+        }
+    }
+
+    /// Number of records.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of distinct items.
+    pub fn n_items(&self) -> usize {
+        self.item_tids.len()
+    }
+
+    /// The tid-set of an item.
+    pub fn item_tids(&self, item: ItemId) -> &TidSet {
+        &self.item_tids[item as usize]
+    }
+
+    /// Support of an item.
+    pub fn item_support(&self, item: ItemId) -> usize {
+        self.item_tids[item as usize].len()
+    }
+
+    /// The class label of every record, indexed by tid.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Per-class record counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in &self.labels {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Replaces the label vector (used by the permutation engine; the
+    /// structural part of the vertical layout is shared untouched).
+    pub fn with_labels(&self, labels: Vec<ClassId>) -> VerticalDataset {
+        assert_eq!(labels.len(), self.n_records, "label vector length mismatch");
+        VerticalDataset {
+            n_records: self.n_records,
+            n_classes: self.n_classes,
+            item_tids: self.item_tids.clone(),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Pattern;
+    use crate::record::Record;
+    use crate::schema::Schema;
+
+    fn toy() -> Dataset {
+        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+        // items: A0: {0,1}, A1: {2,3}
+        let records = vec![
+            Record::new(vec![0, 2], 0),
+            Record::new(vec![0, 3], 0),
+            Record::new(vec![1, 2], 1),
+            Record::new(vec![0, 2], 1),
+            Record::new(vec![1, 3], 0),
+        ];
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn tidset_construction_and_queries() {
+        let t = TidSet::from_tids([5, 1, 3, 1]);
+        assert_eq!(t.tids(), &[1, 3, 5]);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(3));
+        assert!(!t.contains(2));
+        assert!(TidSet::empty().is_empty());
+        assert_eq!(TidSet::full(4).tids(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tidset_set_operations() {
+        let a = TidSet::from_tids([1, 2, 3, 5, 8]);
+        let b = TidSet::from_tids([2, 3, 4, 8, 9]);
+        assert_eq!(a.intersect(&b).tids(), &[2, 3, 8]);
+        assert_eq!(a.difference(&b).tids(), &[1, 5]);
+        assert_eq!(b.difference(&a).tids(), &[4, 9]);
+        assert_eq!(a.union(&b).tids(), &[1, 2, 3, 4, 5, 8, 9]);
+        // identities
+        assert_eq!(a.intersect(&TidSet::empty()).len(), 0);
+        assert_eq!(a.difference(&TidSet::empty()), a);
+        assert_eq!(a.union(&TidSet::empty()), a);
+    }
+
+    #[test]
+    fn tidset_count_class() {
+        let labels = vec![0u32, 1, 0, 1, 1];
+        let t = TidSet::from_tids([0, 1, 3]);
+        assert_eq!(t.count_class(&labels, 1), 2);
+        assert_eq!(t.count_class(&labels, 0), 1);
+    }
+
+    #[test]
+    fn cover_chooses_representation_per_paper_rule() {
+        let parent = TidSet::from_tids(0..10);
+        // small child: supp 4 <= 10/2 → tids
+        let small = TidSet::from_tids([0, 1, 2, 3]);
+        let c = Cover::choose(&parent, small.clone());
+        assert!(!c.is_diffset());
+        assert_eq!(c.support(parent.len()), 4);
+        assert_eq!(c.materialize(&parent), small);
+
+        // large child: supp 8 > 5 → diffset of size 2
+        let large = TidSet::from_tids([0, 1, 2, 3, 4, 5, 6, 7]);
+        let c = Cover::choose(&parent, large.clone());
+        assert!(c.is_diffset());
+        assert_eq!(c.support(parent.len()), 8);
+        assert_eq!(c.size_bytes(), 2 * 4);
+        assert_eq!(c.materialize(&parent), large);
+    }
+
+    #[test]
+    fn cover_rule_support_identities() {
+        let labels = vec![0u32, 0, 1, 1, 0, 1, 0, 0, 1, 0];
+        let parent = TidSet::from_tids(0..10);
+        let parent_rule_support = parent.count_class(&labels, 0); // 6
+        let child = TidSet::from_tids([0, 1, 2, 3, 4, 5, 6]); // supp 7 → diffset
+        let expected = child.count_class(&labels, 0);
+        let c = Cover::choose(&parent, child.clone());
+        assert!(c.is_diffset());
+        assert_eq!(c.rule_support(parent_rule_support, &labels, 0), expected);
+
+        let small_child = TidSet::from_tids([2, 3, 5]);
+        let c = Cover::choose(&parent, small_child.clone());
+        assert!(!c.is_diffset());
+        assert_eq!(
+            c.rule_support(parent_rule_support, &labels, 1),
+            small_child.count_class(&labels, 1)
+        );
+    }
+
+    #[test]
+    fn vertical_matches_horizontal_supports() {
+        let d = toy();
+        let v = VerticalDataset::from_dataset(&d);
+        assert_eq!(v.n_records(), 5);
+        assert_eq!(v.n_items(), 4);
+        for item in 0..4u32 {
+            assert_eq!(v.item_support(item), d.item_support(item), "item {item}");
+        }
+        // pattern {0,2} via tidset intersection
+        let t = v.item_tids(0).intersect(v.item_tids(2));
+        assert_eq!(t.len(), d.support(&Pattern::from_items([0, 2])));
+        // rule support via count_class
+        assert_eq!(
+            t.count_class(v.labels(), 1),
+            d.rule_support(&Pattern::from_items([0, 2]), 1)
+        );
+    }
+
+    #[test]
+    fn with_labels_swaps_labels_only() {
+        let d = toy();
+        let v = VerticalDataset::from_dataset(&d);
+        let new_labels = vec![1u32, 1, 1, 0, 0];
+        let v2 = v.with_labels(new_labels.clone());
+        assert_eq!(v2.labels(), new_labels.as_slice());
+        assert_eq!(v2.item_tids(0), v.item_tids(0));
+        assert_eq!(v2.class_counts(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,118 @@
+//! One module per figure/table of the paper's evaluation section.
+//!
+//! Every experiment takes an [`ExperimentContext`] (how many replicate
+//! datasets, how many permutations, which seed) and returns one or more
+//! [`Table`](crate::report::Table)s whose rows are the series the paper
+//! plots.  The `repro_*` binaries in the `sigrule-bench` crate are thin
+//! wrappers that construct a context and print the tables.
+//!
+//! | Paper artefact | Module / function |
+//! |----------------|-------------------|
+//! | Figure 1, 2, 9 | [`stats_curves`] |
+//! | Figure 3, 15   | [`pvalue_distribution`] |
+//! | Figure 4, 5    | [`timing`] |
+//! | Figure 6       | [`random_datasets`] |
+//! | Figures 7, 8, 10–13 | [`one_rule`] |
+//! | Figures 14, 16, Table 2 | [`real_world`] |
+//! | Table 4        | [`conf_pvalue_table`] |
+
+pub mod conf_pvalue_table;
+pub mod one_rule;
+pub mod pvalue_distribution;
+pub mod random_datasets;
+pub mod real_world;
+pub mod stats_curves;
+pub mod timing;
+
+use serde::{Deserialize, Serialize};
+
+/// Shared experiment settings.
+///
+/// The paper uses 100 replicate datasets and 1000 permutations everywhere;
+/// those are the defaults, but the repro binaries accept smaller values so a
+/// laptop run finishes in minutes (EXPERIMENTS.md records which settings were
+/// used for the committed numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentContext {
+    /// Number of replicate datasets per configuration (paper: 100).
+    pub replicates: usize,
+    /// Number of permutations for the permutation-based approach (paper:
+    /// 1000).
+    pub n_permutations: usize,
+    /// Significance level (paper: 0.05).
+    pub alpha: f64,
+    /// Base seed; replicate `i` of a configuration uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            replicates: 100,
+            n_permutations: 1000,
+            alpha: 0.05,
+            seed: 2011,
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// A context scaled down for quick runs (used by tests and the default
+    /// repro binaries): `replicates` replicates and `n_permutations`
+    /// permutations.
+    pub fn quick(replicates: usize, n_permutations: usize) -> Self {
+        ExperimentContext {
+            replicates,
+            n_permutations,
+            ..ExperimentContext::default()
+        }
+    }
+
+    /// Reads an override from environment variables
+    /// (`SIGRULE_REPLICATES`, `SIGRULE_PERMUTATIONS`, `SIGRULE_ALPHA`,
+    /// `SIGRULE_SEED`), falling back to `self` for anything unset.  The repro
+    /// binaries call this so the full paper-scale run is one environment
+    /// variable away.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(v) = read_env_usize("SIGRULE_REPLICATES") {
+            self.replicates = v;
+        }
+        if let Some(v) = read_env_usize("SIGRULE_PERMUTATIONS") {
+            self.n_permutations = v;
+        }
+        if let Ok(v) = std::env::var("SIGRULE_ALPHA") {
+            if let Ok(a) = v.parse::<f64>() {
+                self.alpha = a;
+            }
+        }
+        if let Some(v) = read_env_usize("SIGRULE_SEED") {
+            self.seed = v as u64;
+        }
+        self
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ExperimentContext::default();
+        assert_eq!(c.replicates, 100);
+        assert_eq!(c.n_permutations, 1000);
+        assert!((c.alpha - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_context_overrides_sizes() {
+        let c = ExperimentContext::quick(5, 50);
+        assert_eq!(c.replicates, 5);
+        assert_eq!(c.n_permutations, 50);
+        assert!((c.alpha - 0.05).abs() < 1e-12);
+    }
+}

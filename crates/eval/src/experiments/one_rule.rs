@@ -1,0 +1,264 @@
+//! Figures 7, 8, 10, 11, 12 and 13: datasets with a single embedded rule
+//! (`N = 2000`, `A = 40`, coverage 400), sweeping either the embedded rule's
+//! confidence (at `min_sup = 150`) or the minimum support threshold (at
+//! confidence 0.60).
+
+use crate::experiments::ExperimentContext;
+use crate::methods::{Method, MethodRunner, PreparedDataset};
+use crate::metrics::{evaluate, AggregateMetrics, DatasetMetrics};
+use crate::report::{fmt_float, Table};
+use rayon::prelude::*;
+use sigrule::correction::holdout::count_exploratory_candidates;
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+/// The swept variable of a one-embedded-rule experiment.
+#[derive(Debug, Clone)]
+pub enum SweepAxis {
+    /// Sweep the embedded rule's confidence at a fixed minimum support
+    /// (Figures 7, 8 and 10; the paper uses `min_sup = 150`).
+    Confidence {
+        /// Confidence values of the embedded rule.
+        values: Vec<f64>,
+        /// Minimum support threshold on the whole dataset.
+        min_sup: usize,
+    },
+    /// Sweep the minimum support threshold at a fixed confidence
+    /// (Figures 11, 12 and 13; the paper uses confidence 0.60).
+    MinSup {
+        /// Minimum support thresholds on the whole dataset.
+        values: Vec<usize>,
+        /// Confidence of the embedded rule.
+        confidence: f64,
+    },
+}
+
+impl SweepAxis {
+    /// The paper's confidence sweep: 0.55 to 0.70, min_sup 150.
+    pub fn paper_confidence_sweep() -> Self {
+        SweepAxis::Confidence {
+            values: vec![0.55, 0.575, 0.60, 0.625, 0.65, 0.675, 0.70],
+            min_sup: 150,
+        }
+    }
+
+    /// The paper's min_sup sweep: 100 to 400, confidence 0.60.
+    pub fn paper_min_sup_sweep() -> Self {
+        SweepAxis::MinSup {
+            values: vec![100, 150, 200, 250, 300, 350, 400],
+            confidence: 0.60,
+        }
+    }
+
+    /// Name of the swept variable (table column header).
+    pub fn axis_label(&self) -> &'static str {
+        match self {
+            SweepAxis::Confidence { .. } => "conf(Rt)",
+            SweepAxis::MinSup { .. } => "min_sup",
+        }
+    }
+
+    /// The (axis value label, min_sup, confidence) triplets to run.
+    pub fn points(&self) -> Vec<(String, usize, f64)> {
+        match self {
+            SweepAxis::Confidence { values, min_sup } => values
+                .iter()
+                .map(|&c| (format!("{c:.3}"), *min_sup, c))
+                .collect(),
+            SweepAxis::MinSup { values, confidence } => values
+                .iter()
+                .map(|&m| (m.to_string(), m, *confidence))
+                .collect(),
+        }
+    }
+}
+
+/// Results at one sweep point.
+#[derive(Debug, Clone)]
+pub struct OneRulePoint {
+    /// Label of the swept value (confidence or min_sup).
+    pub axis_value: String,
+    /// Aggregate metrics per method.
+    pub per_method: Vec<(Method, AggregateMetrics)>,
+    /// Average number of rules tested on the whole dataset.
+    pub rules_tested_whole: f64,
+    /// Average number of rules tested on the paired holdout's exploratory
+    /// dataset.
+    pub rules_tested_hd_exploratory: f64,
+    /// Average number of candidates passed to the paired holdout's evaluation
+    /// dataset.
+    pub rules_tested_hd_evaluation: f64,
+}
+
+/// Runs a one-embedded-rule sweep for the given methods.
+pub fn run(ctx: &ExperimentContext, axis: &SweepAxis, methods: &[Method]) -> Vec<OneRulePoint> {
+    axis.points()
+        .into_iter()
+        .map(|(axis_value, min_sup, confidence)| {
+            let params = SyntheticParams::one_rule_2k_a40(confidence);
+            let per_replicate: Vec<(Vec<DatasetMetrics>, usize, usize, usize)> = (0..ctx
+                .replicates)
+                .into_par_iter()
+                .map(|rep| {
+                    let runner = MethodRunner {
+                        alpha: ctx.alpha,
+                        n_permutations: ctx.n_permutations,
+                        perm_seed: ctx.seed + rep as u64,
+                        holdout_seed: ctx.seed + 5000 + rep as u64,
+                    };
+                    let generator =
+                        SyntheticGenerator::new(params.clone()).expect("valid parameters");
+                    let paired = generator.generate_paired(ctx.seed + 31 * rep as u64);
+                    let data = PreparedDataset::from_paired(paired);
+                    let mined = runner.mine_whole(&data, min_sup);
+                    let metrics: Vec<DatasetMetrics> = methods
+                        .iter()
+                        .map(|&m| evaluate(&data, &runner.run(m, &data, &mined, min_sup)))
+                        .collect();
+                    let (explore_tests, candidates) = count_exploratory_candidates(
+                        &data.exploratory,
+                        &runner.exploratory_config(min_sup),
+                        ctx.alpha,
+                    );
+                    (metrics, mined.n_tests(), explore_tests, candidates)
+                })
+                .collect();
+
+            let n = per_replicate.len().max(1) as f64;
+            let per_method = methods
+                .iter()
+                .enumerate()
+                .map(|(mi, &m)| {
+                    let series: Vec<DatasetMetrics> =
+                        per_replicate.iter().map(|(ms, _, _, _)| ms[mi]).collect();
+                    (m, AggregateMetrics::from_datasets(&series))
+                })
+                .collect();
+            OneRulePoint {
+                axis_value,
+                per_method,
+                rules_tested_whole: per_replicate.iter().map(|x| x.1 as f64).sum::<f64>() / n,
+                rules_tested_hd_exploratory: per_replicate.iter().map(|x| x.2 as f64).sum::<f64>()
+                    / n,
+                rules_tested_hd_evaluation: per_replicate.iter().map(|x| x.3 as f64).sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
+}
+
+/// Renders the "number of rules tested" panel (Figures 7 and 11).
+pub fn render_rules_tested(points: &[OneRulePoint], axis: &SweepAxis, figure: &str) -> Table {
+    let mut table = Table::new(
+        format!("{figure}: average number of rules tested"),
+        vec![
+            axis.axis_label(),
+            "whole dataset",
+            "HD_exploratory",
+            "HD_evaluation",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.axis_value.clone(),
+            fmt_float(p.rules_tested_whole),
+            fmt_float(p.rules_tested_hd_exploratory),
+            fmt_float(p.rules_tested_hd_evaluation),
+        ]);
+    }
+    table
+}
+
+/// Renders the power / error-rate / false-positive panels (Figures 8, 10, 12
+/// and 13).  `error_is_fdr` selects whether the middle panel reports FDR or
+/// FWER.
+pub fn render_metrics(
+    points: &[OneRulePoint],
+    axis: &SweepAxis,
+    figure: &str,
+    error_is_fdr: bool,
+) -> Vec<Table> {
+    let methods: Vec<Method> = points
+        .first()
+        .map(|p| p.per_method.iter().map(|(m, _)| *m).collect())
+        .unwrap_or_default();
+    let method_columns: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
+    let make = |suffix: &str| Table {
+        title: format!("{figure}: {suffix}"),
+        columns: std::iter::once(axis.axis_label().to_string())
+            .chain(method_columns.iter().cloned())
+            .collect(),
+        rows: Vec::new(),
+    };
+    let mut power = make("power");
+    let mut error = make(if error_is_fdr { "FDR" } else { "FWER" });
+    let mut false_positives = make("average number of false positives");
+    for p in points {
+        let mut power_row = vec![p.axis_value.clone()];
+        let mut error_row = vec![p.axis_value.clone()];
+        let mut fp_row = vec![p.axis_value.clone()];
+        for (_, agg) in &p.per_method {
+            power_row.push(fmt_float(agg.power));
+            error_row.push(fmt_float(if error_is_fdr { agg.fdr } else { agg.fwer }));
+            fp_row.push(fmt_float(agg.mean_false_positives));
+        }
+        power.rows.push(power_row);
+        error.rows.push(error_row);
+        false_positives.rows.push(fp_row);
+    }
+    vec![power, error, false_positives]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_points() {
+        let conf = SweepAxis::paper_confidence_sweep();
+        assert_eq!(conf.axis_label(), "conf(Rt)");
+        assert_eq!(conf.points().len(), 7);
+        assert!(conf.points().iter().all(|(_, m, _)| *m == 150));
+        let sup = SweepAxis::paper_min_sup_sweep();
+        assert_eq!(sup.axis_label(), "min_sup");
+        assert!(sup.points().iter().all(|(_, _, c)| (*c - 0.6).abs() < 1e-12));
+    }
+
+    #[test]
+    fn high_confidence_rule_is_detected_and_no_correction_has_high_fwer() {
+        // Scaled-down Figure 8: one confidence value (0.70, the easiest), a
+        // handful of replicates and permutations.
+        let ctx = ExperimentContext::quick(3, 40);
+        let axis = SweepAxis::Confidence {
+            values: vec![0.70],
+            min_sup: 150,
+        };
+        let methods = vec![Method::NoCorrection, Method::Bonferroni, Method::PermFwer];
+        let points = run(&ctx, &axis, &methods);
+        assert_eq!(points.len(), 1);
+        let get = |m: Method| {
+            points[0]
+                .per_method
+                .iter()
+                .find(|(x, _)| *x == m)
+                .map(|(_, a)| *a)
+                .unwrap()
+        };
+        // The uncorrected baseline always finds the embedded rule but pays
+        // with false positives (paper: FWER = 1).
+        let none = get(Method::NoCorrection);
+        assert!(none.power >= 0.99, "power {}", none.power);
+        assert!(none.fwer >= 0.5, "uncorrected FWER {}", none.fwer);
+        // At confidence 0.70 the paper reports that all corrections detect
+        // the rule; Bonferroni and the permutation test should both have high
+        // power here.
+        let bc = get(Method::Bonferroni);
+        let perm = get(Method::PermFwer);
+        assert!(bc.power >= 0.5, "BC power {}", bc.power);
+        assert!(perm.power >= bc.power - 1e-9, "perm power {} < BC {}", perm.power, bc.power);
+
+        let tables = render_metrics(&points, &axis, "Figure 8", false);
+        assert_eq!(tables.len(), 3);
+        let tested = render_rules_tested(&points, &axis, "Figure 7");
+        assert_eq!(tested.n_rows(), 1);
+    }
+}

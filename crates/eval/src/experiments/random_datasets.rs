@@ -1,0 +1,176 @@
+//! Figure 6: behaviour of the correction approaches on purely random data
+//! (`N = 2000`, `A = 40`, no embedded rules), where every significant rule is
+//! a false positive.
+
+use crate::experiments::ExperimentContext;
+use crate::methods::{Method, MethodRunner, PreparedDataset};
+use crate::metrics::{evaluate, AggregateMetrics, DatasetMetrics};
+use crate::report::{fmt_float, Table};
+use rayon::prelude::*;
+use sigrule::correction::holdout::count_exploratory_candidates;
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+/// The minimum-support sweep of Figure 6.
+pub fn paper_min_sup_sweep() -> Vec<usize> {
+    vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+}
+
+/// Per-min_sup aggregates for one method.
+#[derive(Debug, Clone)]
+pub struct RandomDatasetPoint {
+    /// The minimum support threshold on the whole dataset.
+    pub min_sup: usize,
+    /// Per-method aggregates, in the order of [`Method::all`].
+    pub per_method: Vec<(Method, AggregateMetrics)>,
+    /// Average number of rules tested on the whole dataset.
+    pub rules_tested_whole: f64,
+    /// Average number of rules tested on the holdout exploratory dataset.
+    pub rules_tested_exploratory: f64,
+    /// Average number of candidate rules passed to the evaluation dataset.
+    pub rules_tested_evaluation: f64,
+}
+
+/// Runs the Figure 6 experiment for the given minimum supports.
+pub fn run(ctx: &ExperimentContext, min_sups: &[usize]) -> Vec<RandomDatasetPoint> {
+    let params = SyntheticParams::random_2k_a40();
+    let methods = Method::all();
+    min_sups
+        .iter()
+        .map(|&min_sup| {
+            let per_replicate: Vec<(Vec<DatasetMetrics>, usize, usize, usize)> = (0..ctx
+                .replicates)
+                .into_par_iter()
+                .map(|rep| {
+                    let runner = MethodRunner {
+                        alpha: ctx.alpha,
+                        n_permutations: ctx.n_permutations,
+                        perm_seed: ctx.seed + rep as u64,
+                        holdout_seed: ctx.seed + 1000 + rep as u64,
+                    };
+                    let generator =
+                        SyntheticGenerator::new(params.clone()).expect("valid parameters");
+                    let paired = generator.generate_paired(ctx.seed + rep as u64);
+                    let data = PreparedDataset::from_paired(paired);
+                    let results = runner.run_all(&methods, &data, min_sup);
+                    let metrics: Vec<DatasetMetrics> = results
+                        .iter()
+                        .map(|(_, result)| evaluate(&data, result))
+                        .collect();
+                    let whole_tests = runner.mine_whole(&data, min_sup).n_tests();
+                    let (explore_tests, candidates) = count_exploratory_candidates(
+                        &data.exploratory,
+                        &runner.exploratory_config(min_sup),
+                        ctx.alpha,
+                    );
+                    (metrics, whole_tests, explore_tests, candidates)
+                })
+                .collect();
+
+            let n = per_replicate.len().max(1) as f64;
+            let per_method: Vec<(Method, AggregateMetrics)> = methods
+                .iter()
+                .enumerate()
+                .map(|(mi, &m)| {
+                    let series: Vec<DatasetMetrics> =
+                        per_replicate.iter().map(|(ms, _, _, _)| ms[mi]).collect();
+                    (m, AggregateMetrics::from_datasets(&series))
+                })
+                .collect();
+            RandomDatasetPoint {
+                min_sup,
+                per_method,
+                rules_tested_whole: per_replicate.iter().map(|x| x.1 as f64).sum::<f64>() / n,
+                rules_tested_exploratory: per_replicate.iter().map(|x| x.2 as f64).sum::<f64>() / n,
+                rules_tested_evaluation: per_replicate.iter().map(|x| x.3 as f64).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+/// Renders the three panels of Figure 6 (FWER, number of rules tested, number
+/// of false positives).
+pub fn render(points: &[RandomDatasetPoint]) -> Vec<Table> {
+    let methods = Method::all();
+    let method_columns: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
+
+    let mut fwer = Table {
+        title: "Figure 6(a): FWER on random datasets (N=2000, A=40)".to_string(),
+        columns: std::iter::once("min_sup".to_string())
+            .chain(method_columns.clone())
+            .collect(),
+        rows: Vec::new(),
+    };
+    let mut tested = Table::new(
+        "Figure 6(b): average number of rules tested",
+        vec!["min_sup", "whole dataset", "HD_exploratory", "HD_evaluation"],
+    );
+    let mut false_positives = Table {
+        title: "Figure 6(c): average number of false positives".to_string(),
+        columns: std::iter::once("min_sup".to_string())
+            .chain(method_columns)
+            .collect(),
+        rows: Vec::new(),
+    };
+    for point in points {
+        let mut fwer_row = vec![point.min_sup.to_string()];
+        let mut fp_row = vec![point.min_sup.to_string()];
+        for (_, agg) in &point.per_method {
+            fwer_row.push(fmt_float(agg.fwer));
+            fp_row.push(fmt_float(agg.mean_false_positives));
+        }
+        fwer.rows.push(fwer_row);
+        false_positives.rows.push(fp_row);
+        tested.push_row(vec![
+            point.min_sup.to_string(),
+            fmt_float(point.rules_tested_whole),
+            fmt_float(point.rules_tested_exploratory),
+            fmt_float(point.rules_tested_evaluation),
+        ]);
+    }
+    vec![fwer, tested, false_positives]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrections_control_false_positives_on_random_data() {
+        // Scaled-down version of Figure 6: 4 replicates, 30 permutations, a
+        // single min_sup.  The qualitative claims must already hold.
+        let ctx = ExperimentContext::quick(4, 30);
+        let points = run(&ctx, &[150]);
+        assert_eq!(points.len(), 1);
+        let point = &points[0];
+        let get = |m: Method| {
+            point
+                .per_method
+                .iter()
+                .find(|(x, _)| *x == m)
+                .map(|(_, a)| *a)
+                .expect("method present")
+        };
+        let none = get(Method::NoCorrection);
+        let bc = get(Method::Bonferroni);
+        let perm = get(Method::PermFwer);
+        // Without correction random data produces false positives on
+        // essentially every dataset at min_sup=150 (paper: FWER reaches 1).
+        assert!(
+            none.fwer >= 0.75,
+            "uncorrected FWER should be near 1, got {}",
+            none.fwer
+        );
+        assert!(none.mean_false_positives >= 1.0);
+        // The corrections bring FWER down dramatically.
+        assert!(bc.fwer <= 0.25, "BC FWER {}", bc.fwer);
+        assert!(perm.fwer <= 0.5, "Perm FWER {}", perm.fwer);
+        // Rules-tested bookkeeping is sane.
+        assert!(point.rules_tested_whole > 0.0);
+        assert!(point.rules_tested_evaluation <= point.rules_tested_exploratory);
+
+        let tables = render(&points);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].n_rows(), 1);
+        assert_eq!(tables[1].columns.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Pure-statistics curves: Figures 1, 2 and 9 of the paper.
+//!
+//! These figures involve no mining at all — they plot the two-tailed Fisher
+//! exact p-value as a function of coverage and confidence, and illustrate the
+//! p-value buffer construction.
+
+use crate::report::{fmt_float, Table};
+use sigrule_stats::{FisherTest, Hypergeometric, LogFactorialTable, PValueBuffer, RuleCounts, Tail};
+
+/// Figure 1: p-value of `R : X ⇒ c` as a function of confidence for
+/// `supp(X) ∈ {5, 10, 20, 40, 70, 100}`, with 1000 records and
+/// `supp(c) = 500`.
+pub fn figure1() -> Table {
+    let n = 1000usize;
+    let n_c = 500usize;
+    let coverages = [5usize, 10, 20, 40, 70, 100];
+    let mut columns = vec!["confidence".to_string()];
+    columns.extend(coverages.iter().map(|c| format!("supp(X)={c}")));
+    let mut table = Table {
+        title: "Figure 1: p-value vs confidence (#records=1000, supp(c)=500)".to_string(),
+        columns,
+        rows: Vec::new(),
+    };
+    let test = FisherTest::new(n);
+    let mut conf = 0.50;
+    while conf <= 1.0 + 1e-9 {
+        let mut row = vec![format!("{conf:.2}")];
+        for &supp_x in &coverages {
+            let supp_r = (conf * supp_x as f64).round() as usize;
+            let counts = RuleCounts::new(n, n_c, supp_x, supp_r.min(supp_x))
+                .expect("valid counts by construction");
+            row.push(fmt_float(test.p_value(&counts, Tail::TwoSided)));
+        }
+        table.rows.push(row);
+        conf += 0.05;
+    }
+    table
+}
+
+/// Figure 2: the p-value buffer `B_supp(X)` for `n = 20`, `supp(c) = 11`,
+/// `supp(X) = 6` — both the hypergeometric masses and the summed-up p-values.
+pub fn figure2() -> Table {
+    let n = 20usize;
+    let n_c = 11usize;
+    let supp_x = 6usize;
+    let logs = LogFactorialTable::new(n);
+    let dist = Hypergeometric::new(n, n_c, supp_x).expect("valid parameters");
+    let buffer = PValueBuffer::build(n, n_c, supp_x, &logs);
+    let mut table = Table::new(
+        "Figure 2: p-value buffer example (n=20, supp(c)=11, supp(X)=6)",
+        vec!["k", "H(k;20,11,6)", "p(k;20,11,6)"],
+    );
+    for k in dist.lower()..=dist.upper() {
+        table.push_row(vec![
+            k.to_string(),
+            fmt_float(dist.pmf(k, &logs)),
+            fmt_float(buffer.p_value(k)),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: p-value as a function of confidence for two settings,
+/// `(N = 2000, coverage = 400)` and `(N = 1000, coverage = 200)`, with
+/// `supp(c) = N/2`.  This is the figure that explains why the holdout loses
+/// power: halving the coverage raises the p-value by orders of magnitude.
+pub fn figure9() -> Table {
+    let settings = [(2000usize, 400usize), (1000, 200)];
+    let mut columns = vec!["confidence".to_string()];
+    columns.extend(
+        settings
+            .iter()
+            .map(|(n, cvg)| format!("N={n}, rule_cvg={cvg}")),
+    );
+    let mut table = Table {
+        title: "Figure 9: p-value vs confidence at full and halved coverage (supp(c)=N/2)"
+            .to_string(),
+        columns,
+        rows: Vec::new(),
+    };
+    let mut conf = 0.50;
+    while conf <= 0.75 + 1e-9 {
+        let mut row = vec![format!("{conf:.2}")];
+        for &(n, coverage) in &settings {
+            let test = FisherTest::new(n);
+            let supp_r = (conf * coverage as f64).round() as usize;
+            let counts =
+                RuleCounts::new(n, n / 2, coverage, supp_r).expect("valid counts by construction");
+            row.push(fmt_float(test.p_value(&counts, Tail::TwoSided)));
+        }
+        table.rows.push(row);
+        conf += 0.025;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_p_value_decreases_with_coverage_and_confidence() {
+        let t = figure1();
+        assert_eq!(t.columns.len(), 7);
+        assert!(t.n_rows() >= 10);
+        // At confidence 0.9, the p-value for supp(X)=100 must be far below the
+        // one for supp(X)=5.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "0.90")
+            .expect("confidence 0.90 row present");
+        let p_small: f64 = row[1].parse().unwrap();
+        let p_large: f64 = row[6].parse().unwrap();
+        assert!(p_large < p_small * 1e-3, "{p_large} vs {p_small}");
+    }
+
+    #[test]
+    fn figure2_reproduces_the_papers_numbers() {
+        let t = figure2();
+        assert_eq!(t.n_rows(), 7);
+        // k=0 row: H = 0.0021672, p = 0.0021672 (table cells are rendered with
+        // four decimals, so compare at that precision)
+        let h0: f64 = t.rows[0][1].parse().unwrap();
+        assert!((h0 - 0.0021672).abs() < 5e-4);
+        // k=3 row: p = 1.0
+        let p3: f64 = t.rows[3][2].parse().unwrap();
+        assert!((p3 - 1.0).abs() < 1e-9);
+        // k=6 row: p = 0.014087
+        let p6: f64 = t.rows[6][2].parse().unwrap();
+        assert!((p6 - 0.014087).abs() < 5e-4);
+    }
+
+    #[test]
+    fn figure9_halved_coverage_is_orders_of_magnitude_weaker() {
+        let t = figure9();
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "0.65")
+            .expect("confidence 0.65 row present");
+        let p_full: f64 = row[1].parse().unwrap();
+        let p_half: f64 = row[2].parse().unwrap();
+        assert!(
+            p_half > p_full * 100.0,
+            "halving coverage must cost orders of magnitude: {p_full} vs {p_half}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation methodology and experiment definitions (§5 of the paper).
+//!
+//! This crate turns the library into the paper's evaluation section:
+//!
+//! * [`false_positive`] — the paper's definition of a false positive on
+//!   datasets with embedded rules, including the adjusted p-value
+//!   `p(R | ¬Rt)` that excuses by-product rules (§5.2);
+//! * [`metrics`] — per-dataset and aggregate power / FWER / FDR;
+//! * [`methods`] — a uniform way to run every correction method of Table 3
+//!   on a prepared dataset;
+//! * [`report`] — plain-text tables in the shape the paper's figures plot;
+//! * [`experiments`] — one module per figure/table of the paper, each
+//!   producing a [`report::Table`] that the `repro_*` binaries print.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod false_positive;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+
+pub use false_positive::{adjusted_p_value, is_false_positive, matches_embedded};
+pub use methods::{Method, MethodRunner, PreparedDataset};
+pub use metrics::{evaluate, AggregateMetrics, DatasetMetrics};
+pub use report::Table;

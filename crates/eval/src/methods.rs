@@ -1,0 +1,330 @@
+//! Uniform execution of every correction method of Table 3.
+
+use serde::{Deserialize, Serialize};
+use sigrule::correction::holdout::{holdout_from_parts, random_holdout};
+use sigrule::correction::permutation::PermutationCorrection;
+use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
+use sigrule::{mine_rules, MinedRuleSet, RuleMiningConfig};
+use sigrule_data::Dataset;
+use sigrule_synth::{EmbeddedRule, PairedSynthetic};
+
+/// The correction methods compared throughout the paper (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Raw p-values at `α` ("No correction").
+    NoCorrection,
+    /// Bonferroni correction ("BC"), controls FWER.
+    Bonferroni,
+    /// Benjamini–Hochberg ("BH"), controls FDR.
+    BenjaminiHochberg,
+    /// Permutation test controlling FWER ("Perm_FWER").
+    PermFwer,
+    /// Permutation test controlling FDR ("Perm_FDR").
+    PermFdr,
+    /// Holdout on the paired sub-datasets with Bonferroni ("HD_BC").
+    HoldoutBc,
+    /// Holdout on the paired sub-datasets with BH ("HD_BH").
+    HoldoutBh,
+    /// Random-partition holdout with Bonferroni ("RH_BC").
+    RandomHoldoutBc,
+    /// Random-partition holdout with BH ("RH_BH").
+    RandomHoldoutBh,
+}
+
+impl Method {
+    /// The methods compared when FWER is controlled (paper Figures 8, 12, 14).
+    pub fn fwer_family() -> Vec<Method> {
+        vec![
+            Method::NoCorrection,
+            Method::Bonferroni,
+            Method::PermFwer,
+            Method::HoldoutBc,
+            Method::RandomHoldoutBc,
+        ]
+    }
+
+    /// The methods compared when FDR is controlled (paper Figures 10, 13, 16).
+    pub fn fdr_family() -> Vec<Method> {
+        vec![
+            Method::NoCorrection,
+            Method::BenjaminiHochberg,
+            Method::PermFdr,
+            Method::HoldoutBh,
+            Method::RandomHoldoutBh,
+        ]
+    }
+
+    /// All methods (paper Figure 6).
+    pub fn all() -> Vec<Method> {
+        vec![
+            Method::NoCorrection,
+            Method::Bonferroni,
+            Method::BenjaminiHochberg,
+            Method::PermFwer,
+            Method::PermFdr,
+            Method::HoldoutBc,
+            Method::HoldoutBh,
+            Method::RandomHoldoutBc,
+            Method::RandomHoldoutBh,
+        ]
+    }
+
+    /// The Table 3 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::NoCorrection => "No correction",
+            Method::Bonferroni => "BC",
+            Method::BenjaminiHochberg => "BH",
+            Method::PermFwer => "Perm_FWER",
+            Method::PermFdr => "Perm_FDR",
+            Method::HoldoutBc => "HD_BC",
+            Method::HoldoutBh => "HD_BH",
+            Method::RandomHoldoutBc => "RH_BC",
+            Method::RandomHoldoutBh => "RH_BH",
+        }
+    }
+
+    /// Which error rate the method targets.
+    pub fn metric(&self) -> ErrorMetric {
+        match self {
+            Method::NoCorrection
+            | Method::Bonferroni
+            | Method::PermFwer
+            | Method::HoldoutBc
+            | Method::RandomHoldoutBc => ErrorMetric::Fwer,
+            Method::BenjaminiHochberg
+            | Method::PermFdr
+            | Method::HoldoutBh
+            | Method::RandomHoldoutBh => ErrorMetric::Fdr,
+        }
+    }
+
+    /// True for the two holdout variants that need the paired sub-datasets.
+    pub fn needs_paired_split(&self) -> bool {
+        matches!(self, Method::HoldoutBc | Method::HoldoutBh)
+    }
+}
+
+/// A dataset prepared for evaluation: the whole dataset, the holdout split,
+/// and the embedded ground truth (empty for random or real-world data).
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// The whole dataset every whole-dataset method runs on.
+    pub whole: Dataset,
+    /// The exploratory half used by the "HD" holdout variant.
+    pub exploratory: Dataset,
+    /// The evaluation half used by the "HD" holdout variant.
+    pub evaluation: Dataset,
+    /// Ground-truth rules embedded by the generator (empty when unknown).
+    pub embedded: Vec<EmbeddedRule>,
+}
+
+impl PreparedDataset {
+    /// Wraps a paired synthetic dataset (the paper's construction for fair
+    /// holdout evaluation).
+    pub fn from_paired(paired: PairedSynthetic) -> Self {
+        PreparedDataset {
+            whole: paired.whole,
+            exploratory: paired.exploratory,
+            evaluation: paired.evaluation,
+            embedded: paired.rules,
+        }
+    }
+
+    /// Wraps a plain dataset (real-world data or random synthetic data): the
+    /// "HD" split is the first/second half by record order.
+    pub fn from_dataset(dataset: Dataset, embedded: Vec<EmbeddedRule>) -> Self {
+        let half = dataset.n_records() / 2;
+        let (exploratory, evaluation) = dataset.split_at(half);
+        PreparedDataset {
+            whole: dataset,
+            exploratory,
+            evaluation,
+            embedded,
+        }
+    }
+}
+
+/// Runs correction methods with shared settings (α, number of permutations,
+/// seeds), reusing the mined rule set across methods.
+#[derive(Debug, Clone)]
+pub struct MethodRunner {
+    /// Significance level (0.05 throughout the paper).
+    pub alpha: f64,
+    /// Number of permutations for the permutation-based approach (1000 in
+    /// the paper; experiments may lower it for speed).
+    pub n_permutations: usize,
+    /// Seed for the permutation shuffler.
+    pub perm_seed: u64,
+    /// Seed for the random-holdout partitioner.
+    pub holdout_seed: u64,
+}
+
+impl Default for MethodRunner {
+    fn default() -> Self {
+        MethodRunner {
+            alpha: 0.05,
+            n_permutations: 1000,
+            perm_seed: 17,
+            holdout_seed: 23,
+        }
+    }
+}
+
+impl MethodRunner {
+    /// Creates a runner with the paper's α = 0.05 and the given permutation
+    /// count.
+    pub fn new(n_permutations: usize) -> Self {
+        MethodRunner {
+            n_permutations,
+            ..MethodRunner::default()
+        }
+    }
+
+    /// Mines the whole dataset once at `min_sup` (the mining step shared by
+    /// all whole-dataset methods).
+    pub fn mine_whole(&self, data: &PreparedDataset, min_sup: usize) -> MinedRuleSet {
+        mine_rules(&data.whole, &RuleMiningConfig::new(min_sup))
+    }
+
+    /// The mining configuration used on exploratory datasets: `min_sup` is
+    /// half of the whole-dataset threshold, as in all of the paper's
+    /// experiments.
+    pub fn exploratory_config(&self, min_sup: usize) -> RuleMiningConfig {
+        RuleMiningConfig::new((min_sup / 2).max(1))
+    }
+
+    /// Runs one method.  `mined` must be the result of
+    /// [`MethodRunner::mine_whole`] for the same `data` and `min_sup`
+    /// (ignored by the holdout variants, which mine their own half).
+    pub fn run(
+        &self,
+        method: Method,
+        data: &PreparedDataset,
+        mined: &MinedRuleSet,
+        min_sup: usize,
+    ) -> CorrectionResult {
+        match method {
+            Method::NoCorrection => no_correction(mined, self.alpha),
+            Method::Bonferroni => direct::bonferroni(mined, self.alpha),
+            Method::BenjaminiHochberg => direct::benjamini_hochberg(mined, self.alpha),
+            Method::PermFwer => PermutationCorrection::new(self.n_permutations)
+                .with_seed(self.perm_seed)
+                .control_fwer(mined, self.alpha),
+            Method::PermFdr => PermutationCorrection::new(self.n_permutations)
+                .with_seed(self.perm_seed)
+                .control_fdr(mined, self.alpha),
+            Method::HoldoutBc => holdout_from_parts(
+                &data.exploratory,
+                &data.evaluation,
+                &self.exploratory_config(min_sup),
+                ErrorMetric::Fwer,
+                self.alpha,
+                "HD",
+            ),
+            Method::HoldoutBh => holdout_from_parts(
+                &data.exploratory,
+                &data.evaluation,
+                &self.exploratory_config(min_sup),
+                ErrorMetric::Fdr,
+                self.alpha,
+                "HD",
+            ),
+            Method::RandomHoldoutBc => random_holdout(
+                &data.whole,
+                self.holdout_seed,
+                &self.exploratory_config(min_sup),
+                ErrorMetric::Fwer,
+                self.alpha,
+            ),
+            Method::RandomHoldoutBh => random_holdout(
+                &data.whole,
+                self.holdout_seed,
+                &self.exploratory_config(min_sup),
+                ErrorMetric::Fdr,
+                self.alpha,
+            ),
+        }
+    }
+
+    /// Runs several methods against the same prepared dataset, mining the
+    /// whole dataset only once.
+    pub fn run_all(
+        &self,
+        methods: &[Method],
+        data: &PreparedDataset,
+        min_sup: usize,
+    ) -> Vec<(Method, CorrectionResult)> {
+        let mined = self.mine_whole(data, min_sup);
+        methods
+            .iter()
+            .map(|&m| (m, self.run(m, data, &mined, min_sup)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn prepared(seed: u64) -> PreparedDataset {
+        let params = SyntheticParams::default()
+            .with_records(400)
+            .with_attributes(10)
+            .with_rules(1)
+            .with_coverage(100, 100)
+            .with_confidence(0.9, 0.9);
+        PreparedDataset::from_paired(
+            SyntheticGenerator::new(params).unwrap().generate_paired(seed),
+        )
+    }
+
+    #[test]
+    fn labels_match_table3() {
+        assert_eq!(Method::Bonferroni.label(), "BC");
+        assert_eq!(Method::PermFwer.label(), "Perm_FWER");
+        assert_eq!(Method::RandomHoldoutBh.label(), "RH_BH");
+        assert_eq!(Method::all().len(), 9);
+        assert_eq!(Method::fwer_family().len(), 5);
+        assert_eq!(Method::fdr_family().len(), 5);
+        assert!(Method::HoldoutBc.needs_paired_split());
+        assert!(!Method::RandomHoldoutBc.needs_paired_split());
+    }
+
+    #[test]
+    fn run_all_methods_on_one_dataset() {
+        let data = prepared(1);
+        let runner = MethodRunner::new(50);
+        let results = runner.run_all(&Method::all(), &data, 40);
+        assert_eq!(results.len(), 9);
+        for (method, result) in &results {
+            assert_eq!(result.method, method.label());
+            assert_eq!(result.metric, method.metric());
+            assert_eq!(result.significant.len(), result.rules.len());
+        }
+        // The strong embedded rule should be found by the uncorrected
+        // baseline at the very least.
+        let (_, none) = &results[0];
+        assert!(none.n_significant() > 0);
+    }
+
+    #[test]
+    fn prepared_from_plain_dataset_splits_in_half() {
+        let params = SyntheticParams::default()
+            .with_records(300)
+            .with_attributes(8);
+        let (d, rules) = SyntheticGenerator::new(params).unwrap().generate(2);
+        let prepared = PreparedDataset::from_dataset(d, rules);
+        assert_eq!(prepared.exploratory.n_records(), 150);
+        assert_eq!(prepared.evaluation.n_records(), 150);
+        assert_eq!(prepared.whole.n_records(), 300);
+    }
+
+    #[test]
+    fn exploratory_min_sup_is_half() {
+        let runner = MethodRunner::default();
+        assert_eq!(runner.exploratory_config(150).min_sup, 75);
+        assert_eq!(runner.exploratory_config(1).min_sup, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Power, FWER and FDR (§5.2 of the paper).
+
+use crate::false_positive::{effective_cutoff, is_false_positive, matches_embedded};
+use crate::methods::PreparedDataset;
+use serde::{Deserialize, Serialize};
+use sigrule::CorrectionResult;
+
+/// Evaluation of one correction result on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMetrics {
+    /// Number of rules declared significant.
+    pub n_significant: usize,
+    /// Number of false positives among them (per the paper's definition).
+    pub n_false_positives: usize,
+    /// Number of embedded rules that were detected.
+    pub n_detected: usize,
+    /// Number of embedded rules in the ground truth.
+    pub n_embedded: usize,
+}
+
+impl DatasetMetrics {
+    /// FDR on this dataset: false positives over significant rules (0 when
+    /// nothing is significant).
+    pub fn fdr(&self) -> f64 {
+        if self.n_significant == 0 {
+            0.0
+        } else {
+            self.n_false_positives as f64 / self.n_significant as f64
+        }
+    }
+
+    /// FWER indicator on this dataset: 1 when at least one false positive was
+    /// reported, 0 otherwise.
+    pub fn fwer_indicator(&self) -> f64 {
+        if self.n_false_positives > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Power on this dataset: detected embedded rules over embedded rules
+    /// (0 when nothing was embedded).
+    pub fn power(&self) -> f64 {
+        if self.n_embedded == 0 {
+            0.0
+        } else {
+            self.n_detected as f64 / self.n_embedded as f64
+        }
+    }
+}
+
+/// Aggregate of [`DatasetMetrics`] over many datasets generated with the same
+/// parameters (the paper averages over 100 datasets per configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AggregateMetrics {
+    /// Number of datasets aggregated.
+    pub n_datasets: usize,
+    /// Proportion of datasets with at least one false positive (FWER).
+    pub fwer: f64,
+    /// Mean per-dataset FDR.
+    pub fdr: f64,
+    /// Mean per-dataset power.
+    pub power: f64,
+    /// Mean number of false positives per dataset.
+    pub mean_false_positives: f64,
+    /// Mean number of significant rules per dataset.
+    pub mean_significant: f64,
+}
+
+impl AggregateMetrics {
+    /// Aggregates per-dataset metrics.
+    pub fn from_datasets(metrics: &[DatasetMetrics]) -> Self {
+        if metrics.is_empty() {
+            return AggregateMetrics::default();
+        }
+        let n = metrics.len() as f64;
+        AggregateMetrics {
+            n_datasets: metrics.len(),
+            fwer: metrics.iter().map(DatasetMetrics::fwer_indicator).sum::<f64>() / n,
+            fdr: metrics.iter().map(DatasetMetrics::fdr).sum::<f64>() / n,
+            power: metrics.iter().map(DatasetMetrics::power).sum::<f64>() / n,
+            mean_false_positives: metrics
+                .iter()
+                .map(|m| m.n_false_positives as f64)
+                .sum::<f64>()
+                / n,
+            mean_significant: metrics.iter().map(|m| m.n_significant as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Evaluates a correction result against a prepared dataset's ground truth.
+///
+/// The false-positive decision and the detection of embedded rules both use
+/// the whole dataset (the holdout's reported rules are therefore judged on the
+/// same footing as everyone else's).
+pub fn evaluate(data: &PreparedDataset, result: &CorrectionResult) -> DatasetMetrics {
+    let cutoff = effective_cutoff(result);
+    let significant_rules: Vec<_> = result.significant_rules();
+
+    let n_false_positives = significant_rules
+        .iter()
+        .filter(|rule| is_false_positive(&data.whole, rule, &data.embedded, cutoff))
+        .count();
+
+    let n_detected = data
+        .embedded
+        .iter()
+        .filter(|truth| {
+            significant_rules
+                .iter()
+                .any(|rule| matches_embedded(&data.whole, rule, truth))
+        })
+        .count();
+
+    DatasetMetrics {
+        n_significant: significant_rules.len(),
+        n_false_positives,
+        n_detected,
+        n_embedded: data.embedded.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{Method, MethodRunner, PreparedDataset};
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn prepared_with_rule(confidence: f64, seed: u64) -> PreparedDataset {
+        let params = SyntheticParams::default()
+            .with_records(500)
+            .with_attributes(12)
+            .with_rules(1)
+            .with_coverage(120, 120)
+            .with_confidence(confidence, confidence);
+        PreparedDataset::from_paired(
+            SyntheticGenerator::new(params).unwrap().generate_paired(seed),
+        )
+    }
+
+    fn prepared_random(seed: u64) -> PreparedDataset {
+        let params = SyntheticParams::default()
+            .with_records(500)
+            .with_attributes(12);
+        let (d, rules) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        PreparedDataset::from_dataset(d, rules)
+    }
+
+    #[test]
+    fn per_dataset_ratios() {
+        let m = DatasetMetrics {
+            n_significant: 10,
+            n_false_positives: 2,
+            n_detected: 1,
+            n_embedded: 1,
+        };
+        assert!((m.fdr() - 0.2).abs() < 1e-12);
+        assert_eq!(m.fwer_indicator(), 1.0);
+        assert_eq!(m.power(), 1.0);
+        let clean = DatasetMetrics {
+            n_significant: 0,
+            n_false_positives: 0,
+            n_detected: 0,
+            n_embedded: 1,
+        };
+        assert_eq!(clean.fdr(), 0.0);
+        assert_eq!(clean.fwer_indicator(), 0.0);
+        assert_eq!(clean.power(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_over_datasets() {
+        let metrics = vec![
+            DatasetMetrics {
+                n_significant: 5,
+                n_false_positives: 1,
+                n_detected: 1,
+                n_embedded: 1,
+            },
+            DatasetMetrics {
+                n_significant: 0,
+                n_false_positives: 0,
+                n_detected: 0,
+                n_embedded: 1,
+            },
+        ];
+        let agg = AggregateMetrics::from_datasets(&metrics);
+        assert_eq!(agg.n_datasets, 2);
+        assert!((agg.fwer - 0.5).abs() < 1e-12);
+        assert!((agg.power - 0.5).abs() < 1e-12);
+        assert!((agg.mean_significant - 2.5).abs() < 1e-12);
+        assert_eq!(AggregateMetrics::from_datasets(&[]).n_datasets, 0);
+    }
+
+    #[test]
+    fn bonferroni_detects_strong_rule_with_few_false_positives() {
+        let data = prepared_with_rule(0.9, 1);
+        let runner = MethodRunner::new(50);
+        let mined = runner.mine_whole(&data, 100);
+        let bc = runner.run(Method::Bonferroni, &data, &mined, 100);
+        let m = evaluate(&data, &bc);
+        assert_eq!(m.n_embedded, 1);
+        assert_eq!(m.n_detected, 1, "a confidence-0.9 rule should be detected");
+        assert!(
+            m.n_false_positives <= m.n_significant,
+            "false positives are a subset of significant rules"
+        );
+        assert!(m.fdr() <= 0.3, "fdr {} too high", m.fdr());
+    }
+
+    #[test]
+    fn no_correction_on_random_data_produces_false_positives() {
+        let data = prepared_random(2);
+        let runner = MethodRunner::new(20);
+        let mined = runner.mine_whole(&data, 50);
+        let none = runner.run(Method::NoCorrection, &data, &mined, 50);
+        let m = evaluate(&data, &none);
+        // On random data every significant rule is a false positive.
+        assert_eq!(m.n_false_positives, m.n_significant);
+        assert_eq!(m.n_detected, 0);
+        let bc = runner.run(Method::Bonferroni, &data, &mined, 50);
+        let m_bc = evaluate(&data, &bc);
+        assert!(m_bc.n_false_positives <= m.n_false_positives);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text tables: the output format of every experiment.
+//!
+//! Each figure or table of the paper is regenerated as a [`Table`]: a title,
+//! column headers, and rows of strings.  The `repro_*` binaries print them;
+//! EXPERIMENTS.md records the rendered output next to the paper's numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// What the table shows (usually the paper's figure/table number and a
+    /// one-line description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows, each with exactly `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of cells does not match the number of columns.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, header first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for table cells (scientific notation for very
+/// small values, fixed otherwise).
+pub fn fmt_float(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("Figure X: demo", vec!["min_sup", "FWER"]);
+        t.push_row(vec!["100".into(), "0.05".into()]);
+        t.push_row(vec!["200".into(), "0.02".into()]);
+        assert_eq!(t.n_rows(), 2);
+        let text = t.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("min_sup"));
+        assert!(text.contains("0.02"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("min_sup,FWER\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(0.0), "0");
+        assert_eq!(fmt_float(0.25), "0.2500");
+        assert!(fmt_float(1.5e-9).contains('e'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Closed frequent patterns (Pasquier et al., ICDT 1999).
+//!
+//! §3 of the paper: "To reduce the number of rules generated, we use only
+//! closed frequent patterns as the left-hand side of rules.  A closed frequent
+//! pattern is the longest pattern among those patterns that occur in the same
+//! set of records as it, and it is unique."
+//!
+//! Two routes are provided:
+//!
+//! * [`PatternForest::closed_indices`](crate::forest::PatternForest::closed_indices)
+//!   identifies closed patterns from the mined forest using tid-set hashes —
+//!   this is what the rule-mining pipeline uses;
+//! * [`closed_flags`] works on a plain list of frequent patterns (with
+//!   supports only) and is used to cross-check the forest-based result: when
+//!   the list contains *all* frequent patterns, a pattern is closed iff no
+//!   proper super-pattern in the list has the same support.
+
+use crate::miner::FrequentPattern;
+use std::collections::HashMap;
+
+/// Marks which of the given frequent patterns are closed.
+///
+/// Correct only when `patterns` contains **every** frequent pattern of the
+/// dataset at the mining threshold (which is what all miners in this crate
+/// return): if a super-pattern with equal support existed but were missing
+/// from the list, a non-closed pattern would be mislabelled as closed.
+pub fn closed_flags(patterns: &[FrequentPattern]) -> Vec<bool> {
+    // Group pattern indices by support; only patterns with equal support can
+    // witness each other's non-closedness.
+    let mut by_support: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, fp) in patterns.iter().enumerate() {
+        by_support.entry(fp.support).or_default().push(i);
+    }
+    let mut closed = vec![true; patterns.len()];
+    for indices in by_support.values() {
+        for &i in indices {
+            for &j in indices {
+                if i == j {
+                    continue;
+                }
+                let a = &patterns[i].pattern;
+                let b = &patterns[j].pattern;
+                if a.len() < b.len() && a.is_subset_of(b) {
+                    closed[i] = false;
+                    break;
+                }
+            }
+        }
+    }
+    closed
+}
+
+/// Returns only the closed patterns from a list of frequent patterns.
+pub fn closed_patterns(patterns: &[FrequentPattern]) -> Vec<FrequentPattern> {
+    closed_flags(patterns)
+        .into_iter()
+        .zip(patterns.iter())
+        .filter(|(is_closed, _)| *is_closed)
+        .map(|(_, fp)| fp.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eclat::EclatMiner;
+    use crate::miner::{FrequentPatternMiner, MinerConfig};
+    use sigrule_data::{Dataset, Pattern, Record, Schema};
+
+    #[test]
+    fn simple_closure_example() {
+        // {0} support 3, {0,1} support 3 → {0} is not closed, {0,1} is.
+        // {2} support 2 is closed (no equal-support superset).
+        let patterns = vec![
+            FrequentPattern::new(Pattern::from_items([0]), 3),
+            FrequentPattern::new(Pattern::from_items([0, 1]), 3),
+            FrequentPattern::new(Pattern::from_items([1]), 4),
+            FrequentPattern::new(Pattern::from_items([2]), 2),
+        ];
+        assert_eq!(closed_flags(&patterns), vec![false, true, true, true]);
+        let closed = closed_patterns(&patterns);
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn equal_support_but_not_subset_stays_closed() {
+        let patterns = vec![
+            FrequentPattern::new(Pattern::from_items([0]), 3),
+            FrequentPattern::new(Pattern::from_items([1]), 3),
+        ];
+        assert_eq!(closed_flags(&patterns), vec![true, true]);
+    }
+
+    #[test]
+    fn agrees_with_forest_closed_indices() {
+        // A dataset with deliberate redundancy: attribute 1 mirrors attribute 0.
+        let schema = Schema::synthetic(&[2, 2, 2], 2).unwrap();
+        let mut records = Vec::new();
+        for i in 0..30 {
+            let a = usize::from(i % 3 == 0);
+            let b = a; // mirrored
+            let c = usize::from(i % 2 == 0);
+            records.push(Record::new(
+                vec![
+                    schema.item_id(0, a).unwrap(),
+                    schema.item_id(1, b).unwrap(),
+                    schema.item_id(2, c).unwrap(),
+                ],
+                (i % 2) as u32,
+            ));
+        }
+        let d = Dataset::new(schema, records).unwrap();
+        let miner = EclatMiner::default();
+        let config = MinerConfig::new(3);
+        let forest = miner.mine_forest(&d, &config);
+        let from_forest: std::collections::HashSet<Pattern> = forest
+            .closed_indices()
+            .into_iter()
+            .map(|i| forest.nodes()[i].pattern.clone())
+            .collect();
+
+        let flat = miner.mine(&d, &config);
+        let from_flags: std::collections::HashSet<Pattern> = closed_patterns(&flat)
+            .into_iter()
+            .map(|fp| fp.pattern)
+            .collect();
+        assert_eq!(from_forest, from_flags);
+        // Redundancy means strictly fewer closed patterns than frequent ones.
+        assert!(from_forest.len() < flat.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(closed_flags(&[]).is_empty());
+        assert!(closed_patterns(&[]).is_empty());
+    }
+}

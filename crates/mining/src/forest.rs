@@ -1,0 +1,310 @@
+//! The pattern forest: frequent patterns arranged in their set-enumeration
+//! tree, with Diffset-encoded covers and parent links.
+//!
+//! This is the structure §4.2.1–4.2.2 of the paper builds once on the
+//! original dataset and then reuses on every permutation:
+//!
+//! * patterns are mined **once**; their record id lists (tid-sets) never
+//!   change across permutations because only class labels are shuffled;
+//! * each node stores either its full tid-set or its Diffset relative to its
+//!   parent, whichever is smaller (the `supp(X) ≤ supp(parent)/2` rule);
+//! * the support of a rule `X ⇒ c` on a permutation is recomputed from the
+//!   parent's rule support and the node's cover in a single pass over the
+//!   forest in depth-first (parent-before-child) order.
+
+use sigrule_data::{ClassId, Cover, Pattern, TidSet};
+
+/// One frequent pattern in the forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Its support (`supp(X)`), i.e. its coverage when used as a rule LHS.
+    pub support: usize,
+    /// Index of the parent node in the forest, or `None` when the parent is
+    /// the (virtual) empty pattern covering every record.
+    pub parent: Option<usize>,
+    /// The stored cover: full tid-set or Diffset relative to the parent.
+    pub cover: Cover,
+    /// Hash of the pattern's tid-set; two nodes with equal support and equal
+    /// hash almost surely cover the same records (used for closed-pattern
+    /// grouping).
+    pub tid_hash: u64,
+}
+
+/// Frequent patterns arranged in parent-before-child order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternForest {
+    nodes: Vec<PatternNode>,
+    n_records: usize,
+}
+
+impl PatternForest {
+    /// Assembles a forest from nodes already in parent-before-child order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node references a parent at or after its own position.
+    pub fn new(nodes: Vec<PatternNode>, n_records: usize) -> Self {
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!(p < i, "node {i} references parent {p} that does not precede it");
+            }
+        }
+        PatternForest { nodes, n_records }
+    }
+
+    /// The nodes, in parent-before-child order.
+    pub fn nodes(&self) -> &[PatternNode] {
+        &self.nodes
+    }
+
+    /// Number of patterns in the forest.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the forest holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of records of the dataset the forest was mined from.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Materialises the full tid-set of a node by walking up to the nearest
+    /// ancestor stored as a full tid-set.
+    pub fn tids(&self, index: usize) -> TidSet {
+        let node = &self.nodes[index];
+        match &node.cover {
+            Cover::Tids(t) => t.clone(),
+            Cover::Diffset(_) => {
+                let parent_tids = match node.parent {
+                    Some(p) => self.tids(p),
+                    None => TidSet::full(self.n_records),
+                };
+                node.cover.materialize(&parent_tids)
+            }
+        }
+    }
+
+    /// Computes `supp(X ⇒ c)` for **every** node in one pass, given the class
+    /// label of every record (indexed by tid) and the class of interest.
+    ///
+    /// This is the inner loop of the permutation approach: `labels` changes on
+    /// every permutation, the forest does not.
+    pub fn rule_supports(&self, labels: &[ClassId], class: ClassId) -> Vec<usize> {
+        assert_eq!(
+            labels.len(),
+            self.n_records,
+            "label vector length must match the mined dataset"
+        );
+        let class_total = labels.iter().filter(|&&c| c == class).count();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let parent_rule_support = match node.parent {
+                Some(p) => out[p],
+                None => class_total,
+            };
+            out.push(node.cover.rule_support(parent_rule_support, labels, class));
+        }
+        out
+    }
+
+    /// The supports (`supp(X)`) of all nodes, in forest order.
+    pub fn supports(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.support).collect()
+    }
+
+    /// Total bytes used by the stored covers — the quantity the Diffsets
+    /// technique reduces (§4.2.2).
+    pub fn cover_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.cover.size_bytes()).sum()
+    }
+
+    /// Number of nodes whose cover is stored as a Diffset.
+    pub fn n_diffsets(&self) -> usize {
+        self.nodes.iter().filter(|n| n.cover.is_diffset()).count()
+    }
+
+    /// Indices of the nodes whose pattern is *closed*: no super-pattern in the
+    /// forest covers exactly the same records (§3 of the paper; Pasquier et
+    /// al.).
+    ///
+    /// Nodes are grouped by `(support, tid_hash)`; within a group the closed
+    /// pattern is the union of the group's patterns, so a node is closed iff
+    /// its pattern equals that union.
+    pub fn closed_indices(&self) -> Vec<usize> {
+        use std::collections::HashMap;
+        let mut groups: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            groups.entry((node.support, node.tid_hash)).or_default().push(i);
+        }
+        let mut closed = Vec::new();
+        for indices in groups.values() {
+            let mut union = Pattern::empty();
+            for &i in indices {
+                union = union.union(&self.nodes[i].pattern);
+            }
+            for &i in indices {
+                if self.nodes[i].pattern == union {
+                    closed.push(i);
+                }
+            }
+        }
+        closed.sort_unstable();
+        closed
+    }
+}
+
+/// Hashes a tid-set with FxHash-style mixing; collisions at equal support are
+/// astronomically unlikely and only affect which pattern is reported as the
+/// closed representative.
+pub fn hash_tids(tids: &TidSet) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &t in tids.tids() {
+        h ^= t as u64;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    h ^= tids.len() as u64;
+    h.wrapping_mul(0xc4ce_b9fe_1a85_ec53)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built forest over a 6-record dataset.
+    ///
+    /// labels: [0, 0, 1, 1, 0, 1]
+    /// item a covers {0,1,2,3}   (support 4)
+    /// item b covers {2,3,4,5}   (support 4)
+    /// {a,b} covers {2,3}        (support 2)
+    fn toy_forest() -> (PatternForest, Vec<ClassId>) {
+        let labels = vec![0, 0, 1, 1, 0, 1];
+        let a_tids = TidSet::from_tids([0, 1, 2, 3]);
+        let b_tids = TidSet::from_tids([2, 3, 4, 5]);
+        let ab_tids = TidSet::from_tids([2, 3]);
+        let full = TidSet::full(6);
+        let nodes = vec![
+            PatternNode {
+                pattern: Pattern::from_items([0]),
+                support: 4,
+                parent: None,
+                cover: Cover::choose(&full, a_tids.clone()),
+                tid_hash: hash_tids(&a_tids),
+            },
+            PatternNode {
+                pattern: Pattern::from_items([0, 1]),
+                support: 2,
+                parent: Some(0),
+                cover: Cover::choose(&a_tids, ab_tids.clone()),
+                tid_hash: hash_tids(&ab_tids),
+            },
+            PatternNode {
+                pattern: Pattern::from_items([1]),
+                support: 4,
+                parent: None,
+                cover: Cover::choose(&full, b_tids.clone()),
+                tid_hash: hash_tids(&b_tids),
+            },
+        ];
+        (PatternForest::new(nodes, 6), labels)
+    }
+
+    #[test]
+    fn rule_supports_match_direct_counting() {
+        let (forest, labels) = toy_forest();
+        // class 1 appears in records {2,3,5}
+        let rs = forest.rule_supports(&labels, 1);
+        assert_eq!(rs, vec![2, 2, 3]);
+        let rs0 = forest.rule_supports(&labels, 0);
+        assert_eq!(rs0, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn tids_materialisation() {
+        let (forest, _) = toy_forest();
+        assert_eq!(forest.tids(0).tids(), &[0, 1, 2, 3]);
+        assert_eq!(forest.tids(1).tids(), &[2, 3]);
+        assert_eq!(forest.tids(2).tids(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn diffset_chosen_when_support_is_large() {
+        let (forest, _) = toy_forest();
+        // item a: support 4 > 6/2 = 3 → diffset; {a,b}: support 2 <= 4/2 → tids
+        assert!(forest.nodes()[0].cover.is_diffset());
+        assert!(!forest.nodes()[1].cover.is_diffset());
+        assert_eq!(forest.n_diffsets(), 2);
+        assert!(forest.cover_bytes() > 0);
+    }
+
+    #[test]
+    fn closed_indices_on_toy_forest() {
+        let (forest, _) = toy_forest();
+        // All three patterns cover distinct record sets, so all are closed.
+        assert_eq!(forest.closed_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn closed_indices_collapse_equal_covers() {
+        // Two patterns with identical tid-sets: only the longer is closed.
+        let tids = TidSet::from_tids([0, 1, 2]);
+        let full = TidSet::full(5);
+        let nodes = vec![
+            PatternNode {
+                pattern: Pattern::from_items([0]),
+                support: 3,
+                parent: None,
+                cover: Cover::choose(&full, tids.clone()),
+                tid_hash: hash_tids(&tids),
+            },
+            PatternNode {
+                pattern: Pattern::from_items([0, 1]),
+                support: 3,
+                parent: Some(0),
+                cover: Cover::choose(&tids, tids.clone()),
+                tid_hash: hash_tids(&tids),
+            },
+        ];
+        let forest = PatternForest::new(nodes, 5);
+        assert_eq!(forest.closed_indices(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn forward_parent_reference_panics() {
+        let tids = TidSet::from_tids([0]);
+        let node = PatternNode {
+            pattern: Pattern::from_items([0]),
+            support: 1,
+            parent: Some(5),
+            cover: Cover::Tids(tids.clone()),
+            tid_hash: hash_tids(&tids),
+        };
+        let _ = PatternForest::new(vec![node], 3);
+    }
+
+    #[test]
+    fn hash_tids_discriminates() {
+        let a = TidSet::from_tids([1, 2, 3]);
+        let b = TidSet::from_tids([1, 2, 4]);
+        let c = TidSet::from_tids([1, 2, 3]);
+        assert_eq!(hash_tids(&a), hash_tids(&c));
+        assert_ne!(hash_tids(&a), hash_tids(&b));
+        assert_ne!(hash_tids(&TidSet::empty()), hash_tids(&a));
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = PatternForest::new(vec![], 10);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.rule_supports(&vec![0; 10], 0), Vec::<usize>::new());
+        assert_eq!(f.closed_indices(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,268 @@
+//! FP-growth (Han, Pei & Yin): frequent pattern mining without candidate
+//! generation, via recursive conditional FP-trees.
+
+use crate::miner::{FrequentPattern, FrequentPatternMiner, MinerConfig};
+use sigrule_data::{Dataset, ItemId, Pattern};
+use std::collections::HashMap;
+
+/// FP-growth miner.
+#[derive(Debug, Clone, Default)]
+pub struct FpGrowthMiner;
+
+/// A node of an FP-tree.
+#[derive(Debug)]
+struct FpNode {
+    item: ItemId,
+    count: usize,
+    parent: Option<usize>,
+    children: HashMap<ItemId, usize>,
+}
+
+/// An FP-tree: nodes plus the header table linking every occurrence of each
+/// item.
+#[derive(Debug, Default)]
+struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item → indices of the nodes carrying that item.
+    header: HashMap<ItemId, Vec<usize>>,
+    /// root children by item.
+    roots: HashMap<ItemId, usize>,
+}
+
+impl FpTree {
+    /// Inserts one (ordered) transaction with a multiplicity.
+    fn insert(&mut self, transaction: &[ItemId], count: usize) {
+        let mut current: Option<usize> = None;
+        for &item in transaction {
+            let child_map = match current {
+                Some(idx) => &self.nodes[idx].children,
+                None => &self.roots,
+            };
+            let next = child_map.get(&item).copied();
+            let idx = match next {
+                Some(idx) => {
+                    self.nodes[idx].count += count;
+                    idx
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: current,
+                        children: HashMap::new(),
+                    });
+                    match current {
+                        Some(p) => {
+                            self.nodes[p].children.insert(item, idx);
+                        }
+                        None => {
+                            self.roots.insert(item, idx);
+                        }
+                    }
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            current = Some(idx);
+        }
+    }
+
+    /// Items present in the tree together with their total counts.
+    fn item_counts(&self) -> HashMap<ItemId, usize> {
+        let mut counts: HashMap<ItemId, usize> = HashMap::new();
+        for (item, nodes) in &self.header {
+            let total = nodes.iter().map(|&i| self.nodes[i].count).sum();
+            counts.insert(*item, total);
+        }
+        counts
+    }
+
+    /// The conditional pattern base of an item: for every node carrying the
+    /// item, the path from its parent up to the root, weighted by the node's
+    /// count.
+    fn conditional_base(&self, item: ItemId) -> Vec<(Vec<ItemId>, usize)> {
+        let mut base = Vec::new();
+        if let Some(nodes) = self.header.get(&item) {
+            for &idx in nodes {
+                let count = self.nodes[idx].count;
+                let mut path = Vec::new();
+                let mut cur = self.nodes[idx].parent;
+                while let Some(p) = cur {
+                    path.push(self.nodes[p].item);
+                    cur = self.nodes[p].parent;
+                }
+                path.reverse();
+                if !path.is_empty() {
+                    base.push((path, count));
+                }
+            }
+        }
+        base
+    }
+}
+
+impl FpGrowthMiner {
+    /// Recursive FP-growth over weighted transactions.
+    fn grow(
+        transactions: &[(Vec<ItemId>, usize)],
+        min_sup: usize,
+        suffix: &Pattern,
+        config: &MinerConfig,
+        result: &mut Vec<FrequentPattern>,
+    ) {
+        // Count items in this (conditional) database.
+        let mut counts: HashMap<ItemId, usize> = HashMap::new();
+        for (items, count) in transactions {
+            for &item in items {
+                *counts.entry(item).or_default() += count;
+            }
+        }
+        let mut frequent: Vec<(ItemId, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_sup)
+            .collect();
+        // Deterministic order: by descending count, then by item id.
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        if frequent.is_empty() {
+            return;
+        }
+        let rank: HashMap<ItemId, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, _))| (item, i))
+            .collect();
+
+        // Build the FP-tree with items ordered by rank.
+        let mut tree = FpTree::default();
+        for (items, count) in transactions {
+            let mut filtered: Vec<ItemId> = items
+                .iter()
+                .copied()
+                .filter(|i| rank.contains_key(i))
+                .collect();
+            filtered.sort_by_key(|i| rank[i]);
+            if !filtered.is_empty() {
+                tree.insert(&filtered, *count);
+            }
+        }
+        let tree_counts = tree.item_counts();
+
+        // Mine each frequent item, least frequent first.
+        for &(item, _) in frequent.iter().rev() {
+            let support = tree_counts.get(&item).copied().unwrap_or(0);
+            if support < min_sup {
+                continue;
+            }
+            let pattern = suffix.with_item(item);
+            if config.exceeds_max_length(pattern.len()) {
+                continue;
+            }
+            result.push(FrequentPattern::new(pattern.clone(), support));
+            let base = tree.conditional_base(item);
+            if !base.is_empty() {
+                Self::grow(&base, min_sup, &pattern, config, result);
+            }
+        }
+    }
+}
+
+impl FrequentPatternMiner for FpGrowthMiner {
+    fn mine(&self, dataset: &Dataset, config: &MinerConfig) -> Vec<FrequentPattern> {
+        let min_sup = config.effective_min_sup();
+        let transactions: Vec<(Vec<ItemId>, usize)> = dataset
+            .records()
+            .iter()
+            .map(|r| (r.items().to_vec(), 1usize))
+            .collect();
+        let mut result = Vec::new();
+        Self::grow(&transactions, min_sup, &Pattern::empty(), config, &mut result);
+        result
+    }
+
+    fn name(&self) -> &'static str {
+        "fp-growth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::AprioriMiner;
+    use crate::miner::canonicalize;
+    use sigrule_data::{Record, Schema};
+
+    fn toy() -> Dataset {
+        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+        let records = vec![
+            Record::new(vec![0, 2], 0),
+            Record::new(vec![0, 3], 0),
+            Record::new(vec![1, 2], 1),
+            Record::new(vec![0, 2], 1),
+            Record::new(vec![1, 3], 0),
+        ];
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn matches_apriori_on_toy_data() {
+        let d = toy();
+        for min_sup in 1..=3 {
+            let fp = canonicalize(FpGrowthMiner.mine(&d, &MinerConfig::new(min_sup)));
+            let ap = canonicalize(AprioriMiner.mine(&d, &MinerConfig::new(min_sup)));
+            assert_eq!(fp, ap, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn supports_are_exact() {
+        let d = toy();
+        for fp in FpGrowthMiner.mine(&d, &MinerConfig::new(1)) {
+            assert_eq!(fp.support, d.support(&fp.pattern));
+        }
+    }
+
+    #[test]
+    fn classic_fp_growth_example() {
+        // The example from the FP-growth paper (5 transactions over items
+        // 0..=5 here), min_sup = 3.
+        let schema = Schema::synthetic(&[2, 2, 2, 2, 2, 2], 2).unwrap();
+        // We encode presence/absence: item 2a = "present" for attribute a.
+        // Simpler: use 6 binary attributes and set "present" = value 0.
+        // Transactions (by attribute index): {0,1,2}, {0,1,3}, {0,4}, {1,5}, {0,1,2}
+        let t = |present: &[usize]| {
+            let items: Vec<u32> = (0..6)
+                .map(|a| {
+                    let value = usize::from(!present.contains(&a));
+                    schema.item_id(a, value).unwrap()
+                })
+                .collect();
+            items
+        };
+        let records = vec![
+            Record::new(t(&[0, 1, 2]), 0),
+            Record::new(t(&[0, 1, 3]), 0),
+            Record::new(t(&[0, 4]), 1),
+            Record::new(t(&[1, 5]), 1),
+            Record::new(t(&[0, 1, 2]), 0),
+        ];
+        let d = Dataset::new(schema, records).unwrap();
+        let fp = canonicalize(FpGrowthMiner.mine(&d, &MinerConfig::new(3)));
+        let ap = canonicalize(AprioriMiner.mine(&d, &MinerConfig::new(3)));
+        assert_eq!(fp, ap);
+        assert!(!fp.is_empty());
+    }
+
+    #[test]
+    fn max_length_is_respected() {
+        let d = toy();
+        let patterns = FpGrowthMiner.mine(&d, &MinerConfig::new(1).with_max_length(1));
+        assert!(patterns.iter().all(|p| p.pattern.len() <= 1));
+    }
+
+    #[test]
+    fn nothing_frequent_returns_empty() {
+        let d = toy();
+        assert!(FpGrowthMiner.mine(&d, &MinerConfig::new(50)).is_empty());
+    }
+}

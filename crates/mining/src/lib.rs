@@ -1,0 +1,35 @@
+//! Frequent and closed pattern mining.
+//!
+//! The paper (§3) maps every attribute/value pair to an item and runs an
+//! existing frequent pattern miner; the correction machinery is agnostic to
+//! which one.  This crate provides three interchangeable miners plus the
+//! pattern-forest representation the permutation engine needs:
+//!
+//! * [`apriori`] — the classic level-wise algorithm (Agrawal et al.), used as
+//!   a baseline and as an independent oracle in the cross-validation tests;
+//! * [`eclat`] — a vertical depth-first miner over the set-enumeration tree
+//!   (Rymon) that produces a [`PatternForest`](forest::PatternForest) with
+//!   parent links and Diffset-encoded covers (Zaki & Gouda), exactly the
+//!   structure §4.2.1–4.2.2 of the paper requires;
+//! * [`fpgrowth`] — FP-growth (Han et al.) over an FP-tree, the fastest of
+//!   the three for dense data;
+//! * [`closed`] — closed-pattern identification (Pasquier et al.), since the
+//!   paper generates one rule per *closed* frequent pattern to avoid testing
+//!   duplicated hypotheses.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apriori;
+pub mod closed;
+pub mod eclat;
+pub mod forest;
+pub mod fpgrowth;
+pub mod miner;
+
+pub use apriori::AprioriMiner;
+pub use closed::closed_flags;
+pub use eclat::EclatMiner;
+pub use forest::{PatternForest, PatternNode};
+pub use fpgrowth::FpGrowthMiner;
+pub use miner::{FrequentPattern, FrequentPatternMiner, MinerConfig, MinerKind};

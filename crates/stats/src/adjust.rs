@@ -1,0 +1,370 @@
+//! Direct-adjustment multiple testing corrections (§4.1 of the paper).
+//!
+//! The paper's "direct adjustment approach" covers Bonferroni correction
+//! (controls FWER) and Benjamini–Hochberg's step-up procedure (controls FDR).
+//! We additionally provide Šidák, Holm and Benjamini–Yekutieli, which are
+//! standard companions and are used by the ablation benchmarks.
+//!
+//! All procedures operate on a slice of raw p-values and either return the
+//! rejection decisions (given a target level `α`) or the adjusted p-values.
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// The direct-adjustment procedures supported by [`adjust`] / [`reject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdjustMethod {
+    /// Bonferroni: reject `p ≤ α / m`.  Controls FWER.
+    Bonferroni,
+    /// Šidák: reject `p ≤ 1 − (1 − α)^{1/m}`.  Controls FWER under
+    /// independence; slightly less conservative than Bonferroni.
+    Sidak,
+    /// Holm's step-down procedure.  Controls FWER uniformly, more powerful
+    /// than Bonferroni.
+    Holm,
+    /// Benjamini–Hochberg step-up procedure.  Controls FDR under independence
+    /// or positive dependence.
+    BenjaminiHochberg,
+    /// Benjamini–Yekutieli step-up procedure.  Controls FDR under arbitrary
+    /// dependence at the cost of a `Σ 1/i` factor.
+    BenjaminiYekutieli,
+}
+
+impl AdjustMethod {
+    /// True for the procedures that control family-wise error rate.
+    pub fn controls_fwer(&self) -> bool {
+        matches!(
+            self,
+            AdjustMethod::Bonferroni | AdjustMethod::Sidak | AdjustMethod::Holm
+        )
+    }
+
+    /// Human-readable abbreviation matching Table 3 of the paper where
+    /// applicable ("BC" and "BH").
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            AdjustMethod::Bonferroni => "BC",
+            AdjustMethod::Sidak => "Sidak",
+            AdjustMethod::Holm => "Holm",
+            AdjustMethod::BenjaminiHochberg => "BH",
+            AdjustMethod::BenjaminiYekutieli => "BY",
+        }
+    }
+}
+
+fn validate(p_values: &[f64]) -> Result<(), StatsError> {
+    if p_values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    for &p in p_values {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(StatsError::InvalidProbability { value: p });
+        }
+    }
+    Ok(())
+}
+
+/// Bonferroni rejection: indices of p-values `≤ α / m` where `m` is either
+/// `n_tests` (if provided) or the slice length.
+///
+/// The paper adjusts by the *number of tests performed* (`m · N_FP`), which
+/// can be larger than the number of p-values handed to this function (e.g.
+/// when only a pre-filtered subset is materialised), hence the explicit
+/// `n_tests` override.
+pub fn bonferroni(
+    p_values: &[f64],
+    alpha: f64,
+    n_tests: Option<usize>,
+) -> Result<Vec<bool>, StatsError> {
+    validate(p_values)?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(StatsError::InvalidProbability { value: alpha });
+    }
+    let m = n_tests.unwrap_or(p_values.len()).max(1) as f64;
+    let cutoff = alpha / m;
+    Ok(p_values.iter().map(|&p| p <= cutoff).collect())
+}
+
+/// The Bonferroni-adjusted cut-off threshold `α / m`.
+pub fn bonferroni_threshold(alpha: f64, n_tests: usize) -> f64 {
+    alpha / (n_tests.max(1) as f64)
+}
+
+/// Šidák rejection: p-values `≤ 1 − (1 − α)^{1/m}`.
+pub fn sidak(
+    p_values: &[f64],
+    alpha: f64,
+    n_tests: Option<usize>,
+) -> Result<Vec<bool>, StatsError> {
+    validate(p_values)?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(StatsError::InvalidProbability { value: alpha });
+    }
+    let m = n_tests.unwrap_or(p_values.len()).max(1) as f64;
+    let cutoff = 1.0 - (1.0 - alpha).powf(1.0 / m);
+    Ok(p_values.iter().map(|&p| p <= cutoff).collect())
+}
+
+/// Holm's step-down rejection decisions.
+pub fn holm(p_values: &[f64], alpha: f64) -> Result<Vec<bool>, StatsError> {
+    validate(p_values)?;
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("no NaN"));
+    let mut reject = vec![false; m];
+    for (rank, &idx) in order.iter().enumerate() {
+        let cutoff = alpha / (m - rank) as f64;
+        if p_values[idx] <= cutoff {
+            reject[idx] = true;
+        } else {
+            break;
+        }
+    }
+    Ok(reject)
+}
+
+/// Benjamini–Hochberg rejection decisions at FDR level `alpha`.
+///
+/// Finds the largest `k` with `p_(k) ≤ k·α/m` and rejects the `k` smallest
+/// p-values, exactly as described in §4.1 of the paper.
+pub fn benjamini_hochberg(p_values: &[f64], alpha: f64) -> Result<Vec<bool>, StatsError> {
+    validate(p_values)?;
+    let threshold = benjamini_hochberg_threshold(p_values, alpha, None)?;
+    Ok(p_values.iter().map(|&p| p <= threshold).collect())
+}
+
+/// Returns the Benjamini–Hochberg cut-off p-value threshold: the largest
+/// `p_(k)` with `p_(k) ≤ k·α/m`, or `-inf`-like `0`-rejecting sentinel
+/// (`f64::NEG_INFINITY`) when no hypothesis can be rejected.
+///
+/// `n_tests` overrides `m` (the denominator) when the caller tested more
+/// hypotheses than it materialised p-values for.
+pub fn benjamini_hochberg_threshold(
+    p_values: &[f64],
+    alpha: f64,
+    n_tests: Option<usize>,
+) -> Result<f64, StatsError> {
+    validate(p_values)?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(StatsError::InvalidProbability { value: alpha });
+    }
+    let mut sorted: Vec<f64> = p_values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let m = n_tests.unwrap_or(sorted.len()).max(sorted.len()) as f64;
+    let mut threshold = f64::NEG_INFINITY;
+    for (i, &p) in sorted.iter().enumerate() {
+        let bound = (i + 1) as f64 * alpha / m;
+        if p <= bound {
+            threshold = p;
+        }
+    }
+    Ok(threshold)
+}
+
+/// Benjamini–Yekutieli rejection decisions at FDR level `alpha` (valid under
+/// arbitrary dependence).
+pub fn benjamini_yekutieli(p_values: &[f64], alpha: f64) -> Result<Vec<bool>, StatsError> {
+    validate(p_values)?;
+    let m = p_values.len();
+    let harmonic: f64 = (1..=m).map(|i| 1.0 / i as f64).sum();
+    benjamini_hochberg(p_values, alpha / harmonic)
+}
+
+/// Adjusted p-values for the requested method (monotone, clipped to `[0,1]`),
+/// comparable directly against `α`.
+pub fn adjusted_p_values(p_values: &[f64], method: AdjustMethod) -> Result<Vec<f64>, StatsError> {
+    validate(p_values)?;
+    let m = p_values.len();
+    match method {
+        AdjustMethod::Bonferroni => Ok(p_values.iter().map(|&p| (p * m as f64).min(1.0)).collect()),
+        AdjustMethod::Sidak => Ok(p_values
+            .iter()
+            .map(|&p| (1.0 - (1.0 - p).powi(m as i32)).min(1.0))
+            .collect()),
+        AdjustMethod::Holm => {
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("no NaN"));
+            let mut adj = vec![0.0; m];
+            let mut running = 0.0f64;
+            for (rank, &idx) in order.iter().enumerate() {
+                let v = ((m - rank) as f64 * p_values[idx]).min(1.0);
+                running = running.max(v);
+                adj[idx] = running;
+            }
+            Ok(adj)
+        }
+        AdjustMethod::BenjaminiHochberg => Ok(bh_adjusted(p_values, 1.0)),
+        AdjustMethod::BenjaminiYekutieli => {
+            let harmonic: f64 = (1..=m).map(|i| 1.0 / i as f64).sum();
+            Ok(bh_adjusted(p_values, harmonic))
+        }
+    }
+}
+
+/// Shared BH/BY adjusted-p-value computation; `scale` is 1 for BH and the
+/// harmonic number for BY.
+fn bh_adjusted(p_values: &[f64], scale: f64) -> Vec<f64> {
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("no NaN"));
+    let mut adj = vec![0.0; m];
+    let mut running = f64::INFINITY;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let v = (p_values[idx] * scale * m as f64 / (rank + 1) as f64).min(1.0);
+        running = running.min(v);
+        adj[idx] = running;
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonferroni_basics() {
+        let p = [0.001, 0.02, 0.04, 0.9];
+        let r = bonferroni(&p, 0.05, None).unwrap();
+        // cutoff = 0.0125
+        assert_eq!(r, vec![true, false, false, false]);
+        assert!((bonferroni_threshold(0.05, 1000) - 5e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bonferroni_with_explicit_test_count() {
+        let p = [0.001, 0.02];
+        // Pretend 10,000 tests were performed in total.
+        let r = bonferroni(&p, 0.05, Some(10_000)).unwrap();
+        assert_eq!(r, vec![false, false]);
+    }
+
+    #[test]
+    fn sidak_slightly_less_conservative_than_bonferroni() {
+        let m = 100usize;
+        let bon = 0.05 / m as f64;
+        let sid = 1.0 - (1.0_f64 - 0.05).powf(1.0 / m as f64);
+        assert!(sid > bon);
+        let p = vec![bon + 1e-6; 1];
+        let r = sidak(&p, 0.05, Some(m)).unwrap();
+        assert!(r[0], "value just above Bonferroni cutoff passes Šidák");
+    }
+
+    #[test]
+    fn holm_uniformly_at_least_as_powerful_as_bonferroni() {
+        let p = [0.001, 0.011, 0.02, 0.04, 0.6];
+        let bon = bonferroni(&p, 0.05, None).unwrap();
+        let hol = holm(&p, 0.05).unwrap();
+        for i in 0..p.len() {
+            assert!(!bon[i] || hol[i], "Holm must reject whatever Bonferroni rejects");
+        }
+        // and in this example Holm rejects strictly more
+        assert!(hol.iter().filter(|&&b| b).count() > bon.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn bh_classic_example() {
+        // Standard textbook example with m = 10.
+        let p = [
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.3240,
+        ];
+        let r = benjamini_hochberg(&p, 0.05).unwrap();
+        let rejected = r.iter().filter(|&&b| b).count();
+        // p_(9) = 0.0459 > 9*0.05/10 = 0.045, p_(8) = 0.0344 <= 0.04 → reject 8.
+        assert_eq!(rejected, 8);
+    }
+
+    #[test]
+    fn bh_threshold_with_larger_test_count() {
+        let p = [0.0001, 0.5];
+        let t_small = benjamini_hochberg_threshold(&p, 0.05, None).unwrap();
+        let t_large = benjamini_hochberg_threshold(&p, 0.05, Some(100_000)).unwrap();
+        assert!(t_small >= 0.0001);
+        assert!(t_large < 0.0001, "a huge test count makes the threshold unreachable");
+    }
+
+    #[test]
+    fn bh_rejects_nothing_when_all_large() {
+        let p = [0.5, 0.7, 0.9];
+        let r = benjamini_hochberg(&p, 0.05).unwrap();
+        assert!(r.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn bh_rejects_everything_when_all_tiny() {
+        let p = [1e-10, 1e-9, 1e-8];
+        let r = benjamini_hochberg(&p, 0.05).unwrap();
+        assert!(r.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn by_more_conservative_than_bh() {
+        let p = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.07, 0.2, 0.5, 0.9];
+        let bh: usize = benjamini_hochberg(&p, 0.05)
+            .unwrap()
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        let by: usize = benjamini_yekutieli(&p, 0.05)
+            .unwrap()
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert!(by <= bh);
+    }
+
+    #[test]
+    fn adjusted_p_values_monotone_and_bounded() {
+        let p = [0.2, 0.001, 0.03, 0.5, 0.04];
+        for method in [
+            AdjustMethod::Bonferroni,
+            AdjustMethod::Sidak,
+            AdjustMethod::Holm,
+            AdjustMethod::BenjaminiHochberg,
+            AdjustMethod::BenjaminiYekutieli,
+        ] {
+            let adj = adjusted_p_values(&p, method).unwrap();
+            assert_eq!(adj.len(), p.len());
+            for (&raw, &a) in p.iter().zip(adj.iter()) {
+                assert!(a >= raw - 1e-15, "{method:?}: adjusted below raw");
+                assert!(a <= 1.0 + 1e-15, "{method:?}: adjusted above 1");
+            }
+            // Order preservation: smaller raw p-value never gets a larger
+            // adjusted value than a bigger raw one.
+            let mut idx: Vec<usize> = (0..p.len()).collect();
+            idx.sort_by(|&a, &b| p[a].partial_cmp(&p[b]).unwrap());
+            for w in idx.windows(2) {
+                assert!(adj[w[0]] <= adj[w[1]] + 1e-15, "{method:?}: not monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn adjusted_bh_consistent_with_rejections() {
+        let p = [
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.3240,
+        ];
+        let adj = adjusted_p_values(&p, AdjustMethod::BenjaminiHochberg).unwrap();
+        let via_adj: Vec<bool> = adj.iter().map(|&a| a <= 0.05).collect();
+        let direct = benjamini_hochberg(&p, 0.05).unwrap();
+        assert_eq!(via_adj, direct);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(bonferroni(&[], 0.05, None).is_err());
+        assert!(bonferroni(&[0.5], 1.5, None).is_err());
+        assert!(bonferroni(&[1.5], 0.05, None).is_err());
+        assert!(benjamini_hochberg(&[f64::NAN], 0.05).is_err());
+        assert!(holm(&[-0.1], 0.05).is_err());
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert!(AdjustMethod::Bonferroni.controls_fwer());
+        assert!(AdjustMethod::Holm.controls_fwer());
+        assert!(!AdjustMethod::BenjaminiHochberg.controls_fwer());
+        assert_eq!(AdjustMethod::Bonferroni.abbreviation(), "BC");
+        assert_eq!(AdjustMethod::BenjaminiHochberg.abbreviation(), "BH");
+    }
+}

@@ -1,0 +1,435 @@
+//! P-value buffering (§4.2.3 of the paper).
+//!
+//! The permutation-based approach evaluates `N_t · (N + 1)` Fisher exact
+//! p-values (one per rule per permutation, plus the original dataset).  The
+//! key observation of the paper is that the *coverage* of a rule does not
+//! change across permutations — only its support does — so all p-values a rule
+//! can ever take are determined by its coverage and can be computed once and
+//! cached:
+//!
+//! * [`PValueBuffer`] is the per-coverage buffer `B_supp(X)` of Figure 2: for a
+//!   fixed `(n, n_c, supp(X))` it stores the two-tailed p-value for every
+//!   possible support value `k ∈ [L, U]`, built with the two-ends-inward
+//!   summation described in the paper.
+//! * [`PValueCache`] is the static + dynamic buffer arrangement: coverages up
+//!   to `max_sup` (determined by a byte budget) live permanently in the static
+//!   buffer; larger coverages share a single dynamic slot that is overwritten
+//!   whenever a rule with a different large coverage is evaluated.
+
+use crate::fisher::two_tailed_from_pmf;
+use crate::hypergeom::Hypergeometric;
+use crate::logfact::LogFactorialTable;
+
+/// The p-value buffer `B_supp(X)` for one coverage value: two-tailed Fisher
+/// exact p-values for every possible support `k ∈ [L, U]`.
+#[derive(Debug, Clone)]
+pub struct PValueBuffer {
+    /// Coverage (`supp(X)`) this buffer was built for.
+    coverage: usize,
+    /// Lower bound `L = max(0, n_c + supp(X) − n)` of the support range.
+    lower: usize,
+    /// `values[k − L]` is the p-value of a rule with support `k`.
+    values: Vec<f64>,
+}
+
+impl PValueBuffer {
+    /// Builds the buffer for a rule with coverage `supp_x` on a dataset with
+    /// `n` records of which `n_c` carry the class label.
+    ///
+    /// Runs in `O(U − L + 1)` time (plus the same for the pmf evaluation),
+    /// exactly as §4.2.3 claims.
+    pub fn build(n: usize, n_c: usize, supp_x: usize, logs: &LogFactorialTable) -> Self {
+        let dist = Hypergeometric::new(n, n_c, supp_x)
+            .expect("coverage and class count must not exceed the dataset size");
+        let pmf = dist.pmf_vector(logs);
+        let values = two_tailed_from_pmf(&pmf);
+        PValueBuffer {
+            coverage: supp_x,
+            lower: dist.lower(),
+            values,
+        }
+    }
+
+    /// Coverage this buffer corresponds to.
+    pub fn coverage(&self) -> usize {
+        self.coverage
+    }
+
+    /// Lower bound of the support range.
+    pub fn lower(&self) -> usize {
+        self.lower
+    }
+
+    /// Upper bound of the support range.
+    pub fn upper(&self) -> usize {
+        self.lower + self.values.len() - 1
+    }
+
+    /// Number of entries in the buffer.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the buffer holds no entries (cannot happen for valid margins,
+    /// but required for a well-behaved `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// P-value of a rule with support `supp_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supp_r` is outside `[L, U]` — a support outside the valid
+    /// range means the caller's counts are inconsistent.
+    #[inline]
+    pub fn p_value(&self, supp_r: usize) -> f64 {
+        assert!(
+            supp_r >= self.lower && supp_r <= self.upper(),
+            "support {supp_r} outside the valid range [{}, {}] for coverage {}",
+            self.lower,
+            self.upper(),
+            self.coverage
+        );
+        self.values[supp_r - self.lower]
+    }
+
+    /// The smallest p-value any rule with this coverage can achieve (attained
+    /// at one of the two ends of the support range).
+    pub fn min_p_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Approximate memory footprint in bytes (used by the static buffer's
+    /// byte budget).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
+    }
+}
+
+/// Statistics describing how a [`PValueCache`] was used; useful for the
+/// ablation benchmarks that reproduce Figure 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the static buffer.
+    pub static_hits: u64,
+    /// Lookups answered from the dynamic buffer without rebuilding it.
+    pub dynamic_hits: u64,
+    /// Buffers built and inserted into the static buffer.
+    pub static_builds: u64,
+    /// Buffers built into the dynamic slot (evicting the previous one).
+    pub dynamic_builds: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.static_hits + self.dynamic_hits + self.static_builds + self.dynamic_builds
+    }
+}
+
+/// The static + dynamic p-value buffer cache of §4.2.3.
+///
+/// * Coverages `min_sup ..= max_sup` are cached permanently ("static buffer");
+///   `max_sup` is derived from a byte budget (16 MB in the paper's best
+///   configuration).
+/// * Coverages above `max_sup` share one "dynamic buffer" slot remembered by
+///   coverage value (`sup_d` in the paper), rebuilt whenever a different large
+///   coverage is requested.
+///
+/// # Examples
+///
+/// ```
+/// use sigrule_stats::{LogFactorialTable, PValueCache};
+///
+/// let logs = LogFactorialTable::new(1000);
+/// let mut cache = PValueCache::new(1000, 500, 16 * 1024 * 1024, 10);
+/// let p = cache.p_value(100, 80, &logs); // coverage 100, support 80
+/// assert!(p < 1e-8);
+/// // Second lookup with the same coverage is a cache hit.
+/// let p2 = cache.p_value(100, 60, &logs);
+/// assert!(p2 > p);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PValueCache {
+    n: usize,
+    n_c: usize,
+    /// Smallest coverage that will ever be requested (the minimum support
+    /// threshold); used only to size the static buffer index.
+    min_sup: usize,
+    /// Largest coverage stored in the static buffer.
+    max_sup: usize,
+    /// `static_buffers[cov − min_sup]`, present once that coverage was seen.
+    static_buffers: Vec<Option<PValueBuffer>>,
+    /// The single dynamic slot for coverages above `max_sup`.
+    dynamic: Option<PValueBuffer>,
+    stats: CacheStats,
+}
+
+impl PValueCache {
+    /// Creates a cache for a dataset with `n` records, `n_c` of the class of
+    /// interest, a static-buffer byte budget and the minimum support
+    /// threshold used for mining.
+    ///
+    /// The largest coverage kept in the static buffer (`max_sup`) is chosen so
+    /// that the worst-case total size of all buffers between `min_sup` and
+    /// `max_sup` stays within `budget_bytes`, mirroring the paper's "the value
+    /// of max_sup is decided by the size of the static buffer".
+    pub fn new(n: usize, n_c: usize, budget_bytes: usize, min_sup: usize) -> Self {
+        let min_sup = min_sup.max(1).min(n);
+        let mut max_sup = min_sup.saturating_sub(1);
+        let mut used = 0usize;
+        for cov in min_sup..=n {
+            // Worst-case buffer length for this coverage.
+            let lower = (n_c + cov).saturating_sub(n);
+            let upper = n_c.min(cov);
+            let entry = (upper - lower + 1) * std::mem::size_of::<f64>() + 64;
+            if used + entry > budget_bytes {
+                break;
+            }
+            used += entry;
+            max_sup = cov;
+        }
+        let slots = if max_sup >= min_sup {
+            max_sup - min_sup + 1
+        } else {
+            0
+        };
+        PValueCache {
+            n,
+            n_c,
+            min_sup,
+            max_sup,
+            static_buffers: vec![None; slots],
+            dynamic: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache with no static buffer at all: every coverage goes
+    /// through the single dynamic slot.  This is the paper's "dynamic buffer"
+    /// configuration in Figure 4.
+    pub fn dynamic_only(n: usize, n_c: usize) -> Self {
+        PValueCache {
+            n,
+            n_c,
+            min_sup: 1,
+            max_sup: 0,
+            static_buffers: Vec::new(),
+            dynamic: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of records the cache was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Class count the cache was built for.
+    pub fn n_c(&self) -> usize {
+        self.n_c
+    }
+
+    /// Largest coverage held in the static buffer (0 when there is none).
+    pub fn max_static_coverage(&self) -> usize {
+        self.max_sup
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the p-value of a rule with the given coverage and support,
+    /// building and caching the per-coverage buffer if necessary.
+    pub fn p_value(&mut self, supp_x: usize, supp_r: usize, logs: &LogFactorialTable) -> f64 {
+        self.buffer_for(supp_x, logs).p_value(supp_r)
+    }
+
+    /// Returns the smallest p-value achievable at the given coverage; used by
+    /// pruning heuristics (a rule whose best-case p-value is above the cut-off
+    /// can be skipped entirely).
+    pub fn min_p_value(&mut self, supp_x: usize, logs: &LogFactorialTable) -> f64 {
+        self.buffer_for(supp_x, logs).min_p_value()
+    }
+
+    /// Borrows (building if necessary) the buffer for a coverage value.
+    pub fn buffer_for(&mut self, supp_x: usize, logs: &LogFactorialTable) -> &PValueBuffer {
+        assert!(
+            supp_x <= self.n,
+            "coverage {supp_x} exceeds dataset size {}",
+            self.n
+        );
+        if supp_x >= self.min_sup && supp_x <= self.max_sup {
+            let idx = supp_x - self.min_sup;
+            if self.static_buffers[idx].is_none() {
+                self.stats.static_builds += 1;
+                self.static_buffers[idx] =
+                    Some(PValueBuffer::build(self.n, self.n_c, supp_x, logs));
+            } else {
+                self.stats.static_hits += 1;
+            }
+            self.static_buffers[idx].as_ref().expect("just inserted")
+        } else {
+            let rebuild = match &self.dynamic {
+                Some(buf) => buf.coverage() != supp_x,
+                None => true,
+            };
+            if rebuild {
+                self.stats.dynamic_builds += 1;
+                self.dynamic = Some(PValueBuffer::build(self.n, self.n_c, supp_x, logs));
+            } else {
+                self.stats.dynamic_hits += 1;
+            }
+            self.dynamic.as_ref().expect("just inserted")
+        }
+    }
+
+    /// Total bytes currently held by cached buffers.
+    pub fn resident_bytes(&self) -> usize {
+        let stat: usize = self
+            .static_buffers
+            .iter()
+            .flatten()
+            .map(PValueBuffer::size_bytes)
+            .sum();
+        stat + self.dynamic.as_ref().map_or(0, PValueBuffer::size_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fisher::{FisherTest, RuleCounts, Tail};
+
+    #[test]
+    fn buffer_matches_figure2() {
+        let logs = LogFactorialTable::new(20);
+        let buf = PValueBuffer::build(20, 11, 6, &logs);
+        assert_eq!(buf.lower(), 0);
+        assert_eq!(buf.upper(), 6);
+        assert_eq!(buf.len(), 7);
+        let expected = [
+            0.0021672, 0.049845, 0.33591, 1.0000, 0.64241, 0.15712, 0.014087,
+        ];
+        for (k, want) in expected.iter().enumerate() {
+            let got = buf.p_value(k);
+            assert!((got - want).abs() / want < 1e-3, "k={k}");
+        }
+    }
+
+    #[test]
+    fn buffer_agrees_with_direct_fisher() {
+        let logs = LogFactorialTable::new(500);
+        let test = FisherTest::with_table(logs.clone());
+        for &(n, n_c, supp_x) in &[(500usize, 200usize, 60usize), (300, 150, 31), (100, 30, 25)] {
+            let buf = PValueBuffer::build(n, n_c, supp_x, &logs);
+            for k in buf.lower()..=buf.upper() {
+                let counts = RuleCounts::new(n, n_c, supp_x, k).unwrap();
+                let direct = test.p_value(&counts, Tail::TwoSided);
+                assert!(
+                    (buf.p_value(k) - direct).abs() < 1e-9,
+                    "n={n} n_c={n_c} supp_x={supp_x} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_p_value_at_extremes() {
+        let logs = LogFactorialTable::new(1000);
+        let buf = PValueBuffer::build(1000, 500, 100, &logs);
+        let min = buf.min_p_value();
+        let at_l = buf.p_value(buf.lower());
+        let at_u = buf.p_value(buf.upper());
+        assert!((min - at_l.min(at_u)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the valid range")]
+    fn buffer_panics_outside_range() {
+        let logs = LogFactorialTable::new(10);
+        let buf = PValueBuffer::build(10, 8, 7, &logs);
+        // lower bound is 5, so asking for 0 is invalid
+        let _ = buf.p_value(0);
+    }
+
+    #[test]
+    fn cache_static_and_dynamic_paths() {
+        let logs = LogFactorialTable::new(200);
+        // Tiny budget so only a few coverages fit in the static buffer.
+        let mut cache = PValueCache::new(200, 100, 4000, 10);
+        let max_static = cache.max_static_coverage();
+        assert!(max_static >= 10, "budget should admit at least one coverage");
+
+        // A static-range coverage: first call builds, second hits.
+        let p1 = cache.p_value(10, 9, &logs);
+        let p2 = cache.p_value(10, 9, &logs);
+        assert_eq!(p1, p2);
+        assert_eq!(cache.stats().static_builds, 1);
+        assert_eq!(cache.stats().static_hits, 1);
+
+        // A coverage above max_sup exercises the dynamic slot.
+        let big = max_static + 20;
+        let _ = cache.p_value(big, big / 2, &logs);
+        let _ = cache.p_value(big, big / 2 + 1, &logs);
+        assert_eq!(cache.stats().dynamic_builds, 1);
+        assert_eq!(cache.stats().dynamic_hits, 1);
+
+        // A different large coverage evicts the dynamic buffer.
+        let _ = cache.p_value(big + 5, big / 2, &logs);
+        assert_eq!(cache.stats().dynamic_builds, 2);
+    }
+
+    #[test]
+    fn dynamic_only_cache_always_uses_dynamic_slot() {
+        let logs = LogFactorialTable::new(100);
+        let mut cache = PValueCache::dynamic_only(100, 50);
+        assert_eq!(cache.max_static_coverage(), 0);
+        let _ = cache.p_value(20, 15, &logs);
+        let _ = cache.p_value(20, 10, &logs);
+        let _ = cache.p_value(30, 10, &logs);
+        let s = cache.stats();
+        assert_eq!(s.static_builds, 0);
+        assert_eq!(s.static_hits, 0);
+        assert_eq!(s.dynamic_builds, 2);
+        assert_eq!(s.dynamic_hits, 1);
+    }
+
+    #[test]
+    fn cache_values_agree_with_uncached_fisher() {
+        let logs = LogFactorialTable::new(400);
+        let test = FisherTest::with_table(logs.clone());
+        let mut cache = PValueCache::new(400, 170, 1 << 20, 5);
+        for (supp_x, supp_r) in [(5, 5), (40, 30), (170, 120), (399, 169)] {
+            let cached = cache.p_value(supp_x, supp_r, &logs);
+            let counts = RuleCounts::new(400, 170, supp_x, supp_r).unwrap();
+            let direct = test.p_value(&counts, Tail::TwoSided);
+            assert!(
+                (cached - direct).abs() < 1e-9,
+                "supp_x={supp_x} supp_r={supp_r}"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_usage() {
+        let logs = LogFactorialTable::new(300);
+        let mut cache = PValueCache::new(300, 150, 1 << 20, 10);
+        let before = cache.resident_bytes();
+        let _ = cache.p_value(50, 30, &logs);
+        let _ = cache.p_value(60, 30, &logs);
+        assert!(cache.resident_bytes() > before);
+    }
+
+    #[test]
+    fn cache_stats_lookups_totals() {
+        let logs = LogFactorialTable::new(100);
+        let mut cache = PValueCache::new(100, 40, 1 << 20, 5);
+        for _ in 0..3 {
+            let _ = cache.p_value(10, 5, &logs);
+        }
+        assert_eq!(cache.stats().lookups(), 3);
+    }
+}

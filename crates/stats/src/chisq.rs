@@ -1,0 +1,259 @@
+//! Pearson's χ² test of independence.
+//!
+//! The paper's related-work section points at Brin et al. (SIGMOD 1997), which
+//! scores association rules with a χ² statistic rather than Fisher's exact
+//! test.  We provide the χ² test so the benchmark harness can compare the two
+//! and so downstream users can choose either.  The p-value is obtained from
+//! the upper tail of the χ² distribution via the regularised incomplete gamma
+//! function, implemented with the standard series / continued-fraction split.
+
+use crate::error::StatsError;
+use crate::fisher::RuleCounts;
+
+/// Result of a χ² test of independence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom, `(rows − 1) · (cols − 1)`.
+    pub dof: usize,
+    /// Upper-tail p-value `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the Lanczos approximation.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)` via its power series.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularised upper incomplete gamma function `Q(a, x)` via the Lentz
+/// continued fraction.
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+fn gamma_q(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if a <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        (1.0 - gamma_p_series(a, x)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_continued_fraction(a, x).clamp(0.0, 1.0)
+    }
+}
+
+/// Upper-tail p-value of the χ² distribution with `dof` degrees of freedom.
+pub fn chi_square_p_value(statistic: f64, dof: usize) -> f64 {
+    if statistic <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// χ² test of independence on an arbitrary contingency table.
+///
+/// `table[i][j]` is the observed count for row `i`, column `j`.  Returns an
+/// error if the table is degenerate (fewer than two rows or columns, or a zero
+/// grand total).
+pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<ChiSquareResult, StatsError> {
+    let rows = table.len();
+    if rows < 2 {
+        return Err(StatsError::invalid_counts("need at least two rows"));
+    }
+    let cols = table[0].len();
+    if cols < 2 {
+        return Err(StatsError::invalid_counts("need at least two columns"));
+    }
+    if table.iter().any(|r| r.len() != cols) {
+        return Err(StatsError::invalid_counts("ragged contingency table"));
+    }
+    let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_totals: Vec<f64> = (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let grand: f64 = row_totals.iter().sum();
+    if grand <= 0.0 {
+        return Err(StatsError::invalid_counts("empty contingency table"));
+    }
+    let mut statistic = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            let expected = row_totals[i] * col_totals[j] / grand;
+            if expected > 0.0 {
+                let diff = table[i][j] - expected;
+                statistic += diff * diff / expected;
+            }
+        }
+    }
+    let dof = (rows - 1) * (cols - 1);
+    Ok(ChiSquareResult {
+        statistic,
+        dof,
+        p_value: chi_square_p_value(statistic, dof),
+    })
+}
+
+/// χ² test of independence for a class association rule expressed as
+/// [`RuleCounts`], i.e. on its implied 2×2 table.
+pub fn chi_square_for_rule(counts: &RuleCounts) -> Result<ChiSquareResult, StatsError> {
+    let a = counts.supp_r as f64;
+    let b = (counts.supp_x - counts.supp_r) as f64;
+    let c = (counts.n_c - counts.supp_r) as f64;
+    let d = (counts.n - counts.supp_x - (counts.n_c - counts.supp_r)) as f64;
+    chi_square_independence(&[vec![a, b], vec![c, d]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_p_value_reference_points() {
+        // Critical values: χ²(1df) at 3.841 → p ≈ 0.05; χ²(2df) at 5.991 → 0.05.
+        assert!((chi_square_p_value(3.841459, 1) - 0.05).abs() < 1e-4);
+        assert!((chi_square_p_value(5.991465, 2) - 0.05).abs() < 1e-4);
+        assert!((chi_square_p_value(6.634897, 1) - 0.01).abs() < 1e-4);
+        // statistic 0 → p = 1
+        assert_eq!(chi_square_p_value(0.0, 3), 1.0);
+    }
+
+    #[test]
+    fn chi_square_p_value_monotone_in_statistic() {
+        let mut prev = 1.1;
+        for s in [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let p = chi_square_p_value(s, 1);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn independence_test_on_balanced_table() {
+        // Perfectly proportional table: statistic 0, p-value 1.
+        let r = chi_square_independence(&[vec![10.0, 20.0], vec![30.0, 60.0]]).unwrap();
+        assert!(r.statistic.abs() < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(r.dof, 1);
+    }
+
+    #[test]
+    fn independence_test_on_skewed_table() {
+        // Strong association → tiny p-value.
+        let r = chi_square_independence(&[vec![90.0, 10.0], vec![10.0, 90.0]]).unwrap();
+        assert!(r.statistic > 100.0);
+        assert!(r.p_value < 1e-20);
+    }
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        assert!(chi_square_independence(&[vec![1.0, 2.0]]).is_err());
+        assert!(chi_square_independence(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(chi_square_independence(&[vec![0.0, 0.0], vec![0.0, 0.0]]).is_err());
+        assert!(chi_square_independence(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn rule_counts_chi_square_agrees_with_fisher_in_ordering() {
+        use crate::fisher::{FisherTest, Tail};
+        let test = FisherTest::new(1000);
+        // For a sequence of increasingly associated rules both tests should
+        // produce decreasing p-values.
+        let mut prev_chi = 1.1;
+        let mut prev_fisher = 1.1;
+        for supp_r in [55, 65, 75, 85, 95] {
+            let counts = RuleCounts::new(1000, 500, 100, supp_r).unwrap();
+            let chi = chi_square_for_rule(&counts).unwrap().p_value;
+            let fis = test.p_value(&counts, Tail::TwoSided);
+            assert!(chi <= prev_chi + 1e-12);
+            assert!(fis <= prev_fisher + 1e-12);
+            prev_chi = chi;
+            prev_fisher = fis;
+        }
+    }
+
+    #[test]
+    fn three_by_three_table_dof() {
+        let r = chi_square_independence(&[
+            vec![10.0, 12.0, 8.0],
+            vec![9.0, 11.0, 10.0],
+            vec![12.0, 9.0, 9.0],
+        ])
+        .unwrap();
+        assert_eq!(r.dof, 4);
+        assert!(r.p_value > 0.5, "near-uniform table should not be significant");
+    }
+}

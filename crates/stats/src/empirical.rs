@@ -1,0 +1,235 @@
+//! Permutation-based (empirical-null) corrections (§4.2 of the paper).
+//!
+//! The permutation approach destroys the pattern/class association by
+//! shuffling class labels, and uses the p-values observed on the shuffled
+//! datasets as an empirical approximation of the null distribution:
+//!
+//! * **FWER**: take the lowest p-value of every permutation; the `⌊α·N⌋`-th
+//!   smallest of these minima is the cut-off threshold (Westfall–Young
+//!   min-p).
+//! * **FDR**: pool *all* `N·N_t` permutation p-values, recompute every rule's
+//!   p-value as its rank in the pool divided by the pool size, then run
+//!   Benjamini–Hochberg on the recomputed values.
+//!
+//! This module only deals with the statistics; the actual label shuffling and
+//! support counting live in the `sigrule` core crate.
+
+use crate::adjust::benjamini_hochberg_threshold;
+use crate::error::StatsError;
+
+/// The per-permutation minimum p-values, i.e. the empirical distribution of
+/// the *most extreme* statistic under the null.  Used for FWER control.
+#[derive(Debug, Clone)]
+pub struct EmpiricalNull {
+    /// Minimum p-value observed on each permutation, sorted ascending.
+    sorted_minima: Vec<f64>,
+}
+
+impl EmpiricalNull {
+    /// Builds the empirical null from the minimum p-value of each
+    /// permutation (order does not matter).
+    pub fn from_minima(mut minima: Vec<f64>) -> Result<Self, StatsError> {
+        if minima.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        for &p in &minima {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(StatsError::InvalidProbability { value: p });
+            }
+        }
+        minima.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ok(EmpiricalNull {
+            sorted_minima: minima,
+        })
+    }
+
+    /// Number of permutations contributing to the null.
+    pub fn n_permutations(&self) -> usize {
+        self.sorted_minima.len()
+    }
+
+    /// The FWER cut-off p-value threshold at level `alpha`: the `⌊α·N⌋`-th
+    /// smallest per-permutation minimum (1-indexed), or `0` when `⌊α·N⌋ = 0`
+    /// (too few permutations to certify anything at that level).
+    pub fn fwer_threshold(&self, alpha: f64) -> f64 {
+        let n = self.sorted_minima.len();
+        let k = (alpha * n as f64).floor() as usize;
+        if k == 0 {
+            return 0.0;
+        }
+        self.sorted_minima[k - 1]
+    }
+
+    /// Empirical FWER-adjusted p-value of an observed p-value: the fraction of
+    /// permutations whose minimum p-value is at most `p`.
+    pub fn adjusted_p(&self, p: f64) -> f64 {
+        let count = partition_point_leq(&self.sorted_minima, p);
+        count as f64 / self.sorted_minima.len() as f64
+    }
+}
+
+/// Westfall–Young style FWER threshold: convenience wrapper over
+/// [`EmpiricalNull::fwer_threshold`].
+pub fn min_p_threshold(per_permutation_minima: &[f64], alpha: f64) -> Result<f64, StatsError> {
+    let null = EmpiricalNull::from_minima(per_permutation_minima.to_vec())?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(StatsError::InvalidProbability { value: alpha });
+    }
+    Ok(null.fwer_threshold(alpha))
+}
+
+/// Number of elements in the sorted slice that are `<= x`.
+fn partition_point_leq(sorted: &[f64], x: f64) -> usize {
+    sorted.partition_point(|&v| v <= x)
+}
+
+/// The pooled empirical null used for FDR control: every p-value from every
+/// permutation, sorted.
+#[derive(Debug, Clone)]
+pub struct PooledNull {
+    sorted_pool: Vec<f64>,
+}
+
+impl PooledNull {
+    /// Builds the pool from all permutation p-values (`N · N_t` values).
+    pub fn new(mut pool: Vec<f64>) -> Result<Self, StatsError> {
+        if pool.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        for &p in &pool {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(StatsError::InvalidProbability { value: p });
+            }
+        }
+        pool.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ok(PooledNull { sorted_pool: pool })
+    }
+
+    /// Size of the pool.
+    pub fn len(&self) -> usize {
+        self.sorted_pool.len()
+    }
+
+    /// True when the pool holds no values (construction forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.sorted_pool.is_empty()
+    }
+
+    /// Empirical p-value of an observed p-value: the fraction of the pool
+    /// that is at most `p`, i.e. `|{p_i ∈ H : p_i ≤ p}| / (N · N_t)` as in
+    /// §4.2 of the paper.
+    pub fn empirical_p(&self, p: f64) -> f64 {
+        partition_point_leq(&self.sorted_pool, p) as f64 / self.sorted_pool.len() as f64
+    }
+}
+
+/// Re-computes the p-values of the observed rules against the pooled
+/// permutation null (the paper's FDR recipe) and returns
+/// `(empirical_p_values, bh_cutoff_on_empirical_p_values)`.
+///
+/// A rule is significant iff its empirical p-value is `≤` the returned cutoff
+/// (a cutoff below every empirical p-value, reported as `f64::NEG_INFINITY`,
+/// means nothing is significant).
+pub fn empirical_fdr_adjust(
+    observed: &[f64],
+    permutation_pool: &[f64],
+    alpha: f64,
+) -> Result<(Vec<f64>, f64), StatsError> {
+    if observed.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let pool = PooledNull::new(permutation_pool.to_vec())?;
+    let empirical: Vec<f64> = observed.iter().map(|&p| pool.empirical_p(p)).collect();
+    let cutoff = benjamini_hochberg_threshold(&empirical, alpha, None)?;
+    Ok((empirical, cutoff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwer_threshold_is_alpha_quantile_of_minima() {
+        // 100 permutations with minima 0.001, 0.002, ..., 0.100.
+        let minima: Vec<f64> = (1..=100).map(|i| i as f64 / 1000.0).collect();
+        let null = EmpiricalNull::from_minima(minima).unwrap();
+        // floor(0.05 * 100) = 5 → the 5th smallest = 0.005.
+        assert!((null.fwer_threshold(0.05) - 0.005).abs() < 1e-12);
+        // floor(0.10 * 100) = 10 → 0.010.
+        assert!((null.fwer_threshold(0.10) - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fwer_threshold_zero_when_too_few_permutations() {
+        let null = EmpiricalNull::from_minima(vec![0.2, 0.3, 0.4]).unwrap();
+        // floor(0.05 * 3) = 0 → nothing can be certified.
+        assert_eq!(null.fwer_threshold(0.05), 0.0);
+    }
+
+    #[test]
+    fn fwer_property_exactly_alpha_fraction_passes() {
+        let minima: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        let null = EmpiricalNull::from_minima(minima.clone()).unwrap();
+        let threshold = null.fwer_threshold(0.05);
+        let passing = minima.iter().filter(|&&m| m <= threshold).count();
+        assert_eq!(passing, 50, "exactly ⌊α·N⌋ permutations have a minimum below the cutoff");
+    }
+
+    #[test]
+    fn adjusted_p_counts_fraction_of_minima() {
+        let null = EmpiricalNull::from_minima(vec![0.01, 0.02, 0.03, 0.5]).unwrap();
+        assert!((null.adjusted_p(0.025) - 0.5).abs() < 1e-12);
+        assert!((null.adjusted_p(0.005) - 0.0).abs() < 1e-12);
+        assert!((null.adjusted_p(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_p_threshold_wrapper() {
+        let minima: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let t = min_p_threshold(&minima, 0.05).unwrap();
+        assert!((t - 0.05).abs() < 1e-12);
+        assert!(min_p_threshold(&[], 0.05).is_err());
+        assert!(min_p_threshold(&[0.5], 1.2).is_err());
+    }
+
+    #[test]
+    fn pooled_null_empirical_p() {
+        let pool = PooledNull::new(vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        assert_eq!(pool.len(), 5);
+        assert!((pool.empirical_p(0.25) - 0.4).abs() < 1e-12);
+        assert!((pool.empirical_p(0.05) - 0.0).abs() < 1e-12);
+        assert!((pool.empirical_p(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_fdr_flags_only_genuinely_extreme_rules() {
+        // Null pool: p-values spread uniformly over (0, 1].
+        let pool: Vec<f64> = (1..=10_000).map(|i| i as f64 / 10_000.0).collect();
+        // One extremely small observed p-value among ordinary ones.
+        let observed = vec![1e-6, 0.2, 0.4, 0.6, 0.8];
+        let (empirical, cutoff) = empirical_fdr_adjust(&observed, &pool, 0.05).unwrap();
+        assert_eq!(empirical.len(), observed.len());
+        assert!(empirical[0] <= cutoff, "the extreme rule is significant");
+        for &e in &empirical[1..] {
+            assert!(e > cutoff, "unremarkable rules are not significant");
+        }
+    }
+
+    #[test]
+    fn empirical_fdr_nothing_significant_when_observed_matches_null() {
+        let pool: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        let observed: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+        let (empirical, cutoff) = empirical_fdr_adjust(&observed, &pool, 0.05).unwrap();
+        let significant = empirical.iter().filter(|&&e| e <= cutoff).count();
+        assert_eq!(significant, 0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(EmpiricalNull::from_minima(vec![]).is_err());
+        assert!(EmpiricalNull::from_minima(vec![1.5]).is_err());
+        assert!(PooledNull::new(vec![]).is_err());
+        assert!(PooledNull::new(vec![f64::NAN]).is_err());
+        assert!(empirical_fdr_adjust(&[], &[0.5], 0.05).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the statistical routines.
+
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+///
+/// All routines are total over their valid input domain; errors are only
+/// produced for structurally invalid inputs (e.g. a sample larger than the
+/// population) so callers can treat them as programming errors if they have
+/// already validated their counts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A count-based parameterisation was inconsistent, e.g. `k > n` or
+    /// `supp(R) > supp(X)`.
+    InvalidCounts {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A probability or significance level was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An empty input was passed where at least one element is required.
+    EmptyInput,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidCounts { reason } => {
+                write!(f, "invalid count parameterisation: {reason}")
+            }
+            StatsError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            StatsError::EmptyInput => write!(f, "empty input where at least one value is required"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::InvalidCounts`].
+    pub fn invalid_counts(reason: impl Into<String>) -> Self {
+        StatsError::InvalidCounts {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_counts() {
+        let e = StatsError::invalid_counts("k > n");
+        assert!(e.to_string().contains("k > n"));
+    }
+
+    #[test]
+    fn display_invalid_probability() {
+        let e = StatsError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn display_empty_input() {
+        assert!(StatsError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&StatsError::EmptyInput);
+    }
+}

@@ -1,0 +1,408 @@
+//! Fisher's exact test for class association rules (§2.2 of the paper).
+//!
+//! The p-value of a rule `R : X ⇒ c` is the probability, under the null
+//! hypothesis that `X` and `c` are independent, of observing a 2×2 table that
+//! is at least as extreme as the observed one.  Following the paper we use the
+//! *two-tailed* test with the "sum of all outcomes no more probable than the
+//! observed one" definition:
+//!
+//! ```text
+//! p(R) = Σ_{k ∈ E} H(k; n, n_c, supp(X)),
+//! E = { k : H(k; n, n_c, supp(X)) ≤ H(supp(R); n, n_c, supp(X)) }
+//! ```
+//!
+//! One-tailed variants are provided as well because the evaluation harness and
+//! several related methods (e.g. Webb's significant-pattern work) use them.
+
+use crate::error::StatsError;
+use crate::hypergeom::Hypergeometric;
+use crate::logfact::LogFactorialTable;
+
+/// Relative tolerance used when comparing probability masses for the
+/// two-tailed test.  Matches the convention used by R's `fisher.test`
+/// (outcomes whose probability is within a factor of `1 + 1e-7` of the
+/// observed one are counted as "equally extreme") and protects against
+/// floating-point noise in the log-space evaluation.
+const RELATIVE_TOLERANCE: f64 = 1.0 + 1e-7;
+
+/// Which tail(s) of the hypergeometric distribution to accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tail {
+    /// Lower tail: `P(K ≤ observed)` — evidence of *negative* association.
+    Left,
+    /// Upper tail: `P(K ≥ observed)` — evidence of *positive* association
+    /// (the tail used by most significant-pattern-mining work).
+    Right,
+    /// Two-tailed test as defined in the paper (§2.2).
+    TwoSided,
+}
+
+/// The 2×2 contingency counts of a class association rule `R : X ⇒ c`.
+///
+/// ```text
+///                 class = c     class ≠ c     total
+/// contains X      supp(R)       supp(X)-supp(R)   supp(X)
+/// not X           n_c-supp(R)   ...               n-supp(X)
+/// total           n_c           n-n_c             n
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuleCounts {
+    /// Total number of records `n`.
+    pub n: usize,
+    /// Number of records labelled with the rule's class, `n_c`.
+    pub n_c: usize,
+    /// Coverage of the rule: `supp(X)`.
+    pub supp_x: usize,
+    /// Support of the rule: number of records containing `X` *and* labelled
+    /// `c`.
+    pub supp_r: usize,
+}
+
+impl RuleCounts {
+    /// Creates and validates the counts.
+    pub fn new(n: usize, n_c: usize, supp_x: usize, supp_r: usize) -> Result<Self, StatsError> {
+        if n_c > n {
+            return Err(StatsError::invalid_counts(format!("n_c={n_c} > n={n}")));
+        }
+        if supp_x > n {
+            return Err(StatsError::invalid_counts(format!(
+                "supp(X)={supp_x} > n={n}"
+            )));
+        }
+        if supp_r > supp_x {
+            return Err(StatsError::invalid_counts(format!(
+                "supp(R)={supp_r} > supp(X)={supp_x}"
+            )));
+        }
+        if supp_r > n_c {
+            return Err(StatsError::invalid_counts(format!(
+                "supp(R)={supp_r} > n_c={n_c}"
+            )));
+        }
+        // The complement cell (¬X, ¬c) must also be non-negative:
+        // n - supp_x - (n_c - supp_r) >= 0
+        if n_c - supp_r > n - supp_x {
+            return Err(StatsError::invalid_counts(format!(
+                "negative cell: n_c - supp(R) = {} > n - supp(X) = {}",
+                n_c - supp_r,
+                n - supp_x
+            )));
+        }
+        Ok(RuleCounts {
+            n,
+            n_c,
+            supp_x,
+            supp_r,
+        })
+    }
+
+    /// Confidence of the rule, `supp(R) / supp(X)`; zero when the coverage is
+    /// zero.
+    pub fn confidence(&self) -> f64 {
+        if self.supp_x == 0 {
+            0.0
+        } else {
+            self.supp_r as f64 / self.supp_x as f64
+        }
+    }
+
+    /// Baseline (prior) probability of the class, `n_c / n`.
+    pub fn class_prior(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.n_c as f64 / self.n as f64
+        }
+    }
+
+    /// Lift of the rule: confidence divided by the class prior.
+    pub fn lift(&self) -> f64 {
+        let prior = self.class_prior();
+        if prior == 0.0 {
+            0.0
+        } else {
+            self.confidence() / prior
+        }
+    }
+
+    /// The null distribution of `supp(R)` given the margins.
+    pub fn null_distribution(&self) -> Hypergeometric {
+        // Margins were validated in `new`, so this cannot fail.
+        Hypergeometric::new(self.n, self.n_c, self.supp_x)
+            .expect("margins validated at construction")
+    }
+}
+
+/// Computes the two-tailed Fisher exact p-value of a rule given its counts.
+///
+/// Convenience wrapper that builds a throw-away [`LogFactorialTable`]; when
+/// testing many rules over the same dataset prefer [`FisherTest`], which
+/// shares the table.
+pub fn fisher_exact_two_tailed(counts: &RuleCounts) -> f64 {
+    let logs = LogFactorialTable::new(counts.n);
+    FisherTest::with_table(logs).p_value(counts, Tail::TwoSided)
+}
+
+/// A reusable Fisher exact test bound to a log-factorial table.
+///
+/// # Examples
+///
+/// ```
+/// use sigrule_stats::{FisherTest, RuleCounts, Tail};
+///
+/// // 1000 records, 500 of class c, rule coverage 100, confidence 0.8.
+/// let counts = RuleCounts::new(1000, 500, 100, 80).unwrap();
+/// let test = FisherTest::new(1000);
+/// let p = test.p_value(&counts, Tail::TwoSided);
+/// assert!(p < 1e-8, "a high-confidence, well-covered rule is very significant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FisherTest {
+    logs: LogFactorialTable,
+}
+
+impl FisherTest {
+    /// Creates a test able to handle datasets of up to `n_max` records.
+    pub fn new(n_max: usize) -> Self {
+        FisherTest {
+            logs: LogFactorialTable::new(n_max),
+        }
+    }
+
+    /// Wraps an existing log-factorial table.
+    pub fn with_table(logs: LogFactorialTable) -> Self {
+        FisherTest { logs }
+    }
+
+    /// Read access to the underlying log-factorial table.
+    pub fn log_table(&self) -> &LogFactorialTable {
+        &self.logs
+    }
+
+    /// Computes the p-value of the rule for the requested tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.n` exceeds the capacity the test was built with.
+    pub fn p_value(&self, counts: &RuleCounts, tail: Tail) -> f64 {
+        assert!(
+            counts.n <= self.logs.n_max(),
+            "dataset has {} records but the test was sized for {}",
+            counts.n,
+            self.logs.n_max()
+        );
+        let dist = counts.null_distribution();
+        match tail {
+            Tail::Left => dist.cdf(counts.supp_r, &self.logs).min(1.0),
+            Tail::Right => dist.sf(counts.supp_r, &self.logs).min(1.0),
+            Tail::TwoSided => self.two_tailed(counts, &dist),
+        }
+    }
+
+    fn two_tailed(&self, counts: &RuleCounts, dist: &Hypergeometric) -> f64 {
+        if counts.supp_r < dist.lower() || counts.supp_r > dist.upper() {
+            // Outside the support can only happen for inconsistent counts,
+            // which `RuleCounts::new` rejects; defensively return 1.
+            return 1.0;
+        }
+        // Delegate to the same routine the p-value buffers use, so that
+        // buffered and unbuffered evaluations are bit-for-bit identical (ties
+        // between permutation and observed p-values must resolve the same way
+        // regardless of the optimisation level).
+        let pmf = dist.pmf_vector(&self.logs);
+        let all = two_tailed_from_pmf(&pmf);
+        all[counts.supp_r - dist.lower()]
+    }
+
+    /// Computes p-values for every possible support value `k ∈ [L, U]` of a
+    /// rule with the given margins, i.e. the contents of the paper's p-value
+    /// buffer `B_supp(X)` *after* the two-ends-inward summation (§4.2.3).
+    ///
+    /// The returned vector is indexed by `k - L`.
+    pub fn all_p_values(&self, n: usize, n_c: usize, supp_x: usize) -> Result<Vec<f64>, StatsError> {
+        let dist = Hypergeometric::new(n, n_c, supp_x)?;
+        let pmf = dist.pmf_vector(&self.logs);
+        Ok(two_tailed_from_pmf(&pmf))
+    }
+}
+
+/// Given the hypergeometric pmf over `[L, U]`, computes the two-tailed
+/// p-value for each support value using the paper's two-ends-inward summation
+/// (Figure 2): values are accumulated in ascending order of probability mass,
+/// walking from both ends of the buffer towards the middle.
+///
+/// This is the core of the p-value buffering optimisation and is exposed so
+/// the buffer module can reuse it.
+pub fn two_tailed_from_pmf(pmf: &[f64]) -> Vec<f64> {
+    let len = pmf.len();
+    let mut out = vec![0.0; len];
+    if len == 0 {
+        return out;
+    }
+    // The paper walks inward from the two ends of the buffer, exploiting the
+    // unimodality of the hypergeometric pmf.  We implement the equivalent
+    // sort-based formulation so that exact ties (which occur whenever
+    // n_c = n/2, the paper's own synthetic setting) are included on *both*
+    // sides, matching the definition E = {k : H(k) ≤ H(supp(R))}.
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| pmf[a].partial_cmp(&pmf[b]).expect("pmf has no NaN"));
+    let mut prefix = vec![0.0f64; len];
+    let mut acc = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        acc += pmf[idx];
+        prefix[rank] = acc;
+    }
+    // For each position (in ascending-mass order) find the last rank whose
+    // mass is still within the tie tolerance; the p-value is the prefix sum up
+    // to that rank.  `j` only moves forward, so the scan is linear.
+    let mut j = 0usize;
+    for rank in 0..len {
+        let threshold = pmf[order[rank]] * RELATIVE_TOLERANCE;
+        if j < rank {
+            j = rank;
+        }
+        while j + 1 < len && pmf[order[j + 1]] <= threshold {
+            j += 1;
+        }
+        out[order[rank]] = prefix[j].min(1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_counts_validation() {
+        assert!(RuleCounts::new(100, 50, 20, 10).is_ok());
+        assert!(RuleCounts::new(100, 101, 20, 10).is_err());
+        assert!(RuleCounts::new(100, 50, 101, 10).is_err());
+        assert!(RuleCounts::new(100, 50, 20, 21).is_err());
+        assert!(RuleCounts::new(100, 5, 20, 6).is_err());
+        // negative complement cell: n=10, n_c=9, supp_x=5, supp_r=0 => 9 > 5
+        assert!(RuleCounts::new(10, 9, 5, 0).is_err());
+    }
+
+    #[test]
+    fn confidence_and_lift() {
+        let c = RuleCounts::new(1000, 500, 100, 80).unwrap();
+        assert!((c.confidence() - 0.8).abs() < 1e-12);
+        assert!((c.class_prior() - 0.5).abs() < 1e-12);
+        assert!((c.lift() - 1.6).abs() < 1e-12);
+    }
+
+    /// Paper §2.3: "when #records=1000, supp(c)=500 and supp(X)=5, even if
+    /// conf(R)=1, the p-value of R is as high as 0.062".
+    #[test]
+    fn paper_example_low_coverage() {
+        let counts = RuleCounts::new(1000, 500, 5, 5).unwrap();
+        let p = fisher_exact_two_tailed(&counts);
+        assert!((p - 0.062).abs() < 0.002, "p = {p}");
+    }
+
+    /// Paper §2.3: "When #records=1000 and supp(c)=500 and conf(R)=0.55, even
+    /// if supp(X)=200, the p-value of R is as high as 0.133".
+    #[test]
+    fn paper_example_low_confidence() {
+        let counts = RuleCounts::new(1000, 500, 200, 110).unwrap();
+        let p = fisher_exact_two_tailed(&counts);
+        assert!((p - 0.133).abs() < 0.01, "p = {p}");
+    }
+
+    /// Figure 2 of the paper: p-values for n=20, n_c=11, supp(X)=6.
+    #[test]
+    fn figure2_p_values() {
+        let test = FisherTest::new(20);
+        let pvals = test.all_p_values(20, 11, 6).unwrap();
+        let expected = [
+            0.0021672, 0.049845, 0.33591, 1.0000, 0.64241, 0.15712, 0.014087,
+        ];
+        assert_eq!(pvals.len(), expected.len());
+        for (k, (got, want)) in pvals.iter().zip(expected.iter()).enumerate() {
+            assert!(
+                (got - want).abs() / want < 1e-3,
+                "k={k}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_tailed_never_smaller_than_each_tail_alone_at_extremes() {
+        let test = FisherTest::new(1000);
+        let counts = RuleCounts::new(1000, 500, 100, 90).unwrap();
+        let two = test.p_value(&counts, Tail::TwoSided);
+        let right = test.p_value(&counts, Tail::Right);
+        assert!(two >= right - 1e-15);
+        assert!(two <= 2.0 * right + 1e-12);
+    }
+
+    #[test]
+    fn independence_gives_high_p_value() {
+        // Confidence equal to the class prior: nothing to see.
+        let counts = RuleCounts::new(1000, 500, 100, 50).unwrap();
+        let p = fisher_exact_two_tailed(&counts);
+        assert!(p > 0.9, "p = {p}");
+    }
+
+    #[test]
+    fn p_value_decreases_with_confidence() {
+        let test = FisherTest::new(1000);
+        let mut prev = 2.0;
+        for supp_r in [55, 60, 65, 70, 80, 90, 100] {
+            let counts = RuleCounts::new(1000, 500, 100, supp_r).unwrap();
+            let p = test.p_value(&counts, Tail::TwoSided);
+            assert!(p <= prev + 1e-12, "supp_r={supp_r}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_value_decreases_with_coverage_at_fixed_confidence() {
+        // Figure 1 of the paper: at fixed confidence, larger coverage means a
+        // smaller p-value.
+        let test = FisherTest::new(1000);
+        let mut prev = 2.0;
+        for supp_x in [5usize, 10, 20, 40, 70, 100] {
+            let supp_r = (supp_x as f64 * 0.8).round() as usize;
+            let counts = RuleCounts::new(1000, 500, supp_x, supp_r).unwrap();
+            let p = test.p_value(&counts, Tail::TwoSided);
+            assert!(p < prev, "supp_x={supp_x}: {p} >= {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn left_and_right_tails_sum_to_more_than_one() {
+        // They overlap at the observed value, so the sum is ≥ 1.
+        let test = FisherTest::new(200);
+        let counts = RuleCounts::new(200, 80, 50, 20).unwrap();
+        let l = test.p_value(&counts, Tail::Left);
+        let r = test.p_value(&counts, Tail::Right);
+        assert!(l + r >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn two_tailed_from_pmf_handles_empty_and_single() {
+        assert!(two_tailed_from_pmf(&[]).is_empty());
+        let single = two_tailed_from_pmf(&[1.0]);
+        assert_eq!(single, vec![1.0]);
+    }
+
+    #[test]
+    fn all_p_values_match_direct_computation() {
+        let test = FisherTest::new(200);
+        let (n, n_c, supp_x) = (200usize, 90usize, 40usize);
+        let buffered = test.all_p_values(n, n_c, supp_x).unwrap();
+        let dist = Hypergeometric::new(n, n_c, supp_x).unwrap();
+        for k in dist.lower()..=dist.upper() {
+            let counts = RuleCounts::new(n, n_c, supp_x, k).unwrap();
+            let direct = test.p_value(&counts, Tail::TwoSided);
+            let buf = buffered[k - dist.lower()];
+            assert!(
+                (direct - buf).abs() < 1e-9,
+                "k={k}: direct {direct} vs buffered {buf}"
+            );
+        }
+    }
+}

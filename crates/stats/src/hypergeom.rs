@@ -1,0 +1,232 @@
+//! Hypergeometric distribution `H(k; n, K, m)`.
+//!
+//! In the paper's notation a class association rule `R : X ⇒ c` over a dataset
+//! with `n` records, `n_c` records of class `c` and coverage `supp(X)` has its
+//! support distributed (under the null hypothesis of independence between `X`
+//! and `c`) as `H(k; n, n_c, supp(X))`:
+//!
+//! ```text
+//! H(k; n, n_c, supp(X)) = C(n_c, k) · C(n − n_c, supp(X) − k) / C(n, supp(X))
+//! ```
+//!
+//! The support of the probability mass function is the integer range
+//! `[L, U] = [max(0, n_c + supp(X) − n), min(n_c, supp(X))]`.
+
+use crate::error::StatsError;
+use crate::logfact::LogFactorialTable;
+
+/// A hypergeometric distribution parameterised the way the paper uses it:
+/// population size `n`, number of "successes" (records of the class) `n_c`,
+/// and sample size `m = supp(X)` (the coverage of the rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    /// Population size (number of records in the dataset).
+    pub n: usize,
+    /// Number of success states in the population (records labelled `c`).
+    pub n_c: usize,
+    /// Sample size (coverage of the rule, `supp(X)`).
+    pub m: usize,
+}
+
+impl Hypergeometric {
+    /// Creates a new distribution, validating `n_c ≤ n` and `m ≤ n`.
+    pub fn new(n: usize, n_c: usize, m: usize) -> Result<Self, StatsError> {
+        if n_c > n {
+            return Err(StatsError::invalid_counts(format!(
+                "class count n_c={n_c} exceeds population n={n}"
+            )));
+        }
+        if m > n {
+            return Err(StatsError::invalid_counts(format!(
+                "sample size m={m} exceeds population n={n}"
+            )));
+        }
+        Ok(Hypergeometric { n, n_c, m })
+    }
+
+    /// Lower bound of the support: `max(0, n_c + m − n)`.
+    #[inline]
+    pub fn lower(&self) -> usize {
+        (self.n_c + self.m).saturating_sub(self.n)
+    }
+
+    /// Upper bound of the support: `min(n_c, m)`.
+    #[inline]
+    pub fn upper(&self) -> usize {
+        self.n_c.min(self.m)
+    }
+
+    /// Number of points in the support, `U − L + 1`.
+    #[inline]
+    pub fn support_len(&self) -> usize {
+        self.upper() - self.lower() + 1
+    }
+
+    /// Mean of the distribution, `m · n_c / n`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.m as f64 * self.n_c as f64 / self.n as f64
+    }
+
+    /// Log probability mass `ln H(k)`; negative infinity outside the support.
+    pub fn ln_pmf(&self, k: usize, logs: &LogFactorialTable) -> f64 {
+        if k < self.lower() || k > self.upper() {
+            return f64::NEG_INFINITY;
+        }
+        logs.ln_binomial(self.n_c, k) + logs.ln_binomial(self.n - self.n_c, self.m - k)
+            - logs.ln_binomial(self.n, self.m)
+    }
+
+    /// Probability mass `H(k)`; zero outside the support.
+    #[inline]
+    pub fn pmf(&self, k: usize, logs: &LogFactorialTable) -> f64 {
+        let lp = self.ln_pmf(k, logs);
+        if lp == f64::NEG_INFINITY {
+            0.0
+        } else {
+            lp.exp()
+        }
+    }
+
+    /// Lower-tail cumulative probability `P(K ≤ k)`.
+    pub fn cdf(&self, k: usize, logs: &LogFactorialTable) -> f64 {
+        let hi = k.min(self.upper());
+        if k < self.lower() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in self.lower()..=hi {
+            acc += self.pmf(j, logs);
+        }
+        acc.min(1.0)
+    }
+
+    /// Upper-tail cumulative probability `P(K ≥ k)`.
+    pub fn sf(&self, k: usize, logs: &LogFactorialTable) -> f64 {
+        if k <= self.lower() {
+            return 1.0;
+        }
+        if k > self.upper() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in k..=self.upper() {
+            acc += self.pmf(j, logs);
+        }
+        acc.min(1.0)
+    }
+
+    /// Evaluates the full probability mass function over `[L, U]`, in order.
+    pub fn pmf_vector(&self, logs: &LogFactorialTable) -> Vec<f64> {
+        (self.lower()..=self.upper())
+            .map(|k| self.pmf(k, logs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logs(n: usize) -> LogFactorialTable {
+        LogFactorialTable::new(n)
+    }
+
+    #[test]
+    fn rejects_inconsistent_parameters() {
+        assert!(Hypergeometric::new(10, 11, 5).is_err());
+        assert!(Hypergeometric::new(10, 5, 11).is_err());
+        assert!(Hypergeometric::new(10, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(20, 11, 6).unwrap();
+        assert_eq!(h.lower(), 0);
+        assert_eq!(h.upper(), 6);
+        assert_eq!(h.support_len(), 7);
+
+        let h = Hypergeometric::new(10, 8, 7).unwrap();
+        // L = max(0, 8 + 7 - 10) = 5, U = min(8, 7) = 7
+        assert_eq!(h.lower(), 5);
+        assert_eq!(h.upper(), 7);
+    }
+
+    /// The worked example of Figure 2 in the paper: n=20, n_c=11, m=6.
+    #[test]
+    fn figure2_pmf_values() {
+        let h = Hypergeometric::new(20, 11, 6).unwrap();
+        let t = logs(20);
+        let expected = [
+            (0, 0.0021672),
+            (1, 0.035759),
+            (2, 0.17879),
+            (3, 0.35759),
+            (4, 0.30650),
+            (5, 0.10728),
+            (6, 0.011920),
+        ];
+        for (k, e) in expected {
+            let got = h.pmf(k, &t);
+            assert!(
+                (got - e).abs() / e < 1e-3,
+                "k={k}: got {got}, expected {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let t = logs(2000);
+        for (n, n_c, m) in [(20, 11, 6), (100, 40, 25), (1000, 500, 77), (2000, 1000, 400)] {
+            let h = Hypergeometric::new(n, n_c, m).unwrap();
+            let total: f64 = h.pmf_vector(&t).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} n_c={n_c} m={m}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_zero_outside_support() {
+        let h = Hypergeometric::new(10, 8, 7).unwrap();
+        let t = logs(10);
+        assert_eq!(h.pmf(0, &t), 0.0);
+        assert_eq!(h.pmf(4, &t), 0.0);
+        assert!(h.pmf(5, &t) > 0.0);
+        assert_eq!(h.pmf(8, &t), 0.0);
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let h = Hypergeometric::new(50, 20, 15).unwrap();
+        let t = logs(50);
+        for k in h.lower()..=h.upper() {
+            let c = h.cdf(k, &t);
+            let s = h.sf(k + 1, &t);
+            assert!((c + s - 1.0).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mean_matches_formula() {
+        let h = Hypergeometric::new(1000, 500, 100).unwrap();
+        assert!((h.mean() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_distributions() {
+        let t = logs(10);
+        // sample everything: k must equal n_c
+        let h = Hypergeometric::new(10, 4, 10).unwrap();
+        assert_eq!(h.lower(), 4);
+        assert_eq!(h.upper(), 4);
+        assert!((h.pmf(4, &t) - 1.0).abs() < 1e-12);
+        // empty sample: k must be 0
+        let h = Hypergeometric::new(10, 4, 0).unwrap();
+        assert_eq!(h.lower(), 0);
+        assert_eq!(h.upper(), 0);
+        assert!((h.pmf(0, &t) - 1.0).abs() < 1e-12);
+    }
+}

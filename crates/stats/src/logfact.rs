@@ -1,0 +1,184 @@
+//! Log-factorial table (§4.2.3 of the paper, buffer `Bf`).
+//!
+//! The hypergeometric probabilities needed by Fisher's exact test are ratios
+//! of factorials of integers up to `n` (the number of records).  For the
+//! dataset sizes used in the paper (tens of thousands of records) `n!` wildly
+//! exceeds the range of `f64`, so — exactly as the paper describes — we store
+//! `ln k!` for `k = 0..=n` in a flat buffer that is filled incrementally in
+//! `O(n)` time and queried in `O(1)`.
+
+/// A table of `ln k!` for `k = 0..=n_max`.
+///
+/// The table is immutable after construction and cheap to share; the
+/// permutation engine builds one per dataset and reuses it across all
+/// permutations and all rules.
+///
+/// # Examples
+///
+/// ```
+/// use sigrule_stats::LogFactorialTable;
+///
+/// let table = LogFactorialTable::new(10);
+/// assert!((table.ln_factorial(0) - 0.0).abs() < 1e-12);
+/// assert!((table.ln_factorial(5) - (120.0_f64).ln()).abs() < 1e-9);
+/// // ln C(5, 2) = ln 10
+/// assert!((table.ln_binomial(5, 2) - (10.0_f64).ln()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogFactorialTable {
+    /// `table[k] == ln(k!)`.
+    table: Vec<f64>,
+}
+
+impl LogFactorialTable {
+    /// Builds the table for all integers `0..=n_max`.
+    ///
+    /// Takes `O(n_max)` time and `8 * (n_max + 1)` bytes of memory — for the
+    /// paper's largest dataset (adult, 32 561 records) that is ~254 KiB.
+    pub fn new(n_max: usize) -> Self {
+        let mut table = Vec::with_capacity(n_max + 1);
+        table.push(0.0);
+        let mut acc = 0.0_f64;
+        for k in 1..=n_max {
+            acc += (k as f64).ln();
+            table.push(acc);
+        }
+        LogFactorialTable { table }
+    }
+
+    /// Largest `k` for which `ln k!` is stored.
+    pub fn n_max(&self) -> usize {
+        self.table.len() - 1
+    }
+
+    /// Returns `ln(k!)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n_max` — the caller sized the table from the dataset, so
+    /// a larger argument is a logic error.
+    #[inline]
+    pub fn ln_factorial(&self, k: usize) -> f64 {
+        self.table[k]
+    }
+
+    /// Returns `ln C(n, k)`, the log binomial coefficient.
+    ///
+    /// Returns negative infinity when `k > n`, matching the convention
+    /// `C(n, k) = 0` in that case.
+    #[inline]
+    pub fn ln_binomial(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_factorial(n) - self.ln_factorial(k) - self.ln_factorial(n - k)
+    }
+
+    /// Returns `C(n, k)` as a float (may overflow to `inf` for huge inputs,
+    /// in which case callers should stay in log space).
+    #[inline]
+    pub fn binomial(&self, n: usize, k: usize) -> f64 {
+        self.ln_binomial(n, k).exp()
+    }
+
+    /// Grows the table (if needed) so that `ln k!` is available up to
+    /// `new_n_max`.
+    pub fn grow_to(&mut self, new_n_max: usize) {
+        let current = self.n_max();
+        if new_n_max <= current {
+            return;
+        }
+        self.table.reserve(new_n_max - current);
+        let mut acc = self.table[current];
+        for k in (current + 1)..=new_n_max {
+            acc += (k as f64).ln();
+            self.table.push(acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_ln_factorial(k: usize) -> f64 {
+        (1..=k).map(|i| (i as f64).ln()).sum()
+    }
+
+    #[test]
+    fn small_factorials_are_exact() {
+        let t = LogFactorialTable::new(20);
+        let expected = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (k, e) in expected.iter().enumerate() {
+            assert!(
+                (t.ln_factorial(k).exp() - e).abs() / e < 1e-10,
+                "k={k}: got {}, want {e}",
+                t.ln_factorial(k).exp()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_sum_for_large_k() {
+        let t = LogFactorialTable::new(5000);
+        for &k in &[100usize, 999, 2500, 5000] {
+            let naive = naive_ln_factorial(k);
+            assert!((t.ln_factorial(k) - naive).abs() < 1e-6, "k={k}");
+        }
+    }
+
+    #[test]
+    fn binomial_coefficients() {
+        let t = LogFactorialTable::new(60);
+        assert!((t.binomial(5, 2) - 10.0).abs() < 1e-9);
+        assert!((t.binomial(10, 5) - 252.0).abs() < 1e-6);
+        assert!((t.binomial(52, 5) - 2_598_960.0).abs() < 1.0);
+        assert_eq!(t.binomial(4, 7), 0.0);
+        assert!((t.binomial(7, 0) - 1.0).abs() < 1e-12);
+        assert!((t.binomial(7, 7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        let t = LogFactorialTable::new(200);
+        for n in [10usize, 50, 120, 200] {
+            for k in 0..=n {
+                let a = t.ln_binomial(n, k);
+                let b = t.ln_binomial(n, n - k);
+                assert!((a - b).abs() < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn grow_extends_table() {
+        let mut t = LogFactorialTable::new(10);
+        assert_eq!(t.n_max(), 10);
+        t.grow_to(100);
+        assert_eq!(t.n_max(), 100);
+        assert!((t.ln_factorial(100) - naive_ln_factorial(100)).abs() < 1e-7);
+        // growing to a smaller size is a no-op
+        t.grow_to(5);
+        assert_eq!(t.n_max(), 100);
+    }
+
+    #[test]
+    fn n_max_zero_is_valid() {
+        let t = LogFactorialTable::new(0);
+        assert_eq!(t.n_max(), 0);
+        assert_eq!(t.ln_factorial(0), 0.0);
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        // C(n, k) = C(n-1, k-1) + C(n-1, k)
+        let t = LogFactorialTable::new(40);
+        for n in 2..=40usize {
+            for k in 1..n {
+                let lhs = t.binomial(n, k);
+                let rhs = t.binomial(n - 1, k - 1) + t.binomial(n - 1, k);
+                assert!((lhs - rhs).abs() / lhs < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+}

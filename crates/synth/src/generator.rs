@@ -1,0 +1,428 @@
+//! The synthetic dataset generator (§5.1 of the paper).
+//!
+//! Datasets are generated in matrix form: rows are records, columns are
+//! categorical attributes.  Embedded rules are planted first; every cell not
+//! covered by an embedded rule is filled uniformly at random, and class labels
+//! not constrained by a rule are assigned so the classes stay (approximately)
+//! evenly distributed.
+
+use crate::params::SyntheticParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sigrule_data::{ClassId, Dataset, Pattern, Record, Schema};
+
+/// A ground-truth rule embedded into a synthetic dataset, with both its
+/// target and realised statistics.
+///
+/// The realised coverage can exceed the target because randomly filled cells
+/// can accidentally match the pattern; the evaluation crate always works with
+/// the realised values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedRule {
+    /// The rule's left-hand side, as item ids of the generated schema.
+    pub pattern: Pattern,
+    /// The rule's class label.
+    pub class: ClassId,
+    /// Coverage requested from the generator.
+    pub target_coverage: usize,
+    /// Confidence requested from the generator.
+    pub target_confidence: f64,
+    /// Coverage actually realised in the dataset (`supp(X)`).
+    pub coverage: usize,
+    /// Confidence actually realised in the dataset.
+    pub confidence: f64,
+}
+
+/// Internal specification of a rule before it is planted.
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    /// (attribute, value) pairs.
+    cells: Vec<(usize, usize)>,
+    class: ClassId,
+    coverage: usize,
+    confidence: f64,
+}
+
+/// The paper's paired construction for a fair holdout comparison: two
+/// independently generated halves with the same rules embedded at half
+/// coverage, concatenated into a whole.
+#[derive(Debug, Clone)]
+pub struct PairedSynthetic {
+    /// The concatenated dataset (exploratory records first).
+    pub whole: Dataset,
+    /// The first half, used as the holdout's exploratory dataset.
+    pub exploratory: Dataset,
+    /// The second half, used as the holdout's evaluation dataset.
+    pub evaluation: Dataset,
+    /// The embedded rules with statistics realised on the whole dataset.
+    pub rules: Vec<EmbeddedRule>,
+}
+
+/// Synthetic dataset generator configured by [`SyntheticParams`].
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    params: SyntheticParams,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator after validating the parameters.
+    pub fn new(params: SyntheticParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(SyntheticGenerator { params })
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &SyntheticParams {
+        &self.params
+    }
+
+    /// Generates one dataset and its embedded ground-truth rules.
+    pub fn generate(&self, seed: u64) -> (Dataset, Vec<EmbeddedRule>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = self.sample_schema(&mut rng);
+        let specs = self.sample_rule_specs(&schema, &mut rng, 1);
+        let dataset = self.fill_dataset(&schema, &specs, self.params.n_records, &mut rng);
+        let rules = realize_rules(&dataset, &schema, &specs);
+        (dataset, rules)
+    }
+
+    /// Generates the paired construction used by the holdout experiments: two
+    /// halves of `N/2` records each with the same rules embedded at half
+    /// coverage, concatenated into the whole dataset.
+    pub fn generate_paired(&self, seed: u64) -> PairedSynthetic {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = self.sample_schema(&mut rng);
+        // Rule specs at *half* coverage; the same specs are planted in both
+        // halves so the concatenated dataset carries them at full coverage.
+        let specs = self.sample_rule_specs(&schema, &mut rng, 2);
+        let half = self.params.n_records / 2;
+        let exploratory = self.fill_dataset(&schema, &specs, half, &mut rng);
+        let evaluation =
+            self.fill_dataset(&schema, &specs, self.params.n_records - half, &mut rng);
+        let whole = exploratory
+            .concat(&evaluation)
+            .expect("halves share the same schema");
+        // Report realised statistics on the whole dataset, with the target
+        // coverage scaled back up to the full value.
+        let mut rules = realize_rules(&whole, &schema, &specs);
+        for r in &mut rules {
+            r.target_coverage *= 2;
+        }
+        PairedSynthetic {
+            whole,
+            exploratory,
+            evaluation,
+            rules,
+        }
+    }
+
+    /// Samples the schema: `A` attributes whose cardinalities are uniform in
+    /// `[min_v, max_v]`.
+    fn sample_schema(&self, rng: &mut StdRng) -> Schema {
+        let cardinalities: Vec<usize> = (0..self.params.n_attributes)
+            .map(|_| rng.gen_range(self.params.min_values..=self.params.max_values))
+            .collect();
+        Schema::synthetic(&cardinalities, self.params.n_classes)
+            .expect("validated parameters always produce a valid schema")
+    }
+
+    /// Samples the `Nr` rule specifications.  `coverage_divisor` is 1 for a
+    /// plain dataset and 2 for the paired construction.
+    fn sample_rule_specs(
+        &self,
+        schema: &Schema,
+        rng: &mut StdRng,
+        coverage_divisor: usize,
+    ) -> Vec<RuleSpec> {
+        let mut specs = Vec::with_capacity(self.params.n_rules);
+        for _ in 0..self.params.n_rules {
+            let max_len = self.params.max_length.min(self.params.n_attributes);
+            let min_len = self.params.min_length.min(max_len);
+            let length = rng.gen_range(min_len..=max_len);
+            let mut attrs: Vec<usize> = (0..self.params.n_attributes).collect();
+            attrs.shuffle(rng);
+            attrs.truncate(length);
+            attrs.sort_unstable();
+            let cells: Vec<(usize, usize)> = attrs
+                .into_iter()
+                .map(|a| {
+                    let card = schema.attributes()[a].cardinality();
+                    (a, rng.gen_range(0..card))
+                })
+                .collect();
+            let coverage =
+                rng.gen_range(self.params.min_coverage..=self.params.max_coverage) / coverage_divisor;
+            let confidence = if self.params.max_confidence > self.params.min_confidence {
+                rng.gen_range(self.params.min_confidence..=self.params.max_confidence)
+            } else {
+                self.params.min_confidence
+            };
+            specs.push(RuleSpec {
+                cells,
+                class: rng.gen_range(0..self.params.n_classes) as ClassId,
+                coverage: coverage.max(1),
+                confidence,
+            });
+        }
+        specs
+    }
+
+    /// Fills a dataset of `n_records` records: plants the rule specs, fills
+    /// the remaining cells uniformly and balances the remaining class labels.
+    fn fill_dataset(
+        &self,
+        schema: &Schema,
+        specs: &[RuleSpec],
+        n_records: usize,
+        rng: &mut StdRng,
+    ) -> Dataset {
+        let n_attributes = self.params.n_attributes;
+        let n_classes = self.params.n_classes;
+        let mut cells: Vec<Vec<Option<usize>>> = vec![vec![None; n_attributes]; n_records];
+        let mut labels: Vec<Option<ClassId>> = vec![None; n_records];
+
+        for spec in specs {
+            // Candidate records, in decreasing order of preference: first
+            // records untouched by earlier rules (no attribute of this rule
+            // set, no label), then records whose cells are free but whose
+            // label was already fixed, and finally any remaining records
+            // (their conflicting cells are overwritten).  Rules may therefore
+            // overlap when their total coverage exceeds N, as in the paper's
+            // D2kA20R5 dataset.
+            let mut untouched = Vec::new();
+            let mut labelled_only = Vec::new();
+            let mut conflicting = Vec::new();
+            for r in 0..n_records {
+                let cells_free = spec.cells.iter().all(|&(a, _)| cells[r][a].is_none());
+                match (cells_free, labels[r].is_none()) {
+                    (true, true) => untouched.push(r),
+                    (true, false) => labelled_only.push(r),
+                    _ => conflicting.push(r),
+                }
+            }
+            untouched.shuffle(rng);
+            labelled_only.shuffle(rng);
+            conflicting.shuffle(rng);
+            let mut candidates = untouched;
+            candidates.extend(labelled_only);
+            candidates.extend(conflicting);
+            candidates.truncate(spec.coverage);
+
+            // Covered records take the rule's class with probability `conf`
+            // (only where the label is still free); the rest take one of the
+            // other classes.
+            for &record in &candidates {
+                for &(a, v) in &spec.cells {
+                    cells[record][a] = Some(v);
+                }
+                if labels[record].is_none() {
+                    if rng.gen::<f64>() < spec.confidence {
+                        labels[record] = Some(spec.class);
+                    } else {
+                        let mut other = rng.gen_range(0..n_classes.saturating_sub(1)) as ClassId;
+                        if other >= spec.class {
+                            other += 1;
+                        }
+                        labels[record] = Some(other.min(n_classes as ClassId - 1));
+                    }
+                }
+            }
+        }
+
+        // Balance the remaining labels so the overall class distribution is
+        // (approximately) even, as the paper prescribes.
+        let mut assigned = vec![0usize; n_classes];
+        for label in labels.iter().flatten() {
+            assigned[*label as usize] += 1;
+        }
+        let per_class = n_records / n_classes;
+        let mut pool: Vec<ClassId> = Vec::new();
+        for class in 0..n_classes {
+            let quota = per_class.saturating_sub(assigned[class]);
+            pool.extend(std::iter::repeat(class as ClassId).take(quota));
+        }
+        let unassigned: Vec<usize> = (0..n_records).filter(|&r| labels[r].is_none()).collect();
+        while pool.len() < unassigned.len() {
+            pool.push(rng.gen_range(0..n_classes) as ClassId);
+        }
+        pool.shuffle(rng);
+        for (&record, &class) in unassigned.iter().zip(pool.iter()) {
+            labels[record] = Some(class);
+        }
+
+        // Fill the remaining cells uniformly at random and assemble records.
+        let mut records = Vec::with_capacity(n_records);
+        for r in 0..n_records {
+            let mut items = Vec::with_capacity(n_attributes);
+            for a in 0..n_attributes {
+                let card = schema.attributes()[a].cardinality();
+                let value = cells[r][a].unwrap_or_else(|| rng.gen_range(0..card));
+                items.push(schema.item_id(a, value).expect("value within cardinality"));
+            }
+            records.push(Record::new(items, labels[r].expect("all labels assigned")));
+        }
+        Dataset::new_unchecked(schema.clone(), records)
+    }
+}
+
+/// Computes the realised coverage and confidence of every rule spec on the
+/// finished dataset.
+fn realize_rules(dataset: &Dataset, schema: &Schema, specs: &[RuleSpec]) -> Vec<EmbeddedRule> {
+    specs
+        .iter()
+        .map(|spec| {
+            let pattern: Pattern = spec
+                .cells
+                .iter()
+                .map(|&(a, v)| schema.item_id(a, v).expect("valid cell"))
+                .collect();
+            let coverage = dataset.support(&pattern);
+            let hits = dataset.rule_support(&pattern, spec.class);
+            let confidence = if coverage == 0 {
+                0.0
+            } else {
+                hits as f64 / coverage as f64
+            };
+            EmbeddedRule {
+                pattern,
+                class: spec.class,
+                target_coverage: spec.coverage,
+                target_confidence: spec.confidence,
+                coverage,
+                confidence,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> SyntheticParams {
+        SyntheticParams::default()
+            .with_records(400)
+            .with_attributes(12)
+    }
+
+    #[test]
+    fn random_dataset_has_requested_shape_and_balanced_classes() {
+        let gen = SyntheticGenerator::new(small_params()).unwrap();
+        let (d, rules) = gen.generate(7);
+        assert!(rules.is_empty());
+        assert_eq!(d.n_records(), 400);
+        assert_eq!(d.schema().n_attributes(), 12);
+        let counts = d.class_counts();
+        assert!((counts.count(0) as i64 - 200).abs() <= 1, "{:?}", counts.as_slice());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let gen = SyntheticGenerator::new(small_params()).unwrap();
+        let (a, _) = gen.generate(42);
+        let (b, _) = gen.generate(42);
+        let (c, _) = gen.generate(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attribute_cardinalities_respect_bounds() {
+        let gen = SyntheticGenerator::new(small_params()).unwrap();
+        let (d, _) = gen.generate(3);
+        for attr in d.schema().attributes() {
+            assert!((2..=8).contains(&attr.cardinality()));
+        }
+    }
+
+    #[test]
+    fn embedded_rule_hits_target_coverage_and_confidence() {
+        let params = small_params()
+            .with_rules(1)
+            .with_coverage(80, 80)
+            .with_confidence(0.8, 0.8);
+        let gen = SyntheticGenerator::new(params).unwrap();
+        let (d, rules) = gen.generate(11);
+        assert_eq!(rules.len(), 1);
+        let rule = &rules[0];
+        assert_eq!(rule.target_coverage, 80);
+        // Realised coverage is at least the planted coverage (random fills can
+        // only add matching records) and should stay in the same ballpark.
+        assert!(rule.coverage >= 78, "coverage {}", rule.coverage);
+        assert!(rule.coverage <= 160, "coverage {}", rule.coverage);
+        // Realised confidence close to the requested one.
+        assert!(
+            (rule.confidence - 0.8).abs() < 0.15,
+            "confidence {}",
+            rule.confidence
+        );
+        // The pattern really is predictive in the data: its confidence is far
+        // from the ~0.5 base rate.
+        assert!(d.rule_support(&rule.pattern, rule.class) * 2 > d.support(&rule.pattern));
+    }
+
+    #[test]
+    fn multiple_rules_are_all_planted() {
+        let params = SyntheticParams::d2k_a20_r5();
+        let gen = SyntheticGenerator::new(params).unwrap();
+        let (_, rules) = gen.generate(5);
+        assert_eq!(rules.len(), 5);
+        for rule in &rules {
+            assert!(rule.coverage > 0);
+            assert!(rule.pattern.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn rule_lengths_respect_bounds() {
+        let params = small_params()
+            .with_rules(3)
+            .with_coverage(40, 60)
+            .with_confidence(0.6, 0.9);
+        let gen = SyntheticGenerator::new(params.clone()).unwrap();
+        let (_, rules) = gen.generate(17);
+        for rule in rules {
+            assert!(rule.pattern.len() >= params.min_length);
+            assert!(rule.pattern.len() <= params.max_length.min(params.n_attributes));
+        }
+    }
+
+    #[test]
+    fn paired_generation_halves_and_concatenates() {
+        let params = small_params()
+            .with_rules(1)
+            .with_coverage(100, 100)
+            .with_confidence(0.8, 0.8);
+        let gen = SyntheticGenerator::new(params).unwrap();
+        let paired = gen.generate_paired(23);
+        assert_eq!(paired.exploratory.n_records(), 200);
+        assert_eq!(paired.evaluation.n_records(), 200);
+        assert_eq!(paired.whole.n_records(), 400);
+        assert_eq!(paired.rules.len(), 1);
+        let rule = &paired.rules[0];
+        assert_eq!(rule.target_coverage, 100);
+        // The rule must be present in both halves at roughly half coverage.
+        let cov_explore = paired.exploratory.support(&rule.pattern);
+        let cov_eval = paired.evaluation.support(&rule.pattern);
+        assert!(cov_explore >= 40, "exploratory coverage {cov_explore}");
+        assert!(cov_eval >= 40, "evaluation coverage {cov_eval}");
+        assert_eq!(
+            paired.whole.support(&rule.pattern),
+            cov_explore + cov_eval,
+            "whole = concat of the halves"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(SyntheticGenerator::new(SyntheticParams::default().with_records(0)).is_err());
+    }
+
+    #[test]
+    fn generator_exposes_params() {
+        let p = small_params();
+        let gen = SyntheticGenerator::new(p.clone()).unwrap();
+        assert_eq!(gen.params(), &p);
+    }
+}

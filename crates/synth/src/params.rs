@@ -1,0 +1,251 @@
+//! The synthetic data generator's parameters (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic dataset generator, matching Table 1 of the
+/// paper one-for-one.
+///
+/// | Paper | Field |
+/// |-------|-------|
+/// | `N`               | `n_records` |
+/// | `#C`              | `n_classes` |
+/// | `A`               | `n_attributes` |
+/// | `min_v`, `max_v`  | `min_values`, `max_values` |
+/// | `Nr`              | `n_rules` |
+/// | `min_l`, `max_l`  | `min_length`, `max_length` |
+/// | `min_s`, `max_s`  | `min_coverage`, `max_coverage` |
+/// | `min_c`, `max_c`  | `min_confidence`, `max_confidence` |
+///
+/// The defaults fix the values the paper fixes for all experiments
+/// (`#C = 2`, `min_v = 2`, `max_v = 8`, `min_l = 2`, `max_l = 16`) and leave
+/// the rest at the settings of the paper's §5.4 random-dataset experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticParams {
+    /// Number of records (`N`).
+    pub n_records: usize,
+    /// Number of classes (`#C`); records are evenly distributed across them.
+    pub n_classes: usize,
+    /// Number of attributes (`A`).
+    pub n_attributes: usize,
+    /// Minimum number of values taken by an attribute (`min_v`).
+    pub min_values: usize,
+    /// Maximum number of values taken by an attribute (`max_v`).
+    pub max_values: usize,
+    /// Number of rules embedded (`Nr`).
+    pub n_rules: usize,
+    /// Minimum length of embedded rules (`min_l`).
+    pub min_length: usize,
+    /// Maximum length of embedded rules (`max_l`).
+    pub max_length: usize,
+    /// Minimum coverage of embedded rules (`min_s`).
+    pub min_coverage: usize,
+    /// Maximum coverage of embedded rules (`max_s`).
+    pub max_coverage: usize,
+    /// Minimum confidence of embedded rules (`min_c`).
+    pub min_confidence: f64,
+    /// Maximum confidence of embedded rules (`max_c`).
+    pub max_confidence: f64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            n_records: 2000,
+            n_classes: 2,
+            n_attributes: 40,
+            min_values: 2,
+            max_values: 8,
+            n_rules: 0,
+            min_length: 2,
+            max_length: 16,
+            min_coverage: 400,
+            max_coverage: 400,
+            min_confidence: 0.6,
+            max_confidence: 0.6,
+        }
+    }
+}
+
+impl SyntheticParams {
+    /// The paper's §5.4 random-dataset setting: `N = 2000`, `A = 40`,
+    /// `Nr = 0`.
+    pub fn random_2k_a40() -> Self {
+        SyntheticParams {
+            n_rules: 0,
+            ..SyntheticParams::default()
+        }
+    }
+
+    /// The paper's §5.5 one-embedded-rule setting: `N = 2000`, `A = 40`,
+    /// `Nr = 1`, coverage fixed at 400 and the given confidence.
+    pub fn one_rule_2k_a40(confidence: f64) -> Self {
+        SyntheticParams {
+            n_rules: 1,
+            min_coverage: 400,
+            max_coverage: 400,
+            min_confidence: confidence,
+            max_confidence: confidence,
+            ..SyntheticParams::default()
+        }
+    }
+
+    /// The paper's `D8hA20R0` running-time dataset: `N = 800`, `A = 20`,
+    /// `Nr = 0`.
+    pub fn d8h_a20_r0() -> Self {
+        SyntheticParams {
+            n_records: 800,
+            n_attributes: 20,
+            n_rules: 0,
+            ..SyntheticParams::default()
+        }
+    }
+
+    /// The paper's `D2kA20R5` running-time dataset: `N = 2000`, `A = 20`,
+    /// `Nr = 5`, coverage in `[400, 600]`, confidence in `[0.6, 0.8]`.
+    pub fn d2k_a20_r5() -> Self {
+        SyntheticParams {
+            n_records: 2000,
+            n_attributes: 20,
+            n_rules: 5,
+            min_coverage: 400,
+            max_coverage: 600,
+            min_confidence: 0.6,
+            max_confidence: 0.8,
+            ..SyntheticParams::default()
+        }
+    }
+
+    /// Builder-style override of the number of records.
+    pub fn with_records(mut self, n: usize) -> Self {
+        self.n_records = n;
+        self
+    }
+
+    /// Builder-style override of the number of attributes.
+    pub fn with_attributes(mut self, a: usize) -> Self {
+        self.n_attributes = a;
+        self
+    }
+
+    /// Builder-style override of the number of embedded rules.
+    pub fn with_rules(mut self, nr: usize) -> Self {
+        self.n_rules = nr;
+        self
+    }
+
+    /// Builder-style override of the embedded-rule coverage range.
+    pub fn with_coverage(mut self, min_s: usize, max_s: usize) -> Self {
+        self.min_coverage = min_s;
+        self.max_coverage = max_s;
+        self
+    }
+
+    /// Builder-style override of the embedded-rule confidence range.
+    pub fn with_confidence(mut self, min_c: f64, max_c: f64) -> Self {
+        self.min_confidence = min_c;
+        self.max_confidence = max_c;
+        self
+    }
+
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_records == 0 {
+            return Err("n_records must be positive".into());
+        }
+        if self.n_classes < 2 {
+            return Err("n_classes must be at least 2".into());
+        }
+        if self.n_attributes == 0 {
+            return Err("n_attributes must be positive".into());
+        }
+        if self.min_values < 2 || self.max_values < self.min_values {
+            return Err("need 2 <= min_values <= max_values".into());
+        }
+        if self.n_rules > 0 {
+            if self.min_length < 1 || self.max_length < self.min_length {
+                return Err("need 1 <= min_length <= max_length".into());
+            }
+            if self.min_coverage == 0 || self.max_coverage < self.min_coverage {
+                return Err("need 1 <= min_coverage <= max_coverage".into());
+            }
+            if self.max_coverage > self.n_records {
+                return Err("max_coverage cannot exceed n_records".into());
+            }
+            if !(0.0..=1.0).contains(&self.min_confidence)
+                || !(0.0..=1.0).contains(&self.max_confidence)
+                || self.max_confidence < self.min_confidence
+            {
+                return Err("need 0 <= min_confidence <= max_confidence <= 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_fixed_settings() {
+        let p = SyntheticParams::default();
+        assert_eq!(p.n_classes, 2);
+        assert_eq!(p.min_values, 2);
+        assert_eq!(p.max_values, 8);
+        assert_eq!(p.min_length, 2);
+        assert_eq!(p.max_length, 16);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn named_presets() {
+        assert_eq!(SyntheticParams::random_2k_a40().n_rules, 0);
+        let one = SyntheticParams::one_rule_2k_a40(0.65);
+        assert_eq!(one.n_rules, 1);
+        assert_eq!(one.min_coverage, 400);
+        assert!((one.min_confidence - 0.65).abs() < 1e-12);
+        let d8h = SyntheticParams::d8h_a20_r0();
+        assert_eq!((d8h.n_records, d8h.n_attributes, d8h.n_rules), (800, 20, 0));
+        let d2k = SyntheticParams::d2k_a20_r5();
+        assert_eq!((d2k.n_records, d2k.n_attributes, d2k.n_rules), (2000, 20, 5));
+        assert_eq!((d2k.min_coverage, d2k.max_coverage), (400, 600));
+        assert!(d2k.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = SyntheticParams::default()
+            .with_records(500)
+            .with_attributes(10)
+            .with_rules(2)
+            .with_coverage(50, 100)
+            .with_confidence(0.7, 0.9);
+        assert_eq!(p.n_records, 500);
+        assert_eq!(p.n_attributes, 10);
+        assert_eq!(p.n_rules, 2);
+        assert_eq!((p.min_coverage, p.max_coverage), (50, 100));
+        assert!((p.max_confidence - 0.9).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(SyntheticParams::default().with_records(0).validate().is_err());
+        let mut p = SyntheticParams::default();
+        p.n_classes = 1;
+        assert!(p.validate().is_err());
+        let mut p = SyntheticParams::default();
+        p.max_values = 1;
+        assert!(p.validate().is_err());
+        let p = SyntheticParams::default().with_rules(1).with_coverage(500, 100);
+        assert!(p.validate().is_err());
+        let p = SyntheticParams::default()
+            .with_rules(1)
+            .with_coverage(100, 5000);
+        assert!(p.validate().is_err());
+        let p = SyntheticParams::default()
+            .with_rules(1)
+            .with_confidence(0.9, 0.5);
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Market-basket style screening with a ground-truth check.
+//!
+//! A retailer wants combinations of customer attributes that predict a
+//! response to a campaign.  We *know* the ground truth here because we plant
+//! it: three real rules in a sea of noise attributes.  The example then shows
+//! the paper's headline phenomenon — without correction most "discoveries"
+//! are false, while the corrections keep essentially only the planted
+//! structure — and prints precision/recall against the ground truth.
+//!
+//! Run with: `cargo run --example market_basket`
+
+use sigrule_repro::prelude::*;
+
+fn main() {
+    let params = SyntheticParams::default()
+        .with_records(4000)
+        .with_attributes(50)
+        .with_rules(3)
+        .with_coverage(400, 700)
+        .with_confidence(0.65, 0.8);
+    let generator = SyntheticGenerator::new(params).expect("valid parameters");
+    let paired = generator.generate_paired(7);
+    let data = PreparedDataset::from_paired(paired);
+
+    println!("ground truth:");
+    for rule in &data.embedded {
+        println!(
+            "  pattern of {} items, coverage {}, confidence {:.2} => class {}",
+            rule.pattern.len(),
+            rule.coverage,
+            rule.confidence,
+            rule.class
+        );
+    }
+
+    let runner = MethodRunner::new(200);
+    let min_sup = 250;
+    let methods = [
+        Method::NoCorrection,
+        Method::Bonferroni,
+        Method::BenjaminiHochberg,
+        Method::PermFwer,
+        Method::PermFdr,
+        Method::HoldoutBc,
+        Method::RandomHoldoutBh,
+    ];
+    println!("\n{:<14} {:>12} {:>16} {:>8} {:>8}", "method", "#significant", "#false positives", "FDR", "power");
+    let results = runner.run_all(&methods, &data, min_sup);
+    for (method, result) in &results {
+        let m = evaluate(&data, result);
+        println!(
+            "{:<14} {:>12} {:>16} {:>8.3} {:>8.2}",
+            method.label(),
+            m.n_significant,
+            m.n_false_positives,
+            m.fdr(),
+            m.power()
+        );
+    }
+
+    println!(
+        "\nReading the table: the uncorrected run reports hundreds of rules, most of\n\
+         which are false; the corrected runs keep the planted rules (power close to 1)\n\
+         while the number of false positives collapses — the paper's Figures 8 and 10."
+    );
+}

@@ -1,0 +1,58 @@
+//! The cost of permutation testing, and what the paper's optimisations buy.
+//!
+//! Re-scoring every rule on a thousand shuffled copies of the data is the
+//! most statistically powerful of the three approaches but also by far the
+//! most expensive (§4.2, Figures 4 and 5).  This example times the four
+//! optimisation levels on the paper's `D2kA20R5` synthetic dataset and prints
+//! the speedup factors.
+//!
+//! Run with: `cargo run --release --example permutation_speedup`
+
+use sigrule_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
+        .expect("valid parameters")
+        .generate(1);
+    let min_sup = 100;
+    let n_permutations = 200;
+
+    let levels: [(&str, bool, BufferStrategy); 4] = [
+        ("mine-once only (no further optimisation)", false, BufferStrategy::None),
+        ("+ dynamic p-value buffer", false, BufferStrategy::DynamicOnly),
+        ("+ Diffsets", true, BufferStrategy::DynamicOnly),
+        ("+ 16 MB static buffer", true, BufferStrategy::StaticAndDynamic),
+    ];
+
+    println!(
+        "dataset D2kA20R5: {} records, {} attributes; min_sup={min_sup}, N={n_permutations} permutations\n",
+        dataset.n_records(),
+        dataset.schema().n_attributes()
+    );
+
+    let mut baseline = None;
+    for (label, use_diffsets, buffer) in levels {
+        let start = Instant::now();
+        let mined = mine_rules(
+            &dataset,
+            &RuleMiningConfig::new(min_sup).with_diffsets(use_diffsets),
+        );
+        let result = PermutationCorrection::new(n_permutations)
+            .with_buffer(buffer)
+            .control_fwer(&mined, 0.05);
+        let elapsed = start.elapsed().as_secs_f64();
+        let baseline_time = *baseline.get_or_insert(elapsed);
+        println!(
+            "{label:<45} {elapsed:>8.3}s  (x{:>5.1} speedup)  {} significant rules",
+            baseline_time / elapsed,
+            result.n_significant()
+        );
+    }
+
+    println!(
+        "\nThe exact factors depend on the machine, but the ordering and the order of\n\
+         magnitude match Figure 4: p-value buffering alone is worth ~10x, Diffsets add\n\
+         several more, and the static buffer mainly helps when many rules share coverages."
+    );
+}

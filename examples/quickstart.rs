@@ -1,0 +1,57 @@
+//! Quickstart: mine statistically significant class association rules from a
+//! synthetic dataset and compare what the three correction approaches report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sigrule_repro::prelude::*;
+
+fn main() {
+    // 1. Generate a dataset with two planted rules among 30 noise attributes.
+    //    In a real application you would load your own data instead, e.g.
+    //    `sigrule_data::loader::load_csv_file("my.csv", &Default::default())`.
+    let params = SyntheticParams::default()
+        .with_records(2000)
+        .with_attributes(30)
+        .with_rules(2)
+        .with_coverage(300, 400)
+        .with_confidence(0.75, 0.85);
+    let generator = SyntheticGenerator::new(params).expect("valid parameters");
+    let paired = generator.generate_paired(42);
+    println!("dataset: {} records, {} attributes, {} embedded rules\n",
+        paired.whole.n_records(),
+        paired.whole.schema().n_attributes(),
+        paired.rules.len());
+
+    // 2. Mine class association rules (closed patterns only, min_sup = 150)
+    //    and attach two-tailed Fisher exact p-values.
+    let mined = mine_rules(&paired.whole, &RuleMiningConfig::new(150));
+    println!("mined {} rules ({} hypothesis tests)\n", mined.rules().len(), mined.n_tests());
+
+    // 3. Compare the approaches at a 5% error level.
+    let alpha = 0.05;
+    let uncorrected = no_correction(&mined, alpha);
+    let bonferroni = direct::bonferroni(&mined, alpha);
+    let bh = direct::benjamini_hochberg(&mined, alpha);
+    let permutation = PermutationCorrection::new(200).control_fwer(&mined, alpha);
+    let holdout = holdout_from_parts(
+        &paired.exploratory,
+        &paired.evaluation,
+        &RuleMiningConfig::new(75),
+        ErrorMetric::Fwer,
+        alpha,
+        "HD",
+    );
+
+    println!("significant rules at alpha = {alpha}:");
+    for result in [&uncorrected, &bonferroni, &bh, &permutation, &holdout] {
+        println!("  {:<14} {:>6}", result.method, result.n_significant());
+    }
+
+    // 4. Show the strongest discoveries of the permutation approach.
+    println!("\ntop rules (permutation-based FWER control):");
+    let mut significant: Vec<&ClassRule> = permutation.significant_rules();
+    significant.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).unwrap());
+    for rule in significant.iter().take(5) {
+        println!("  {}", rule.describe(mined.schema()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Umbrella crate for the reproduction of *Controlling False Positives in
+//! Association Rule Mining* (Liu, Zhang, Wong, PVLDB 5(2), 2011).
+//!
+//! This crate only re-exports the workspace members so the examples and the
+//! cross-crate integration tests have a single dependency to pull in.  The
+//! functionality lives in:
+//!
+//! * [`stats`] — Fisher's exact test, multiple-testing corrections, p-value
+//!   buffering;
+//! * [`data`] — datasets, vertical layouts, discretization, UCI emulators;
+//! * [`mining`] — Apriori, Eclat/dEclat, FP-growth, closed patterns;
+//! * [`synth`] — the Table 1 synthetic data generator;
+//! * [`core`] — class association rules and the three correction approaches;
+//! * [`eval`] — the paper's evaluation methodology and every figure/table.
+
+#![deny(missing_docs)]
+
+pub use sigrule as core;
+pub use sigrule_data as data;
+pub use sigrule_eval as eval;
+pub use sigrule_mining as mining;
+pub use sigrule_stats as stats;
+pub use sigrule_synth as synth;
+
+/// Frequently used items, for `use sigrule_repro::prelude::*`.
+pub mod prelude {
+    pub use sigrule::correction::holdout::{holdout_from_parts, random_holdout};
+    pub use sigrule::correction::permutation::{BufferStrategy, PermutationCorrection};
+    pub use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
+    pub use sigrule::{mine_rules, ClassRule, MinedRuleSet, RuleMiningConfig};
+    pub use sigrule_data::{Dataset, Pattern, Record, Schema};
+    pub use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
+    pub use sigrule_stats::{FisherTest, RuleCounts, Tail};
+    pub use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_importable() {
+        use crate::prelude::*;
+        let params = SyntheticParams::default().with_records(100).with_attributes(5);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(1);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(20));
+        let _ = no_correction(&mined, 0.05);
+    }
+}

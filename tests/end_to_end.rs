@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through mining, correction and evaluation, exercised through the public
+//! API only.
+
+use sigrule_repro::prelude::*;
+
+/// A paired synthetic dataset with one strong embedded rule.
+fn strong_rule_data(seed: u64) -> PreparedDataset {
+    let params = SyntheticParams::default()
+        .with_records(1000)
+        .with_attributes(20)
+        .with_rules(1)
+        .with_coverage(200, 200)
+        .with_confidence(0.85, 0.85);
+    PreparedDataset::from_paired(
+        SyntheticGenerator::new(params)
+            .expect("valid parameters")
+            .generate_paired(seed),
+    )
+}
+
+#[test]
+fn full_pipeline_detects_planted_rule_and_controls_errors() {
+    let data = strong_rule_data(1);
+    let runner = MethodRunner::new(150);
+    let min_sup = 100;
+    let results = runner.run_all(&Method::all(), &data, min_sup);
+    assert_eq!(results.len(), 9);
+
+    for (method, result) in &results {
+        let metrics = sigrule_eval::evaluate(&data, result);
+        // Bookkeeping invariants that must hold for every method.
+        assert_eq!(result.significant.len(), result.rules.len(), "{}", method.label());
+        assert!(metrics.n_false_positives <= metrics.n_significant);
+        assert!(metrics.n_detected <= 1);
+        // The whole-dataset corrections must find a coverage-200 /
+        // confidence-0.85 rule.
+        if matches!(
+            method,
+            Method::NoCorrection | Method::Bonferroni | Method::BenjaminiHochberg | Method::PermFwer | Method::PermFdr
+        ) {
+            assert_eq!(metrics.n_detected, 1, "{} missed the planted rule", method.label());
+        }
+    }
+
+    // The uncorrected baseline reports (weakly) more rules than the methods
+    // that threshold the *raw* p-values at something ≤ α.  (Perm_FDR works on
+    // empirical p-values from a discrete null, so it is not comparable this
+    // way.)
+    let n_uncorrected = results[0].1.n_significant();
+    for (method, result) in &results[1..] {
+        if matches!(
+            method,
+            Method::Bonferroni | Method::BenjaminiHochberg | Method::PermFwer
+        ) {
+            assert!(
+                result.n_significant() <= n_uncorrected,
+                "{} reported more rules than no-correction",
+                method.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn rule_statistics_agree_with_dataset_ground_truth() {
+    let data = strong_rule_data(2);
+    let mined = mine_rules(&data.whole, &RuleMiningConfig::new(100));
+    assert!(mined.rules().len() > 1);
+    let fisher = FisherTest::new(data.whole.n_records());
+    for rule in mined.rules().iter().take(50) {
+        assert_eq!(rule.coverage, data.whole.support(&rule.pattern));
+        assert_eq!(
+            rule.support,
+            data.whole.rule_support(&rule.pattern, rule.class)
+        );
+        let counts = RuleCounts::new(
+            data.whole.n_records(),
+            data.whole.class_counts().count(rule.class),
+            rule.coverage,
+            rule.support,
+        )
+        .unwrap();
+        let expected = fisher.p_value(&counts, Tail::TwoSided);
+        assert!((rule.p_value - expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn csv_loader_feeds_the_same_pipeline() {
+    // Build a small CSV in memory, load it, and run the whole pipeline on it.
+    let mut csv = String::from("age,pressure,outcome\n");
+    for i in 0..200 {
+        let age = 20 + (i * 3) % 60;
+        let pressure = if i % 4 == 0 { "high" } else { "normal" };
+        // outcome correlates with pressure
+        let outcome = if pressure == "high" && i % 8 != 0 { "sick" } else { "healthy" };
+        csv.push_str(&format!("{age},{pressure},{outcome}\n"));
+    }
+    let dataset =
+        sigrule_repro::data::loader::load_csv_str(&csv, &Default::default()).expect("valid CSV");
+    assert_eq!(dataset.n_records(), 200);
+    let mined = mine_rules(&dataset, &RuleMiningConfig::new(20));
+    assert!(!mined.rules().is_empty());
+    let bc = direct::bonferroni(&mined, 0.05);
+    // The planted pressure→outcome association is strong enough to survive
+    // Bonferroni.
+    assert!(bc.n_significant() > 0);
+}
+
+#[test]
+fn permutation_and_direct_adjustment_agree_on_obvious_cases() {
+    let data = strong_rule_data(3);
+    let mined = mine_rules(&data.whole, &RuleMiningConfig::new(100));
+    let bc = direct::bonferroni(&mined, 0.05);
+    let perm = PermutationCorrection::new(150)
+        .with_seed(9)
+        .control_fwer(&mined, 0.05);
+    // Permutation-based FWER control is adaptive: everything Bonferroni
+    // accepts at this coverage/confidence should also pass the permutation
+    // cut-off.
+    for ((rule, &bc_sig), &perm_sig) in mined
+        .rules()
+        .iter()
+        .zip(bc.significant.iter())
+        .zip(perm.significant.iter())
+    {
+        if bc_sig && rule.p_value < 1e-10 {
+            assert!(perm_sig, "rule {:?} passes BC but not permutation", rule.pattern);
+        }
+    }
+}
+
+#[test]
+fn uci_emulators_run_through_the_pipeline() {
+    use sigrule_repro::data::uci::UciDataset;
+    let dataset = UciDataset::German.generate();
+    let mined = mine_rules(&dataset, &RuleMiningConfig::new(80));
+    assert!(mined.n_tests() > 10);
+    let bh = direct::benjamini_hochberg(&mined, 0.05);
+    let none = no_correction(&mined, 0.05);
+    assert!(bh.n_significant() <= none.n_significant());
+}

@@ -1,0 +1,159 @@
+//! Scaled-down checks of the paper's headline claims (§7):
+//!
+//! * numerous spurious rules are generated if no correction is made;
+//! * all three approaches control false positives effectively;
+//! * power ordering: permutation ≥ direct adjustment ≥ holdout;
+//! * the holdout loses power because halving the coverage inflates p-values.
+//!
+//! The full-scale versions of these experiments (100 datasets, 1000
+//! permutations) are run by the `repro_*` binaries; here we use a handful of
+//! replicates so the claims are verified on every `cargo test`.
+
+use sigrule_eval::experiments::one_rule::{self, SweepAxis};
+use sigrule_eval::experiments::ExperimentContext;
+use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
+use sigrule_repro::prelude::*;
+
+fn aggregate(
+    ctx: &ExperimentContext,
+    confidence: f64,
+    min_sup: usize,
+    methods: &[Method],
+) -> Vec<(Method, sigrule_eval::AggregateMetrics)> {
+    let axis = SweepAxis::Confidence {
+        values: vec![confidence],
+        min_sup,
+    };
+    let points = one_rule::run(ctx, &axis, methods);
+    points.into_iter().next().expect("one sweep point").per_method
+}
+
+#[test]
+fn no_correction_floods_with_false_positives_and_corrections_stop_it() {
+    let ctx = ExperimentContext::quick(4, 60);
+    let methods = [Method::NoCorrection, Method::Bonferroni, Method::PermFwer];
+    let results = aggregate(&ctx, 0.65, 150, &methods);
+    let get = |m: Method| results.iter().find(|(x, _)| *x == m).unwrap().1;
+
+    let none = get(Method::NoCorrection);
+    let bc = get(Method::Bonferroni);
+    let perm = get(Method::PermFwer);
+
+    // Claim 1: numerous spurious rules without correction.
+    assert!(
+        none.mean_false_positives >= 5.0,
+        "expected many uncorrected false positives, got {}",
+        none.mean_false_positives
+    );
+    assert!(none.fwer >= 0.75);
+
+    // Claim 2: the corrections keep the number of false positives tiny.
+    assert!(
+        bc.mean_false_positives <= 1.0,
+        "BC mean false positives {}",
+        bc.mean_false_positives
+    );
+    assert!(
+        perm.mean_false_positives <= 2.0,
+        "permutation mean false positives {}",
+        perm.mean_false_positives
+    );
+}
+
+#[test]
+fn power_ordering_permutation_then_direct_then_holdout() {
+    // At confidence 0.65 and coverage 400 the paper places the methods in the
+    // order permutation ≥ direct ≥ holdout (Figure 8).  A few replicates are
+    // enough to see the ordering, allowing ties.
+    let ctx = ExperimentContext::quick(4, 80);
+    let methods = [Method::Bonferroni, Method::PermFwer, Method::HoldoutBc];
+    let results = aggregate(&ctx, 0.65, 150, &methods);
+    let get = |m: Method| results.iter().find(|(x, _)| *x == m).unwrap().1;
+
+    let bc = get(Method::Bonferroni);
+    let perm = get(Method::PermFwer);
+    let hd = get(Method::HoldoutBc);
+    assert!(
+        perm.power + 1e-9 >= bc.power,
+        "permutation power {} < direct adjustment power {}",
+        perm.power,
+        bc.power
+    );
+    assert!(
+        bc.power + 1e-9 >= hd.power,
+        "direct adjustment power {} < holdout power {}",
+        bc.power,
+        hd.power
+    );
+}
+
+#[test]
+fn very_weak_rules_are_undetectable_and_strong_rules_are_found_by_everyone() {
+    // Paper §5.5.1: at conf = 0.55 none of the corrections detect the rule;
+    // at conf = 0.70 all of them do.
+    let ctx = ExperimentContext::quick(3, 60);
+    let methods = [Method::Bonferroni, Method::PermFwer];
+
+    let weak = aggregate(&ctx, 0.55, 150, &methods);
+    for (m, agg) in &weak {
+        assert!(
+            agg.power <= 0.34,
+            "{} should almost never detect a conf-0.55 rule, power {}",
+            m.label(),
+            agg.power
+        );
+    }
+
+    let strong = aggregate(&ctx, 0.72, 150, &methods);
+    for (m, agg) in &strong {
+        assert!(
+            agg.power >= 0.66,
+            "{} should detect a conf-0.72 rule, power {}",
+            m.label(),
+            agg.power
+        );
+    }
+}
+
+#[test]
+fn holdout_halved_coverage_costs_orders_of_magnitude_in_p_value() {
+    // The mechanism behind the holdout's power loss (Figure 9), checked
+    // directly on the statistics.
+    let fisher_full = FisherTest::new(2000);
+    let fisher_half = FisherTest::new(1000);
+    let p_full = fisher_full.p_value(
+        &RuleCounts::new(2000, 1000, 400, (400.0 * 0.65) as usize).unwrap(),
+        Tail::TwoSided,
+    );
+    let p_half = fisher_half.p_value(
+        &RuleCounts::new(1000, 500, 200, (200.0 * 0.65) as usize).unwrap(),
+        Tail::TwoSided,
+    );
+    assert!(p_half > p_full * 1000.0, "{p_half} vs {p_full}");
+}
+
+#[test]
+fn permutation_cutoff_is_never_tighter_than_bonferroni() {
+    // The Westfall–Young cut-off accounts for dependence between rules, so it
+    // sits at or above α/N_t (which assumes independence/worst case).
+    let params = SyntheticParams::default()
+        .with_records(800)
+        .with_attributes(16)
+        .with_rules(1)
+        .with_coverage(150, 150)
+        .with_confidence(0.8, 0.8);
+    let data = PreparedDataset::from_paired(
+        SyntheticGenerator::new(params).unwrap().generate_paired(11),
+    );
+    let runner = MethodRunner::new(150);
+    let mined = runner.mine_whole(&data, 80);
+    let bc = runner.run(Method::Bonferroni, &data, &mined, 80);
+    let perm = runner.run(Method::PermFwer, &data, &mined, 80);
+    let bc_cut = bc.p_value_cutoff.unwrap();
+    let perm_cut = perm.p_value_cutoff.unwrap();
+    assert!(
+        perm_cut >= bc_cut * 0.5,
+        "permutation cut-off {perm_cut} unexpectedly far below Bonferroni {bc_cut}"
+    );
+    let _ = evaluate(&data, &perm);
+}
