@@ -25,7 +25,10 @@ fn bench_closed_vs_all(c: &mut Criterion) {
     });
     // Also report how many tests each variant performs (printed once).
     let closed = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
-    let all = mine_rules(&dataset, &RuleMiningConfig::new(min_sup).with_closed_only(false));
+    let all = mine_rules(
+        &dataset,
+        &RuleMiningConfig::new(min_sup).with_closed_only(false),
+    );
     eprintln!(
         "closed-only tests: {}, all-frequent tests: {}",
         closed.n_tests(),

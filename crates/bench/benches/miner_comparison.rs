@@ -14,9 +14,11 @@ fn bench_miners(c: &mut Criterion) {
     let mut group = c.benchmark_group("miner_comparison_D8hA20R0");
     group.sample_size(10);
     for kind in MinerKind::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| black_box(kind.mine(&dataset, &config)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| black_box(kind.mine(&dataset, &config))),
+        );
     }
     // The forest-producing variant used by the correction pipeline.
     group.bench_function("eclat_forest_diffsets", |b| {

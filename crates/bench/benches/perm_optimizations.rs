@@ -1,33 +1,53 @@
 //! Figure 4 as a Criterion benchmark: the permutation approach at the four
-//! optimisation levels (mine-once only, + dynamic buffer, + Diffsets,
-//! + 16 MB static buffer) on the D2kA20R5 synthetic dataset.
+//! optimisation levels (mine-once only, + dynamic buffer, + Diffsets, + 16 MB
+//! static buffer) on the D2kA20R5 synthetic dataset — extended with the
+//! engine axes this reproduction adds on top of the paper: serial vs.
+//! rayon-parallel execution, and tid-list vs. bitmap vs. density-auto
+//! support counting.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigrule::correction::permutation::{BufferStrategy, PermutationCorrection};
-use sigrule::{mine_rules, RuleMiningConfig};
+use sigrule::correction::permutation::{
+    BufferStrategy, ExecutionMode, PermutationCorrection, SupportBackend,
+};
+use sigrule::{mine_rules, MinedRuleSet, RuleMiningConfig};
 use sigrule_synth::{SyntheticGenerator, SyntheticParams};
 
-fn bench_optimization_levels(c: &mut Criterion) {
+fn d2k_a20_r5_mined(min_sup: usize, diffsets: bool) -> MinedRuleSet {
     let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
         .unwrap()
         .generate(7);
+    mine_rules(
+        &dataset,
+        &RuleMiningConfig::new(min_sup).with_diffsets(diffsets),
+    )
+}
+
+/// The paper's Figure 4 ablation: buffering levels on the serial tid-list
+/// engine (the configuration the paper describes).
+fn bench_optimization_levels(c: &mut Criterion) {
     let min_sup = 100;
     let n_permutations = 50;
     let levels: Vec<(&str, bool, BufferStrategy)> = vec![
         ("no_optimization", false, BufferStrategy::None),
         ("dynamic_buffer", false, BufferStrategy::DynamicOnly),
         ("diffsets_dynamic", true, BufferStrategy::DynamicOnly),
-        ("static_diffsets_dynamic", true, BufferStrategy::StaticAndDynamic),
+        (
+            "static_diffsets_dynamic",
+            true,
+            BufferStrategy::StaticAndDynamic,
+        ),
     ];
     let mut group = c.benchmark_group("figure4_perm_optimizations_D2kA20R5");
     group.sample_size(10);
     for (label, diffsets, buffer) in levels {
-        let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup).with_diffsets(diffsets));
+        let mined = d2k_a20_r5_mined(min_sup, diffsets);
         group.bench_with_input(BenchmarkId::from_parameter(label), &mined, |b, mined| {
             b.iter(|| {
                 let correction = PermutationCorrection::new(n_permutations)
                     .with_seed(3)
-                    .with_buffer(buffer);
+                    .with_buffer(buffer)
+                    .with_mode(ExecutionMode::Serial)
+                    .with_backend(SupportBackend::TidLists);
                 black_box(correction.collect_stats(mined))
             })
         });
@@ -35,5 +55,55 @@ fn bench_optimization_levels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_optimization_levels);
+/// The engine axes beyond the paper: execution mode × support backend at the
+/// paper's best buffer configuration (Diffsets + 16 MB static buffer).
+fn bench_engine_axes(c: &mut Criterion) {
+    let min_sup = 100;
+    let n_permutations = 50;
+    let mined = d2k_a20_r5_mined(min_sup, true);
+    let axes: Vec<(&str, ExecutionMode, SupportBackend)> = vec![
+        (
+            "serial_tids",
+            ExecutionMode::Serial,
+            SupportBackend::TidLists,
+        ),
+        (
+            "serial_bitmaps",
+            ExecutionMode::Serial,
+            SupportBackend::Bitmaps,
+        ),
+        ("serial_auto", ExecutionMode::Serial, SupportBackend::Auto),
+        (
+            "parallel_tids",
+            ExecutionMode::Parallel,
+            SupportBackend::TidLists,
+        ),
+        (
+            "parallel_bitmaps",
+            ExecutionMode::Parallel,
+            SupportBackend::Bitmaps,
+        ),
+        (
+            "parallel_auto",
+            ExecutionMode::Parallel,
+            SupportBackend::Auto,
+        ),
+    ];
+    let mut group = c.benchmark_group("engine_axes_D2kA20R5");
+    group.sample_size(10);
+    for (label, mode, backend) in axes {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mined, |b, mined| {
+            b.iter(|| {
+                let correction = PermutationCorrection::new(n_permutations)
+                    .with_seed(3)
+                    .with_mode(mode)
+                    .with_backend(backend);
+                black_box(correction.collect_stats(mined))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization_levels, bench_engine_axes);
 criterion_main!(benches);

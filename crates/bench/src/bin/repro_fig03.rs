@@ -1,5 +1,7 @@
 //! Regenerates Figure 3: p-value distribution on random vs embedded-rule data.
 fn main() {
     let ctx = sigrule_bench::context(1, 100);
-    sigrule_bench::emit(&sigrule_eval::experiments::pvalue_distribution::figure3(&ctx, 150));
+    sigrule_bench::emit(&sigrule_eval::experiments::pvalue_distribution::figure3(
+        &ctx, 150,
+    ));
 }

@@ -6,5 +6,10 @@ fn main() {
     let ctx = sigrule_bench::context(10, 100);
     let axis = SweepAxis::paper_min_sup_sweep();
     let points = one_rule::run(&ctx, &axis, &Method::fwer_family());
-    sigrule_bench::emit_all(&one_rule::render_metrics(&points, &axis, "Figure 12", false));
+    sigrule_bench::emit_all(&one_rule::render_metrics(
+        &points,
+        &axis,
+        "Figure 12",
+        false,
+    ));
 }

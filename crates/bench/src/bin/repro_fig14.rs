@@ -5,7 +5,8 @@ use sigrule_eval::experiments::real_world;
 fn main() {
     let ctx = sigrule_bench::context(1, 100);
     for ds in UciDataset::all() {
-        if !sigrule_bench::full_roster() && (ds == UciDataset::Adult || ds == UciDataset::Mushroom) {
+        if !sigrule_bench::full_roster() && (ds == UciDataset::Adult || ds == UciDataset::Mushroom)
+        {
             eprintln!("[skip] {}: set SIGRULE_FULL=1 to include it", ds.name());
             continue;
         }

@@ -10,11 +10,27 @@ fn main() {
         ("N", "number of records", "n_records"),
         ("#C", "number of classes", "n_classes"),
         ("A", "number of attributes", "n_attributes"),
-        ("min_v, max_v", "min/max values per attribute", "min_values, max_values"),
+        (
+            "min_v, max_v",
+            "min/max values per attribute",
+            "min_values, max_values",
+        ),
         ("Nr", "#rules embedded", "n_rules"),
-        ("min_l, max_l", "min/max length of embedded rules", "min_length, max_length"),
-        ("min_s, max_s", "min/max coverage of embedded rules", "min_coverage, max_coverage"),
-        ("min_c, max_c", "min/max confidence of embedded rules", "min_confidence, max_confidence"),
+        (
+            "min_l, max_l",
+            "min/max length of embedded rules",
+            "min_length, max_length",
+        ),
+        (
+            "min_s, max_s",
+            "min/max coverage of embedded rules",
+            "min_coverage, max_coverage",
+        ),
+        (
+            "min_c, max_c",
+            "min/max confidence of embedded rules",
+            "min_confidence, max_confidence",
+        ),
     ];
     for (p, m, f) in rows {
         t.push_row(vec![p.to_string(), m.to_string(), f.to_string()]);

@@ -23,7 +23,9 @@ pub fn context(default_replicates: usize, default_permutations: usize) -> Experi
 
 /// True when the user asked for the full (paper-scale) dataset roster.
 pub fn full_roster() -> bool {
-    std::env::var("SIGRULE_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SIGRULE_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a table to stdout followed by a blank line.

@@ -37,11 +37,14 @@ pub fn benjamini_hochberg(mined: &MinedRuleSet, alpha: f64) -> CorrectionResult 
     let (cutoff, significant) = if p_values.is_empty() {
         (None, Vec::new())
     } else {
-        let threshold =
-            benjamini_hochberg_threshold(&p_values, alpha, Some(mined.n_tests()))
-                .expect("validated p-values");
+        let threshold = benjamini_hochberg_threshold(&p_values, alpha, Some(mined.n_tests()))
+            .expect("validated p-values");
         let significant: Vec<bool> = p_values.iter().map(|&p| p <= threshold).collect();
-        let cutoff = if threshold.is_finite() { Some(threshold) } else { Some(0.0) };
+        let cutoff = if threshold.is_finite() {
+            Some(threshold)
+        } else {
+            Some(0.0)
+        };
         (cutoff, significant)
     };
     CorrectionResult {

@@ -158,7 +158,9 @@ mod tests {
             .with_rules(1)
             .with_coverage(160, 160)
             .with_confidence(confidence, confidence);
-        SyntheticGenerator::new(params).unwrap().generate_paired(seed)
+        SyntheticGenerator::new(params)
+            .unwrap()
+            .generate_paired(seed)
     }
 
     #[test]
@@ -249,8 +251,20 @@ mod tests {
     #[test]
     fn random_holdout_runs_and_is_deterministic_per_seed() {
         let p = paired(0.9, 5);
-        let a = random_holdout(&p.whole, 7, &RuleMiningConfig::new(40), ErrorMetric::Fwer, 0.05);
-        let b = random_holdout(&p.whole, 7, &RuleMiningConfig::new(40), ErrorMetric::Fwer, 0.05);
+        let a = random_holdout(
+            &p.whole,
+            7,
+            &RuleMiningConfig::new(40),
+            ErrorMetric::Fwer,
+            0.05,
+        );
+        let b = random_holdout(
+            &p.whole,
+            7,
+            &RuleMiningConfig::new(40),
+            ErrorMetric::Fwer,
+            0.05,
+        );
         assert_eq!(a.method, "RH_BC");
         assert_eq!(a.n_significant(), b.n_significant());
         assert_eq!(a.rules.len(), b.rules.len());

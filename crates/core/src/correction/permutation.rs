@@ -1,11 +1,12 @@
-//! The permutation-based approach (§4.2 of the paper).
+//! The permutation-based approach (§4.2 of the paper), as a parallel
+//! bitset-vectorised engine.
 //!
 //! Class labels are shuffled `N` times; on each permutation every mined rule
 //! is re-scored, which approximates the null distribution in which patterns
 //! and class labels are independent while preserving the correlation
 //! structure among the patterns themselves.
 //!
-//! The three optimisations of §4.2 are all implemented:
+//! # The paper's three optimisations (§4.2)
 //!
 //! 1. **Mine once** — the pattern forest (and therefore every rule's
 //!    coverage) is computed on the original dataset only; permutations only
@@ -19,16 +20,55 @@
 //!    permutation; [`BufferStrategy`] selects between no buffering, the
 //!    dynamic buffer only, and the static + dynamic arrangement (16 MB static
 //!    buffer by default, as in the paper's best configuration).
+//!
+//! # The parallel bitset engine
+//!
+//! On top of the paper's optimisations this implementation adds two machine-
+//! level ones, controlled by [`PermutationCorrection::mode`] and
+//! [`PermutationCorrection::backend`]:
+//!
+//! * **Rayon fan-out across permutations.**  Permutations are grouped into
+//!   fixed-size chunks (the chunking does *not* depend on the worker count)
+//!   and the chunks are mapped over a rayon worker pool.  Each permutation is
+//!   fully independent: its labels are a fresh copy of the original label
+//!   vector shuffled by an RNG seeded from `seed` and the permutation index
+//!   alone.  Workers reduce their chunk into a per-chunk minimum-p-value list
+//!   and insertion-point histogram; chunks are then merged in index order.
+//!   Minima are keyed by permutation index and histogram merging is integer
+//!   addition, so the collected [`PermutationStats`] are **bit-identical** to
+//!   the serial engine's at any thread count.
+//!
+//! * **Popcount label counting.**  Each cover's stored id list is packed into
+//!   a [`Bitmap`](sigrule_data::Bitmap) once (covers never change across
+//!   permutations); each worker keeps per-class label bitmaps that it
+//!   re-fills from the shuffled labels, after which a rule support is a
+//!   word-wise `AND` + `count_ones` sweep instead of one label load per
+//!   stored id.  [`SupportBackend::Auto`] picks the bitmap kernel per node
+//!   whenever the stored list is denser than one id per 64 records and the
+//!   tid-list kernel below that, so sparse diffsets keep their §4.2.2
+//!   advantage.  Both kernels count identical sets, so the statistics do not
+//!   depend on the backend.
+//!
+//! The p-value buffers are split to match the fan-out: the static buffer is
+//! built **once, up front**, for the distinct coverages the rules actually
+//! use, and shared immutably by every worker
+//! ([`SharedPValueTable`](sigrule_stats::SharedPValueTable)); only the small
+//! single-slot dynamic buffer ([`DynamicBuffer`](sigrule_stats::DynamicBuffer))
+//! is per-worker state.  A class → rules index built once maps each distinct
+//! class to the rules testing it, so the inner loop never scans for its
+//! support vector.
 
 use crate::correction::{CorrectionResult, ErrorMetric};
 use crate::miner::{MinedRuleSet, DEFAULT_STATIC_BUFFER_BYTES};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use sigrule_data::ClassId;
+pub use sigrule_mining::SupportBackend;
 use sigrule_stats::{
-    benjamini_hochberg_threshold, EmpiricalNull, FisherTest, LogFactorialTable, PValueCache,
-    RuleCounts, Tail,
+    benjamini_hochberg_threshold, DynamicBuffer, EmpiricalNull, FisherTest, LogFactorialTable,
+    RuleCounts, SharedPValueTable, Tail,
 };
 
 /// How permutation-time p-values are computed (the ablation axis of
@@ -39,11 +79,23 @@ pub enum BufferStrategy {
     /// distribution ("no optimization" in Figure 4, modulo mine-once).
     None,
     /// A single dynamic buffer holding the p-value table of the most recently
-    /// seen coverage ("dynamic buf").
+    /// seen coverage ("dynamic buf").  One buffer per worker thread.
     DynamicOnly,
     /// Static buffer for coverages up to the byte budget plus the dynamic
-    /// buffer for the rest ("16M static buf+…").
+    /// buffer for the rest ("16M static buf+…").  The static buffer is built
+    /// once up front and shared read-only across worker threads.
     StaticAndDynamic,
+}
+
+/// Whether the `N` permutations run on one thread or fan out over rayon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Fan permutation chunks out over the rayon worker pool (the default).
+    #[default]
+    Parallel,
+    /// Run every permutation on the calling thread; the reference engine the
+    /// parallel statistics are bit-identical to.
+    Serial,
 }
 
 /// Configuration of the permutation-based correction.
@@ -52,13 +104,19 @@ pub struct PermutationCorrection {
     /// Number of permutations `N` (1000 in all of the paper's experiments).
     pub n_permutations: usize,
     /// Seed of the label shuffler; permutation `i` uses a deterministic
-    /// stream derived from `seed` and `i`.
+    /// stream derived from `seed` and `i` alone, so results do not depend on
+    /// scheduling.
     pub seed: u64,
     /// P-value buffering strategy.
     pub buffer: BufferStrategy,
     /// Byte budget of the static buffer (only used by
     /// [`BufferStrategy::StaticAndDynamic`]).
     pub static_buffer_bytes: usize,
+    /// Serial or rayon-parallel execution.
+    pub mode: ExecutionMode,
+    /// Support-counting kernel selection (tid-lists, bitmaps, or per-node
+    /// auto-selection by density).
+    pub backend: SupportBackend,
 }
 
 impl Default for PermutationCorrection {
@@ -68,6 +126,8 @@ impl Default for PermutationCorrection {
             seed: 0x5eed_cafe,
             buffer: BufferStrategy::StaticAndDynamic,
             static_buffer_bytes: DEFAULT_STATIC_BUFFER_BYTES,
+            mode: ExecutionMode::default(),
+            backend: SupportBackend::default(),
         }
     }
 }
@@ -75,15 +135,62 @@ impl Default for PermutationCorrection {
 /// The per-permutation statistics collected in a single pass: the minimum
 /// p-value of every permutation (for FWER) and, for every observed rule, how
 /// many permutation p-values are at most its own (for FDR).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PermutationStats {
-    /// Minimum p-value of each permutation.
+    /// Minimum p-value of each permutation, indexed by permutation number.
     pub minima: Vec<f64>,
     /// For each rule (in mined order), the number of pooled permutation
     /// p-values `≤` the rule's observed p-value.
     pub pool_counts_leq: Vec<u64>,
     /// Total pool size, `N · N_t`.
     pub pool_size: u64,
+}
+
+/// Builds a rayon pool with the given worker count; running the engine under
+/// [`install`](rayon::ThreadPool::install) pins its parallelism.  Used by the
+/// equivalence tests to prove thread-count invariance, and by embedders that
+/// bound the engine's CPU share:
+///
+/// ```ignore
+/// let pool = rayon_pool(4)?;
+/// let stats = pool.install(|| correction.collect_stats(&mined));
+/// ```
+pub fn rayon_pool(threads: usize) -> Result<rayon::ThreadPool, rayon::ThreadPoolBuildError> {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build()
+}
+
+/// Permutations per work chunk.  Chunking is fixed — independent of the
+/// worker count — so the merge order, and therefore every statistic, is
+/// identical whatever parallelism the host offers.
+const PERMS_PER_CHUNK: usize = 8;
+
+/// What one chunk of permutations reduces to.
+struct ChunkStats {
+    /// Minimum p-value per permutation of the chunk, in permutation order.
+    minima: Vec<f64>,
+    /// `cnt[i]` = pool values whose insertion point among the sorted observed
+    /// p-values is `i`.
+    cnt: Vec<u64>,
+}
+
+/// Everything the permutation loop needs that is built once and then only
+/// read: the class → rules index, the packed cover bitmaps, and the shared
+/// static p-value tables.
+struct ScoringPlan<'a> {
+    mined: &'a MinedRuleSet,
+    /// Distinct rule classes, ascending.
+    classes: Vec<ClassId>,
+    /// `class_rules[slot]` = indices of the rules testing `classes[slot]`.
+    class_rules: Vec<Vec<usize>>,
+    /// Per-node kernel selection + packed cover bitmaps.
+    support_plan: sigrule_mining::SupportPlan,
+    /// Observed p-values sorted ascending (for pooled-null insertion points).
+    sorted_observed: Vec<f64>,
+    /// Shared static p-value tables, one per class slot
+    /// ([`BufferStrategy::StaticAndDynamic`] only).
+    static_tables: Option<Vec<SharedPValueTable>>,
+    logs: LogFactorialTable,
+    fisher: FisherTest,
 }
 
 impl PermutationCorrection {
@@ -108,6 +215,24 @@ impl PermutationCorrection {
         self
     }
 
+    /// Overrides serial vs. parallel execution.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the support-counting kernel selection.
+    pub fn with_backend(mut self, backend: SupportBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the static buffer byte budget.
+    pub fn with_static_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.static_buffer_bytes = bytes;
+        self
+    }
+
     /// Controls FWER at `alpha`: the cut-off is the `⌊α·N⌋`-th smallest
     /// per-permutation minimum p-value ("Perm_FWER" in Table 3).
     pub fn control_fwer(&self, mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
@@ -119,11 +244,7 @@ impl PermutationCorrection {
                 .expect("permutation minima are valid probabilities")
                 .fwer_threshold(alpha)
         };
-        let significant = mined
-            .rules()
-            .iter()
-            .map(|r| r.p_value <= cutoff)
-            .collect();
+        let significant = mined.rules().iter().map(|r| r.p_value <= cutoff).collect();
         CorrectionResult {
             method: "Perm_FWER".to_string(),
             metric: ErrorMetric::Fwer,
@@ -167,89 +288,40 @@ impl PermutationCorrection {
     /// metrics need.  Exposed publicly so benchmarks can time the permutation
     /// pass itself and so both metrics can share a single pass if desired.
     pub fn collect_stats(&self, mined: &MinedRuleSet) -> PermutationStats {
-        let rules = mined.rules();
-        let n_rules = rules.len();
-        let n = mined.n_records();
-        let logs = LogFactorialTable::new(n);
-        let fisher = FisherTest::with_table(logs.clone());
+        let n_rules = mined.rules().len();
+        if n_rules == 0 || self.n_permutations == 0 {
+            return PermutationStats {
+                minima: Vec::new(),
+                pool_counts_leq: vec![0; n_rules],
+                pool_size: (self.n_permutations as u64) * (n_rules as u64),
+            };
+        }
 
-        // One p-value cache per class (the class counts differ).
-        let mut caches: Vec<PValueCache> = match self.buffer {
-            BufferStrategy::None => Vec::new(),
-            BufferStrategy::DynamicOnly => mined
-                .class_counts()
-                .iter()
-                .map(|&n_c| PValueCache::dynamic_only(n, n_c))
+        let plan = self.build_plan(mined);
+
+        // Fixed-size chunks over the permutation indices; the chunk list (and
+        // therefore the merge order below) is independent of the worker
+        // count.
+        let chunk_starts: Vec<usize> = (0..self.n_permutations).step_by(PERMS_PER_CHUNK).collect();
+        let chunks: Vec<ChunkStats> = match self.mode {
+            ExecutionMode::Serial => chunk_starts
+                .into_iter()
+                .map(|start| self.run_chunk(&plan, start))
                 .collect(),
-            BufferStrategy::StaticAndDynamic => mined
-                .class_counts()
-                .iter()
-                .map(|&n_c| {
-                    PValueCache::new(n, n_c, self.static_buffer_bytes, mined.config().min_sup.max(1))
-                })
+            ExecutionMode::Parallel => chunk_starts
+                .into_par_iter()
+                .map(|start| self.run_chunk(&plan, start))
                 .collect(),
         };
 
-        // Distinct classes actually used by rules, so we only run the forest
-        // pass for those.
-        let mut classes: Vec<ClassId> = rules.iter().map(|r| r.class).collect();
-        classes.sort_unstable();
-        classes.dedup();
-
-        // Sorted observed p-values (for the pooled-null counting) and the map
-        // back to rule order.
-        let observed = mined.p_values();
-        let mut sorted_observed = observed.clone();
-        sorted_observed.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-
+        // Merge in chunk (= permutation) order: minima are keyed by
+        // permutation index, histogram cells add exactly.
         let mut minima = Vec::with_capacity(self.n_permutations);
-        // cnt[i] = number of pool values whose insertion point is i; prefix
-        // sums later give, for the i-th smallest observed p-value, the number
-        // of pool values ≤ it.
         let mut cnt = vec![0u64; n_rules + 1];
-
-        let mut labels = mined.labels().to_vec();
-        for perm in 0..self.n_permutations {
-            let mut rng =
-                StdRng::seed_from_u64(self.seed ^ (perm as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            labels.shuffle(&mut rng);
-
-            // Rule supports for every class used by at least one rule.
-            let per_class: Vec<(ClassId, Vec<usize>)> = classes
-                .iter()
-                .map(|&c| (c, mined.forest().rule_supports(&labels, c)))
-                .collect();
-
-            let mut perm_min = f64::INFINITY;
-            for (i, rule) in rules.iter().enumerate() {
-                let node = mined.rule_node(i);
-                let supports = &per_class
-                    .iter()
-                    .find(|(c, _)| *c == rule.class)
-                    .expect("class present")
-                    .1;
-                let supp_r = supports[node];
-                let p = match self.buffer {
-                    BufferStrategy::None => {
-                        let counts = RuleCounts::new(
-                            n,
-                            mined.class_counts()[rule.class as usize],
-                            rule.coverage,
-                            supp_r,
-                        )
-                        .expect("permuted support stays within the margins");
-                        fisher.p_value(&counts, Tail::TwoSided)
-                    }
-                    _ => caches[rule.class as usize].p_value(rule.coverage, supp_r, &logs),
-                };
-                if p < perm_min {
-                    perm_min = p;
-                }
-                let idx = sorted_observed.partition_point(|&x| x < p);
-                cnt[idx] += 1;
-            }
-            if n_rules > 0 {
-                minima.push(perm_min);
+        for chunk in chunks {
+            minima.extend_from_slice(&chunk.minima);
+            for (total, c) in cnt.iter_mut().zip(chunk.cnt.iter()) {
+                *total += c;
             }
         }
 
@@ -260,11 +332,12 @@ impl PermutationCorrection {
             acc += cnt[i];
             counts_sorted[i] = acc;
         }
-        let pool_counts_leq = observed
+        let pool_counts_leq = mined
+            .p_values()
             .iter()
             .map(|&p| {
                 // Index of the last sorted observed value equal to p.
-                let idx = sorted_observed.partition_point(|&x| x <= p);
+                let idx = plan.sorted_observed.partition_point(|&x| x <= p);
                 if idx == 0 {
                     0
                 } else {
@@ -278,6 +351,161 @@ impl PermutationCorrection {
             pool_counts_leq,
             pool_size: (self.n_permutations as u64) * (n_rules as u64),
         }
+    }
+
+    /// Builds the read-only state every worker shares: class → rules index,
+    /// per-node counting kernels with packed cover bitmaps, sorted observed
+    /// p-values, and the up-front static p-value tables.
+    fn build_plan<'a>(&self, mined: &'a MinedRuleSet) -> ScoringPlan<'a> {
+        let rules = mined.rules();
+        let n = mined.n_records();
+        let logs = LogFactorialTable::new(n);
+        let fisher = FisherTest::with_table(logs.clone());
+
+        // Distinct classes actually used by rules, and the index of the
+        // rules testing each, so the permutation loop runs one forest pass
+        // per used class and never scans for a rule's support vector.
+        let mut classes: Vec<ClassId> = rules.iter().map(|r| r.class).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let mut class_rules: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
+        for (i, rule) in rules.iter().enumerate() {
+            let slot = classes
+                .binary_search(&rule.class)
+                .expect("every rule class is in the distinct-class list");
+            class_rules[slot].push(i);
+        }
+
+        let support_plan = mined.forest().support_plan(self.backend);
+
+        // The coverages a class's rules use never change across permutations,
+        // so the static buffer can be built once, exactly, and shared.
+        let static_tables = match self.buffer {
+            BufferStrategy::StaticAndDynamic => Some(
+                classes
+                    .iter()
+                    .zip(class_rules.iter())
+                    .map(|(&class, rule_idxs)| {
+                        SharedPValueTable::build(
+                            n,
+                            mined.class_counts()[class as usize],
+                            self.static_buffer_bytes,
+                            mined.config().min_sup.max(1),
+                            rule_idxs.iter().map(|&i| rules[i].coverage),
+                            &logs,
+                        )
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+
+        let mut sorted_observed = mined.p_values();
+        sorted_observed.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+
+        ScoringPlan {
+            mined,
+            classes,
+            class_rules,
+            support_plan,
+            sorted_observed,
+            static_tables,
+            logs,
+            fisher,
+        }
+    }
+
+    /// Runs permutations `start .. start + PERMS_PER_CHUNK` (clamped to `N`)
+    /// and reduces them to a [`ChunkStats`].  All mutable state is chunk-
+    /// local; everything shared is behind `&`.
+    fn run_chunk(&self, plan: &ScoringPlan<'_>, start: usize) -> ChunkStats {
+        let mined = plan.mined;
+        let rules = mined.rules();
+        let n = mined.n_records();
+        let end = (start + PERMS_PER_CHUNK).min(self.n_permutations);
+
+        // Chunk-local scratch, allocated once and reused per permutation.
+        // The per-class label bitmaps exist only when some node actually
+        // counts with the bitmap kernel; an all-tid-list plan skips both the
+        // allocation and the per-permutation refill.
+        let mut labels: Vec<ClassId> = vec![0; n];
+        let mut class_bitmaps = plan
+            .support_plan
+            .needs_class_bitmaps()
+            .then(|| plan.support_plan.make_class_bitmaps(mined.n_classes()));
+        let mut supports: Vec<usize> = Vec::with_capacity(mined.forest().len());
+        let mut dynamics: Vec<DynamicBuffer> = match self.buffer {
+            BufferStrategy::None => Vec::new(),
+            _ => plan
+                .classes
+                .iter()
+                .map(|&c| DynamicBuffer::new(n, mined.class_counts()[c as usize]))
+                .collect(),
+        };
+
+        let mut minima = Vec::with_capacity(end - start);
+        let mut cnt = vec![0u64; rules.len() + 1];
+
+        for perm in start..end {
+            // Each permutation shuffles a fresh copy of the original labels
+            // under its own seed: permutation i's outcome depends on (seed, i)
+            // only, never on which permutations ran before or where.
+            labels.copy_from_slice(mined.labels());
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (perm as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            labels.shuffle(&mut rng);
+            if let Some(bitmaps) = class_bitmaps.as_mut() {
+                bitmaps.fill(&labels);
+            }
+
+            let mut perm_min = f64::INFINITY;
+            for (slot, &class) in plan.classes.iter().enumerate() {
+                mined.forest().rule_supports_planned(
+                    &plan.support_plan,
+                    &labels,
+                    class_bitmaps.as_ref().map(|b| b.class(class)),
+                    class,
+                    &mut supports,
+                );
+                for &ri in &plan.class_rules[slot] {
+                    let rule = &rules[ri];
+                    let supp_r = supports[mined.rule_node(ri)];
+                    let p = match self.buffer {
+                        BufferStrategy::None => {
+                            let counts = RuleCounts::new(
+                                n,
+                                mined.class_counts()[class as usize],
+                                rule.coverage,
+                                supp_r,
+                            )
+                            .expect("permuted support stays within the margins");
+                            plan.fisher.p_value(&counts, Tail::TwoSided)
+                        }
+                        BufferStrategy::DynamicOnly => {
+                            dynamics[slot].p_value(rule.coverage, supp_r, &plan.logs)
+                        }
+                        BufferStrategy::StaticAndDynamic => {
+                            let tables = plan
+                                .static_tables
+                                .as_ref()
+                                .expect("built for this strategy");
+                            match tables[slot].get(rule.coverage) {
+                                Some(buffer) => buffer.p_value(supp_r),
+                                None => dynamics[slot].p_value(rule.coverage, supp_r, &plan.logs),
+                            }
+                        }
+                    };
+                    if p < perm_min {
+                        perm_min = p;
+                    }
+                    cnt[plan.sorted_observed.partition_point(|&x| x < p)] += 1;
+                }
+            }
+            minima.push(perm_min);
+        }
+
+        ChunkStats { minima, cnt }
     }
 }
 
@@ -365,11 +593,60 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_parallel_are_bit_identical() {
+        let m = mined_with_rule(0.9, 3);
+        let serial = perm(40).with_mode(ExecutionMode::Serial).collect_stats(&m);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds");
+            let parallel = pool.install(|| {
+                perm(40)
+                    .with_mode(ExecutionMode::Parallel)
+                    .collect_stats(&m)
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn backends_are_bit_identical() {
+        let m = mined_with_rule(0.85, 12);
+        let tids = perm(30)
+            .with_backend(SupportBackend::TidLists)
+            .collect_stats(&m);
+        let bitmaps = perm(30)
+            .with_backend(SupportBackend::Bitmaps)
+            .collect_stats(&m);
+        let auto = perm(30)
+            .with_backend(SupportBackend::Auto)
+            .collect_stats(&m);
+        assert_eq!(tids, bitmaps);
+        assert_eq!(tids, auto);
+    }
+
+    #[test]
+    fn permutations_are_independent_of_ordering() {
+        // Permutation i's contribution depends on (seed, i) only: running a
+        // prefix of the permutations yields exactly the minima the full run
+        // assigns to those indices (the seed's in-place shuffle chained
+        // permutation i's input to permutation i−1's output, breaking this).
+        let m = mined_with_rule(0.9, 13);
+        let full = perm(24).collect_stats(&m);
+        let prefix = perm(9).collect_stats(&m);
+        assert_eq!(prefix.minima.as_slice(), &full.minima[..9]);
+    }
+
+    #[test]
     fn strong_rule_survives_permutation_fwer() {
         let m = mined_with_rule(0.95, 5);
         let r = perm(200).control_fwer(&m, 0.05);
         assert_eq!(r.method, "Perm_FWER");
-        assert!(r.n_significant() > 0, "the embedded rule should be detected");
+        assert!(
+            r.n_significant() > 0,
+            "the embedded rule should be detected"
+        );
         // and the cut-off is a valid probability
         let cutoff = r.p_value_cutoff.unwrap();
         assert!((0.0..=1.0).contains(&cutoff));
@@ -412,8 +689,27 @@ mod tests {
         let a = perm(40).control_fwer(&m, 0.05);
         let b = perm(40).control_fwer(&m, 0.05);
         assert_eq!(a.significant, b.significant);
-        let c = PermutationCorrection::new(40).with_seed(1234).control_fwer(&m, 0.05);
+        let c = PermutationCorrection::new(40)
+            .with_seed(1234)
+            .control_fwer(&m, 0.05);
         // a different seed may change the cut-off but the shapes stay valid
         assert_eq!(c.significant.len(), a.significant.len());
+    }
+
+    #[test]
+    fn empty_rule_set_yields_empty_stats() {
+        let params = SyntheticParams::default()
+            .with_records(120)
+            .with_attributes(6);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(21);
+        // An impossibly high support threshold leaves no rules.
+        let m = mine_rules(&d, &RuleMiningConfig::new(121));
+        assert!(m.rules().is_empty());
+        let stats = perm(10).collect_stats(&m);
+        assert!(stats.minima.is_empty());
+        assert!(stats.pool_counts_leq.is_empty());
+        assert_eq!(stats.pool_size, 0);
+        let r = perm(10).control_fwer(&m, 0.05);
+        assert_eq!(r.n_significant(), 0);
     }
 }

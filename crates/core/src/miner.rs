@@ -90,7 +90,10 @@ impl MinedRuleSet {
 
     /// Builds one p-value cache per class, sized for this dataset, to be used
     /// when re-scoring the rules under permuted labels.
-    pub fn build_caches(&self, static_budget_bytes: usize) -> (LogFactorialTable, Vec<PValueCache>) {
+    pub fn build_caches(
+        &self,
+        static_budget_bytes: usize,
+    ) -> (LogFactorialTable, Vec<PValueCache>) {
         let n = self.n_records();
         let logs = LogFactorialTable::new(n);
         let caches = self

@@ -131,7 +131,10 @@ impl Dataset {
 
     /// Support of a single item: the number of records containing it.
     pub fn item_support(&self, item: ItemId) -> usize {
-        self.records.iter().filter(|r| r.contains_item(item)).count()
+        self.records
+            .iter()
+            .filter(|r| r.contains_item(item))
+            .count()
     }
 
     /// Support of a pattern by a linear scan (`supp(X)`, §2.1).  The miners

@@ -112,7 +112,7 @@ fn fit_equal_frequency(values: &[f64], bins: usize) -> Vec<f64> {
     for i in 1..bins {
         let idx = (i * n / bins).min(n - 1);
         let cut = sorted[idx];
-        if cuts.last().map_or(true, |&last| cut > last) && cut > sorted[0] {
+        if cuts.last().is_none_or(|&last| cut > last) && cut > sorted[0] {
             cuts.push(cut);
         }
     }
@@ -147,11 +147,8 @@ fn fit_entropy_mdl(values: &[f64], labels: &[ClassId]) -> Vec<f64> {
         return Vec::new();
     }
     let n_classes = labels.iter().map(|&c| c as usize).max().unwrap_or(0) + 1;
-    let mut pairs: Vec<(f64, ClassId)> = values
-        .iter()
-        .copied()
-        .zip(labels.iter().copied())
-        .collect();
+    let mut pairs: Vec<(f64, ClassId)> =
+        values.iter().copied().zip(labels.iter().copied()).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     let mut cuts = Vec::new();
     split_recursive(&pairs, n_classes, &mut cuts);
@@ -195,7 +192,7 @@ fn split_recursive(pairs: &[(f64, ClassId)], n_classes: usize, cuts: &mut Vec<f6
         let w_left = i as f64 / n as f64;
         let w_right = 1.0 - w_left;
         let weighted = w_left * entropy(&left_hist) + w_right * entropy(&right_hist);
-        if best.map_or(true, |(_, _, e)| weighted < e) {
+        if best.is_none_or(|(_, _, e)| weighted < e) {
             let cut = (pairs[i - 1].0 + pairs[i].0) / 2.0;
             best = Some((i, cut, weighted));
         }
@@ -273,7 +270,10 @@ mod tests {
             counts[b] += 1;
         }
         for &c in &counts {
-            assert!((20..=30).contains(&c), "bins should be roughly balanced: {counts:?}");
+            assert!(
+                (20..=30).contains(&c),
+                "bins should be roughly balanced: {counts:?}"
+            );
         }
     }
 
@@ -324,7 +324,7 @@ mod tests {
         // Three bands: class 0, class 1, class 0.
         let values: Vec<f64> = (0..150).map(|i| i as f64).collect();
         let labels: Vec<ClassId> = (0..150)
-            .map(|i| if i < 50 || i >= 100 { 0 } else { 1 })
+            .map(|i| if !(50..100).contains(&i) { 0 } else { 1 })
             .collect();
         let d = Discretizer::fit(&values, &labels, DiscretizeMethod::EntropyMdl);
         assert!(

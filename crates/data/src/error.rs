@@ -61,7 +61,10 @@ impl fmt::Display for DataError {
             }
             DataError::UnknownClass { class } => write!(f, "unknown class index {class}"),
             DataError::WrongArity { got, expected } => {
-                write!(f, "record has {got} items but the schema has {expected} attributes")
+                write!(
+                    f,
+                    "record has {got} items but the schema has {expected} attributes"
+                )
             }
             DataError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
             DataError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
@@ -95,14 +98,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::UnknownAttribute { index: 3 }.to_string().contains('3'));
+        assert!(DataError::UnknownAttribute { index: 3 }
+            .to_string()
+            .contains('3'));
         assert!(DataError::UnknownValue {
             attribute: 1,
             value: 9
         }
         .to_string()
         .contains('9'));
-        assert!(DataError::UnknownClass { class: 2 }.to_string().contains('2'));
+        assert!(DataError::UnknownClass { class: 2 }
+            .to_string()
+            .contains('2'));
         assert!(DataError::WrongArity {
             got: 4,
             expected: 5

@@ -36,4 +36,4 @@ pub use error::DataError;
 pub use item::{ClassId, Item, ItemId, Pattern};
 pub use record::Record;
 pub use schema::{Attribute, Schema};
-pub use vertical::{Cover, TidSet, VerticalDataset};
+pub use vertical::{Bitmap, ClassBitmaps, Cover, TidSet, VerticalDataset};

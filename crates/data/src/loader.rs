@@ -150,8 +150,7 @@ pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataEr
 
     for &col in &attribute_columns {
         let raw: Vec<&String> = rows.iter().map(|(_, r)| &r[col]).collect();
-        let is_missing =
-            |s: &str| options.missing_tokens.iter().any(|t| t == s);
+        let is_missing = |s: &str| options.missing_tokens.iter().any(|t| t == s);
         let numeric: Option<Vec<f64>> = {
             let parsed: Vec<Option<f64>> = raw
                 .iter()

@@ -189,11 +189,17 @@ impl Schema {
 
     /// Index of a class label by name.
     pub fn class_index(&self, name: &str) -> Option<ClassId> {
-        self.classes.iter().position(|c| c == name).map(|i| i as ClassId)
+        self.classes
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as ClassId)
     }
 
     /// All item ids belonging to one attribute.
-    pub fn items_of_attribute(&self, attribute: usize) -> Result<std::ops::Range<ItemId>, DataError> {
+    pub fn items_of_attribute(
+        &self,
+        attribute: usize,
+    ) -> Result<std::ops::Range<ItemId>, DataError> {
         if attribute >= self.attributes.len() {
             return Err(DataError::UnknownAttribute { index: attribute });
         }

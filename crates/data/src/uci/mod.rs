@@ -71,9 +71,7 @@ impl CorrelatedConfig {
             ));
         }
         if self.strengths.iter().any(|&s| !(0.0..=1.0).contains(&s)) {
-            return Err(DataError::invalid_schema(
-                "strengths must lie in [0, 1]",
-            ));
+            return Err(DataError::invalid_schema("strengths must lie in [0, 1]"));
         }
         if !(0.0..1.0).contains(&self.background_skew) {
             return Err(DataError::invalid_schema(
@@ -150,7 +148,10 @@ impl CorrelatedConfig {
         let mut records = Vec::with_capacity(self.n_records);
         for _ in 0..self.n_records {
             let u: f64 = rng.gen();
-            let class = cumulative.iter().position(|&c| u <= c).unwrap_or(n_classes - 1);
+            let class = cumulative
+                .iter()
+                .position(|&c| u <= c)
+                .unwrap_or(n_classes - 1);
             let mut items = Vec::with_capacity(self.cardinalities.len());
             for (a, (&card, &strength)) in self
                 .cardinalities

@@ -1,4 +1,5 @@
-//! Vertical dataset layout: tid-sets and Diffsets (§4.2.2 of the paper).
+//! Vertical dataset layout: tid-sets, Diffsets (§4.2.2 of the paper) and
+//! packed bitsets.
 //!
 //! The permutation approach mines frequent patterns only once, stores the
 //! *record id list* (tid-set) of every frequent pattern, and recomputes rule
@@ -8,8 +9,19 @@
 //! parent's, store only the *difference* between the parent's and the child's
 //! tid-sets.
 //!
+//! On top of the id-list representations this module provides a packed
+//! [`Bitmap`] (one bit per record, 64 records per machine word): counting how
+//! many records of a cover carry a class label then becomes a word-wise
+//! `AND` + `count_ones` sweep instead of one label-array load per stored id.
+//! For dense covers (more than one stored id per 64 records) the bitmap sweep
+//! touches far less memory and vectorises, which is what the parallel
+//! permutation engine exploits.
+//!
 //! * [`TidSet`] — a sorted list of record ids with intersection/difference.
 //! * [`Cover`] — either a full tid-set or a diffset relative to a parent.
+//! * [`Bitmap`] — packed record-id set with popcount counting.
+//! * [`ClassBitmaps`] — one bitmap per class built from a label vector,
+//!   rebuilt cheaply on every permutation.
 //! * [`VerticalDataset`] — per-item tid-sets plus the class label vector.
 
 use crate::dataset::Dataset;
@@ -155,6 +167,151 @@ impl FromIterator<u32> for TidSet {
     }
 }
 
+/// A packed bitset over record ids: bit `t` is set when record `t` is in the
+/// set.  Sixty-four records per machine word, so intersection cardinality is
+/// a word-wise `AND` + `count_ones` sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    n_bits: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap over `n_bits` record ids.
+    pub fn zeros(n_bits: usize) -> Self {
+        Bitmap {
+            words: vec![0u64; n_bits.div_ceil(64)],
+            n_bits,
+        }
+    }
+
+    /// Packs a sorted tid-set into a bitmap over `n_bits` record ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tid is `≥ n_bits`.
+    pub fn from_tids(tids: &TidSet, n_bits: usize) -> Self {
+        let mut bitmap = Bitmap::zeros(n_bits);
+        for &t in tids.tids() {
+            bitmap.set(t);
+        }
+        bitmap
+    }
+
+    /// Number of record ids the bitmap covers (bits, not set bits).
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Sets bit `t`.
+    #[inline]
+    pub fn set(&mut self, t: u32) {
+        let t = t as usize;
+        assert!(t < self.n_bits, "tid {t} out of range 0..{}", self.n_bits);
+        self.words[t / 64] |= 1u64 << (t % 64);
+    }
+
+    /// True when bit `t` is set.
+    #[inline]
+    pub fn contains(&self, t: u32) -> bool {
+        let t = t as usize;
+        t < self.n_bits && self.words[t / 64] & (1u64 << (t % 64)) != 0
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits (the cardinality of the record set).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Cardinality of the intersection `self ∩ other`: the word-wise
+    /// `AND` + popcount kernel of the bitmap permutation engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps cover a different number of record ids.
+    #[inline]
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.n_bits, other.n_bits, "bitmap sizes differ");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The packed words, low record ids first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Memory footprint of the packed words in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// One [`Bitmap`] per class, built from a label vector.  The permutation
+/// engine keeps one of these per worker and re-fills it from the shuffled
+/// labels on every permutation (an `O(n)` sweep that is amortised over every
+/// rule-support count of that permutation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassBitmaps {
+    bitmaps: Vec<Bitmap>,
+}
+
+impl ClassBitmaps {
+    /// Creates empty per-class bitmaps for `n_classes` classes over
+    /// `n_records` records.
+    pub fn new(n_classes: usize, n_records: usize) -> Self {
+        ClassBitmaps {
+            bitmaps: (0..n_classes).map(|_| Bitmap::zeros(n_records)).collect(),
+        }
+    }
+
+    /// Builds per-class bitmaps directly from a label vector.
+    pub fn from_labels(labels: &[ClassId], n_classes: usize) -> Self {
+        let mut bitmaps = ClassBitmaps::new(n_classes, labels.len());
+        bitmaps.fill(labels);
+        bitmaps
+    }
+
+    /// Re-fills the bitmaps from a (shuffled) label vector, reusing the
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label vector length or a class id does not match the
+    /// dimensions the bitmaps were created with.
+    pub fn fill(&mut self, labels: &[ClassId]) {
+        for bitmap in &mut self.bitmaps {
+            assert_eq!(
+                bitmap.n_bits(),
+                labels.len(),
+                "label vector length mismatch"
+            );
+            bitmap.clear();
+        }
+        for (t, &c) in labels.iter().enumerate() {
+            self.bitmaps[c as usize].words[t / 64] |= 1u64 << (t % 64);
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// The bitmap of one class.
+    pub fn class(&self, class: ClassId) -> &Bitmap {
+        &self.bitmaps[class as usize]
+    }
+}
+
 /// The cover of a pattern in the set-enumeration tree: either the full
 /// tid-set, or — when the pattern's support is close to its parent's — the
 /// diffset `tids(parent) \ tids(pattern)` (§4.2.2).
@@ -213,6 +370,46 @@ impl Cover {
         match self {
             Cover::Tids(t) => t.count_class(labels, class),
             Cover::Diffset(d) => parent_rule_support - d.count_class(labels, class),
+        }
+    }
+
+    /// The stored id list itself — the full tid-set or the diffset,
+    /// whichever representation is in use.
+    pub fn stored_tids(&self) -> &TidSet {
+        match self {
+            Cover::Tids(t) => t,
+            Cover::Diffset(d) => d,
+        }
+    }
+
+    /// Number of ids in the stored list (what a tid-list counting pass has to
+    /// touch per permutation; the density input of the bitmap auto-selection).
+    pub fn stored_len(&self) -> usize {
+        self.stored_tids().len()
+    }
+
+    /// Packs the stored id list into a [`Bitmap`] over `n_records` record
+    /// ids.  Computed once per mined forest — covers never change across
+    /// permutations.
+    pub fn stored_bitmap(&self, n_records: usize) -> Bitmap {
+        Bitmap::from_tids(self.stored_tids(), n_records)
+    }
+
+    /// Rule support (`supp(X ⇒ c)`) computed from the cover's stored bitmap
+    /// and the class's label bitmap: word-wise `AND` + popcount instead of
+    /// per-record label indexing.  `stored_bits` must be
+    /// [`Cover::stored_bitmap`] of this cover; equivalent to
+    /// [`Cover::rule_support`] on the labels `class_bits` was built from.
+    #[inline]
+    pub fn rule_support_bitmap(
+        &self,
+        parent_rule_support: usize,
+        stored_bits: &Bitmap,
+        class_bits: &Bitmap,
+    ) -> usize {
+        match self {
+            Cover::Tids(_) => stored_bits.and_count(class_bits),
+            Cover::Diffset(_) => parent_rule_support - stored_bits.and_count(class_bits),
         }
     }
 

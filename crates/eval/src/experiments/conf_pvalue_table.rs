@@ -15,7 +15,12 @@ use sigrule_data::Dataset;
 /// The confidence bands of Table 4 (lower bound inclusive, upper exclusive
 /// except the last).
 pub fn confidence_bands() -> Vec<(f64, f64)> {
-    vec![(0.75, 0.85), (0.85, 0.90), (0.90, 0.95), (0.95, 1.0 + 1e-12)]
+    vec![
+        (0.75, 0.85),
+        (0.85, 0.90),
+        (0.90, 0.95),
+        (0.95, 1.0 + 1e-12),
+    ]
 }
 
 /// The p-value bands of Table 4, from least to most significant.
@@ -67,7 +72,7 @@ pub fn for_dataset(dataset: &Dataset, min_sup: usize, class: u32, title: &str) -
         };
         let Some(pi) = p_value_bands()
             .iter()
-            .position(|&(lo, hi)| p > lo && p <= hi || (lo == 0.0 && p <= hi))
+            .position(|&(lo, hi)| p <= hi && (p > lo || lo == 0.0))
         else {
             continue;
         };
@@ -86,7 +91,7 @@ pub fn for_dataset(dataset: &Dataset, min_sup: usize, class: u32, title: &str) -
     }
     table.rows.push({
         let mut row = vec![format!("total rules (class {class}) = {total}")];
-        row.extend(std::iter::repeat(String::new()).take(confidence_bands().len()));
+        row.extend(std::iter::repeat_n(String::new(), confidence_bands().len()));
         row
     });
     table

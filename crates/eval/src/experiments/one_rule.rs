@@ -220,7 +220,10 @@ mod tests {
         assert!(conf.points().iter().all(|(_, m, _)| *m == 150));
         let sup = SweepAxis::paper_min_sup_sweep();
         assert_eq!(sup.axis_label(), "min_sup");
-        assert!(sup.points().iter().all(|(_, _, c)| (*c - 0.6).abs() < 1e-12));
+        assert!(sup
+            .points()
+            .iter()
+            .all(|(_, _, c)| (*c - 0.6).abs() < 1e-12));
     }
 
     #[test]
@@ -254,7 +257,12 @@ mod tests {
         let bc = get(Method::Bonferroni);
         let perm = get(Method::PermFwer);
         assert!(bc.power >= 0.5, "BC power {}", bc.power);
-        assert!(perm.power >= bc.power - 1e-9, "perm power {} < BC {}", perm.power, bc.power);
+        assert!(
+            perm.power >= bc.power - 1e-9,
+            "perm power {} < BC {}",
+            perm.power,
+            bc.power
+        );
 
         let tables = render_metrics(&points, &axis, "Figure 8", false);
         assert_eq!(tables.len(), 3);

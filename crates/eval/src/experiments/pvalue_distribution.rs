@@ -52,7 +52,11 @@ pub fn figure3(ctx: &ExperimentContext, min_sup: usize) -> Table {
         // The two embedded-rule configurations share the same seed so they
         // plant the *same* pattern and differ only in its coverage — the
         // comparison the paper's figure makes.
-        let seed = if *name == "random" { ctx.seed + 1 } else { ctx.seed };
+        let seed = if *name == "random" {
+            ctx.seed + 1
+        } else {
+            ctx.seed
+        };
         let (dataset, _) = SyntheticGenerator::new(params.clone())
             .expect("valid parameters")
             .generate(seed);

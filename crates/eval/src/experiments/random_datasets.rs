@@ -102,7 +102,12 @@ pub fn render(points: &[RandomDatasetPoint]) -> Vec<Table> {
     };
     let mut tested = Table::new(
         "Figure 6(b): average number of rules tested",
-        vec!["min_sup", "whole dataset", "HD_exploratory", "HD_evaluation"],
+        vec![
+            "min_sup",
+            "whole dataset",
+            "HD_exploratory",
+            "HD_evaluation",
+        ],
     );
     let mut false_positives = Table {
         title: "Figure 6(c): average number of false positives".to_string(),

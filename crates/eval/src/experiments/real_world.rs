@@ -68,7 +68,10 @@ pub fn significant_rule_counts(
     let mut columns = vec!["min_sup".to_string()];
     columns.extend(methods.iter().map(|m| m.label().to_string()));
     let mut table = Table {
-        title: format!("{figure}: number of significant rules on {}", dataset.name()),
+        title: format!(
+            "{figure}: number of significant rules on {}",
+            dataset.name()
+        ),
         columns,
         rows: Vec::new(),
     };

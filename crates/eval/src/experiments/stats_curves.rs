@@ -5,7 +5,9 @@
 //! p-value buffer construction.
 
 use crate::report::{fmt_float, Table};
-use sigrule_stats::{FisherTest, Hypergeometric, LogFactorialTable, PValueBuffer, RuleCounts, Tail};
+use sigrule_stats::{
+    FisherTest, Hypergeometric, LogFactorialTable, PValueBuffer, RuleCounts, Tail,
+};
 
 /// Figure 1: p-value of `R : X ⇒ c` as a function of confidence for
 /// `supp(X) ∈ {5, 10, 20, 40, 70, 100}`, with 1000 records and

@@ -59,8 +59,7 @@ pub fn adjusted_p_value(dataset: &Dataset, rule: &ClassRule, embedded: &Embedded
     let supp_r = dataset.rule_support(&rule.pattern, rule.class);
 
     let expected_in_overlap = supp_overlap as f64 * n_c as f64 / n as f64;
-    let adjusted_support =
-        (expected_in_overlap + (supp_r as f64 - supp_overlap_c as f64)).round();
+    let adjusted_support = (expected_in_overlap + (supp_r as f64 - supp_overlap_c as f64)).round();
     let adjusted_support = adjusted_support.clamp(0.0, supp_x.min(n_c) as f64) as usize;
     // Clamp into the hypergeometric support range.
     let lower = (n_c + supp_x).saturating_sub(n);
@@ -159,7 +158,12 @@ mod tests {
             "the embedded rule's closure should be mined"
         );
         let r = representative.unwrap();
-        assert!(!is_false_positive(&d, r, &[truth.clone()], 0.05));
+        assert!(!is_false_positive(
+            &d,
+            r,
+            std::slice::from_ref(&truth),
+            0.05
+        ));
     }
 
     #[test]
@@ -177,7 +181,7 @@ mod tests {
                 && r.p_value < 1e-4
             {
                 assert!(
-                    !is_false_positive(&d, r, &[truth.clone()], 1e-4),
+                    !is_false_positive(&d, r, std::slice::from_ref(&truth), 1e-4),
                     "by-product {:?} wrongly flagged",
                     r.pattern
                 );
@@ -222,7 +226,10 @@ mod tests {
             "discounting the embedded rule must weaken it: {adj} vs {}",
             rep.p_value
         );
-        assert!(adj > 1e-4, "the embedded signal should essentially vanish, adj={adj}");
+        assert!(
+            adj > 1e-4,
+            "the embedded signal should essentially vanish, adj={adj}"
+        );
     }
 
     #[test]

@@ -276,7 +276,9 @@ mod tests {
             .with_coverage(100, 100)
             .with_confidence(0.9, 0.9);
         PreparedDataset::from_paired(
-            SyntheticGenerator::new(params).unwrap().generate_paired(seed),
+            SyntheticGenerator::new(params)
+                .unwrap()
+                .generate_paired(seed),
         )
     }
 

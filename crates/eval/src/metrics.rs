@@ -77,7 +77,11 @@ impl AggregateMetrics {
         let n = metrics.len() as f64;
         AggregateMetrics {
             n_datasets: metrics.len(),
-            fwer: metrics.iter().map(DatasetMetrics::fwer_indicator).sum::<f64>() / n,
+            fwer: metrics
+                .iter()
+                .map(DatasetMetrics::fwer_indicator)
+                .sum::<f64>()
+                / n,
             fdr: metrics.iter().map(DatasetMetrics::fdr).sum::<f64>() / n,
             power: metrics.iter().map(DatasetMetrics::power).sum::<f64>() / n,
             mean_false_positives: metrics
@@ -136,7 +140,9 @@ mod tests {
             .with_coverage(120, 120)
             .with_confidence(confidence, confidence);
         PreparedDataset::from_paired(
-            SyntheticGenerator::new(params).unwrap().generate_paired(seed),
+            SyntheticGenerator::new(params)
+                .unwrap()
+                .generate_paired(seed),
         )
     }
 

@@ -11,8 +11,19 @@
 //! * the support of a rule `X ⇒ c` on a permutation is recomputed from the
 //!   parent's rule support and the node's cover in a single pass over the
 //!   forest in depth-first (parent-before-child) order.
+//!
+//! Two counting kernels implement that pass.  The original tid-list kernel
+//! ([`PatternForest::rule_supports`]) loads one label per stored id.  The
+//! bitset kernel packs each cover into a [`Bitmap`] **once** (covers never
+//! change across permutations) and counts `AND` + popcount against a
+//! per-class label bitmap rebuilt per permutation.  A [`SupportPlan`] decides
+//! per node which kernel to use ([`SupportBackend::Auto`] picks the bitmap
+//! whenever the stored list is denser than one id per 64 records, the point
+//! where the word sweep touches less memory than the id walk) and caches the
+//! packed bitmaps, so the per-permutation pass
+//! ([`PatternForest::rule_supports_planned`]) allocates nothing.
 
-use sigrule_data::{ClassId, Cover, Pattern, TidSet};
+use sigrule_data::{Bitmap, ClassBitmaps, ClassId, Cover, Pattern, TidSet};
 
 /// One frequent pattern in the forest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +59,10 @@ impl PatternForest {
     pub fn new(nodes: Vec<PatternNode>, n_records: usize) -> Self {
         for (i, node) in nodes.iter().enumerate() {
             if let Some(p) = node.parent {
-                assert!(p < i, "node {i} references parent {p} that does not precede it");
+                assert!(
+                    p < i,
+                    "node {i} references parent {p} that does not precede it"
+                );
             }
         }
         PatternForest { nodes, n_records }
@@ -113,6 +127,90 @@ impl PatternForest {
         out
     }
 
+    /// Computes `supp(X ⇒ c)` for every node like
+    /// [`rule_supports`](PatternForest::rule_supports), but through a
+    /// [`SupportPlan`]: nodes the plan packed into bitmaps are counted with
+    /// the word-wise `AND` + popcount kernel against `class_bits`, the rest
+    /// walk their stored tid-list over `labels`.  Appends into `out` (cleared
+    /// first) so the permutation hot loop reuses one allocation.
+    ///
+    /// `class_bits` must be the bitmap of exactly the records whose label in
+    /// `labels` equals `class`; both kernels then count the same sets, so the
+    /// result is identical to [`rule_supports`](PatternForest::rule_supports)
+    /// whatever the plan selected.  A plan with no bitmap nodes (see
+    /// [`SupportPlan::needs_class_bitmaps`]) accepts `None` and skips the
+    /// label-bitmap machinery entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains bitmap-kernel nodes but `class_bits` is
+    /// `None`.
+    pub fn rule_supports_planned(
+        &self,
+        plan: &SupportPlan,
+        labels: &[ClassId],
+        class_bits: Option<&Bitmap>,
+        class: ClassId,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            labels.len(),
+            self.n_records,
+            "label vector length must match the mined dataset"
+        );
+        assert_eq!(
+            plan.bitmaps.len(),
+            self.nodes.len(),
+            "support plan was built for a different forest"
+        );
+        let class_total = match class_bits {
+            Some(bits) => bits.count_ones(),
+            None => labels.iter().filter(|&&c| c == class).count(),
+        };
+        out.clear();
+        out.reserve(self.nodes.len());
+        for (node, stored_bits) in self.nodes.iter().zip(plan.bitmaps.iter()) {
+            let parent_rule_support = match node.parent {
+                Some(p) => out[p],
+                None => class_total,
+            };
+            let support = match stored_bits {
+                Some(bits) => {
+                    let class_bits =
+                        class_bits.expect("a plan with bitmap nodes needs the class bitmap");
+                    node.cover
+                        .rule_support_bitmap(parent_rule_support, bits, class_bits)
+                }
+                None => node.cover.rule_support(parent_rule_support, labels, class),
+            };
+            out.push(support);
+        }
+    }
+
+    /// Builds the per-node counting plan for the permutation engine: packs
+    /// the covers selected by `backend` into bitmaps (a one-off cost reused
+    /// by every permutation) and leaves the rest on the tid-list kernel.
+    pub fn support_plan(&self, backend: SupportBackend) -> SupportPlan {
+        let bitmaps = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let use_bitmap = match backend {
+                    SupportBackend::TidLists => false,
+                    SupportBackend::Bitmaps => true,
+                    // Break-even: the bitmap sweep reads n/64 words, the
+                    // tid-list walk reads stored_len labels.
+                    SupportBackend::Auto => node.cover.stored_len() * 64 >= self.n_records,
+                };
+                use_bitmap.then(|| node.cover.stored_bitmap(self.n_records))
+            })
+            .collect();
+        SupportPlan {
+            bitmaps,
+            n_records: self.n_records,
+        }
+    }
+
     /// The supports (`supp(X)`) of all nodes, in forest order.
     pub fn supports(&self) -> Vec<usize> {
         self.nodes.iter().map(|n| n.support).collect()
@@ -140,7 +238,10 @@ impl PatternForest {
         use std::collections::HashMap;
         let mut groups: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            groups.entry((node.support, node.tid_hash)).or_default().push(i);
+            groups
+                .entry((node.support, node.tid_hash))
+                .or_default()
+                .push(i);
         }
         let mut closed = Vec::new();
         for indices in groups.values() {
@@ -156,6 +257,56 @@ impl PatternForest {
         }
         closed.sort_unstable();
         closed
+    }
+}
+
+/// Which counting kernel the permutation engine uses per forest node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupportBackend {
+    /// Pick per node by density: bitmap when the stored id list has more
+    /// than one id per 64 records, tid-list below that.
+    #[default]
+    Auto,
+    /// Tid-list walking for every node (the paper's §4.2.2 layout; the
+    /// baseline axis of the engine ablation).
+    TidLists,
+    /// Packed bitmaps for every node.
+    Bitmaps,
+}
+
+/// The per-node kernel selection of [`PatternForest::support_plan`] plus the
+/// packed cover bitmaps it chose to build.  Built once per mined forest;
+/// immutable and shareable across permutation workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportPlan {
+    /// `Some(bitmap of the stored id list)` for bitmap-kernel nodes.
+    bitmaps: Vec<Option<Bitmap>>,
+    n_records: usize,
+}
+
+impl SupportPlan {
+    /// Number of nodes counted with the bitmap kernel.
+    pub fn n_bitmap_nodes(&self) -> usize {
+        self.bitmaps.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// True when at least one node needs the per-class label bitmaps; a
+    /// counting pass over a plan without any may pass `None` for the class
+    /// bitmap and skip building them altogether.
+    pub fn needs_class_bitmaps(&self) -> bool {
+        self.bitmaps.iter().any(Option::is_some)
+    }
+
+    /// Bytes held by the packed cover bitmaps.
+    pub fn bitmap_bytes(&self) -> usize {
+        self.bitmaps.iter().flatten().map(Bitmap::size_bytes).sum()
+    }
+
+    /// Allocates the per-class label bitmaps a counting pass over this plan
+    /// uses; the permutation engine keeps one per worker and re-fills it per
+    /// permutation.
+    pub fn make_class_bitmaps(&self, n_classes: usize) -> ClassBitmaps {
+        ClassBitmaps::new(n_classes, self.n_records)
     }
 }
 
@@ -223,6 +374,50 @@ mod tests {
         assert_eq!(rs, vec![2, 2, 3]);
         let rs0 = forest.rule_supports(&labels, 0);
         assert_eq!(rs0, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn planned_counting_matches_unplanned_for_every_backend() {
+        let (forest, labels) = toy_forest();
+        let bitmaps = ClassBitmaps::from_labels(&labels, 2);
+        for backend in [
+            SupportBackend::TidLists,
+            SupportBackend::Bitmaps,
+            SupportBackend::Auto,
+        ] {
+            let plan = forest.support_plan(backend);
+            match backend {
+                SupportBackend::TidLists => {
+                    assert_eq!(plan.n_bitmap_nodes(), 0);
+                    assert!(!plan.needs_class_bitmaps());
+                    assert_eq!(plan.bitmap_bytes(), 0);
+                }
+                SupportBackend::Bitmaps => {
+                    assert_eq!(plan.n_bitmap_nodes(), forest.len());
+                    assert!(plan.needs_class_bitmaps());
+                    assert!(plan.bitmap_bytes() > 0);
+                }
+                SupportBackend::Auto => {}
+            }
+            for class in 0..2u32 {
+                let expected = forest.rule_supports(&labels, class);
+                let mut out = Vec::new();
+                forest.rule_supports_planned(
+                    &plan,
+                    &labels,
+                    Some(bitmaps.class(class)),
+                    class,
+                    &mut out,
+                );
+                assert_eq!(out, expected, "backend {backend:?} class {class}");
+                // A plan without bitmap nodes also counts without any class
+                // bitmap at all.
+                if !plan.needs_class_bitmaps() {
+                    forest.rule_supports_planned(&plan, &labels, None, class, &mut out);
+                    assert_eq!(out, expected, "backend {backend:?} class {class} (None)");
+                }
+            }
+        }
     }
 
     #[test]
@@ -304,7 +499,7 @@ mod tests {
         let f = PatternForest::new(vec![], 10);
         assert!(f.is_empty());
         assert_eq!(f.len(), 0);
-        assert_eq!(f.rule_supports(&vec![0; 10], 0), Vec::<usize>::new());
+        assert_eq!(f.rule_supports(&[0; 10], 0), Vec::<usize>::new());
         assert_eq!(f.closed_indices(), Vec::<usize>::new());
     }
 }

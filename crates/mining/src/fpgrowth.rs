@@ -118,10 +118,8 @@ impl FpGrowthMiner {
                 *counts.entry(item).or_default() += count;
             }
         }
-        let mut frequent: Vec<(ItemId, usize)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= min_sup)
-            .collect();
+        let mut frequent: Vec<(ItemId, usize)> =
+            counts.into_iter().filter(|&(_, c)| c >= min_sup).collect();
         // Deterministic order: by descending count, then by item id.
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         if frequent.is_empty() {
@@ -176,7 +174,13 @@ impl FrequentPatternMiner for FpGrowthMiner {
             .map(|r| (r.items().to_vec(), 1usize))
             .collect();
         let mut result = Vec::new();
-        Self::grow(&transactions, min_sup, &Pattern::empty(), config, &mut result);
+        Self::grow(
+            &transactions,
+            min_sup,
+            &Pattern::empty(),
+            config,
+            &mut result,
+        );
         result
     }
 

@@ -30,6 +30,6 @@ pub mod miner;
 pub use apriori::AprioriMiner;
 pub use closed::closed_flags;
 pub use eclat::EclatMiner;
-pub use forest::{PatternForest, PatternNode};
+pub use forest::{PatternForest, PatternNode, SupportBackend, SupportPlan};
 pub use fpgrowth::FpGrowthMiner;
 pub use miner::{FrequentPattern, FrequentPatternMiner, MinerConfig, MinerKind};

@@ -86,9 +86,9 @@ impl MinerKind {
     /// Mines with the selected algorithm.
     pub fn mine(&self, dataset: &Dataset, config: &MinerConfig) -> Vec<FrequentPattern> {
         match self {
-            MinerKind::Apriori => crate::apriori::AprioriMiner::default().mine(dataset, config),
+            MinerKind::Apriori => crate::apriori::AprioriMiner.mine(dataset, config),
             MinerKind::Eclat => crate::eclat::EclatMiner::default().mine(dataset, config),
-            MinerKind::FpGrowth => crate::fpgrowth::FpGrowthMiner::default().mine(dataset, config),
+            MinerKind::FpGrowth => crate::fpgrowth::FpGrowthMiner.mine(dataset, config),
         }
     }
 

@@ -256,7 +256,10 @@ mod tests {
         let bon = bonferroni(&p, 0.05, None).unwrap();
         let hol = holm(&p, 0.05).unwrap();
         for i in 0..p.len() {
-            assert!(!bon[i] || hol[i], "Holm must reject whatever Bonferroni rejects");
+            assert!(
+                !bon[i] || hol[i],
+                "Holm must reject whatever Bonferroni rejects"
+            );
         }
         // and in this example Holm rejects strictly more
         assert!(hol.iter().filter(|&&b| b).count() > bon.iter().filter(|&&b| b).count());
@@ -280,7 +283,10 @@ mod tests {
         let t_small = benjamini_hochberg_threshold(&p, 0.05, None).unwrap();
         let t_large = benjamini_hochberg_threshold(&p, 0.05, Some(100_000)).unwrap();
         assert!(t_small >= 0.0001);
-        assert!(t_large < 0.0001, "a huge test count makes the threshold unreachable");
+        assert!(
+            t_large < 0.0001,
+            "a huge test count makes the threshold unreachable"
+        );
     }
 
     #[test]

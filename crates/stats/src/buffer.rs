@@ -15,6 +15,17 @@
 //!   to `max_sup` (determined by a byte budget) live permanently in the static
 //!   buffer; larger coverages share a single dynamic slot that is overwritten
 //!   whenever a rule with a different large coverage is evaluated.
+//!
+//! [`PValueCache`] fills lazily behind `&mut self`, which forces every
+//! permutation worker to own a full cache.  The parallel engine instead uses
+//! the split arrangement:
+//!
+//! * [`SharedPValueTable`] — the static buffer built **once, up front**, for
+//!   exactly the distinct coverages the mined rules use (coverages never
+//!   change across permutations), then shared immutably (`&self`, `Sync`)
+//!   by every worker thread;
+//! * [`DynamicBuffer`] — the per-worker single-slot dynamic buffer for
+//!   coverages the byte budget excluded from the static table.
 
 use crate::fisher::two_tailed_from_pmf;
 use crate::hypergeom::Hypergeometric;
@@ -177,19 +188,7 @@ impl PValueCache {
     /// of max_sup is decided by the size of the static buffer".
     pub fn new(n: usize, n_c: usize, budget_bytes: usize, min_sup: usize) -> Self {
         let min_sup = min_sup.max(1).min(n);
-        let mut max_sup = min_sup.saturating_sub(1);
-        let mut used = 0usize;
-        for cov in min_sup..=n {
-            // Worst-case buffer length for this coverage.
-            let lower = (n_c + cov).saturating_sub(n);
-            let upper = n_c.min(cov);
-            let entry = (upper - lower + 1) * std::mem::size_of::<f64>() + 64;
-            if used + entry > budget_bytes {
-                break;
-            }
-            used += entry;
-            max_sup = cov;
-        }
+        let max_sup = static_max_coverage(n, n_c, budget_bytes, min_sup);
         let slots = if max_sup >= min_sup {
             max_sup - min_sup + 1
         } else {
@@ -298,6 +297,178 @@ impl PValueCache {
     }
 }
 
+/// The largest coverage whose buffer still fits a byte budget when every
+/// coverage from `min_sup` up is stored: the paper's "the value of max_sup is
+/// decided by the size of the static buffer" rule, shared by [`PValueCache`]
+/// and [`SharedPValueTable`].
+fn static_max_coverage(n: usize, n_c: usize, budget_bytes: usize, min_sup: usize) -> usize {
+    let mut max_sup = min_sup.saturating_sub(1);
+    let mut used = 0usize;
+    for cov in min_sup..=n {
+        // Worst-case buffer length for this coverage.
+        let lower = (n_c + cov).saturating_sub(n);
+        let upper = n_c.min(cov);
+        let entry = (upper - lower + 1) * std::mem::size_of::<f64>() + 64;
+        if used + entry > budget_bytes {
+            break;
+        }
+        used += entry;
+        max_sup = cov;
+    }
+    max_sup
+}
+
+/// The static half of §4.2.3 rebuilt for parallel permutation workers: the
+/// per-coverage p-value buffers for every **distinct rule coverage** within
+/// the byte budget, built once up front and then only read (`&self`), so a
+/// single table is shared by every worker thread.
+///
+/// Coverages above the budget cut-off ([`max_static_coverage`]
+/// (SharedPValueTable::max_static_coverage)) are served by each worker's own
+/// [`DynamicBuffer`].
+#[derive(Debug, Clone)]
+pub struct SharedPValueTable {
+    n: usize,
+    n_c: usize,
+    min_sup: usize,
+    max_sup: usize,
+    /// `buffers[cov − min_sup]`, built up front for the requested coverages.
+    buffers: Vec<Option<PValueBuffer>>,
+}
+
+impl SharedPValueTable {
+    /// Builds the table for a dataset with `n` records of which `n_c` carry
+    /// the class, storing a buffer for every distinct value in `coverages`
+    /// that falls inside the byte budget (the same `max_sup` rule as
+    /// [`PValueCache::new`]).
+    pub fn build(
+        n: usize,
+        n_c: usize,
+        budget_bytes: usize,
+        min_sup: usize,
+        coverages: impl IntoIterator<Item = usize>,
+        logs: &LogFactorialTable,
+    ) -> Self {
+        let min_sup = min_sup.max(1).min(n);
+        let max_sup = static_max_coverage(n, n_c, budget_bytes, min_sup);
+        let slots = if max_sup >= min_sup {
+            max_sup - min_sup + 1
+        } else {
+            0
+        };
+        let mut buffers: Vec<Option<PValueBuffer>> = vec![None; slots];
+        for cov in coverages {
+            if cov >= min_sup && cov <= max_sup {
+                let slot = &mut buffers[cov - min_sup];
+                if slot.is_none() {
+                    *slot = Some(PValueBuffer::build(n, n_c, cov, logs));
+                }
+            }
+        }
+        SharedPValueTable {
+            n,
+            n_c,
+            min_sup,
+            max_sup,
+            buffers,
+        }
+    }
+
+    /// The buffer for a coverage, if the table holds it.  Immutable — safe to
+    /// call from any number of threads at once.
+    #[inline]
+    pub fn get(&self, supp_x: usize) -> Option<&PValueBuffer> {
+        if supp_x >= self.min_sup && supp_x <= self.max_sup {
+            self.buffers[supp_x - self.min_sup].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Largest coverage the byte budget admitted.
+    pub fn max_static_coverage(&self) -> usize {
+        self.max_sup
+    }
+
+    /// Number of records the table was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Class count the table was built for.
+    pub fn n_c(&self) -> usize {
+        self.n_c
+    }
+
+    /// Number of buffers resident in the table.
+    pub fn n_buffers(&self) -> usize {
+        self.buffers.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Total bytes held by the resident buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.buffers
+            .iter()
+            .flatten()
+            .map(PValueBuffer::size_bytes)
+            .sum()
+    }
+}
+
+/// A single-slot per-coverage buffer owned by one permutation worker: the
+/// dynamic half of §4.2.3, rebuilt whenever a different (large) coverage is
+/// requested.  Unlike [`PValueCache`] it carries no static part, so one
+/// exists per thread while the static table is shared.
+#[derive(Debug, Clone)]
+pub struct DynamicBuffer {
+    n: usize,
+    n_c: usize,
+    slot: Option<PValueBuffer>,
+    builds: u64,
+    hits: u64,
+}
+
+impl DynamicBuffer {
+    /// Creates an empty buffer for a dataset with `n` records, `n_c` of the
+    /// class of interest.
+    pub fn new(n: usize, n_c: usize) -> Self {
+        DynamicBuffer {
+            n,
+            n_c,
+            slot: None,
+            builds: 0,
+            hits: 0,
+        }
+    }
+
+    /// P-value of a rule with the given coverage and support, rebuilding the
+    /// slot if it holds a different coverage.
+    #[inline]
+    pub fn p_value(&mut self, supp_x: usize, supp_r: usize, logs: &LogFactorialTable) -> f64 {
+        let rebuild = match &self.slot {
+            Some(buf) => buf.coverage() != supp_x,
+            None => true,
+        };
+        if rebuild {
+            self.builds += 1;
+            self.slot = Some(PValueBuffer::build(self.n, self.n_c, supp_x, logs));
+        } else {
+            self.hits += 1;
+        }
+        self.slot.as_ref().expect("just built").p_value(supp_r)
+    }
+
+    /// Number of buffer (re)builds.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Number of lookups served without a rebuild.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,7 +532,10 @@ mod tests {
         // Tiny budget so only a few coverages fit in the static buffer.
         let mut cache = PValueCache::new(200, 100, 4000, 10);
         let max_static = cache.max_static_coverage();
-        assert!(max_static >= 10, "budget should admit at least one coverage");
+        assert!(
+            max_static >= 10,
+            "budget should admit at least one coverage"
+        );
 
         // A static-range coverage: first call builds, second hits.
         let p1 = cache.p_value(10, 9, &logs);
@@ -421,6 +595,57 @@ mod tests {
         let _ = cache.p_value(50, 30, &logs);
         let _ = cache.p_value(60, 30, &logs);
         assert!(cache.resident_bytes() > before);
+    }
+
+    #[test]
+    fn shared_table_matches_cache_and_is_prebuilt() {
+        let logs = LogFactorialTable::new(300);
+        let coverages = [20usize, 45, 45, 90];
+        let table = SharedPValueTable::build(300, 120, 1 << 20, 10, coverages, &logs);
+        assert_eq!(table.n(), 300);
+        assert_eq!(table.n_c(), 120);
+        // Every requested in-range coverage is resident, once.
+        assert_eq!(table.n_buffers(), 3);
+        assert!(table.resident_bytes() > 0);
+        let mut cache = PValueCache::new(300, 120, 1 << 20, 10);
+        for cov in [20usize, 45, 90] {
+            let buf = table.get(cov).expect("coverage was requested up front");
+            for k in buf.lower()..=buf.upper() {
+                assert_eq!(
+                    buf.p_value(k),
+                    cache.p_value(cov, k, &logs),
+                    "cov={cov} k={k}"
+                );
+            }
+        }
+        // A coverage that was never requested is absent, not built on demand.
+        assert!(table.get(30).is_none());
+        // Out-of-range coverages are refused rather than built.
+        assert!(table.get(5).is_none());
+    }
+
+    #[test]
+    fn shared_table_budget_cutoff_matches_cache() {
+        let logs = LogFactorialTable::new(200);
+        let cache = PValueCache::new(200, 100, 4000, 10);
+        let table = SharedPValueTable::build(200, 100, 4000, 10, 10..=200, &logs);
+        assert_eq!(table.max_static_coverage(), cache.max_static_coverage());
+        assert!(table.get(table.max_static_coverage() + 1).is_none());
+    }
+
+    #[test]
+    fn dynamic_buffer_rebuilds_per_coverage() {
+        let logs = LogFactorialTable::new(100);
+        let mut dynamic = DynamicBuffer::new(100, 50);
+        let test = FisherTest::with_table(logs.clone());
+        let p = dynamic.p_value(20, 15, &logs);
+        let direct = test.p_value(&RuleCounts::new(100, 50, 20, 15).unwrap(), Tail::TwoSided);
+        assert!((p - direct).abs() < 1e-9);
+        let _ = dynamic.p_value(20, 10, &logs);
+        assert_eq!(dynamic.builds(), 1);
+        assert_eq!(dynamic.hits(), 1);
+        let _ = dynamic.p_value(30, 10, &logs);
+        assert_eq!(dynamic.builds(), 2);
     }
 
     #[test]

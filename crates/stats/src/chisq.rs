@@ -25,14 +25,14 @@ pub struct ChiSquareResult {
 fn ln_gamma(x: f64) -> f64 {
     // Coefficients for the Lanczos approximation.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -135,7 +135,9 @@ pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<ChiSquareResult, St
         return Err(StatsError::invalid_counts("ragged contingency table"));
     }
     let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col_totals: Vec<f64> = (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let col_totals: Vec<f64> = (0..cols)
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
     let grand: f64 = row_totals.iter().sum();
     if grand <= 0.0 {
         return Err(StatsError::invalid_counts("empty contingency table"));
@@ -254,6 +256,9 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(r.dof, 4);
-        assert!(r.p_value > 0.5, "near-uniform table should not be significant");
+        assert!(
+            r.p_value > 0.5,
+            "near-uniform table should not be significant"
+        );
     }
 }

@@ -172,7 +172,10 @@ mod tests {
         let null = EmpiricalNull::from_minima(minima.clone()).unwrap();
         let threshold = null.fwer_threshold(0.05);
         let passing = minima.iter().filter(|&&m| m <= threshold).count();
-        assert_eq!(passing, 50, "exactly ⌊α·N⌋ permutations have a minimum below the cutoff");
+        assert_eq!(
+            passing, 50,
+            "exactly ⌊α·N⌋ permutations have a minimum below the cutoff"
+        );
     }
 
     #[test]

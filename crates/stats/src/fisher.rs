@@ -219,7 +219,12 @@ impl FisherTest {
     /// buffer `B_supp(X)` *after* the two-ends-inward summation (§4.2.3).
     ///
     /// The returned vector is indexed by `k - L`.
-    pub fn all_p_values(&self, n: usize, n_c: usize, supp_x: usize) -> Result<Vec<f64>, StatsError> {
+    pub fn all_p_values(
+        &self,
+        n: usize,
+        n_c: usize,
+        supp_x: usize,
+    ) -> Result<Vec<f64>, StatsError> {
         let dist = Hypergeometric::new(n, n_c, supp_x)?;
         let pmf = dist.pmf_vector(&self.logs);
         Ok(two_tailed_from_pmf(&pmf))

@@ -171,17 +171,19 @@ mod tests {
         ];
         for (k, e) in expected {
             let got = h.pmf(k, &t);
-            assert!(
-                (got - e).abs() / e < 1e-3,
-                "k={k}: got {got}, expected {e}"
-            );
+            assert!((got - e).abs() / e < 1e-3, "k={k}: got {got}, expected {e}");
         }
     }
 
     #[test]
     fn pmf_sums_to_one() {
         let t = logs(2000);
-        for (n, n_c, m) in [(20, 11, 6), (100, 40, 25), (1000, 500, 77), (2000, 1000, 400)] {
+        for (n, n_c, m) in [
+            (20, 11, 6),
+            (100, 40, 25),
+            (1000, 500, 77),
+            (2000, 1000, 400),
+        ] {
             let h = Hypergeometric::new(n, n_c, m).unwrap();
             let total: f64 = h.pmf_vector(&t).iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "n={n} n_c={n_c} m={m}: {total}");

@@ -98,8 +98,7 @@ impl SyntheticGenerator {
         let specs = self.sample_rule_specs(&schema, &mut rng, 2);
         let half = self.params.n_records / 2;
         let exploratory = self.fill_dataset(&schema, &specs, half, &mut rng);
-        let evaluation =
-            self.fill_dataset(&schema, &specs, self.params.n_records - half, &mut rng);
+        let evaluation = self.fill_dataset(&schema, &specs, self.params.n_records - half, &mut rng);
         let whole = exploratory
             .concat(&evaluation)
             .expect("halves share the same schema");
@@ -151,8 +150,8 @@ impl SyntheticGenerator {
                     (a, rng.gen_range(0..card))
                 })
                 .collect();
-            let coverage =
-                rng.gen_range(self.params.min_coverage..=self.params.max_coverage) / coverage_divisor;
+            let coverage = rng.gen_range(self.params.min_coverage..=self.params.max_coverage)
+                / coverage_divisor;
             let confidence = if self.params.max_confidence > self.params.min_confidence {
                 rng.gen_range(self.params.min_confidence..=self.params.max_confidence)
             } else {
@@ -238,9 +237,9 @@ impl SyntheticGenerator {
         }
         let per_class = n_records / n_classes;
         let mut pool: Vec<ClassId> = Vec::new();
-        for class in 0..n_classes {
-            let quota = per_class.saturating_sub(assigned[class]);
-            pool.extend(std::iter::repeat(class as ClassId).take(quota));
+        for (class, &already) in assigned.iter().enumerate() {
+            let quota = per_class.saturating_sub(already);
+            pool.extend(std::iter::repeat_n(class as ClassId, quota));
         }
         let unassigned: Vec<usize> = (0..n_records).filter(|&r| labels[r].is_none()).collect();
         while pool.len() < unassigned.len() {
@@ -255,9 +254,9 @@ impl SyntheticGenerator {
         let mut records = Vec::with_capacity(n_records);
         for r in 0..n_records {
             let mut items = Vec::with_capacity(n_attributes);
-            for a in 0..n_attributes {
+            for (a, cell) in cells[r].iter().enumerate() {
                 let card = schema.attributes()[a].cardinality();
-                let value = cells[r][a].unwrap_or_else(|| rng.gen_range(0..card));
+                let value = cell.unwrap_or_else(|| rng.gen_range(0..card));
                 items.push(schema.item_id(a, value).expect("value within cardinality"));
             }
             records.push(Record::new(items, labels[r].expect("all labels assigned")));
@@ -314,7 +313,11 @@ mod tests {
         assert_eq!(d.n_records(), 400);
         assert_eq!(d.schema().n_attributes(), 12);
         let counts = d.class_counts();
-        assert!((counts.count(0) as i64 - 200).abs() <= 1, "{:?}", counts.as_slice());
+        assert!(
+            (counts.count(0) as i64 - 200).abs() <= 1,
+            "{:?}",
+            counts.as_slice()
+        );
     }
 
     #[test]

@@ -207,7 +207,10 @@ mod tests {
         let d8h = SyntheticParams::d8h_a20_r0();
         assert_eq!((d8h.n_records, d8h.n_attributes, d8h.n_rules), (800, 20, 0));
         let d2k = SyntheticParams::d2k_a20_r5();
-        assert_eq!((d2k.n_records, d2k.n_attributes, d2k.n_rules), (2000, 20, 5));
+        assert_eq!(
+            (d2k.n_records, d2k.n_attributes, d2k.n_rules),
+            (2000, 20, 5)
+        );
         assert_eq!((d2k.min_coverage, d2k.max_coverage), (400, 600));
         assert!(d2k.validate().is_ok());
     }
@@ -230,14 +233,23 @@ mod tests {
 
     #[test]
     fn validation_catches_inconsistencies() {
-        assert!(SyntheticParams::default().with_records(0).validate().is_err());
-        let mut p = SyntheticParams::default();
-        p.n_classes = 1;
+        assert!(SyntheticParams::default()
+            .with_records(0)
+            .validate()
+            .is_err());
+        let p = SyntheticParams {
+            n_classes: 1,
+            ..SyntheticParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SyntheticParams::default();
-        p.max_values = 1;
+        let p = SyntheticParams {
+            max_values: 1,
+            ..SyntheticParams::default()
+        };
         assert!(p.validate().is_err());
-        let p = SyntheticParams::default().with_rules(1).with_coverage(500, 100);
+        let p = SyntheticParams::default()
+            .with_rules(1)
+            .with_coverage(500, 100);
         assert!(p.validate().is_err());
         let p = SyntheticParams::default()
             .with_rules(1)

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --example clinical_screening`
 
-use sigrule_repro::prelude::*;
 use sigrule_data::uci::UciDataset;
+use sigrule_repro::prelude::*;
 
 fn main() {
     // The emulated `hypo` dataset: 3163 patients, 25 discretized attributes,
@@ -38,7 +38,11 @@ fn main() {
     let uncorrected = no_correction(&mined, alpha);
 
     println!("\nrules reported at FDR = {alpha}:");
-    println!("  {:<14} {:>6}", uncorrected.method, uncorrected.n_significant());
+    println!(
+        "  {:<14} {:>6}",
+        uncorrected.method,
+        uncorrected.n_significant()
+    );
     println!("  {:<14} {:>6}", bh.method, bh.n_significant());
     println!("  {:<14} {:>6}", perm.method, perm.n_significant());
 

@@ -44,7 +44,10 @@ fn main() {
         Method::HoldoutBc,
         Method::RandomHoldoutBh,
     ];
-    println!("\n{:<14} {:>12} {:>16} {:>8} {:>8}", "method", "#significant", "#false positives", "FDR", "power");
+    println!(
+        "\n{:<14} {:>12} {:>16} {:>8} {:>8}",
+        "method", "#significant", "#false positives", "FDR", "power"
+    );
     let results = runner.run_all(&methods, &data, min_sup);
     for (method, result) in &results {
         let m = evaluate(&data, result);

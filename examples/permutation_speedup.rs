@@ -1,10 +1,12 @@
-//! The cost of permutation testing, and what the paper's optimisations buy.
+//! The cost of permutation testing, and what the paper's optimisations —
+//! plus this reproduction's parallel bitset engine — buy.
 //!
 //! Re-scoring every rule on a thousand shuffled copies of the data is the
 //! most statistically powerful of the three approaches but also by far the
 //! most expensive (§4.2, Figures 4 and 5).  This example times the four
-//! optimisation levels on the paper's `D2kA20R5` synthetic dataset and prints
-//! the speedup factors.
+//! optimisation levels of Figure 4 on the paper's `D2kA20R5` synthetic
+//! dataset, then the engine axes added on top of the paper: bitmap
+//! (popcount) support counting and the rayon fan-out across permutations.
 //!
 //! Run with: `cargo run --release --example permutation_speedup`
 
@@ -16,21 +18,39 @@ fn main() {
         .expect("valid parameters")
         .generate(1);
     let min_sup = 100;
-    let n_permutations = 200;
-
-    let levels: [(&str, bool, BufferStrategy); 4] = [
-        ("mine-once only (no further optimisation)", false, BufferStrategy::None),
-        ("+ dynamic p-value buffer", false, BufferStrategy::DynamicOnly),
-        ("+ Diffsets", true, BufferStrategy::DynamicOnly),
-        ("+ 16 MB static buffer", true, BufferStrategy::StaticAndDynamic),
-    ];
+    let n_permutations: usize = std::env::var("SIGRULE_PERMUTATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
 
     println!(
-        "dataset D2kA20R5: {} records, {} attributes; min_sup={min_sup}, N={n_permutations} permutations\n",
+        "dataset D2kA20R5: {} records, {} attributes; min_sup={min_sup}, N={n_permutations} \
+         permutations; {} core(s) available\n",
         dataset.n_records(),
-        dataset.schema().n_attributes()
+        dataset.schema().n_attributes(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
+    // ---- Figure 4: the paper's optimisation levels (serial, tid-lists) ----
+    println!("Figure 4 ablation (serial engine, tid-list counting):");
+    let levels: [(&str, bool, BufferStrategy); 4] = [
+        (
+            "mine-once only (no further optimisation)",
+            false,
+            BufferStrategy::None,
+        ),
+        (
+            "+ dynamic p-value buffer",
+            false,
+            BufferStrategy::DynamicOnly,
+        ),
+        ("+ Diffsets", true, BufferStrategy::DynamicOnly),
+        (
+            "+ 16 MB static buffer",
+            true,
+            BufferStrategy::StaticAndDynamic,
+        ),
+    ];
     let mut baseline = None;
     for (label, use_diffsets, buffer) in levels {
         let start = Instant::now();
@@ -40,19 +60,63 @@ fn main() {
         );
         let result = PermutationCorrection::new(n_permutations)
             .with_buffer(buffer)
+            .with_mode(ExecutionMode::Serial)
+            .with_backend(SupportBackend::TidLists)
             .control_fwer(&mined, 0.05);
         let elapsed = start.elapsed().as_secs_f64();
         let baseline_time = *baseline.get_or_insert(elapsed);
         println!(
-            "{label:<45} {elapsed:>8.3}s  (x{:>5.1} speedup)  {} significant rules",
+            "  {label:<45} {elapsed:>8.3}s  (x{:>5.1} speedup)  {} significant rules",
             baseline_time / elapsed,
             result.n_significant()
         );
     }
 
+    // ---- Engine axes: bitmap counting and the rayon fan-out ----
+    println!("\nEngine axes (Diffsets + 16 MB static buffer throughout):");
+    let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
+    let axes: [(&str, ExecutionMode, SupportBackend); 4] = [
+        (
+            "serial, tid-list counting (paper's engine)",
+            ExecutionMode::Serial,
+            SupportBackend::TidLists,
+        ),
+        (
+            "serial, bitmap counting",
+            ExecutionMode::Serial,
+            SupportBackend::Bitmaps,
+        ),
+        (
+            "serial, density auto-selection",
+            ExecutionMode::Serial,
+            SupportBackend::Auto,
+        ),
+        (
+            "parallel, density auto-selection (default)",
+            ExecutionMode::Parallel,
+            SupportBackend::Auto,
+        ),
+    ];
+    let mut reference = None;
+    for (label, mode, backend) in axes {
+        let correction = PermutationCorrection::new(n_permutations)
+            .with_mode(mode)
+            .with_backend(backend);
+        let start = Instant::now();
+        let stats = correction.collect_stats(&mined);
+        let elapsed = start.elapsed().as_secs_f64();
+        let reference_time = *reference.get_or_insert(elapsed);
+        println!(
+            "  {label:<45} {elapsed:>8.3}s  (x{:>5.1} speedup)  {} minima",
+            reference_time / elapsed,
+            stats.minima.len()
+        );
+    }
+
     println!(
-        "\nThe exact factors depend on the machine, but the ordering and the order of\n\
-         magnitude match Figure 4: p-value buffering alone is worth ~10x, Diffsets add\n\
-         several more, and the static buffer mainly helps when many rules share coverages."
+        "\nThe exact factors depend on the machine, but the ordering matches Figure 4:\n\
+         p-value buffering is worth an order of magnitude, Diffsets add more, bitmap\n\
+         counting accelerates dense covers, and the rayon fan-out scales the whole\n\
+         pass with the core count (statistics stay bit-identical throughout)."
     );
 }

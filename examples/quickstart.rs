@@ -17,15 +17,21 @@ fn main() {
         .with_confidence(0.75, 0.85);
     let generator = SyntheticGenerator::new(params).expect("valid parameters");
     let paired = generator.generate_paired(42);
-    println!("dataset: {} records, {} attributes, {} embedded rules\n",
+    println!(
+        "dataset: {} records, {} attributes, {} embedded rules\n",
         paired.whole.n_records(),
         paired.whole.schema().n_attributes(),
-        paired.rules.len());
+        paired.rules.len()
+    );
 
     // 2. Mine class association rules (closed patterns only, min_sup = 150)
     //    and attach two-tailed Fisher exact p-values.
     let mined = mine_rules(&paired.whole, &RuleMiningConfig::new(150));
-    println!("mined {} rules ({} hypothesis tests)\n", mined.rules().len(), mined.n_tests());
+    println!(
+        "mined {} rules ({} hypothesis tests)\n",
+        mined.rules().len(),
+        mined.n_tests()
+    );
 
     // 3. Compare the approaches at a 5% error level.
     let alpha = 0.05;

@@ -25,7 +25,9 @@ pub use sigrule_synth as synth;
 /// Frequently used items, for `use sigrule_repro::prelude::*`.
 pub mod prelude {
     pub use sigrule::correction::holdout::{holdout_from_parts, random_holdout};
-    pub use sigrule::correction::permutation::{BufferStrategy, PermutationCorrection};
+    pub use sigrule::correction::permutation::{
+        BufferStrategy, ExecutionMode, PermutationCorrection, PermutationStats, SupportBackend,
+    };
     pub use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
     pub use sigrule::{mine_rules, ClassRule, MinedRuleSet, RuleMiningConfig};
     pub use sigrule_data::{Dataset, Pattern, Record, Schema};
@@ -39,7 +41,9 @@ mod tests {
     #[test]
     fn prelude_is_importable() {
         use crate::prelude::*;
-        let params = SyntheticParams::default().with_records(100).with_attributes(5);
+        let params = SyntheticParams::default()
+            .with_records(100)
+            .with_attributes(5);
         let (d, _) = SyntheticGenerator::new(params).unwrap().generate(1);
         let mined = mine_rules(&d, &RuleMiningConfig::new(20));
         let _ = no_correction(&mined, 0.05);

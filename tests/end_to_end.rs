@@ -30,16 +30,30 @@ fn full_pipeline_detects_planted_rule_and_controls_errors() {
     for (method, result) in &results {
         let metrics = sigrule_eval::evaluate(&data, result);
         // Bookkeeping invariants that must hold for every method.
-        assert_eq!(result.significant.len(), result.rules.len(), "{}", method.label());
+        assert_eq!(
+            result.significant.len(),
+            result.rules.len(),
+            "{}",
+            method.label()
+        );
         assert!(metrics.n_false_positives <= metrics.n_significant);
         assert!(metrics.n_detected <= 1);
         // The whole-dataset corrections must find a coverage-200 /
         // confidence-0.85 rule.
         if matches!(
             method,
-            Method::NoCorrection | Method::Bonferroni | Method::BenjaminiHochberg | Method::PermFwer | Method::PermFdr
+            Method::NoCorrection
+                | Method::Bonferroni
+                | Method::BenjaminiHochberg
+                | Method::PermFwer
+                | Method::PermFdr
         ) {
-            assert_eq!(metrics.n_detected, 1, "{} missed the planted rule", method.label());
+            assert_eq!(
+                metrics.n_detected,
+                1,
+                "{} missed the planted rule",
+                method.label()
+            );
         }
     }
 
@@ -94,7 +108,11 @@ fn csv_loader_feeds_the_same_pipeline() {
         let age = 20 + (i * 3) % 60;
         let pressure = if i % 4 == 0 { "high" } else { "normal" };
         // outcome correlates with pressure
-        let outcome = if pressure == "high" && i % 8 != 0 { "sick" } else { "healthy" };
+        let outcome = if pressure == "high" && i % 8 != 0 {
+            "sick"
+        } else {
+            "healthy"
+        };
         csv.push_str(&format!("{age},{pressure},{outcome}\n"));
     }
     let dataset =
@@ -126,7 +144,11 @@ fn permutation_and_direct_adjustment_agree_on_obvious_cases() {
         .zip(perm.significant.iter())
     {
         if bc_sig && rule.p_value < 1e-10 {
-            assert!(perm_sig, "rule {:?} passes BC but not permutation", rule.pattern);
+            assert!(
+                perm_sig,
+                "rule {:?} passes BC but not permutation",
+                rule.pattern
+            );
         }
     }
 }

@@ -25,7 +25,11 @@ fn aggregate(
         min_sup,
     };
     let points = one_rule::run(ctx, &axis, methods);
-    points.into_iter().next().expect("one sweep point").per_method
+    points
+        .into_iter()
+        .next()
+        .expect("one sweep point")
+        .per_method
 }
 
 #[test]
@@ -142,9 +146,8 @@ fn permutation_cutoff_is_never_tighter_than_bonferroni() {
         .with_rules(1)
         .with_coverage(150, 150)
         .with_confidence(0.8, 0.8);
-    let data = PreparedDataset::from_paired(
-        SyntheticGenerator::new(params).unwrap().generate_paired(11),
-    );
+    let data =
+        PreparedDataset::from_paired(SyntheticGenerator::new(params).unwrap().generate_paired(11));
     let runner = MethodRunner::new(150);
     let mined = runner.mine_whole(&data, 80);
     let bc = runner.run(Method::Bonferroni, &data, &mined, 80);

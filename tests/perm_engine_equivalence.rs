@@ -1,0 +1,158 @@
+//! Property tests for the parallel bitset permutation engine: whatever the
+//! execution mode (serial vs. rayon fan-out), worker count, support-counting
+//! backend (tid-lists vs. bitmaps vs. density auto-selection) or buffer
+//! strategy, `collect_stats` must produce **identical** `PermutationStats`
+//! for the same seed.  This is the contract that makes the engine's
+//! parallelism and vectorisation invisible to the statistics of the paper.
+
+use proptest::prelude::*;
+use sigrule_repro::prelude::*;
+use sigrule_repro::stats::SharedPValueTable;
+
+/// Strategy: a small synthetic dataset spec (records, attributes, embedded-
+/// rule confidence, generator seed) plus a permutation count and shuffle
+/// seed — small enough that every case runs the engine a dozen ways.
+fn engine_case() -> impl Strategy<Value = (MinedRuleSet, usize, u64)> {
+    (
+        150usize..=350,
+        6usize..=10,
+        0u64..500,
+        70u64..95,
+        4usize..=20,
+        0u64..10_000,
+    )
+        .prop_map(
+            |(records, attrs, data_seed, conf_pct, n_perms, shuffle_seed)| {
+                let params = SyntheticParams::default()
+                    .with_records(records)
+                    .with_attributes(attrs)
+                    .with_rules(1)
+                    .with_coverage(records / 5, records / 5)
+                    .with_confidence(conf_pct as f64 / 100.0, conf_pct as f64 / 100.0);
+                let (dataset, _) = SyntheticGenerator::new(params)
+                    .expect("valid parameters")
+                    .generate(data_seed);
+                let mined = mine_rules(&dataset, &RuleMiningConfig::new(records / 8));
+                (mined, n_perms, shuffle_seed)
+            },
+        )
+}
+
+fn engine(n_perms: usize, seed: u64) -> PermutationCorrection {
+    PermutationCorrection::new(n_perms).with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Serial and rayon-parallel execution agree bit for bit at every worker
+    /// count, including more workers than chunks.
+    #[test]
+    fn serial_vs_parallel_any_thread_count((mined, n_perms, seed) in engine_case()) {
+        let reference = engine(n_perms, seed)
+            .with_mode(ExecutionMode::Serial)
+            .collect_stats(&mined);
+        for threads in [1usize, 2, 4, 16] {
+            let pool = sigrule_repro::core::correction::permutation::rayon_pool(threads)
+                .expect("pool builds");
+            let parallel = pool.install(|| {
+                engine(n_perms, seed)
+                    .with_mode(ExecutionMode::Parallel)
+                    .collect_stats(&mined)
+            });
+            prop_assert_eq!(&reference, &parallel, "threads={}", threads);
+        }
+    }
+
+    /// The three support-counting backends count identical sets, so the
+    /// statistics match exactly — serial and parallel alike.
+    #[test]
+    fn backends_agree_bitwise((mined, n_perms, seed) in engine_case()) {
+        let reference = engine(n_perms, seed)
+            .with_mode(ExecutionMode::Serial)
+            .with_backend(SupportBackend::TidLists)
+            .collect_stats(&mined);
+        for backend in [SupportBackend::Bitmaps, SupportBackend::Auto] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Parallel] {
+                let stats = engine(n_perms, seed)
+                    .with_mode(mode)
+                    .with_backend(backend)
+                    .collect_stats(&mined);
+                prop_assert_eq!(&reference, &stats, "backend={:?} mode={:?}", backend, mode);
+            }
+        }
+    }
+
+    /// Buffer strategies change only *how* p-values are obtained, never their
+    /// values: pooled counts match exactly and minima to float tolerance,
+    /// under both execution modes.
+    #[test]
+    fn buffer_strategies_agree((mined, n_perms, seed) in engine_case()) {
+        let reference = engine(n_perms, seed)
+            .with_mode(ExecutionMode::Serial)
+            .with_buffer(BufferStrategy::None)
+            .collect_stats(&mined);
+        for buffer in [BufferStrategy::DynamicOnly, BufferStrategy::StaticAndDynamic] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Parallel] {
+                let stats = engine(n_perms, seed)
+                    .with_mode(mode)
+                    .with_buffer(buffer)
+                    .collect_stats(&mined);
+                prop_assert_eq!(&reference.pool_counts_leq, &stats.pool_counts_leq);
+                prop_assert_eq!(reference.minima.len(), stats.minima.len());
+                for (a, b) in reference.minima.iter().zip(stats.minima.iter()) {
+                    prop_assert!((a - b).abs() < 1e-9, "minima diverge: {} vs {}", a, b);
+                }
+            }
+        }
+    }
+
+    /// Permutation i depends on (seed, i) alone: prefixes of the permutation
+    /// stream are stable, and different seeds genuinely differ.
+    #[test]
+    fn permutation_stream_is_indexed_by_seed((mined, n_perms, seed) in engine_case()) {
+        let full = engine(n_perms, seed).collect_stats(&mined);
+        let prefix_len = (n_perms / 2).max(1);
+        let prefix = engine(prefix_len, seed).collect_stats(&mined);
+        prop_assert_eq!(prefix.minima.as_slice(), &full.minima[..prefix_len]);
+        let other = engine(n_perms, seed ^ 0xdead_beef).collect_stats(&mined);
+        prop_assert_eq!(other.minima.len(), full.minima.len());
+    }
+}
+
+/// The shared static table prebuilds exactly the coverages the rules use, so
+/// parallel workers never mutate shared cache state.
+#[test]
+fn shared_static_table_covers_all_rule_coverages() {
+    let params = SyntheticParams::default()
+        .with_records(400)
+        .with_attributes(10)
+        .with_rules(1)
+        .with_coverage(80, 80)
+        .with_confidence(0.9, 0.9);
+    let (dataset, _) = SyntheticGenerator::new(params).unwrap().generate(11);
+    let mined = mine_rules(&dataset, &RuleMiningConfig::new(40));
+    assert!(!mined.rules().is_empty());
+    let logs = sigrule_repro::stats::LogFactorialTable::new(mined.n_records());
+    for class in 0..mined.n_classes() {
+        let coverages: Vec<usize> = mined
+            .rules()
+            .iter()
+            .filter(|r| r.class as usize == class)
+            .map(|r| r.coverage)
+            .collect();
+        let table = SharedPValueTable::build(
+            mined.n_records(),
+            mined.class_counts()[class],
+            16 * 1024 * 1024,
+            40,
+            coverages.iter().copied(),
+            &logs,
+        );
+        for &cov in &coverages {
+            if cov <= table.max_static_coverage() {
+                assert!(table.get(cov).is_some(), "coverage {cov} not prebuilt");
+            }
+        }
+    }
+}

@@ -3,10 +3,10 @@
 //! p-value validity and monotonicity of the multiple-testing procedures.
 
 use proptest::prelude::*;
-use sigrule_repro::prelude::*;
 use sigrule_repro::mining::{
     closed_flags, AprioriMiner, EclatMiner, FpGrowthMiner, FrequentPatternMiner, MinerConfig,
 };
+use sigrule_repro::prelude::*;
 use sigrule_repro::stats::{adjusted_p_values, benjamini_hochberg, AdjustMethod};
 
 /// Strategy: a small random class-labelled dataset (records over `n_attrs`
@@ -19,10 +19,7 @@ fn small_dataset_strategy() -> impl Strategy<Value = (Dataset, usize)> {
         let record_strategy = {
             let schema = schema.clone();
             prop::collection::vec(
-                (
-                    prop::collection::vec(0usize..3, n_attrs),
-                    0u32..2u32,
-                ),
+                (prop::collection::vec(0usize..3, n_attrs), 0u32..2u32),
                 n_records,
             )
             .prop_map(move |rows| {
@@ -171,7 +168,7 @@ proptest! {
     #[test]
     fn holdout_split_preserves_records((dataset, _min_sup) in small_dataset_strategy(), seed in 0u64..100) {
         let n = dataset.n_records();
-        let mask: Vec<bool> = (0..n).map(|i| (i as u64 + seed) % 2 == 0).collect();
+        let mask: Vec<bool> = (0..n).map(|i| (i as u64 + seed).is_multiple_of(2)).collect();
         let (a, b) = dataset.split_by_mask(&mask).unwrap();
         prop_assert_eq!(a.n_records() + b.n_records(), n);
         let recombined = a.concat(&b).unwrap();

@@ -1,0 +1,400 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the subset of the rayon API the repository uses —
+//! `into_par_iter()` / `par_iter()`, `map`, `filter`, `for_each`, `collect`,
+//! `sum`, `reduce`, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`] for
+//! pinning the worker count — on top of `std::thread::scope`.
+//!
+//! Work distribution is dynamic: workers pull the next item off a shared
+//! queue, so uneven items (e.g. permutation chunks of different cost) still
+//! balance.  Results are written back by item index, so ordering is identical
+//! to the sequential execution regardless of the number of threads.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Everything a caller needs, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations on this thread will use:
+/// the innermost [`ThreadPool::install`] override, or the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|o| match o.get() {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; building cannot
+/// actually fail in this stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that pins the worker count of parallel operations run under
+/// [`ThreadPool::install`].  Workers are spawned per operation (scoped
+/// threads), not kept alive by the pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count applied to every parallel
+    /// operation `f` performs on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = NUM_THREADS_OVERRIDE.with(|o| o.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The worker count parallel operations under this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// Applies `f` to every item on `n_threads` scoped worker threads, preserving
+/// item order in the result.
+fn par_apply<T, R, F>(items: Vec<T>, f: &F, n_threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n_threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let work = Mutex::new(indexed.into_iter());
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads.min(n) {
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").next();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        *out[i].lock().expect("result slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A (fully materialised) parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Materialises the items, running any pending stages in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Parallel filter.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Applies `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+
+    /// Collects into any container buildable from a `Vec` of items.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Reduces the items with `op`, starting from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Base parallel iterator over an owned list of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel map stage.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.run();
+        par_apply(items, &self.f, current_num_threads())
+    }
+}
+
+/// Parallel filter stage.
+pub struct Filter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn run(self) -> Vec<I::Item> {
+        let f = &self.f;
+        let kept = par_apply(
+            self.inner.run(),
+            &|item| if f(&item) { Some(item) } else { None },
+            current_num_threads(),
+        );
+        kept.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecParIter<$t>;
+
+            fn into_par_iter(self) -> VecParIter<$t> {
+                VecParIter { items: self.collect() }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = VecParIter<$t>;
+
+            fn into_par_iter(self) -> VecParIter<$t> {
+                VecParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u32, u64, usize);
+
+/// `par_iter()` on borrowed slices and vectors, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<usize> =
+                pool.install(|| (0..100usize).into_par_iter().map(|i| i * 2).collect());
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_sum_reduce() {
+        let evens: Vec<u64> = (0..50u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 25);
+        let s: u64 = (1..=10u64).into_par_iter().sum();
+        assert_eq!(s, 55);
+        let m = (0..32usize).into_par_iter().reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(m, 31);
+    }
+
+    #[test]
+    fn par_iter_on_slices() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn work_actually_crosses_threads() {
+        // With >1 worker, at least two distinct thread ids should appear for
+        // enough items (probabilistic only on a 1-core box, so just assert
+        // the call completes and yields every item).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert_eq!(ids.len(), 64);
+    }
+}

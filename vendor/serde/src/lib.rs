@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers, but no serialisation format crate
+//! is in the dependency tree, so nothing ever calls the traits.  This
+//! stand-in provides the two trait names plus no-op derive macros so the
+//! annotations compile; swapping in the real serde later requires no source
+//! changes.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
