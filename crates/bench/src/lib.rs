@@ -11,6 +11,15 @@
 //! * `SIGRULE_SEED` — base seed
 //! * `SIGRULE_FULL=1` — include the large datasets (adult, mushroom) in the
 //!   timing and real-world figures
+//!
+//! # Example: build a context and print a table the way the binaries do
+//!
+//! ```
+//! let ctx = sigrule_bench::context(2, 10);
+//! assert!(ctx.replicates >= 1);
+//! let table = sigrule_eval::Table::new("demo", vec!["k", "v"]);
+//! sigrule_bench::emit_all(&[table]);
+//! ```
 
 use sigrule_eval::experiments::ExperimentContext;
 use sigrule_eval::Table;

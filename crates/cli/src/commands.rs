@@ -1,0 +1,271 @@
+//! The `mine`, `correct` and `bench` subcommands.
+
+use crate::args::{parse_correction, ArgMap, CommonOpts, UsageError};
+use crate::output::{method_summary_row, significant_rules_table, Report};
+use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError};
+use sigrule::ErrorMetric;
+use sigrule_data::loader::load_csv_file;
+use sigrule_data::Dataset;
+use sigrule_eval::report::Table;
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+use std::time::Instant;
+
+/// A failed command: either a bad invocation (exit 2) or a runtime error
+/// (exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed command line.
+    Usage(UsageError),
+    /// The command itself failed (missing file, malformed data, ...).
+    Runtime(String),
+}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+impl From<sigrule_data::DataError> for CliError {
+    fn from(e: sigrule_data::DataError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+fn millis(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Builds the pipeline a [`CommonOpts`] set describes for `n_records`
+/// records.
+fn pipeline_for(
+    opts: &CommonOpts,
+    n_records: usize,
+    approach: CorrectionApproach,
+    metric: ErrorMetric,
+) -> Pipeline {
+    let mut pipeline = Pipeline::new(opts.effective_min_sup(n_records))
+        .with_load(opts.load_options())
+        .with_mining(opts.mining_config(n_records))
+        .with_correction(approach, metric)
+        .with_alpha(opts.alpha)
+        .with_permutations(opts.permutations)
+        .with_seed(opts.seed);
+    if let Some(n) = opts.threads {
+        pipeline = pipeline.with_threads(n);
+    }
+    pipeline
+}
+
+/// Loads the dataset named by `--input` (required here).
+fn load_input(opts: &CommonOpts) -> Result<(Dataset, f64), CliError> {
+    let Some(path) = &opts.input else {
+        return Err(CliError::Usage(UsageError(
+            "--input <file> is required".into(),
+        )));
+    };
+    let start = Instant::now();
+    let dataset = load_csv_file(path, &opts.load_options())
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+    Ok((dataset, millis(start.elapsed())))
+}
+
+fn dataset_summary(report: &mut Report, opts: &CommonOpts, dataset: &Dataset) {
+    if let Some(path) = &opts.input {
+        report.add("input", path.display());
+    }
+    report.add("records", dataset.n_records());
+    report.add("attributes", dataset.schema().n_attributes());
+    report.add("items", dataset.schema().n_items());
+    report.add(
+        "classes",
+        format!(
+            "{} ({})",
+            dataset.n_classes(),
+            dataset.schema().classes().join(", ")
+        ),
+    );
+    report.add("min_sup", opts.effective_min_sup(dataset.n_records()));
+}
+
+/// `sigrule mine`: load → mine → one correction → significant rules.
+pub fn mine(args: &ArgMap) -> Result<Report, CliError> {
+    let mut known = CommonOpts::VALUE_FLAGS.to_vec();
+    known.extend(["correction", "metric"]);
+    args.reject_unknown(&known)?;
+    let opts = CommonOpts::from_args(args)?;
+    let (approach, metric) = parse_correction(args)?;
+
+    let (dataset, load_ms) = load_input(&opts)?;
+    let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
+    let run = pipeline.run_dataset(&dataset)?;
+
+    let mut report = Report::new("mine");
+    dataset_summary(&mut report, &opts, &dataset);
+    report.add("rules_mined", run.mined.rules().len());
+    report.add("hypothesis_tests", run.mined.n_tests());
+    report.add("correction", run.result.method.clone());
+    report.add("metric", run.result.metric.label());
+    report.add("alpha", opts.alpha);
+    if approach == CorrectionApproach::Permutation {
+        report.add("permutations", opts.permutations);
+        report.add("seed", opts.seed);
+    }
+    if let Some(cutoff) = run.result.p_value_cutoff {
+        report.add("p_value_cutoff", format!("{cutoff:.6e}"));
+    }
+    report.add("significant", run.result.n_significant());
+    report.add("load_ms", format!("{load_ms:.1}"));
+    report.add("mine_ms", format!("{:.1}", millis(run.timings.mine)));
+    report.add("correct_ms", format!("{:.1}", millis(run.timings.correct)));
+    report.tables.push(significant_rules_table(&run, opts.top));
+    Ok(report)
+}
+
+/// The method roster `sigrule correct` and `sigrule bench` iterate:
+/// every approach × metric combination of the paper that runs on a single
+/// whole dataset.
+fn method_roster() -> Vec<(CorrectionApproach, ErrorMetric)> {
+    vec![
+        (CorrectionApproach::None, ErrorMetric::Fwer),
+        (CorrectionApproach::Direct, ErrorMetric::Fwer),
+        (CorrectionApproach::Direct, ErrorMetric::Fdr),
+        (CorrectionApproach::Permutation, ErrorMetric::Fwer),
+        (CorrectionApproach::Permutation, ErrorMetric::Fdr),
+        (CorrectionApproach::Holdout, ErrorMetric::Fwer),
+        (CorrectionApproach::Holdout, ErrorMetric::Fdr),
+    ]
+}
+
+/// `sigrule correct`: load → mine once → every correction approach →
+/// comparison table (the CLI's version of the paper's Table 3 axes).
+pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
+    args.reject_unknown(CommonOpts::VALUE_FLAGS)?;
+    let opts = CommonOpts::from_args(args)?;
+
+    let (dataset, load_ms) = load_input(&opts)?;
+    let base = pipeline_for(
+        &opts,
+        dataset.n_records(),
+        CorrectionApproach::None,
+        ErrorMetric::Fwer,
+    );
+    let mine_start = Instant::now();
+    let mined = sigrule::mine_rules(&dataset, &base.mining);
+    let mine_ms = millis(mine_start.elapsed());
+
+    let mut table = Table::new(
+        format!("correction comparison at alpha = {}", opts.alpha),
+        vec![
+            "method",
+            "metric",
+            "alpha",
+            "n_tests",
+            "significant",
+            "p_value_cutoff",
+            "time_ms",
+        ],
+    );
+    for (approach, metric) in method_roster() {
+        let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
+        let start = Instant::now();
+        let result = pipeline.correct(&dataset, &mined)?;
+        table.push_row(method_summary_row(&result, millis(start.elapsed())));
+    }
+
+    let mut report = Report::new("correct");
+    dataset_summary(&mut report, &opts, &dataset);
+    report.add("rules_mined", mined.rules().len());
+    report.add("hypothesis_tests", mined.n_tests());
+    report.add("permutations", opts.permutations);
+    report.add("seed", opts.seed);
+    report.add("load_ms", format!("{load_ms:.1}"));
+    report.add("mine_ms", format!("{mine_ms:.1}"));
+    report.tables.push(table);
+    Ok(report)
+}
+
+/// `sigrule bench`: time every pipeline stage on a real file (`--input`) or
+/// on a synthetic dataset (`--records` / `--attributes` / `--rules`).
+pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
+    let mut known = CommonOpts::VALUE_FLAGS.to_vec();
+    known.extend(["records", "attributes", "rules"]);
+    args.reject_unknown(&known)?;
+    let opts = CommonOpts::from_args(args)?;
+
+    let mut report = Report::new("bench");
+    let (dataset, source, load_ms) = if opts.input.is_some() {
+        let (dataset, load_ms) = load_input(&opts)?;
+        (dataset, "file", load_ms)
+    } else {
+        let records: usize = args.get_parsed("records")?.unwrap_or(2000);
+        let attributes: usize = args.get_parsed("attributes")?.unwrap_or(20);
+        let rules: usize = args.get_parsed("rules")?.unwrap_or(2);
+        // Scale embedded-rule coverage with the dataset so any --records
+        // value yields valid generator parameters.
+        let params = SyntheticParams::default()
+            .with_records(records)
+            .with_attributes(attributes)
+            .with_rules(rules)
+            .with_coverage((records / 10).max(1), (records / 8).max(1))
+            .with_confidence(0.8, 0.9);
+        let start = Instant::now();
+        let (dataset, _) = SyntheticGenerator::new(params)
+            .map_err(CliError::Runtime)?
+            .generate(opts.seed);
+        (dataset, "synthetic", millis(start.elapsed()))
+    };
+    report.add("source", source);
+    dataset_summary(&mut report, &opts, &dataset);
+    report.add("permutations", opts.permutations);
+    report.add("seed", opts.seed);
+
+    let mut table = Table::new(
+        "pipeline stage timings",
+        vec!["stage", "detail", "time_ms", "result"],
+    );
+    table.push_row(vec![
+        "load".into(),
+        source.into(),
+        format!("{load_ms:.1}"),
+        format!("{} records", dataset.n_records()),
+    ]);
+
+    let base = pipeline_for(
+        &opts,
+        dataset.n_records(),
+        CorrectionApproach::None,
+        ErrorMetric::Fwer,
+    );
+    let start = Instant::now();
+    let mined = sigrule::mine_rules(&dataset, &base.mining);
+    table.push_row(vec![
+        "mine".into(),
+        format!("min_sup {}", base.mining.min_sup),
+        format!("{:.1}", millis(start.elapsed())),
+        format!("{} rules, {} tests", mined.rules().len(), mined.n_tests()),
+    ]);
+
+    for (approach, metric) in method_roster() {
+        if approach == CorrectionApproach::None {
+            continue;
+        }
+        let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
+        let start = Instant::now();
+        let result = pipeline.correct(&dataset, &mined)?;
+        table.push_row(vec![
+            "correct".into(),
+            format!("{} ({})", result.method, metric.label()),
+            format!("{:.1}", millis(start.elapsed())),
+            format!("{} significant", result.n_significant()),
+        ]);
+    }
+    report.tables.push(table);
+    Ok(report)
+}

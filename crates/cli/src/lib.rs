@@ -1,0 +1,216 @@
+//! Implementation of the `sigrule` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; the logic lives in a library
+//! crate so the end-to-end tests can build the expected output through
+//! exactly the same code paths the binary uses.
+//!
+//! Three subcommands cover the workflow of the paper (*Controlling False
+//! Positives in Association Rule Mining*, Liu, Zhang, Wong, PVLDB 2011):
+//!
+//! * `sigrule mine` — load a CSV/TSV dataset, mine class association rules,
+//!   apply one correction approach, report the significant rules;
+//! * `sigrule correct` — mine once, run **every** correction approach, and
+//!   print a comparison table;
+//! * `sigrule bench` — time each pipeline stage on a file or on synthetic
+//!   data.
+//!
+//! ```
+//! use sigrule_cli::{run, RunOutcome};
+//!
+//! // A malformed invocation is reported on stderr with exit code 2.
+//! let outcome = run(&["mine".to_string(), "--bogus".to_string(), "1".to_string()]);
+//! assert_eq!(outcome.exit_code, 2);
+//! assert!(outcome.stderr.contains("unknown option"));
+//!
+//! // `help` prints the usage text.
+//! let outcome = run(&["help".to_string()]);
+//! assert_eq!(outcome.exit_code, 0);
+//! assert!(outcome.stdout.contains("sigrule mine"));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+pub mod output;
+
+use args::{ArgMap, CommonOpts};
+use commands::CliError;
+
+/// The usage text printed by `sigrule help` and on usage errors.
+pub const USAGE: &str = "\
+sigrule — statistically sound class association rule mining
+(reproduction of Liu, Zhang, Wong: Controlling False Positives in
+Association Rule Mining, PVLDB 2011)
+
+USAGE:
+  sigrule mine    --input <file> [options]   mine + one correction approach
+  sigrule correct --input <file> [options]   compare all correction approaches
+  sigrule bench   [--input <file>] [options] time every pipeline stage
+  sigrule help                               print this text
+
+INPUT (CSV by default):
+  --input <file>        dataset file to load
+  --class <name|index>  class column (default: the last column)
+  --separator <char>    column separator (default ,)
+  --tsv                 tab-separated input
+  --no-header           first row is data; columns are named A0, A1, ...
+
+MINING:
+  --min-sup <n>         minimum support (default: 1% of records, at least 2)
+  --min-conf <f>        minimum confidence filter (default 0, as in the paper)
+  --max-length <n>      cap on rule length
+  --all-patterns        test all frequent patterns, not only closed ones
+
+CORRECTION (mine only):
+  --correction <name>   none | bonferroni | bh | permutation | holdout
+                        (default bonferroni)
+  --metric <name>       fwer | fdr (default fwer; implied by bonferroni/bh)
+
+SHARED:
+  --alpha <f>           significance level (default 0.05)
+  --permutations <n>    permutation count (default 1000)
+  --seed <n>            RNG seed for permutation/holdout (default 17)
+  --threads <n>         worker threads for the permutation engine
+  --format <name>       human | json | csv (default human)
+  --top <n>             rules shown in reports (default 20; 0 = all)
+
+BENCH (synthetic input when --input is omitted):
+  --records <n>         synthetic records (default 2000)
+  --attributes <n>      synthetic attributes (default 20)
+  --rules <n>           embedded rules (default 2)
+
+Exit codes: 0 success, 1 runtime error (e.g. malformed input file), 2 usage.
+";
+
+/// What one invocation produced: the streams to print and the exit code.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Text for stdout.
+    pub stdout: String,
+    /// Text for stderr.
+    pub stderr: String,
+    /// Process exit code (0 ok, 1 runtime error, 2 usage error).
+    pub exit_code: i32,
+}
+
+impl RunOutcome {
+    fn ok(stdout: String) -> Self {
+        RunOutcome {
+            stdout,
+            stderr: String::new(),
+            exit_code: 0,
+        }
+    }
+
+    fn usage_error(message: &str) -> Self {
+        RunOutcome {
+            stdout: String::new(),
+            stderr: format!("sigrule: error: {message}\n\n{USAGE}"),
+            exit_code: 2,
+        }
+    }
+
+    fn runtime_error(message: &str) -> Self {
+        RunOutcome {
+            stdout: String::new(),
+            stderr: format!("sigrule: error: {message}\n"),
+            exit_code: 1,
+        }
+    }
+}
+
+/// Runs one invocation; `argv` excludes the program name.
+pub fn run(argv: &[String]) -> RunOutcome {
+    let Some(command) = argv.first().map(String::as_str) else {
+        return RunOutcome::usage_error("no subcommand given");
+    };
+    if matches!(command, "help" | "--help" | "-h") {
+        return RunOutcome::ok(USAGE.to_string());
+    }
+    let rest = &argv[1..];
+    let parsed = match ArgMap::parse(rest, CommonOpts::SWITCHES) {
+        Ok(parsed) => parsed,
+        Err(e) => return RunOutcome::usage_error(&e.0),
+    };
+    if parsed.has("help") {
+        return RunOutcome::ok(USAGE.to_string());
+    }
+    let result = match command {
+        "mine" => commands::mine(&parsed),
+        "correct" => commands::correct(&parsed),
+        "bench" => commands::bench(&parsed),
+        other => {
+            return RunOutcome::usage_error(&format!(
+                "unknown subcommand {other:?} (expected mine, correct, bench or help)"
+            ))
+        }
+    };
+    match result {
+        Ok(report) => {
+            let format = match CommonOpts::from_args(&parsed) {
+                Ok(opts) => opts.format,
+                Err(_) => args::Format::Human,
+            };
+            RunOutcome::ok(report.render(format))
+        }
+        Err(CliError::Usage(e)) => RunOutcome::usage_error(&e.0),
+        Err(CliError::Runtime(message)) => RunOutcome::runtime_error(&message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_subcommand_is_a_usage_error() {
+        let outcome = run(&[]);
+        assert_eq!(outcome.exit_code, 2);
+        assert!(outcome.stderr.contains("no subcommand"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error() {
+        let outcome = run(&argv(&["transmogrify"]));
+        assert_eq!(outcome.exit_code, 2);
+        assert!(outcome.stderr.contains("transmogrify"));
+    }
+
+    #[test]
+    fn missing_input_is_a_usage_error() {
+        let outcome = run(&argv(&["mine"]));
+        assert_eq!(outcome.exit_code, 2);
+        assert!(outcome.stderr.contains("--input"));
+    }
+
+    #[test]
+    fn missing_file_is_a_runtime_error() {
+        let outcome = run(&argv(&["mine", "--input", "/nonexistent/x.csv"]));
+        assert_eq!(outcome.exit_code, 1);
+        assert!(outcome.stderr.contains("/nonexistent/x.csv"));
+    }
+
+    #[test]
+    fn bench_runs_on_synthetic_data() {
+        let outcome = run(&argv(&[
+            "bench",
+            "--records",
+            "200",
+            "--attributes",
+            "6",
+            "--permutations",
+            "20",
+            "--format",
+            "json",
+        ]));
+        assert_eq!(outcome.exit_code, 0, "stderr: {}", outcome.stderr);
+        assert!(outcome.stdout.contains("\"command\":\"bench\""));
+        assert!(outcome.stdout.contains("Perm_FWER"));
+    }
+}

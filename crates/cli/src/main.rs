@@ -1,0 +1,16 @@
+//! The `sigrule` binary: parse the command line, run the subcommand, print,
+//! exit with 0 (success), 1 (runtime error) or 2 (usage error).
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = sigrule_cli::run(&argv);
+    if !outcome.stdout.is_empty() {
+        print!("{}", outcome.stdout);
+    }
+    if !outcome.stderr.is_empty() {
+        let _ = write!(std::io::stderr(), "{}", outcome.stderr);
+    }
+    std::process::exit(outcome.exit_code);
+}

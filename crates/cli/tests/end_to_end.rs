@@ -1,0 +1,204 @@
+//! End-to-end acceptance tests for the `sigrule` binary (ISSUE 2):
+//! `sigrule mine --correction permutation --format json` on a CSV exported
+//! from the synthetic generator must report exactly the significant rule set
+//! the library API produces with the same seed.
+
+use sigrule::correction::permutation::PermutationCorrection;
+use sigrule::{mine_rules, RuleMiningConfig};
+use sigrule_data::loader::{dataset_to_csv, load_csv_file, LoadOptions};
+use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Writes a synthetic dataset with embedded rules to a temp CSV and returns
+/// its path.
+fn exported_csv(name: &str, seed: u64) -> PathBuf {
+    let params = SyntheticParams::default()
+        .with_records(400)
+        .with_attributes(8)
+        .with_rules(2)
+        .with_coverage(80, 100)
+        .with_confidence(0.85, 0.95);
+    let (dataset, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+    let path = std::env::temp_dir().join(format!("sigrule_e2e_{name}_{}.csv", std::process::id()));
+    std::fs::write(&path, dataset_to_csv(&dataset)).unwrap();
+    path
+}
+
+fn sigrule(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sigrule"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn mine_permutation_json_matches_library_api() {
+    let csv = exported_csv("mine", 42);
+    let csv_str = csv.to_str().unwrap();
+    let seed = 17; // the CLI default, passed explicitly on the library side
+
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        csv_str,
+        "--class",
+        "class",
+        "--correction",
+        "permutation",
+        "--permutations",
+        "1000",
+        "--format",
+        "json",
+        "--top",
+        "0",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+
+    // The same pipeline through the library API: load with the loader the
+    // CLI uses, mine with the CLI's default config (min_sup = 1% of records),
+    // correct with the permutation engine at the CLI's default seed.
+    let dataset = load_csv_file(&csv, &LoadOptions::default().with_class_name("class")).unwrap();
+    let min_sup = (dataset.n_records() / 100).max(2);
+    let mined = mine_rules(&dataset, &RuleMiningConfig::new(min_sup));
+    let result = PermutationCorrection::new(1000)
+        .with_seed(seed)
+        .control_fwer(&mined, 0.05);
+
+    assert!(
+        result.n_significant() > 0,
+        "the embedded rules should survive permutation-based FWER control"
+    );
+    assert!(stdout.contains(&format!("\"significant\":\"{}\"", result.n_significant())));
+
+    // Every significant rule the library reports must appear in the CLI's
+    // JSON rule table with identical statistics.
+    let schema = mined.schema();
+    for rule in result.significant_rules() {
+        let lhs: Vec<String> = rule
+            .pattern
+            .items()
+            .iter()
+            .map(|&i| schema.describe_item(i))
+            .collect();
+        let expected_row = format!(
+            "[\"{}\",\"{}\",\"{}\",\"{}\",\"{:.4}\",\"{:.6e}\"]",
+            lhs.join(" AND "),
+            schema.class_name(rule.class).unwrap(),
+            rule.coverage,
+            rule.support,
+            rule.confidence(),
+            rule.p_value
+        );
+        assert!(
+            stdout.contains(&expected_row),
+            "missing rule row {expected_row} in CLI output"
+        );
+    }
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn seed_and_threads_flags_are_deterministic() {
+    let csv = exported_csv("seed", 7);
+    let csv_str = csv.to_str().unwrap();
+    let base = [
+        "mine",
+        "--input",
+        csv_str,
+        "--correction",
+        "permutation",
+        "--permutations",
+        "200",
+        "--seed",
+        "5",
+        "--format",
+        "json",
+    ];
+
+    let default_pool = sigrule(&base);
+    assert!(default_pool.status.success());
+    let mut pinned_args: Vec<&str> = base.to_vec();
+    pinned_args.extend(["--threads", "2"]);
+    let pinned = sigrule(&pinned_args);
+    assert!(pinned.status.success());
+    // The permutation statistics are bit-identical at any thread count, so
+    // the whole report matches once the wall-clock fields are stripped.
+    let strip_timings = |raw: &[u8]| {
+        let text = String::from_utf8(raw.to_vec()).unwrap();
+        let head = text.split("\"load_ms\"").next().unwrap().to_string();
+        let tables = text.split("\"tables\"").nth(1).unwrap().to_string();
+        (head, tables)
+    };
+    assert_eq!(
+        strip_timings(&default_pool.stdout),
+        strip_timings(&pinned.stdout)
+    );
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn malformed_input_exits_nonzero_with_line_number() {
+    let path = std::env::temp_dir().join(format!("sigrule_e2e_bad_{}.csv", std::process::id()));
+    std::fs::write(&path, "a,b,cls\n1,2,x\n3,y\n4,5,x\n").unwrap();
+    let output = sigrule(&["mine", "--input", path.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_class_column_names_the_candidates() {
+    let path = std::env::temp_dir().join(format!("sigrule_e2e_cls_{}.csv", std::process::id()));
+    std::fs::write(&path, "a,b,cls\n1,2,x\n3,4,y\n").unwrap();
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        path.to_str().unwrap(),
+        "--class",
+        "label",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("label") && stderr.contains("cls"),
+        "stderr: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let output = sigrule(&["mine", "--frobnicate", "1"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown option"));
+
+    let output = sigrule(&["definitely-not-a-subcommand"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn csv_format_emits_the_rule_table() {
+    let csv = exported_csv("csvfmt", 9);
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        csv.to_str().unwrap(),
+        "--correction",
+        "bonferroni",
+        "--format",
+        "csv",
+    ]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("rule,class,coverage,support,confidence,p_value\n"));
+    std::fs::remove_file(&csv).ok();
+}

@@ -52,8 +52,8 @@
 //! The p-value buffers are split to match the fan-out: the static buffer is
 //! built **once, up front**, for the distinct coverages the rules actually
 //! use, and shared immutably by every worker
-//! ([`SharedPValueTable`](sigrule_stats::SharedPValueTable)); only the small
-//! single-slot dynamic buffer ([`DynamicBuffer`](sigrule_stats::DynamicBuffer))
+//! ([`SharedPValueTable`]); only the small single-slot
+//! dynamic buffer ([`DynamicBuffer`])
 //! is per-worker state.  A class → rules index built once maps each distinct
 //! class to the rules testing it, so the inner loop never scans for its
 //! support vector.

@@ -48,9 +48,11 @@
 pub mod config;
 pub mod correction;
 pub mod miner;
+pub mod pipeline;
 pub mod rule;
 
 pub use config::RuleMiningConfig;
 pub use correction::{CorrectionResult, ErrorMetric};
 pub use miner::{mine_rules, MinedRuleSet};
+pub use pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
 pub use rule::ClassRule;

@@ -1,0 +1,475 @@
+//! End-to-end pipeline: load → discretize → mine → correct.
+//!
+//! [`Pipeline`] packages the whole workflow of the paper behind one
+//! configurable value, so callers (most prominently the `sigrule` CLI) do not
+//! have to wire the stages by hand: a delimited file is loaded and
+//! discretized through [`sigrule_data::loader`], class association rules are
+//! mined with [`mine_rules`], and one of the correction approaches of §4 is
+//! applied (direct adjustment, permutation, or random holdout — or no
+//! correction at all).  Every stage is timed, so the same type also backs
+//! `sigrule bench`.
+//!
+//! ```
+//! use sigrule::pipeline::{CorrectionApproach, Pipeline};
+//!
+//! let csv = "\
+//! weather,ground,grass
+//! rain,wet,green
+//! rain,wet,green
+//! rain,wet,green
+//! sun,dry,brown
+//! sun,dry,brown
+//! sun,dry,green
+//! ";
+//! let run = Pipeline::new(2)
+//!     .with_correction(CorrectionApproach::None, sigrule::ErrorMetric::Fwer)
+//!     .run_csv_str(csv)
+//!     .expect("well-formed CSV");
+//! assert_eq!(run.n_records, 6);
+//! assert!(run.mined.rules().len() > 0);
+//! assert_eq!(run.result.significant.len(), run.result.rules.len());
+//! ```
+
+use crate::config::RuleMiningConfig;
+use crate::correction::holdout::random_holdout;
+use crate::correction::permutation::PermutationCorrection;
+use crate::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
+use crate::miner::{mine_rules, MinedRuleSet};
+use sigrule_data::loader::{load_csv_file, load_csv_str, LoadOptions};
+use sigrule_data::{DataError, Dataset};
+use std::fmt;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Which of the paper's correction approaches the pipeline applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrectionApproach {
+    /// Raw p-values at α ("No correction").
+    None,
+    /// Direct adjustment (§4.1): Bonferroni for FWER, Benjamini–Hochberg for
+    /// FDR.
+    #[default]
+    Direct,
+    /// Permutation-based (§4.2), using the parallel bitset engine.
+    Permutation,
+    /// Random holdout (§4.3): split, discover on one half, validate on the
+    /// other.
+    Holdout,
+}
+
+impl CorrectionApproach {
+    /// Parses a CLI-style name (`none`, `direct` / `bonferroni` / `bh`,
+    /// `permutation`, `holdout`).
+    pub fn parse(name: &str) -> Option<(CorrectionApproach, Option<ErrorMetric>)> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" => Some((CorrectionApproach::None, None)),
+            "direct" => Some((CorrectionApproach::Direct, None)),
+            "bonferroni" | "bc" => Some((CorrectionApproach::Direct, Some(ErrorMetric::Fwer))),
+            "bh" | "benjamini-hochberg" => {
+                Some((CorrectionApproach::Direct, Some(ErrorMetric::Fdr)))
+            }
+            "permutation" | "perm" => Some((CorrectionApproach::Permutation, None)),
+            "holdout" | "random-holdout" => Some((CorrectionApproach::Holdout, None)),
+            _ => None,
+        }
+    }
+
+    /// CLI-facing name of the approach.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorrectionApproach::None => "none",
+            CorrectionApproach::Direct => "direct",
+            CorrectionApproach::Permutation => "permutation",
+            CorrectionApproach::Holdout => "holdout",
+        }
+    }
+}
+
+/// An error raised while configuring or running a [`Pipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Loading or validating the dataset failed.
+    Data(DataError),
+    /// The pipeline configuration itself is invalid.
+    Config(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Data(e) => write!(f, "{e}"),
+            PipelineError::Config(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Data(e) => Some(e),
+            PipelineError::Config(_) => None,
+        }
+    }
+}
+
+impl From<DataError> for PipelineError {
+    fn from(e: DataError) -> Self {
+        PipelineError::Data(e)
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Loading + discretizing the input (zero when a [`Dataset`] was passed
+    /// directly).
+    pub load: Duration,
+    /// Mining rules and attaching p-values.
+    pub mine: Duration,
+    /// Running the correction approach.
+    pub correct: Duration,
+}
+
+impl StageTimings {
+    /// Total time across the stages.
+    pub fn total(&self) -> Duration {
+        self.load + self.mine + self.correct
+    }
+}
+
+/// The outcome of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Number of records of the input dataset.
+    pub n_records: usize,
+    /// Number of attributes of the input dataset.
+    pub n_attributes: usize,
+    /// Number of distinct items of the input dataset.
+    pub n_items: usize,
+    /// Number of class labels of the input dataset.
+    pub n_classes: usize,
+    /// The mined rule set (rules + everything needed to re-score them).
+    pub mined: MinedRuleSet,
+    /// The correction outcome.
+    pub result: CorrectionResult,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// A configured load → discretize → mine → correct pipeline.
+///
+/// Construct with [`Pipeline::new`], adjust with the builder methods, then
+/// run against a CSV path, CSV text, or an in-memory [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// CSV/TSV parsing and discretization options.
+    pub load: LoadOptions,
+    /// Rule-mining configuration (min_sup, min_conf, closed-only, ...).
+    pub mining: RuleMiningConfig,
+    /// The correction approach to apply.
+    pub approach: CorrectionApproach,
+    /// The error metric the correction targets (FWER or FDR).
+    pub metric: ErrorMetric,
+    /// Significance level α (0.05 throughout the paper).
+    pub alpha: f64,
+    /// Number of permutations for [`CorrectionApproach::Permutation`]
+    /// (1000 in the paper).
+    pub n_permutations: usize,
+    /// Seed of the permutation shuffler / holdout partitioner.
+    pub seed: u64,
+    /// Worker-thread count for the permutation engine (`None`: rayon's
+    /// default pool).
+    pub threads: Option<usize>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the paper's defaults: the given minimum
+    /// support, Bonferroni correction at α = 0.05, seed 17, 1000
+    /// permutations, default thread pool.
+    pub fn new(min_sup: usize) -> Self {
+        Pipeline {
+            load: LoadOptions::default(),
+            mining: RuleMiningConfig::new(min_sup),
+            approach: CorrectionApproach::Direct,
+            metric: ErrorMetric::Fwer,
+            alpha: 0.05,
+            n_permutations: 1000,
+            seed: 17,
+            threads: None,
+        }
+    }
+
+    /// Replaces the load options.
+    pub fn with_load(mut self, load: LoadOptions) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Replaces the mining configuration.
+    pub fn with_mining(mut self, mining: RuleMiningConfig) -> Self {
+        self.mining = mining;
+        self
+    }
+
+    /// Selects the correction approach and the error metric it controls.
+    pub fn with_correction(mut self, approach: CorrectionApproach, metric: ErrorMetric) -> Self {
+        self.approach = approach;
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the significance level α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the permutation count.
+    pub fn with_permutations(mut self, n: usize) -> Self {
+        self.n_permutations = n;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the permutation engine to `n` worker threads.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Checks the configuration for contradictions before running.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(PipelineError::Config(format!(
+                "alpha must be in (0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if self.mining.min_sup == 0 {
+            return Err(PipelineError::Config("min_sup must be at least 1".into()));
+        }
+        if self.approach == CorrectionApproach::Permutation && self.n_permutations == 0 {
+            return Err(PipelineError::Config(
+                "the permutation approach needs at least 1 permutation".into(),
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(PipelineError::Config(
+                "thread count must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Loads a CSV/TSV file and runs the pipeline.
+    pub fn run_csv_file(&self, path: impl AsRef<Path>) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        let start = Instant::now();
+        let dataset = load_csv_file(path, &self.load)?;
+        self.run_loaded(&dataset, start.elapsed())
+    }
+
+    /// Parses CSV text and runs the pipeline.
+    pub fn run_csv_str(&self, text: &str) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        let start = Instant::now();
+        let dataset = load_csv_str(text, &self.load)?;
+        self.run_loaded(&dataset, start.elapsed())
+    }
+
+    /// Runs the pipeline on an already-built dataset (skips the load stage).
+    pub fn run_dataset(&self, dataset: &Dataset) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        self.run_loaded(dataset, Duration::ZERO)
+    }
+
+    fn run_loaded(&self, dataset: &Dataset, load: Duration) -> Result<PipelineRun, PipelineError> {
+        let mine_start = Instant::now();
+        let mined = mine_rules(dataset, &self.mining);
+        let mine = mine_start.elapsed();
+
+        let correct_start = Instant::now();
+        let result = self.correct(dataset, &mined)?;
+        let correct = correct_start.elapsed();
+
+        Ok(PipelineRun {
+            n_records: dataset.n_records(),
+            n_attributes: dataset.schema().n_attributes(),
+            n_items: dataset.schema().n_items(),
+            n_classes: dataset.n_classes(),
+            mined,
+            result,
+            timings: StageTimings {
+                load,
+                mine,
+                correct,
+            },
+        })
+    }
+
+    /// Runs just the correction stage against an existing mined rule set.
+    pub fn correct(
+        &self,
+        dataset: &Dataset,
+        mined: &MinedRuleSet,
+    ) -> Result<CorrectionResult, PipelineError> {
+        let result = match (self.approach, self.metric) {
+            (CorrectionApproach::None, _) => no_correction(mined, self.alpha),
+            (CorrectionApproach::Direct, ErrorMetric::Fwer) => {
+                direct::bonferroni(mined, self.alpha)
+            }
+            (CorrectionApproach::Direct, ErrorMetric::Fdr) => {
+                direct::benjamini_hochberg(mined, self.alpha)
+            }
+            (CorrectionApproach::Permutation, metric) => {
+                let correction =
+                    PermutationCorrection::new(self.n_permutations).with_seed(self.seed);
+                let run = || match metric {
+                    ErrorMetric::Fwer => correction.control_fwer(mined, self.alpha),
+                    ErrorMetric::Fdr => correction.control_fdr(mined, self.alpha),
+                };
+                match self.threads {
+                    Some(n) => rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build()
+                        .map_err(|e| PipelineError::Config(format!("thread pool: {e}")))?
+                        .install(run),
+                    None => run(),
+                }
+            }
+            (CorrectionApproach::Holdout, metric) => {
+                let exploratory = RuleMiningConfig {
+                    min_sup: (self.mining.min_sup / 2).max(1),
+                    ..self.mining.clone()
+                };
+                random_holdout(dataset, self.seed, &exploratory, metric, self.alpha)
+            }
+        };
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrule_data::loader::dataset_to_csv;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn synth_csv(seed: u64) -> (Dataset, String) {
+        let params = SyntheticParams::default()
+            .with_records(300)
+            .with_attributes(8)
+            .with_rules(1)
+            .with_coverage(80, 80)
+            .with_confidence(0.9, 0.9);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        let csv = dataset_to_csv(&d);
+        (d, csv)
+    }
+
+    #[test]
+    fn csv_run_matches_direct_library_use() {
+        let (dataset, csv) = synth_csv(3);
+        let pipeline = Pipeline::new(30);
+        let from_csv = pipeline.run_csv_str(&csv).unwrap();
+        let from_data = pipeline.run_dataset(&dataset).unwrap();
+        assert_eq!(from_csv.n_records, from_data.n_records);
+        assert_eq!(from_csv.mined.rules().len(), from_data.mined.rules().len());
+        assert_eq!(
+            from_csv.result.n_significant(),
+            from_data.result.n_significant()
+        );
+    }
+
+    #[test]
+    fn all_approaches_run() {
+        let (dataset, _) = synth_csv(4);
+        for (approach, metric) in [
+            (CorrectionApproach::None, ErrorMetric::Fwer),
+            (CorrectionApproach::Direct, ErrorMetric::Fwer),
+            (CorrectionApproach::Direct, ErrorMetric::Fdr),
+            (CorrectionApproach::Permutation, ErrorMetric::Fwer),
+            (CorrectionApproach::Permutation, ErrorMetric::Fdr),
+            (CorrectionApproach::Holdout, ErrorMetric::Fwer),
+            (CorrectionApproach::Holdout, ErrorMetric::Fdr),
+        ] {
+            let run = Pipeline::new(30)
+                .with_correction(approach, metric)
+                .with_permutations(50)
+                .run_dataset(&dataset)
+                .unwrap();
+            assert_eq!(run.result.metric, metric);
+            assert_eq!(run.result.significant.len(), run.result.rules.len());
+        }
+    }
+
+    #[test]
+    fn pinned_threads_match_default_pool() {
+        let (dataset, _) = synth_csv(5);
+        let base = Pipeline::new(30)
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(60)
+            .with_seed(11);
+        let default_pool = base.run_dataset(&dataset).unwrap();
+        let pinned = base.clone().with_threads(2).run_dataset(&dataset).unwrap();
+        assert_eq!(default_pool.result, pinned.result);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let p = Pipeline::new(0);
+        assert!(matches!(
+            p.run_csv_str("a,cls\n1,x\n2,y\n"),
+            Err(PipelineError::Config(_))
+        ));
+        let p = Pipeline::new(10).with_alpha(0.0);
+        assert!(p.validate().is_err());
+        let p = Pipeline::new(10).with_alpha(1.5);
+        assert!(p.validate().is_err());
+        let p = Pipeline::new(10)
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(0);
+        assert!(p.validate().is_err());
+        let mut p = Pipeline::new(10);
+        p.threads = Some(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_csv_surfaces_the_data_error() {
+        let err = Pipeline::new(5)
+            .run_csv_str("a,b,cls\n1,2,x\n3,y\n")
+            .unwrap_err();
+        match err {
+            PipelineError::Data(DataError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        let err = Pipeline::new(5)
+            .run_csv_file("/nonexistent/input.csv")
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Data(DataError::Io { .. })));
+    }
+
+    #[test]
+    fn approach_names_parse() {
+        assert_eq!(
+            CorrectionApproach::parse("permutation"),
+            Some((CorrectionApproach::Permutation, None))
+        );
+        assert_eq!(
+            CorrectionApproach::parse("BC"),
+            Some((CorrectionApproach::Direct, Some(ErrorMetric::Fwer)))
+        );
+        assert_eq!(
+            CorrectionApproach::parse("bh"),
+            Some((CorrectionApproach::Direct, Some(ErrorMetric::Fdr)))
+        );
+        assert_eq!(CorrectionApproach::parse("nope"), None);
+        assert_eq!(CorrectionApproach::Holdout.label(), "holdout");
+    }
+}

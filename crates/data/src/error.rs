@@ -37,6 +37,13 @@ pub enum DataError {
         /// Human-readable description.
         reason: String,
     },
+    /// A column was selected by name but the header does not contain it.
+    UnknownColumn {
+        /// The requested column name.
+        name: String,
+        /// The column names the header actually provides.
+        available: Vec<String>,
+    },
     /// A parse error while loading an external file.
     Parse {
         /// Line number (1-based) where the error occurred.
@@ -67,6 +74,13 @@ impl fmt::Display for DataError {
                 )
             }
             DataError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+            DataError::UnknownColumn { name, available } => {
+                write!(
+                    f,
+                    "no column named {name:?}; the header has: {}",
+                    available.join(", ")
+                )
+            }
             DataError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
             DataError::Io { message } => write!(f, "i/o error: {message}"),
         }
@@ -125,6 +139,12 @@ mod tests {
         }
         .to_string()
         .contains("line 7"));
+        let unknown = DataError::UnknownColumn {
+            name: "label".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        assert!(unknown.to_string().contains("label"));
+        assert!(unknown.to_string().contains("a, b"));
     }
 
     #[test]

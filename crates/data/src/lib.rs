@@ -17,6 +17,26 @@
 //!   evaluation ([`uci`]) — adult, german, hypo and mushroom — which stand in
 //!   for the real files in this reproduction (see DESIGN.md for the
 //!   substitution rationale).
+//!
+//! # Example: load a labelled CSV
+//!
+//! ```
+//! use sigrule_data::loader::{load_csv_str, LoadOptions};
+//!
+//! let csv = "\
+//! age,color,outcome
+//! 23,red,yes
+//! 31,blue,no
+//! 45,red,yes
+//! 52,blue,no
+//! ";
+//! let dataset = load_csv_str(csv, &LoadOptions::default()).unwrap();
+//! assert_eq!(dataset.n_records(), 4);
+//! assert_eq!(dataset.schema().n_attributes(), 2);       // age, color
+//! assert_eq!(dataset.schema().classes(), &["yes".to_string(), "no".to_string()]);
+//! // the numeric column was discretized, the categorical one interned
+//! assert_eq!(dataset.schema().attributes()[1].name, "color");
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -1,12 +1,23 @@
-//! Loading class-labelled datasets from delimited text files.
+//! Loading class-labelled datasets from delimited text files (CSV / TSV).
 //!
-//! A deliberately small, dependency-free CSV reader: each row is one record,
-//! one column is the class label, every other column is an attribute.
-//! Columns whose values all parse as numbers are treated as continuous and
-//! discretized (supervised Fayyad–Irani by default); all other columns are
-//! treated as categorical.  Missing values (`?` or empty) are mapped to a
-//! dedicated `"?"` category, matching the common treatment of the UCI files
-//! used in the paper.
+//! A deliberately small, dependency-free delimited-text reader: each row is
+//! one record, one column is the class label, every other column is an
+//! attribute.  Columns whose values all parse as numbers are treated as
+//! continuous and discretized (supervised Fayyad–Irani by default); all other
+//! columns are treated as categorical.  Missing values (`?` or empty) are
+//! mapped to a dedicated `"?"` category, matching the common treatment of the
+//! UCI files used in the paper.
+//!
+//! The reader is *streaming*: [`load_csv_reader`] pulls lines from any
+//! [`BufRead`] source one at a time, so a file is never materialised as a
+//! single string.  Fields may be quoted (RFC 4180 style: `"a, b"`, doubled
+//! `""` escapes a literal quote, and a quoted field may span lines), and the
+//! class column can be selected by index ([`LoadOptions::class_column`]) or
+//! by header name ([`LoadOptions::class_column_name`]).
+//!
+//! [`dataset_to_csv`] is the inverse: it renders any [`Dataset`] back to CSV
+//! with the schema's attribute/value/class names, so datasets can round-trip
+//! through files (e.g. synthetic data exported for the `sigrule` CLI).
 
 use crate::dataset::Dataset;
 use crate::discretize::{DiscretizeMethod, Discretizer};
@@ -14,17 +25,26 @@ use crate::error::DataError;
 use crate::item::ClassId;
 use crate::record::Record;
 use crate::schema::{Attribute, Schema};
+use std::io::BufRead;
 use std::path::Path;
 
-/// Options controlling CSV parsing and preprocessing.
+/// Options controlling CSV/TSV parsing and preprocessing.
 #[derive(Debug, Clone)]
 pub struct LoadOptions {
     /// Column separator (default `,`).
     pub separator: char,
+    /// Quote character wrapping fields that contain the separator, the quote
+    /// itself (doubled) or line breaks; `None` disables quote handling
+    /// (default `Some('"')`).
+    pub quote: Option<char>,
     /// Whether the first row is a header with attribute names.
     pub has_header: bool,
     /// Index of the class column (default: the last column).
     pub class_column: Option<usize>,
+    /// Name of the class column, resolved against the header.  Takes
+    /// precedence over [`LoadOptions::class_column`]; requires
+    /// [`LoadOptions::has_header`].
+    pub class_column_name: Option<String>,
     /// How to discretize numeric columns.
     pub discretize: DiscretizeMethod,
     /// Token(s) treated as a missing value.
@@ -35,58 +55,176 @@ impl Default for LoadOptions {
     fn default() -> Self {
         LoadOptions {
             separator: ',',
+            quote: Some('"'),
             has_header: true,
             class_column: None,
+            class_column_name: None,
             discretize: DiscretizeMethod::EntropyMdl,
             missing_tokens: vec!["?".to_string(), String::new()],
         }
     }
 }
 
-/// Parses CSV text into a [`Dataset`].
-pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty());
+impl LoadOptions {
+    /// Options for tab-separated files (everything else as per
+    /// [`LoadOptions::default`]).
+    pub fn tsv() -> Self {
+        LoadOptions {
+            separator: '\t',
+            ..LoadOptions::default()
+        }
+    }
 
-    let (header, first_data_line) = if options.has_header {
-        let (line_no, header_line) = lines.next().ok_or(DataError::Parse {
-            line: 1,
-            reason: "empty file".into(),
-        })?;
-        let _ = line_no;
-        (
-            Some(
-                header_line
-                    .split(options.separator)
-                    .map(|s| s.trim().to_string())
-                    .collect::<Vec<_>>(),
-            ),
-            None,
-        )
-    } else {
-        (None, lines.next())
+    /// Sets the class column by header name.
+    pub fn with_class_name(mut self, name: impl Into<String>) -> Self {
+        self.class_column_name = Some(name.into());
+        self
+    }
+
+    /// Sets the class column by index.
+    pub fn with_class_column(mut self, index: usize) -> Self {
+        self.class_column = Some(index);
+        self
+    }
+}
+
+/// Outcome of splitting one physical line into fields.
+enum SplitOutcome {
+    /// A complete row.
+    Row(Vec<String>),
+    /// The line ended inside a quoted field; the caller should append the
+    /// next physical line (with the line break restored) and retry.
+    Unterminated,
+}
+
+/// Splits one logical row into trimmed fields, honouring the quote character.
+fn split_fields(text: &str, separator: char, quote: Option<char>) -> Result<SplitOutcome, String> {
+    let Some(q) = quote else {
+        return Ok(SplitOutcome::Row(
+            text.split(separator)
+                .map(|s| s.trim().to_string())
+                .collect(),
+        ));
     };
 
-    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
-    if let Some((line_no, line)) = first_data_line {
-        rows.push((
-            line_no,
-            line.split(options.separator)
-                .map(|s| s.trim().to_string())
-                .collect(),
-        ));
+    let mut fields = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        // Skip leading whitespace of the field (but not the separator).
+        while matches!(chars.peek(), Some(&c) if c.is_whitespace() && c != separator) {
+            chars.next();
+        }
+        if chars.peek() == Some(&q) {
+            chars.next();
+            let mut field = String::new();
+            loop {
+                match chars.next() {
+                    Some(c) if c == q => {
+                        if chars.peek() == Some(&q) {
+                            chars.next();
+                            field.push(q);
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => field.push(c),
+                    None => return Ok(SplitOutcome::Unterminated),
+                }
+            }
+            // Only whitespace may follow the closing quote before the
+            // separator (or end of row).
+            loop {
+                match chars.next() {
+                    None => {
+                        fields.push(field);
+                        return Ok(SplitOutcome::Row(fields));
+                    }
+                    Some(c) if c == separator => break,
+                    Some(c) if c.is_whitespace() => continue,
+                    Some(c) => {
+                        return Err(format!("unexpected character {c:?} after closing quote"))
+                    }
+                }
+            }
+            fields.push(field);
+        } else {
+            let mut field = String::new();
+            let mut ended = true;
+            for c in chars.by_ref() {
+                if c == separator {
+                    ended = false;
+                    break;
+                }
+                field.push(c);
+            }
+            fields.push(field.trim().to_string());
+            if ended {
+                return Ok(SplitOutcome::Row(fields));
+            }
+        }
     }
-    for (line_no, line) in lines {
-        rows.push((
-            line_no,
-            line.split(options.separator)
-                .map(|s| s.trim().to_string())
-                .collect(),
-        ));
+}
+
+/// Reads logical rows (line number of their first physical line + fields)
+/// from a line source, merging physical lines while a quoted field is open.
+fn read_rows(
+    lines: impl Iterator<Item = Result<String, std::io::Error>>,
+    options: &LoadOptions,
+) -> Result<Vec<(usize, Vec<String>)>, DataError> {
+    let mut rows = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let (start, text) = match pending.take() {
+            Some((start, mut buf)) => {
+                buf.push('\n');
+                buf.push_str(&line);
+                (start, buf)
+            }
+            None => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                (line_no, line)
+            }
+        };
+        match split_fields(&text, options.separator, options.quote) {
+            Ok(SplitOutcome::Row(fields)) => rows.push((start, fields)),
+            Ok(SplitOutcome::Unterminated) => pending = Some((start, text)),
+            Err(reason) => {
+                return Err(DataError::Parse {
+                    line: start,
+                    reason,
+                })
+            }
+        }
     }
+    if let Some((start, _)) = pending {
+        return Err(DataError::Parse {
+            line: start,
+            reason: "unterminated quoted field at end of input".into(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Parses a class-labelled dataset from any buffered reader (streaming: one
+/// line at a time).
+pub fn load_csv_reader<R: BufRead>(reader: R, options: &LoadOptions) -> Result<Dataset, DataError> {
+    let mut rows = read_rows(reader.lines(), options)?;
+
+    let header: Option<Vec<String>> = if options.has_header {
+        if rows.is_empty() {
+            return Err(DataError::Parse {
+                line: 1,
+                reason: "empty file".into(),
+            });
+        }
+        Some(rows.remove(0).1)
+    } else {
+        None
+    };
     if rows.is_empty() {
         return Err(DataError::Parse {
             line: 1,
@@ -101,6 +239,17 @@ pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataEr
             reason: "need at least one attribute column and one class column".into(),
         });
     }
+    if let Some(h) = &header {
+        if h.len() != n_columns {
+            return Err(DataError::Parse {
+                line: 1,
+                reason: format!(
+                    "header has {} columns but the data rows have {n_columns}",
+                    h.len()
+                ),
+            });
+        }
+    }
     for (line_no, row) in &rows {
         if row.len() != n_columns {
             return Err(DataError::Parse {
@@ -109,18 +258,38 @@ pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataEr
             });
         }
     }
-    let class_column = options.class_column.unwrap_or(n_columns - 1);
-    if class_column >= n_columns {
-        return Err(DataError::Parse {
-            line: rows[0].0,
-            reason: format!("class column {class_column} out of range"),
-        });
-    }
 
     let column_names: Vec<String> = match &header {
         Some(h) => h.clone(),
         None => (0..n_columns).map(|i| format!("A{i}")).collect(),
     };
+
+    let class_column = match (&options.class_column_name, options.class_column) {
+        (Some(name), _) => {
+            if header.is_none() {
+                return Err(DataError::invalid_schema(
+                    "class column selected by name but the file has no header",
+                ));
+            }
+            column_names
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| DataError::UnknownColumn {
+                    name: name.clone(),
+                    available: column_names.clone(),
+                })?
+        }
+        (None, Some(index)) => index,
+        (None, None) => n_columns - 1,
+    };
+    if class_column >= n_columns {
+        return Err(DataError::Parse {
+            line: rows[0].0,
+            reason: format!(
+                "class column {class_column} out of range (file has {n_columns} columns)"
+            ),
+        });
+    }
 
     // Class labels.
     let mut class_names: Vec<String> = Vec::new();
@@ -225,10 +394,64 @@ pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataEr
     Dataset::new(schema, records)
 }
 
-/// Loads a CSV file from disk.
+/// Parses CSV text into a [`Dataset`].
+pub fn load_csv_str(text: &str, options: &LoadOptions) -> Result<Dataset, DataError> {
+    load_csv_reader(text.as_bytes(), options)
+}
+
+/// Loads a CSV file from disk (buffered and streaming).
 pub fn load_csv_file(path: impl AsRef<Path>, options: &LoadOptions) -> Result<Dataset, DataError> {
-    let text = std::fs::read_to_string(path)?;
-    load_csv_str(&text, options)
+    let file = std::fs::File::open(path)?;
+    load_csv_reader(std::io::BufReader::new(file), options)
+}
+
+/// Quotes a field for CSV output when it contains the separator, a quote, a
+/// line break, or leading/trailing whitespace.
+fn csv_field(value: &str, separator: char) -> String {
+    let needs_quotes = value.contains(separator)
+        || value.contains('"')
+        || value.contains('\n')
+        || value.contains('\r')
+        || value != value.trim();
+    if needs_quotes {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Renders a dataset back to CSV with the schema's attribute, value and class
+/// names; the class label is the last column, named `class`.
+///
+/// Loading the result with [`load_csv_str`] and default options reconstructs
+/// a dataset with the same per-item supports (value and class *indices* may
+/// be renumbered in first-seen order; names are preserved).  Note that purely
+/// numeric categorical value names would be re-discretized on load.
+pub fn dataset_to_csv(dataset: &Dataset) -> String {
+    let schema = dataset.schema();
+    let separator = ',';
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| csv_field(&a.name, separator))
+        .chain(std::iter::once("class".to_string()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for record in dataset.records() {
+        let mut cells = Vec::with_capacity(schema.n_attributes() + 1);
+        for &item in record.items() {
+            cells.push(csv_field(&schema.describe_value(item), separator));
+        }
+        cells.push(csv_field(
+            schema.class_name(record.class()).unwrap_or("?"),
+            separator,
+        ));
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -276,6 +499,14 @@ age,color,outcome
     }
 
     #[test]
+    fn tsv_options() {
+        let text = "a\tb\tcls\n1\tu\tx\n2\tv\ty\n";
+        let d = load_csv_str(text, &LoadOptions::tsv()).unwrap();
+        assert_eq!(d.n_records(), 2);
+        assert_eq!(d.schema().attributes()[1].name, "b");
+    }
+
+    #[test]
     fn missing_values_get_their_own_category() {
         let text = "a,b,cls\n1,?,x\n2,u,y\n3,v,x\n4,u,y\n";
         let d = load_csv_str(text, &LoadOptions::default()).unwrap();
@@ -293,6 +524,80 @@ age,color,outcome
         let d = load_csv_str(text, &opts).unwrap();
         assert_eq!(d.schema().n_attributes(), 1);
         assert_eq!(d.schema().classes().len(), 2);
+    }
+
+    #[test]
+    fn class_column_by_name() {
+        let text = "cls,a\nx,1\ny,2\nx,3\n";
+        let opts = LoadOptions::default().with_class_name("cls");
+        let d = load_csv_str(text, &opts).unwrap();
+        assert_eq!(d.schema().n_attributes(), 1);
+        assert_eq!(d.schema().attributes()[0].name, "a");
+
+        let missing = LoadOptions::default().with_class_name("nope");
+        let err = load_csv_str(text, &missing).unwrap_err();
+        assert!(matches!(err, DataError::UnknownColumn { .. }));
+        assert!(err.to_string().contains("nope"));
+        assert!(err.to_string().contains("cls"));
+
+        // By-name selection needs a header to resolve against.
+        let headerless = LoadOptions {
+            has_header: false,
+            ..LoadOptions::default().with_class_name("cls")
+        };
+        assert!(load_csv_str(text, &headerless).is_err());
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,note,cls\nalpha,\"a, quoted\",x\nbeta,\"say \"\"hi\"\"\",y\n gamma , \"padded\" ,x\n";
+        let d = load_csv_str(text, &LoadOptions::default()).unwrap();
+        assert_eq!(d.n_records(), 3);
+        let note = &d.schema().attributes()[1];
+        assert!(note.values.contains(&"a, quoted".to_string()));
+        assert!(note.values.contains(&"say \"hi\"".to_string()));
+        assert!(note.values.contains(&"padded".to_string()));
+        // unquoted fields are still trimmed
+        let name = &d.schema().attributes()[0];
+        assert!(name.values.contains(&"gamma".to_string()));
+    }
+
+    #[test]
+    fn quoted_field_spanning_lines() {
+        let text = "a,cls\n\"line\nbreak\",x\nplain,y\n";
+        let d = load_csv_str(text, &LoadOptions::default()).unwrap();
+        assert_eq!(d.n_records(), 2);
+        assert!(d.schema().attributes()[0]
+            .values
+            .contains(&"line\nbreak".to_string()));
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_parse_error() {
+        let text = "a,cls\n\"never closed,x\n";
+        let err = load_csv_str(text, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }));
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn garbage_after_closing_quote_is_a_parse_error() {
+        let text = "a,cls\n\"ok\"junk,x\n\"fine\",y\n";
+        let err = load_csv_str(text, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn quote_handling_can_be_disabled() {
+        let text = "a,cls\n\"raw,x\n\"other,y\n";
+        let opts = LoadOptions {
+            quote: None,
+            ..LoadOptions::default()
+        };
+        let d = load_csv_str(text, &opts).unwrap();
+        assert!(d.schema().attributes()[0]
+            .values
+            .contains(&"\"raw".to_string()));
     }
 
     #[test]
@@ -314,6 +619,35 @@ age,color,outcome
     }
 
     #[test]
+    fn header_width_must_match_the_data_rows() {
+        // Wider data than header: previously panicked (indexing past the
+        // header) or silently misaligned the column names.
+        let err = load_csv_str("cls,a\nx,1,2\ny,3,4\n", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("header has 2 columns"));
+        let opts = LoadOptions {
+            class_column: Some(0),
+            ..LoadOptions::default()
+        };
+        assert!(load_csv_str("cls,a\nx,1,2\ny,3,4\n", &opts).is_err());
+        // Narrower data than header.
+        let err = load_csv_str("a,b,cls\n1,x\n2,y\n", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let text = "a,b,cls\n1,2,x\n3,4,y\n5,z\n";
+        match load_csv_str(text, &LoadOptions::default()).unwrap_err() {
+            DataError::Parse { line, reason } => {
+                assert_eq!(line, 4);
+                assert!(reason.contains("expected 3 columns"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir();
         let path = dir.join("sigrule_loader_test.csv");
@@ -327,5 +661,24 @@ age,color,outcome
     fn missing_file_is_io_error() {
         let err = load_csv_file("/nonexistent/sigrule.csv", &LoadOptions::default()).unwrap_err();
         assert!(matches!(err, DataError::Io { .. }));
+    }
+
+    #[test]
+    fn export_then_load_preserves_counts_and_names() {
+        let d = load_csv_str(
+            "x,cls\nred,a\nblue,b\nred,a\n\"c,d\",b\n",
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        let csv = dataset_to_csv(&d);
+        assert!(csv.starts_with("x,class\n"));
+        assert!(csv.contains("\"c,d\""));
+        let back = load_csv_str(&csv, &LoadOptions::default()).unwrap();
+        assert_eq!(back.n_records(), d.n_records());
+        assert_eq!(back.n_classes(), d.n_classes());
+        assert_eq!(
+            back.schema().attributes()[0].values,
+            d.schema().attributes()[0].values
+        );
     }
 }

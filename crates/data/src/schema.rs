@@ -177,6 +177,15 @@ impl Schema {
         }
     }
 
+    /// The value name of an item alone (without the attribute), e.g.
+    /// `tertiary` for `education=tertiary`.
+    pub fn describe_value(&self, item: ItemId) -> String {
+        match self.decode(item) {
+            Ok(Item { attribute, value }) => self.attributes[attribute].values[value].clone(),
+            Err(_) => format!("<invalid item {item}>"),
+        }
+    }
+
     /// Name of a class label.
     pub fn class_name(&self, class: ClassId) -> Result<&str, DataError> {
         self.classes

@@ -11,6 +11,30 @@
 //! * [`report`] — plain-text tables in the shape the paper's figures plot;
 //! * [`experiments`] — one module per figure/table of the paper, each
 //!   producing a [`report::Table`] that the `repro_*` binaries print.
+//!
+//! # Example: run a method family and render a table
+//!
+//! ```
+//! use sigrule_eval::{Method, MethodRunner, PreparedDataset, Table};
+//! use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+//!
+//! let params = SyntheticParams::default()
+//!     .with_records(300).with_attributes(8)
+//!     .with_rules(1).with_coverage(60, 60).with_confidence(0.9, 0.9);
+//! let (dataset, truth) = SyntheticGenerator::new(params).unwrap().generate(1);
+//! let prepared = PreparedDataset::from_dataset(dataset, truth);
+//!
+//! // 20 permutations keep the doctest fast; the paper uses 1000.
+//! let runner = MethodRunner::new(20);
+//! let results = runner.run_all(&[Method::NoCorrection, Method::Bonferroni], &prepared, 30);
+//!
+//! let mut table = Table::new("discoveries", vec!["method", "significant"]);
+//! for (method, result) in &results {
+//!     table.push_row(vec![method.label().to_string(), result.n_significant().to_string()]);
+//! }
+//! assert_eq!(table.n_rows(), 2);
+//! assert!(table.render().contains("BC"));
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -81,17 +81,76 @@ impl Table {
         out
     }
 
-    /// Renders the table as CSV (comma-separated, header first).
+    /// Renders the table as CSV (comma-separated, header first).  Cells
+    /// containing commas, quotes or line breaks are RFC-4180 quoted.
     pub fn to_csv(&self) -> String {
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = String::new();
-        out.push_str(&self.columns.join(","));
+        out.push_str(&render_row(&self.columns));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&render_row(row));
             out.push('\n');
         }
         out
     }
+
+    /// Renders the table as a JSON object
+    /// (`{"title": ..., "columns": [...], "rows": [[...], ...]}`).
+    ///
+    /// The workspace's serde is an offline stand-in without a format crate,
+    /// so the (trivially flat) document is emitted by hand here.
+    pub fn to_json(&self) -> String {
+        let columns: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":{},\"columns\":[{}],\"rows\":[{}]}}",
+            json_string(&self.title),
+            columns.join(","),
+            rows.join(",")
+        )
+    }
+}
+
+/// Quotes one CSV cell when it contains a comma, quote or line break.
+fn csv_cell(value: &str) -> String {
+    if value.contains(',') || value.contains('"') || value.contains('\n') || value.contains('\r') {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Escapes and quotes a string for inclusion in a JSON document.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float compactly for table cells (scientific notation for very
@@ -130,6 +189,32 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("t", vec!["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_cells_are_quoted_when_needed() {
+        let mut t = Table::new("t", vec!["rule", "n"]);
+        t.push_row(vec!["note=a, b".into(), "1".into()]);
+        t.push_row(vec!["say \"hi\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"note=a, b\",1\n"));
+        assert!(csv.contains("\"say \"\"hi\"\"\",2\n"));
+        // plain cells stay unquoted
+        assert!(csv.starts_with("rule,n\n"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut t = Table::new("t\"1\"", vec!["a", "b"]);
+        t.push_row(vec!["x\n".into(), "1".into()]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"t\\\"1\\\"\",\"columns\":[\"a\",\"b\"],\"rows\":[[\"x\\n\",\"1\"]]}"
+        );
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * [`apriori`] — the classic level-wise algorithm (Agrawal et al.), used as
 //!   a baseline and as an independent oracle in the cross-validation tests;
 //! * [`eclat`] — a vertical depth-first miner over the set-enumeration tree
-//!   (Rymon) that produces a [`PatternForest`](forest::PatternForest) with
+//!   (Rymon) that produces a [`PatternForest`] with
 //!   parent links and Diffset-encoded covers (Zaki & Gouda), exactly the
 //!   structure §4.2.1–4.2.2 of the paper requires;
 //! * [`fpgrowth`] — FP-growth (Han et al.) over an FP-tree, the fastest of
@@ -16,6 +16,29 @@
 //! * [`closed`] — closed-pattern identification (Pasquier et al.), since the
 //!   paper generates one rule per *closed* frequent pattern to avoid testing
 //!   duplicated hypotheses.
+//!
+//! # Example: mine frequent patterns
+//!
+//! ```
+//! use sigrule_data::{Dataset, Record, Schema};
+//! use sigrule_mining::{EclatMiner, FrequentPatternMiner, MinerConfig};
+//!
+//! // Two binary attributes, two classes, four records.
+//! let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+//! let records = vec![
+//!     Record::new(vec![0, 2], 0),
+//!     Record::new(vec![0, 2], 0),
+//!     Record::new(vec![0, 3], 1),
+//!     Record::new(vec![1, 3], 1),
+//! ];
+//! let dataset = Dataset::new(schema, records).unwrap();
+//!
+//! let patterns = EclatMiner::default().mine(&dataset, &MinerConfig::new(2));
+//! // item 0 appears in three records ...
+//! assert!(patterns.iter().any(|p| p.pattern.items() == [0] && p.support == 3));
+//! // ... and co-occurs with item 2 twice.
+//! assert!(patterns.iter().any(|p| p.pattern.items() == [0, 2] && p.support == 2));
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -11,7 +11,8 @@
 use crate::error::StatsError;
 use serde::{Deserialize, Serialize};
 
-/// The direct-adjustment procedures supported by [`adjust`] / [`reject`].
+/// The direct-adjustment procedures supported by [`adjusted_p_values`] and
+/// the per-method rejection functions ([`bonferroni`], [`holm`], ...).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AdjustMethod {
     /// Bonferroni: reject `p ≤ α / m`.  Controls FWER.

@@ -323,9 +323,9 @@ fn static_max_coverage(n: usize, n_c: usize, budget_bytes: usize, min_sup: usize
 /// the byte budget, built once up front and then only read (`&self`), so a
 /// single table is shared by every worker thread.
 ///
-/// Coverages above the budget cut-off ([`max_static_coverage`]
-/// (SharedPValueTable::max_static_coverage)) are served by each worker's own
-/// [`DynamicBuffer`].
+/// Coverages above the budget cut-off
+/// ([`SharedPValueTable::max_static_coverage`]) are served by each worker's
+/// own [`DynamicBuffer`].
 #[derive(Debug, Clone)]
 pub struct SharedPValueTable {
     n: usize,

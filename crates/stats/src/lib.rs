@@ -22,6 +22,22 @@
 //! The crate is intentionally free of any mining-specific types: everything is
 //! expressed in terms of counts (`n`, `n_c`, `supp(X)`, `supp(R)`) and raw
 //! p-values, so it can be reused by any hypothesis-testing pipeline.
+//!
+//! # Example: score one rule and correct over many
+//!
+//! ```
+//! use sigrule_stats::{bonferroni_threshold, FisherTest, RuleCounts, Tail};
+//!
+//! // A rule covering 40 of 1000 records, 35 of them in a class of 500:
+//! // strongly positively associated.
+//! let counts = RuleCounts::new(1000, 500, 40, 35).unwrap();
+//! let p = FisherTest::new(1000).p_value(&counts, Tail::TwoSided);
+//! assert!(p < 1e-5);
+//!
+//! // Bonferroni over 2000 hypothesis tests at alpha = 0.05.
+//! let cutoff = bonferroni_threshold(0.05, 2000);
+//! assert!((cutoff - 2.5e-5).abs() < 1e-12);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -15,6 +15,24 @@
 //! * [`PairedSynthetic`] — the paper's construction for a fair holdout
 //!   comparison: two independently generated halves with the same rules
 //!   embedded at half coverage, concatenated into one dataset (§5.1).
+//!
+//! # Example: generate a dataset with one planted rule
+//!
+//! ```
+//! use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+//!
+//! let params = SyntheticParams::default()
+//!     .with_records(500)
+//!     .with_attributes(10)
+//!     .with_rules(1)
+//!     .with_coverage(100, 100)
+//!     .with_confidence(0.9, 0.9);
+//! let (dataset, truth) = SyntheticGenerator::new(params).unwrap().generate(7);
+//! assert_eq!(dataset.n_records(), 500);
+//! assert_eq!(truth.len(), 1);
+//! // The embedded rule's realised coverage matches the request.
+//! assert_eq!(dataset.support(&truth[0].pattern), 100);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

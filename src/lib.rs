@@ -29,7 +29,9 @@ pub mod prelude {
         BufferStrategy, ExecutionMode, PermutationCorrection, PermutationStats, SupportBackend,
     };
     pub use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
+    pub use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
     pub use sigrule::{mine_rules, ClassRule, MinedRuleSet, RuleMiningConfig};
+    pub use sigrule_data::loader::{dataset_to_csv, load_csv_file, load_csv_str, LoadOptions};
     pub use sigrule_data::{Dataset, Pattern, Record, Schema};
     pub use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
     pub use sigrule_stats::{FisherTest, RuleCounts, Tail};

@@ -1,0 +1,106 @@
+//! Property test for the CSV loader: a synthetic dataset exported with
+//! [`dataset_to_csv`] and re-loaded with [`load_csv_str`] has identical
+//! supports — per item (attribute/value pair, matched by name), per class,
+//! and for every mined frequent pattern (matched by the multiset of mined
+//! supports).
+
+use proptest::prelude::*;
+use sigrule_repro::mining::{EclatMiner, FrequentPatternMiner, MinerConfig};
+use sigrule_repro::prelude::*;
+
+fn roundtrip(dataset: &Dataset) -> Dataset {
+    let csv = dataset_to_csv(dataset);
+    load_csv_str(&csv, &LoadOptions::default()).expect("exported CSV always loads")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Item supports, class counts and per-class rule supports survive the
+    /// CSV round trip (value ids may be renumbered in first-seen order, so
+    /// items are matched through their attribute/value names).
+    #[test]
+    fn supports_survive_the_round_trip(
+        seed in 0u64..500,
+        n_records in 60usize..200,
+        n_attributes in 3usize..8,
+    ) {
+        let params = SyntheticParams::default()
+            .with_records(n_records)
+            .with_attributes(n_attributes)
+            .with_rules(1)
+            .with_coverage(n_records / 5, n_records / 4)
+            .with_confidence(0.8, 0.9);
+        let (original, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        let reloaded = roundtrip(&original);
+
+        prop_assert_eq!(reloaded.n_records(), original.n_records());
+        prop_assert_eq!(reloaded.n_classes(), original.n_classes());
+        prop_assert_eq!(
+            reloaded.schema().n_attributes(),
+            original.schema().n_attributes()
+        );
+        prop_assert_eq!(reloaded.schema().n_items(), original.schema().n_items());
+
+        // Class counts, matched by class name.
+        let original_counts = original.class_counts();
+        let reloaded_counts = reloaded.class_counts();
+        for (class_id, name) in original.schema().classes().iter().enumerate() {
+            let reloaded_id = reloaded
+                .schema()
+                .class_index(name)
+                .expect("class name survives the round trip");
+            prop_assert_eq!(
+                reloaded_counts.count(reloaded_id),
+                original_counts.count(class_id as u32)
+            );
+        }
+
+        // Item supports, matched by attribute/value name.
+        for (attr, attribute) in original.schema().attributes().iter().enumerate() {
+            let reloaded_attr = &reloaded.schema().attributes()[attr];
+            prop_assert_eq!(&reloaded_attr.name, &attribute.name);
+            for (value, value_name) in attribute.values.iter().enumerate() {
+                let original_item = original.schema().item_id(attr, value).unwrap();
+                let reloaded_value = reloaded_attr
+                    .value_index(value_name)
+                    .expect("value name survives the round trip");
+                let reloaded_item = reloaded.schema().item_id(attr, reloaded_value).unwrap();
+                prop_assert_eq!(
+                    reloaded.item_support(reloaded_item),
+                    original.item_support(original_item)
+                );
+            }
+        }
+    }
+
+    /// Mining the reloaded dataset finds exactly as many frequent patterns
+    /// with exactly the same support multiset (patterns themselves are only
+    /// equal up to the value renumbering).
+    #[test]
+    fn mined_supports_survive_the_round_trip(seed in 0u64..200) {
+        let params = SyntheticParams::default()
+            .with_records(120)
+            .with_attributes(5)
+            .with_rules(1)
+            .with_coverage(30, 30)
+            .with_confidence(0.9, 0.9);
+        let (original, _) = SyntheticGenerator::new(params).unwrap().generate(seed);
+        let reloaded = roundtrip(&original);
+
+        let config = MinerConfig::new(12);
+        let mut supports_original: Vec<usize> = EclatMiner::default()
+            .mine(&original, &config)
+            .into_iter()
+            .map(|p| p.support)
+            .collect();
+        let mut supports_reloaded: Vec<usize> = EclatMiner::default()
+            .mine(&reloaded, &config)
+            .into_iter()
+            .map(|p| p.support)
+            .collect();
+        supports_original.sort_unstable();
+        supports_reloaded.sort_unstable();
+        prop_assert_eq!(supports_original, supports_reloaded);
+    }
+}

@@ -173,7 +173,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specification of a [`vec`] strategy: a fixed length or a
+        /// Length specification of a [`vec()`] strategy: a fixed length or a
         /// range of lengths.
         pub trait IntoSizeRange {
             /// Draws a concrete length.
