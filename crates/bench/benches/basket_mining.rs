@@ -1,0 +1,81 @@
+//! Rows-vs-basket kernel throughput: the ItemSpace refactor routes both
+//! record models through the same vertical bitmap/tid-list kernels, so this
+//! bench pits them against each other at equal record scale (2000 records,
+//! ~20 items per record, ~100-item universe).  Absolute times differ because
+//! the structured rows workload mines vastly more closed patterns than the
+//! power-law baskets; BENCH_basket.json records both the wall clocks and the
+//! per-rule-permutation throughput that factors the pattern counts out.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigrule::correction::permutation::PermutationCorrection;
+use sigrule::{mine_rules, MinedRuleSet, RuleMiningConfig};
+use sigrule_data::Dataset;
+use sigrule_mining::{EclatMiner, MinerConfig};
+use sigrule_synth::{BasketGenerator, BasketParams, SyntheticGenerator, SyntheticParams};
+
+const MIN_SUP: usize = 100;
+const N_PERMUTATIONS: usize = 50;
+
+/// The paper's D2kA20R5 rows: 2000 records x 20 attributes (one item per
+/// attribute, ~100 distinct items).
+fn rows_dataset() -> Dataset {
+    let (dataset, _) = SyntheticGenerator::new(SyntheticParams::d2k_a20_r5())
+        .unwrap()
+        .generate(7);
+    dataset
+}
+
+/// The basket twin at the same scale: 2000 transactions of 15..=25 items
+/// over a 100-item catalogue, with the same number of planted rules.
+fn basket_dataset() -> Dataset {
+    let params = BasketParams::default()
+        .with_transactions(2000)
+        .with_items(100)
+        .with_basket_size(15, 25)
+        .with_zipf(0.75)
+        .with_rules(5)
+        .with_coverage(200, 400)
+        .with_confidence(0.7, 0.9);
+    let (dataset, _) = BasketGenerator::new(params).unwrap().generate(7);
+    dataset
+}
+
+fn mined(dataset: &Dataset) -> MinedRuleSet {
+    mine_rules(dataset, &RuleMiningConfig::new(MIN_SUP))
+}
+
+/// Frequent-pattern mining throughput per representation.
+fn bench_mining(c: &mut Criterion) {
+    let workloads = [("rows", rows_dataset()), ("basket", basket_dataset())];
+    let mut group = c.benchmark_group("basket_vs_rows_mine_forest");
+    group.sample_size(10);
+    for (label, dataset) in &workloads {
+        group.bench_with_input(BenchmarkId::from_parameter(label), dataset, |b, dataset| {
+            let miner = EclatMiner::default();
+            let config = MinerConfig::new(MIN_SUP);
+            b.iter(|| black_box(miner.mine_forest(dataset, &config)))
+        });
+    }
+    group.finish();
+}
+
+/// Permutation-correction throughput (the hot kernel: rule supports on every
+/// permutation) per representation.
+fn bench_permutation(c: &mut Criterion) {
+    let workloads = [("rows", rows_dataset()), ("basket", basket_dataset())];
+    let mut group = c.benchmark_group("basket_vs_rows_permutation");
+    group.sample_size(10);
+    for (label, dataset) in &workloads {
+        let mined = mined(dataset);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mined, |b, mined| {
+            b.iter(|| {
+                let correction = PermutationCorrection::new(N_PERMUTATIONS).with_seed(3);
+                black_box(correction.collect_stats(mined))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining, bench_permutation);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 
 use sigrule::pipeline::CorrectionApproach;
 use sigrule::{ErrorMetric, RuleMiningConfig};
-use sigrule_data::loader::LoadOptions;
+use sigrule_data::loader::{BasketOptions, LoadOptions};
+use sigrule_data::InputFormat;
 use std::path::PathBuf;
 
 /// A malformed invocation (unknown flag, missing value, unparsable number).
@@ -131,6 +132,11 @@ pub struct CommonOpts {
     /// Input file (`None` only for `bench`, which then generates synthetic
     /// data).
     pub input: Option<PathBuf>,
+    /// Input format (`--input-format rows|basket`); `None` auto-detects from
+    /// the file extension and content.
+    pub input_format: Option<InputFormat>,
+    /// Class assigned to basket transactions without a `label:` token.
+    pub default_class: Option<String>,
     /// Class column: a header name or a 0-based index.
     pub class: Option<String>,
     /// Column separator (`--separator` / `--tsv`).
@@ -163,6 +169,8 @@ impl CommonOpts {
     /// Flag names consumed here (subcommands append their own).
     pub const VALUE_FLAGS: &'static [&'static str] = &[
         "input",
+        "input-format",
+        "default-class",
         "class",
         "separator",
         "min-sup",
@@ -198,8 +206,18 @@ impl CommonOpts {
             (None, true) => '\t',
             (None, false) => ',',
         };
+        let input_format = match args.get("input-format") {
+            None | Some("auto") => None,
+            Some(name) => Some(InputFormat::parse(name).ok_or_else(|| {
+                UsageError(format!(
+                    "--input-format must be rows, basket or auto (got {name:?})"
+                ))
+            })?),
+        };
         let opts = CommonOpts {
             input: args.get("input").map(PathBuf::from),
+            input_format,
+            default_class: args.get("default-class").map(String::from),
             class: args.get("class").map(String::from),
             separator,
             no_header: args.has("no-header"),
@@ -235,6 +253,15 @@ impl CommonOpts {
             }
         }
         load
+    }
+
+    /// The basket-reader options these flags describe.
+    pub fn basket_options(&self) -> BasketOptions {
+        let mut basket = BasketOptions::default();
+        if let Some(class) = &self.default_class {
+            basket.default_class = Some(class.clone());
+        }
+        basket
     }
 
     /// The effective minimum support for a dataset of `n_records` records:

@@ -4,8 +4,8 @@ use crate::args::{parse_correction, ArgMap, CommonOpts, UsageError};
 use crate::output::{method_summary_row, significant_rules_table, Report};
 use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError};
 use sigrule::ErrorMetric;
-use sigrule_data::loader::load_csv_file;
-use sigrule_data::Dataset;
+use sigrule_data::loader::{detect_format_with, load_baskets_file, load_csv_file};
+use sigrule_data::{Dataset, InputFormat};
 use sigrule_eval::report::Table;
 use sigrule_synth::{SyntheticGenerator, SyntheticParams};
 use std::time::Instant;
@@ -63,32 +63,61 @@ fn pipeline_for(
     pipeline
 }
 
-/// Loads the dataset named by `--input` (required here).
-fn load_input(opts: &CommonOpts) -> Result<(Dataset, f64), CliError> {
+/// Loads the dataset named by `--input` (required here) in the requested or
+/// auto-detected input format.  Returns the dataset, any loader warnings
+/// (rendered on stderr by the caller), the effective format and the load
+/// time.
+fn load_input(opts: &CommonOpts) -> Result<(Dataset, Vec<String>, InputFormat, f64), CliError> {
     let Some(path) = &opts.input else {
         return Err(CliError::Usage(UsageError(
             "--input <file> is required".into(),
         )));
     };
+    let against_path = |e: sigrule_data::DataError| -> CliError {
+        CliError::Runtime(format!("{}: {e}", path.display()))
+    };
+    let format = match opts.input_format {
+        Some(format) => format,
+        None => detect_format_with(path, &opts.basket_options()).map_err(against_path)?,
+    };
     let start = Instant::now();
-    let dataset = load_csv_file(path, &opts.load_options())
-        .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
-    Ok((dataset, millis(start.elapsed())))
+    match format {
+        InputFormat::Rows => {
+            let dataset = load_csv_file(path, &opts.load_options()).map_err(against_path)?;
+            Ok((dataset, Vec::new(), format, millis(start.elapsed())))
+        }
+        InputFormat::Basket => {
+            let load = load_baskets_file(path, &opts.basket_options()).map_err(against_path)?;
+            let warnings = load
+                .warnings
+                .iter()
+                .map(|w| format!("{}: {w}", path.display()))
+                .collect();
+            Ok((load.dataset, warnings, format, millis(start.elapsed())))
+        }
+    }
 }
 
-fn dataset_summary(report: &mut Report, opts: &CommonOpts, dataset: &Dataset) {
+fn dataset_summary(report: &mut Report, opts: &CommonOpts, dataset: &Dataset, format: InputFormat) {
     if let Some(path) = &opts.input {
         report.add("input", path.display());
+        report.add("input_format", format.label());
     }
     report.add("records", dataset.n_records());
-    report.add("attributes", dataset.schema().n_attributes());
-    report.add("items", dataset.schema().n_items());
+    report.add(
+        "columns",
+        dataset
+            .n_columns()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "- (basket data)".to_string()),
+    );
+    report.add("items", dataset.n_items());
     report.add(
         "classes",
         format!(
             "{} ({})",
             dataset.n_classes(),
-            dataset.schema().classes().join(", ")
+            dataset.item_space().classes().join(", ")
         ),
     );
     report.add("min_sup", opts.effective_min_sup(dataset.n_records()));
@@ -102,12 +131,13 @@ pub fn mine(args: &ArgMap) -> Result<Report, CliError> {
     let opts = CommonOpts::from_args(args)?;
     let (approach, metric) = parse_correction(args)?;
 
-    let (dataset, load_ms) = load_input(&opts)?;
+    let (dataset, warnings, format, load_ms) = load_input(&opts)?;
     let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
     let run = pipeline.run_dataset(&dataset)?;
 
     let mut report = Report::new("mine");
-    dataset_summary(&mut report, &opts, &dataset);
+    report.warnings = warnings;
+    dataset_summary(&mut report, &opts, &dataset, format);
     report.add("rules_mined", run.mined.rules().len());
     report.add("hypothesis_tests", run.mined.n_tests());
     report.add("correction", run.result.method.clone());
@@ -149,7 +179,7 @@ pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
     args.reject_unknown(CommonOpts::VALUE_FLAGS)?;
     let opts = CommonOpts::from_args(args)?;
 
-    let (dataset, load_ms) = load_input(&opts)?;
+    let (dataset, warnings, format, load_ms) = load_input(&opts)?;
     let base = pipeline_for(
         &opts,
         dataset.n_records(),
@@ -180,7 +210,8 @@ pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
     }
 
     let mut report = Report::new("correct");
-    dataset_summary(&mut report, &opts, &dataset);
+    report.warnings = warnings;
+    dataset_summary(&mut report, &opts, &dataset, format);
     report.add("rules_mined", mined.rules().len());
     report.add("hypothesis_tests", mined.n_tests());
     report.add("permutations", opts.permutations);
@@ -200,8 +231,11 @@ pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
     let opts = CommonOpts::from_args(args)?;
 
     let mut report = Report::new("bench");
+    let mut format = InputFormat::Rows;
     let (dataset, source, load_ms) = if opts.input.is_some() {
-        let (dataset, load_ms) = load_input(&opts)?;
+        let (dataset, warnings, input_format, load_ms) = load_input(&opts)?;
+        report.warnings = warnings;
+        format = input_format;
         (dataset, "file", load_ms)
     } else {
         let records: usize = args.get_parsed("records")?.unwrap_or(2000);
@@ -222,7 +256,7 @@ pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
         (dataset, "synthetic", millis(start.elapsed()))
     };
     report.add("source", source);
-    dataset_summary(&mut report, &opts, &dataset);
+    dataset_summary(&mut report, &opts, &dataset, format);
     report.add("permutations", opts.permutations);
     report.add("seed", opts.seed);
 

@@ -7,8 +7,9 @@
 //! Three subcommands cover the workflow of the paper (*Controlling False
 //! Positives in Association Rule Mining*, Liu, Zhang, Wong, PVLDB 2011):
 //!
-//! * `sigrule mine` — load a CSV/TSV dataset, mine class association rules,
-//!   apply one correction approach, report the significant rules;
+//! * `sigrule mine` — load a CSV/TSV or market-basket dataset, mine class
+//!   association rules, apply one correction approach, report the
+//!   significant rules;
 //! * `sigrule correct` — mine once, run **every** correction approach, and
 //!   print a comparison table;
 //! * `sigrule bench` — time each pipeline stage on a file or on synthetic
@@ -50,12 +51,18 @@ USAGE:
   sigrule bench   [--input <file>] [options] time every pipeline stage
   sigrule help                               print this text
 
-INPUT (CSV by default):
+INPUT (format auto-detected by default):
   --input <file>        dataset file to load
-  --class <name|index>  class column (default: the last column)
-  --separator <char>    column separator (default ,)
-  --tsv                 tab-separated input
-  --no-header           first row is data; columns are named A0, A1, ...
+  --input-format <f>    rows | basket | auto (default auto: extension, then
+                        content sniffing)
+  --class <name|index>  rows: class column (default: the last column)
+  --separator <char>    rows: column separator (default ,)
+  --tsv                 rows: tab-separated input
+  --no-header           rows: first row is data; columns are named A0, A1, ...
+  --default-class <c>   basket: class for transactions without a label: token
+
+  Basket files carry one transaction per line: item tokens separated by
+  whitespace and/or commas, plus an optional `label:<class>` token.
 
 MINING:
   --min-sup <n>         minimum support (default: 1% of records, at least 2)
@@ -153,7 +160,13 @@ pub fn run(argv: &[String]) -> RunOutcome {
                 Ok(opts) => opts.format,
                 Err(_) => args::Format::Human,
             };
-            RunOutcome::ok(report.render(format))
+            let mut outcome = RunOutcome::ok(report.render(format));
+            outcome.stderr = report
+                .warnings
+                .iter()
+                .map(|w| format!("sigrule: warning: {w}\n"))
+                .collect();
+            outcome
         }
         Err(CliError::Usage(e)) => RunOutcome::usage_error(&e.0),
         Err(CliError::Runtime(message)) => RunOutcome::runtime_error(&message),

@@ -19,6 +19,9 @@ pub struct Report {
     pub summary: Vec<(String, String)>,
     /// Result tables.
     pub tables: Vec<Table>,
+    /// Non-fatal warnings, printed to stderr (never into the formatted
+    /// output, so JSON/CSV stay machine-readable).
+    pub warnings: Vec<String>,
 }
 
 impl Report {
@@ -28,6 +31,7 @@ impl Report {
             command: command.to_string(),
             summary: Vec::new(),
             tables: Vec::new(),
+            warnings: Vec::new(),
         }
     }
 
@@ -119,17 +123,17 @@ pub fn significant_rules_table(run: &PipelineRun, top: usize) -> Table {
             "p_value",
         ],
     );
-    let schema = run.mined.schema();
+    let space = run.mined.item_space();
     for rule in rules.iter().take(shown) {
         let lhs: Vec<String> = rule
             .pattern
             .items()
             .iter()
-            .map(|&i| schema.describe_item(i))
+            .map(|&i| space.describe_item(i))
             .collect();
         table.push_row(vec![
             lhs.join(" AND "),
-            schema.class_name(rule.class).unwrap_or("?").to_string(),
+            space.class_name(rule.class).unwrap_or("?").to_string(),
             rule.coverage.to_string(),
             rule.support.to_string(),
             format!("{:.4}", rule.confidence()),

@@ -78,18 +78,18 @@ fn mine_permutation_json_matches_library_api() {
 
     // Every significant rule the library reports must appear in the CLI's
     // JSON rule table with identical statistics.
-    let schema = mined.schema();
+    let space = mined.item_space();
     for rule in result.significant_rules() {
         let lhs: Vec<String> = rule
             .pattern
             .items()
             .iter()
-            .map(|&i| schema.describe_item(i))
+            .map(|&i| space.describe_item(i))
             .collect();
         let expected_row = format!(
             "[\"{}\",\"{}\",\"{}\",\"{}\",\"{:.4}\",\"{:.6e}\"]",
             lhs.join(" AND "),
-            schema.class_name(rule.class).unwrap(),
+            space.class_name(rule.class).unwrap(),
             rule.coverage,
             rule.support,
             rule.confidence(),
@@ -183,6 +183,127 @@ fn usage_errors_exit_2() {
 
     let output = sigrule(&["definitely-not-a-subcommand"]);
     assert_eq!(output.status.code(), Some(2));
+}
+
+/// The checked-in basket fixture (see `tests/fixtures.rs` at the workspace
+/// root, which guards it against drift).
+fn basket_fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/retail_toy.basket")
+}
+
+#[test]
+fn mine_basket_fixture_with_permutation_correction() {
+    let fixture = basket_fixture();
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        fixture.to_str().unwrap(),
+        "--input-format",
+        "basket",
+        "--min-sup",
+        "12",
+        "--correction",
+        "permutation",
+        "--permutations",
+        "200",
+        "--format",
+        "json",
+        "--top",
+        "0",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("\"input_format\":\"basket\""));
+    assert!(stdout.contains("\"columns\":\"- (basket data)\""));
+
+    // The same pipeline through the library API must agree rule-for-rule.
+    let load = sigrule_data::loader::load_baskets_file(
+        &fixture,
+        &sigrule_data::loader::BasketOptions::default(),
+    )
+    .unwrap();
+    let mined = mine_rules(&load.dataset, &RuleMiningConfig::new(12));
+    let result = PermutationCorrection::new(200)
+        .with_seed(17)
+        .control_fwer(&mined, 0.05);
+    assert!(
+        result.n_significant() > 0,
+        "the fixture's planted itemset should survive FWER control"
+    );
+    assert!(stdout.contains(&format!("\"significant\":\"{}\"", result.n_significant())));
+    let space = mined.item_space();
+    for rule in result.significant_rules() {
+        let lhs: Vec<String> = rule
+            .pattern
+            .items()
+            .iter()
+            .map(|&i| space.describe_item(i))
+            .collect();
+        let expected_row = format!(
+            "[\"{}\",\"{}\",\"{}\",\"{}\",\"{:.4}\",\"{:.6e}\"]",
+            lhs.join(" AND "),
+            space.class_name(rule.class).unwrap(),
+            rule.coverage,
+            rule.support,
+            rule.confidence(),
+            rule.p_value
+        );
+        assert!(
+            stdout.contains(&expected_row),
+            "missing rule row {expected_row} in CLI output"
+        );
+    }
+
+    // Auto-detection picks the basket reader from the .basket extension.
+    let auto = sigrule(&[
+        "mine",
+        "--input",
+        fixture.to_str().unwrap(),
+        "--min-sup",
+        "12",
+        "--format",
+        "json",
+    ]);
+    assert!(auto.status.success());
+    assert!(String::from_utf8_lossy(&auto.stdout).contains("\"input_format\":\"basket\""));
+}
+
+#[test]
+fn basket_warnings_reach_stderr_without_breaking_json() {
+    let path = std::env::temp_dir().join(format!("sigrule_e2e_warn_{}.basket", std::process::id()));
+    std::fs::write(
+        &path,
+        "a b label:x\n\na c label:x\nb c label:y\nc d label:y\n",
+    )
+    .unwrap();
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        path.to_str().unwrap(),
+        "--min-sup",
+        "1",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("line 2"),
+        "stderr: {stderr}"
+    );
+    // stdout is still one clean JSON document
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("{\"command\":\"mine\""));
+    assert!(!stdout.contains("warning"));
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use crate::config::RuleMiningConfig;
 use crate::rule::ClassRule;
-use sigrule_data::{ClassId, Dataset, Schema};
+use sigrule_data::{ClassId, Dataset, ItemSpace};
 use sigrule_mining::{EclatMiner, MinerConfig, PatternForest};
 use sigrule_stats::{LogFactorialTable, PValueCache};
 
@@ -23,7 +23,7 @@ pub struct MinedRuleSet {
     forest: PatternForest,
     labels: Vec<ClassId>,
     class_counts: Vec<usize>,
-    schema: Schema,
+    item_space: ItemSpace,
     n_tests: usize,
     config: RuleMiningConfig,
 }
@@ -78,9 +78,10 @@ impl MinedRuleSet {
         self.class_counts.len()
     }
 
-    /// The schema of the mined dataset (for pretty-printing rules).
-    pub fn schema(&self) -> &Schema {
-        &self.schema
+    /// The item space of the mined dataset (for pretty-printing rules,
+    /// whatever the source — attribute rows or baskets).
+    pub fn item_space(&self) -> &ItemSpace {
+        &self.item_space
     }
 
     /// The mining configuration that produced this rule set.
@@ -199,7 +200,7 @@ pub fn mine_rules(dataset: &Dataset, config: &RuleMiningConfig) -> MinedRuleSet 
         forest,
         labels,
         class_counts,
-        schema: dataset.schema().clone(),
+        item_space: dataset.item_space().clone(),
         n_tests,
         config: config.clone(),
     }

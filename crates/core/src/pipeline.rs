@@ -2,12 +2,15 @@
 //!
 //! [`Pipeline`] packages the whole workflow of the paper behind one
 //! configurable value, so callers (most prominently the `sigrule` CLI) do not
-//! have to wire the stages by hand: a delimited file is loaded and
-//! discretized through [`sigrule_data::loader`], class association rules are
+//! have to wire the stages by hand: the input — delimited rows *or* basket
+//! transactions, selected by [`InputFormat`] or auto-detected per file — is
+//! loaded through [`sigrule_data::loader`], class association rules are
 //! mined with [`mine_rules`], and one of the correction approaches of §4 is
 //! applied (direct adjustment, permutation, or random holdout — or no
-//! correction at all).  Every stage is timed, so the same type also backs
-//! `sigrule bench`.
+//! correction at all).  Both input formats compile into the same
+//! [`ItemSpace`](sigrule_data::ItemSpace)-backed dataset, so mining and the
+//! corrections are source-agnostic.  Every stage is timed, so the same type
+//! also backs `sigrule bench`.
 //!
 //! ```
 //! use sigrule::pipeline::{CorrectionApproach, Pipeline};
@@ -35,7 +38,10 @@ use crate::correction::holdout::random_holdout;
 use crate::correction::permutation::PermutationCorrection;
 use crate::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
 use crate::miner::{mine_rules, MinedRuleSet};
-use sigrule_data::loader::{load_csv_file, load_csv_str, LoadOptions};
+use sigrule_data::loader::{
+    detect_format_with, load_baskets_file, load_baskets_str, load_csv_file, load_csv_str,
+    BasketOptions, InputFormat, LoadOptions, LoadWarning,
+};
 use sigrule_data::{DataError, Dataset};
 use std::fmt;
 use std::path::Path;
@@ -142,8 +148,9 @@ impl StageTimings {
 pub struct PipelineRun {
     /// Number of records of the input dataset.
     pub n_records: usize,
-    /// Number of attributes of the input dataset.
-    pub n_attributes: usize,
+    /// Number of source columns of the input dataset (`None` for basket
+    /// data, which has no column structure).
+    pub n_columns: Option<usize>,
     /// Number of distinct items of the input dataset.
     pub n_items: usize,
     /// Number of class labels of the input dataset.
@@ -154,6 +161,8 @@ pub struct PipelineRun {
     pub result: CorrectionResult,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+    /// Non-fatal warnings raised while loading (basket inputs only).
+    pub warnings: Vec<LoadWarning>,
 }
 
 /// A configured load → discretize → mine → correct pipeline.
@@ -164,6 +173,11 @@ pub struct PipelineRun {
 pub struct Pipeline {
     /// CSV/TSV parsing and discretization options.
     pub load: LoadOptions,
+    /// Basket (transaction) parsing options, used for basket inputs.
+    pub basket: BasketOptions,
+    /// The input format [`Pipeline::run_file`] assumes; `None` auto-detects
+    /// per file (extension, then content sniffing).
+    pub input_format: Option<InputFormat>,
     /// Rule-mining configuration (min_sup, min_conf, closed-only, ...).
     pub mining: RuleMiningConfig,
     /// The correction approach to apply.
@@ -189,6 +203,8 @@ impl Pipeline {
     pub fn new(min_sup: usize) -> Self {
         Pipeline {
             load: LoadOptions::default(),
+            basket: BasketOptions::default(),
+            input_format: None,
             mining: RuleMiningConfig::new(min_sup),
             approach: CorrectionApproach::Direct,
             metric: ErrorMetric::Fwer,
@@ -202,6 +218,19 @@ impl Pipeline {
     /// Replaces the load options.
     pub fn with_load(mut self, load: LoadOptions) -> Self {
         self.load = load;
+        self
+    }
+
+    /// Replaces the basket parsing options.
+    pub fn with_basket(mut self, basket: BasketOptions) -> Self {
+        self.basket = basket;
+        self
+    }
+
+    /// Pins the input format [`Pipeline::run_file`] uses instead of
+    /// auto-detecting it.
+    pub fn with_input_format(mut self, format: InputFormat) -> Self {
+        self.input_format = Some(format);
         self
     }
 
@@ -266,12 +295,35 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Loads a file in the configured (or auto-detected) input format and
+    /// runs the pipeline: rows go through the CSV/TSV reader, baskets through
+    /// the transaction reader — the rest of the pipeline is identical.
+    pub fn run_file(&self, path: impl AsRef<Path>) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        let path = path.as_ref();
+        let format = match self.input_format {
+            Some(format) => format,
+            None => detect_format_with(path, &self.basket)?,
+        };
+        let start = Instant::now();
+        match format {
+            InputFormat::Rows => {
+                let dataset = load_csv_file(path, &self.load)?;
+                self.run_loaded(&dataset, start.elapsed(), Vec::new())
+            }
+            InputFormat::Basket => {
+                let load = load_baskets_file(path, &self.basket)?;
+                self.run_loaded(&load.dataset, start.elapsed(), load.warnings)
+            }
+        }
+    }
+
     /// Loads a CSV/TSV file and runs the pipeline.
     pub fn run_csv_file(&self, path: impl AsRef<Path>) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
         let start = Instant::now();
         let dataset = load_csv_file(path, &self.load)?;
-        self.run_loaded(&dataset, start.elapsed())
+        self.run_loaded(&dataset, start.elapsed(), Vec::new())
     }
 
     /// Parses CSV text and runs the pipeline.
@@ -279,16 +331,29 @@ impl Pipeline {
         self.validate()?;
         let start = Instant::now();
         let dataset = load_csv_str(text, &self.load)?;
-        self.run_loaded(&dataset, start.elapsed())
+        self.run_loaded(&dataset, start.elapsed(), Vec::new())
+    }
+
+    /// Parses basket (transaction) text and runs the pipeline.
+    pub fn run_baskets_str(&self, text: &str) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        let start = Instant::now();
+        let load = load_baskets_str(text, &self.basket)?;
+        self.run_loaded(&load.dataset, start.elapsed(), load.warnings)
     }
 
     /// Runs the pipeline on an already-built dataset (skips the load stage).
     pub fn run_dataset(&self, dataset: &Dataset) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        self.run_loaded(dataset, Duration::ZERO)
+        self.run_loaded(dataset, Duration::ZERO, Vec::new())
     }
 
-    fn run_loaded(&self, dataset: &Dataset, load: Duration) -> Result<PipelineRun, PipelineError> {
+    fn run_loaded(
+        &self,
+        dataset: &Dataset,
+        load: Duration,
+        warnings: Vec<LoadWarning>,
+    ) -> Result<PipelineRun, PipelineError> {
         let mine_start = Instant::now();
         let mined = mine_rules(dataset, &self.mining);
         let mine = mine_start.elapsed();
@@ -299,8 +364,8 @@ impl Pipeline {
 
         Ok(PipelineRun {
             n_records: dataset.n_records(),
-            n_attributes: dataset.schema().n_attributes(),
-            n_items: dataset.schema().n_items(),
+            n_columns: dataset.n_columns(),
+            n_items: dataset.n_items(),
             n_classes: dataset.n_classes(),
             mined,
             result,
@@ -309,6 +374,7 @@ impl Pipeline {
                 mine,
                 correct,
             },
+            warnings,
         })
     }
 
@@ -379,11 +445,90 @@ mod tests {
         let from_csv = pipeline.run_csv_str(&csv).unwrap();
         let from_data = pipeline.run_dataset(&dataset).unwrap();
         assert_eq!(from_csv.n_records, from_data.n_records);
+        assert_eq!(from_csv.n_columns, Some(8));
         assert_eq!(from_csv.mined.rules().len(), from_data.mined.rules().len());
         assert_eq!(
             from_csv.result.n_significant(),
             from_data.result.n_significant()
         );
+    }
+
+    #[test]
+    fn basket_run_matches_direct_library_use() {
+        use sigrule_synth::{BasketGenerator, BasketParams};
+        let params = BasketParams::default()
+            .with_transactions(300)
+            .with_items(30)
+            .with_rules(1)
+            .with_coverage(80, 80)
+            .with_confidence(0.9, 0.9);
+        let (dataset, _) = BasketGenerator::new(params).unwrap().generate(7);
+        let text = sigrule_data::loader::dataset_to_baskets(&dataset);
+        let pipeline = Pipeline::new(30)
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(50);
+        let from_text = pipeline.run_baskets_str(&text).unwrap();
+        let from_data = pipeline.run_dataset(&dataset).unwrap();
+        assert_eq!(from_text.n_records, 300);
+        assert_eq!(from_text.n_columns, None);
+        assert!(from_text.warnings.is_empty());
+        // The text round-trip renumbers item ids (tokens intern in first-seen
+        // order), which permutes both the rule order and the item order
+        // within a pattern; canonicalised by name, the rule set and its
+        // per-rule decisions must still match exactly.
+        let render = |run: &PipelineRun| -> Vec<(Vec<String>, String, usize, usize, f64, bool)> {
+            let space = run.mined.item_space();
+            let mut rows: Vec<_> = run
+                .result
+                .rules
+                .iter()
+                .zip(run.result.significant.iter())
+                .map(|(r, &s)| {
+                    let mut names: Vec<String> = r
+                        .pattern
+                        .items()
+                        .iter()
+                        .map(|&i| space.describe_item(i))
+                        .collect();
+                    names.sort();
+                    let class = space.class_name(r.class).unwrap_or("?").to_string();
+                    (names, class, r.coverage, r.support, r.p_value, s)
+                })
+                .collect();
+            rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows
+        };
+        assert_eq!(render(&from_text), render(&from_data));
+    }
+
+    #[test]
+    fn run_file_auto_detects_baskets() {
+        let text = "\
+a b label:x
+a b label:x
+a b label:x
+a c label:y
+b c label:y
+c d label:y
+";
+        let path = std::env::temp_dir().join(format!(
+            "sigrule_pipeline_auto_{}.basket",
+            std::process::id()
+        ));
+        std::fs::write(&path, text).unwrap();
+        let run = Pipeline::new(2)
+            .with_correction(CorrectionApproach::None, ErrorMetric::Fwer)
+            .run_file(&path)
+            .unwrap();
+        assert_eq!(run.n_records, 6);
+        assert_eq!(run.n_columns, None);
+        // pinning the wrong format fails loudly instead of misparsing
+        let err = Pipeline::new(2)
+            .with_input_format(sigrule_data::InputFormat::Rows)
+            .run_file(&path)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Data(_)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Class association rules (§2.1–2.2 of the paper).
 
 use serde::{Deserialize, Serialize};
-use sigrule_data::{ClassId, Pattern, Schema};
+use sigrule_data::{ClassId, ItemSpace, Pattern};
 
 /// A class association rule `X ⇒ c` together with its statistics on the
 /// dataset it was mined from.
@@ -43,20 +43,21 @@ impl ClassRule {
         self.pattern.len()
     }
 
-    /// Human-readable rendering against a schema, e.g.
-    /// `A3=v1 ∧ A7=v0 ⇒ c1 (cov=120, conf=0.83, p=1.2e-9)`.
-    pub fn describe(&self, schema: &Schema) -> String {
+    /// Human-readable rendering against an item space, e.g.
+    /// `A3=v1 ∧ A7=v0 ⇒ c1 (cov=120, conf=0.83, p=1.2e-9)` for attribute
+    /// items or `milk ∧ bread ⇒ weekend (...)` for basket items.
+    pub fn describe(&self, items: &ItemSpace) -> String {
         let lhs = if self.pattern.is_empty() {
             "∅".to_string()
         } else {
             self.pattern
                 .items()
                 .iter()
-                .map(|&i| schema.describe_item(i))
+                .map(|&i| items.describe_item(i))
                 .collect::<Vec<_>>()
                 .join(" ∧ ")
         };
-        let class = schema
+        let class = items
             .class_name(self.class)
             .unwrap_or("<unknown class>")
             .to_string();
@@ -107,8 +108,9 @@ mod tests {
     }
 
     #[test]
-    fn describe_uses_schema_names() {
-        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+    fn describe_uses_item_space_names() {
+        let schema = sigrule_data::Schema::synthetic(&[2, 2], 2).unwrap();
+        let space = ItemSpace::from_schema(&schema);
         let r = ClassRule {
             pattern: Pattern::from_items([0, 3]),
             class: 1,
@@ -116,11 +118,21 @@ mod tests {
             support: 9,
             p_value: 1e-4,
         };
-        let s = r.describe(&schema);
+        let s = r.describe(&space);
         assert!(s.contains("A0=v0"));
         assert!(s.contains("A1=v1"));
         assert!(s.contains("c1"));
         assert!(s.contains("cov=10"));
+
+        let basket = ItemSpace::baskets(
+            ["milk", "bread", "beer", "eggs"].map(String::from),
+            vec!["weekday".into(), "weekend".into()],
+        )
+        .unwrap();
+        let s = r.describe(&basket);
+        assert!(s.contains("milk"));
+        assert!(s.contains("eggs"));
+        assert!(s.contains("weekend"));
     }
 
     #[test]

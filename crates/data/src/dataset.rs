@@ -3,6 +3,7 @@
 
 use crate::error::DataError;
 use crate::item::{ClassId, ItemId, Pattern};
+use crate::itemspace::ItemSpace;
 use crate::record::Record;
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
@@ -54,17 +55,23 @@ impl ClassCounts {
     }
 }
 
-/// An attribute-valued, class-labelled dataset (§2.1 of the paper).
+/// A class-labelled dataset over an [`ItemSpace`] (§2.1 of the paper).
+///
+/// Every record is a set of item ids plus a class label.  When the data came
+/// from columnar (attribute-valued) sources the dataset additionally retains
+/// the [`Schema`], which fixes one item per column per record and backs CSV
+/// export; basket datasets carry no schema and records are free-form itemsets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    schema: Schema,
+    item_space: ItemSpace,
+    schema: Option<Schema>,
     records: Vec<Record>,
 }
 
 impl Dataset {
-    /// Creates a dataset after validating every record against the schema:
-    /// each record must carry exactly one value per attribute and a valid
-    /// class label.
+    /// Creates an attribute-valued dataset after validating every record
+    /// against the schema: each record must carry exactly one value per
+    /// attribute and a valid class label.
     pub fn new(schema: Schema, records: Vec<Record>) -> Result<Self, DataError> {
         for r in &records {
             if r.len() != schema.n_attributes() {
@@ -88,20 +95,67 @@ impl Dataset {
                 }
             }
         }
-        Ok(Dataset { schema, records })
+        Ok(Dataset::new_unchecked(schema, records))
     }
 
-    /// Creates a dataset without per-record validation.  Intended for
-    /// generators that construct records directly from the schema and for
-    /// performance-sensitive paths (e.g. building thousands of synthetic
-    /// datasets); invariants are still expected to hold.
+    /// Creates an attribute-valued dataset without per-record validation.
+    /// Intended for generators that construct records directly from the
+    /// schema and for performance-sensitive paths (e.g. building thousands of
+    /// synthetic datasets); invariants are still expected to hold.
     pub fn new_unchecked(schema: Schema, records: Vec<Record>) -> Self {
-        Dataset { schema, records }
+        Dataset {
+            item_space: ItemSpace::from_schema(&schema),
+            schema: Some(schema),
+            records,
+        }
     }
 
-    /// The schema.
-    pub fn schema(&self) -> &Schema {
-        &self.schema
+    /// Creates a schema-free dataset (market-basket transactions) over an
+    /// item space: records may carry any number of items, each item id must
+    /// exist in the space, and duplicate items within a record have already
+    /// been collapsed by [`Record::new`].
+    pub fn from_baskets(item_space: ItemSpace, records: Vec<Record>) -> Result<Self, DataError> {
+        let n_items = item_space.n_items();
+        let n_classes = item_space.n_classes();
+        for r in &records {
+            if let Some(&item) = r.items().iter().find(|&&i| i as usize >= n_items) {
+                return Err(DataError::UnknownItem {
+                    item: item as usize,
+                    n_items,
+                });
+            }
+            if r.class() as usize >= n_classes {
+                return Err(DataError::UnknownClass {
+                    class: r.class() as usize,
+                });
+            }
+        }
+        Ok(Dataset {
+            item_space,
+            schema: None,
+            records,
+        })
+    }
+
+    /// The item universe of the dataset.
+    pub fn item_space(&self) -> &ItemSpace {
+        &self.item_space
+    }
+
+    /// The attribute schema, when the dataset came from columnar data
+    /// (`None` for basket datasets).
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// Number of distinct items of the item space.
+    pub fn n_items(&self) -> usize {
+        self.item_space.n_items()
+    }
+
+    /// Number of source columns, when the data is columnar.
+    pub fn n_columns(&self) -> Option<usize> {
+        self.item_space.n_columns()
     }
 
     /// The records.
@@ -116,7 +170,7 @@ impl Dataset {
 
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
-        self.schema.n_classes()
+        self.item_space.n_classes()
     }
 
     /// The class label of every record, in record order.
@@ -181,10 +235,17 @@ impl Dataset {
             }
             r.set_class(c);
         }
-        Ok(Dataset {
+        Ok(self.with_records(records))
+    }
+
+    /// A copy of the dataset with the records replaced (same item space and
+    /// schema).
+    fn with_records(&self, records: Vec<Record>) -> Dataset {
+        Dataset {
+            item_space: self.item_space.clone(),
             schema: self.schema.clone(),
             records,
-        })
+        }
     }
 
     /// Splits the dataset into two halves by record index: records
@@ -192,15 +253,10 @@ impl Dataset {
     /// that concatenates two independently generated sub-datasets.
     pub fn split_at(&self, split: usize) -> (Dataset, Dataset) {
         let split = split.min(self.records.len());
-        let first = Dataset {
-            schema: self.schema.clone(),
-            records: self.records[..split].to_vec(),
-        };
-        let second = Dataset {
-            schema: self.schema.clone(),
-            records: self.records[split..].to_vec(),
-        };
-        (first, second)
+        (
+            self.with_records(self.records[..split].to_vec()),
+            self.with_records(self.records[split..].to_vec()),
+        )
     }
 
     /// Splits the dataset into two according to a membership mask
@@ -221,31 +277,20 @@ impl Dataset {
                 second.push(r.clone());
             }
         }
-        Ok((
-            Dataset {
-                schema: self.schema.clone(),
-                records: first,
-            },
-            Dataset {
-                schema: self.schema.clone(),
-                records: second,
-            },
-        ))
+        Ok((self.with_records(first), self.with_records(second)))
     }
 
-    /// Concatenates two datasets over the same schema.
+    /// Concatenates two datasets over the same item space (and schema, when
+    /// present).
     pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
-        if self.schema != other.schema {
+        if self.item_space != other.item_space || self.schema != other.schema {
             return Err(DataError::invalid_schema(
-                "cannot concatenate datasets with different schemas",
+                "cannot concatenate datasets with different item spaces",
             ));
         }
         let mut records = self.records.clone();
         records.extend(other.records.iter().cloned());
-        Ok(Dataset {
-            schema: self.schema.clone(),
-            records,
-        })
+        Ok(self.with_records(records))
     }
 }
 
@@ -347,6 +392,55 @@ mod tests {
         assert_eq!(a.n_records(), 3);
         assert_eq!(b.n_records(), 2);
         assert!(d.split_by_mask(&[true]).is_err());
+    }
+
+    #[test]
+    fn basket_dataset_allows_variable_arity() {
+        let space = crate::itemspace::ItemSpace::baskets(
+            ["milk", "bread", "beer", "eggs"].map(String::from),
+            vec!["weekday".into(), "weekend".into()],
+        )
+        .unwrap();
+        let records = vec![
+            Record::new(vec![0, 1], 0),
+            Record::new(vec![0, 1, 2, 3], 1),
+            Record::new(vec![2], 1),
+            Record::new(vec![0, 1, 3], 0),
+        ];
+        let d = Dataset::from_baskets(space.clone(), records).unwrap();
+        assert_eq!(d.n_records(), 4);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.n_columns(), None);
+        assert!(d.schema().is_none());
+        assert_eq!(d.support(&Pattern::from_items([0, 1])), 3);
+        assert_eq!(d.rule_support(&Pattern::from_items([0, 1]), 0), 2);
+
+        // out-of-range item / class are rejected
+        assert!(Dataset::from_baskets(space.clone(), vec![Record::new(vec![9], 0)]).is_err());
+        assert!(Dataset::from_baskets(space, vec![Record::new(vec![0], 7)]).is_err());
+    }
+
+    #[test]
+    fn basket_dataset_split_and_relabel_preserve_the_space() {
+        let space = crate::itemspace::ItemSpace::baskets(
+            ["a", "b", "c"].map(String::from),
+            vec!["x".into(), "y".into()],
+        )
+        .unwrap();
+        let records = vec![
+            Record::new(vec![0, 1], 0),
+            Record::new(vec![1, 2], 1),
+            Record::new(vec![0, 2], 0),
+        ];
+        let d = Dataset::from_baskets(space, records).unwrap();
+        let relabelled = d.with_class_labels(&[1, 0, 1]).unwrap();
+        assert!(relabelled.schema().is_none());
+        assert_eq!(relabelled.item_space(), d.item_space());
+        let (a, b) = d.split_at(2);
+        assert_eq!(a.n_records(), 2);
+        assert_eq!(b.n_records(), 1);
+        let back = a.concat(&b).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum DataError {
         /// The offending class index.
         class: usize,
     },
+    /// A record referenced an item id outside its item space.
+    UnknownItem {
+        /// The offending item id.
+        item: usize,
+        /// Number of items in the item space.
+        n_items: usize,
+    },
     /// A record did not provide exactly one value per attribute.
     WrongArity {
         /// Number of items the record carried.
@@ -67,6 +74,9 @@ impl fmt::Display for DataError {
                 write!(f, "unknown value {value} for attribute {attribute}")
             }
             DataError::UnknownClass { class } => write!(f, "unknown class index {class}"),
+            DataError::UnknownItem { item, n_items } => {
+                write!(f, "unknown item id {item} (the item space has {n_items})")
+            }
             DataError::WrongArity { got, expected } => {
                 write!(
                     f,
@@ -124,6 +134,12 @@ mod tests {
         assert!(DataError::UnknownClass { class: 2 }
             .to_string()
             .contains('2'));
+        let unknown_item = DataError::UnknownItem {
+            item: 9,
+            n_items: 4,
+        };
+        assert!(unknown_item.to_string().contains("item id 9"));
+        assert!(unknown_item.to_string().contains('4'));
         assert!(DataError::WrongArity {
             got: 4,
             expected: 5

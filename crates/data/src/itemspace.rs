@@ -1,0 +1,292 @@
+//! The [`ItemSpace`]: one internal universe of item ids, regardless of where
+//! the items came from.
+//!
+//! The paper's statistics (§2–4) are defined over generic itemsets: a record
+//! is a set of items, a pattern is a set of items, and a rule `X ⇒ c` needs
+//! only supports and class labels.  Attribute-valued records (where every item
+//! is an `attribute=value` pair and each record carries exactly one item per
+//! attribute) are just one way of *producing* items; market-basket
+//! transactions (arbitrary sets of tokens) are another.  The `ItemSpace`
+//! factors that difference out of the rest of the stack: every dataset —
+//! loaded from CSV rows, from basket lines, or generated synthetically —
+//! compiles its items into one dense id space, and miners, corrections and
+//! renderers speak item ids only.
+//!
+//! Each item keeps its [`ItemProvenance`] so reports can render it the way the
+//! source data would (`education=tertiary` for an attribute item, `milk` for a
+//! basket token), and so attribute-specific machinery (CSV export, per-column
+//! validation) can recover the column structure when it exists.
+
+use crate::error::DataError;
+use crate::item::{ClassId, ItemId};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Where an item came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemProvenance {
+    /// An `attribute=value` pair from columnar data: `column` indexes the
+    /// source column, `value` the value within that column's domain.
+    Attribute {
+        /// Index of the source column.
+        column: usize,
+        /// Index of the value within the column's domain.
+        value: usize,
+    },
+    /// A token from transaction (market-basket) data.
+    Basket {
+        /// The token as it appeared in the source data.
+        token: String,
+    },
+}
+
+/// One item of the space: its display name plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemDef {
+    /// Human-readable name (`age=23-30`, `milk`).
+    pub name: String,
+    /// Where the item came from.
+    pub provenance: ItemProvenance,
+}
+
+/// A dense universe of items plus the class label domain — the layer every
+/// crate of this workspace speaks.
+///
+/// Item ids are the indices into the item list; class ids index the class
+/// list.  An `ItemSpace` is immutable once built: loaders and generators
+/// assemble it, everything downstream only reads it.  Cloning copies the
+/// item-name vector; on the dataset paths that matters (splits, label swaps)
+/// the cost is dominated by the record clones alongside it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemSpace {
+    items: Vec<ItemDef>,
+    /// Column names when the items carry attribute provenance; empty for
+    /// basket spaces.
+    columns: Vec<String>,
+    classes: Vec<String>,
+}
+
+impl ItemSpace {
+    /// Builds an item space from explicit item definitions.
+    ///
+    /// Requires at least one item and at least two class labels (a class
+    /// association rule `X ⇒ c` needs an alternative to `c`).
+    pub fn new(
+        items: Vec<ItemDef>,
+        columns: Vec<String>,
+        classes: Vec<String>,
+    ) -> Result<Self, DataError> {
+        if items.is_empty() {
+            return Err(DataError::invalid_schema("item space has no items"));
+        }
+        if classes.len() < 2 {
+            return Err(DataError::invalid_schema(
+                "item space needs at least two class labels",
+            ));
+        }
+        Ok(ItemSpace {
+            items,
+            columns,
+            classes,
+        })
+    }
+
+    /// Compiles an attribute [`Schema`] into an item space: one item per
+    /// attribute/value pair, named `attribute=value`, ids in the schema's
+    /// dense order.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let mut items = Vec::with_capacity(schema.n_items());
+        for (column, attribute) in schema.attributes().iter().enumerate() {
+            for (value, value_name) in attribute.values.iter().enumerate() {
+                items.push(ItemDef {
+                    name: format!("{}={}", attribute.name, value_name),
+                    provenance: ItemProvenance::Attribute { column, value },
+                });
+            }
+        }
+        ItemSpace {
+            items,
+            columns: schema.attributes().iter().map(|a| a.name.clone()).collect(),
+            classes: schema.classes().to_vec(),
+        }
+    }
+
+    /// Builds a basket item space from tokens (one item per token, named by
+    /// the token) and class label names.
+    pub fn baskets(
+        tokens: impl IntoIterator<Item = String>,
+        classes: Vec<String>,
+    ) -> Result<Self, DataError> {
+        let items = tokens
+            .into_iter()
+            .map(|token| ItemDef {
+                name: token.clone(),
+                provenance: ItemProvenance::Basket { token },
+            })
+            .collect();
+        ItemSpace::new(items, Vec::new(), classes)
+    }
+
+    /// Number of distinct items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of class labels.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The item definitions, indexed by item id.
+    pub fn items(&self) -> &[ItemDef] {
+        &self.items
+    }
+
+    /// The class label names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Source column names; empty for basket spaces.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of source columns, when the items carry attribute provenance.
+    pub fn n_columns(&self) -> Option<usize> {
+        if self.columns.is_empty() {
+            None
+        } else {
+            Some(self.columns.len())
+        }
+    }
+
+    /// True when every item carries basket provenance.
+    pub fn is_basket(&self) -> bool {
+        self.items
+            .iter()
+            .all(|i| matches!(i.provenance, ItemProvenance::Basket { .. }))
+    }
+
+    /// The provenance of an item.
+    pub fn provenance(&self, item: ItemId) -> Result<&ItemProvenance, DataError> {
+        self.items
+            .get(item as usize)
+            .map(|i| &i.provenance)
+            .ok_or(DataError::UnknownAttribute {
+                index: item as usize,
+            })
+    }
+
+    /// Human-readable rendering of an item (`education=tertiary`, `milk`).
+    pub fn describe_item(&self, item: ItemId) -> String {
+        match self.items.get(item as usize) {
+            Some(def) => def.name.clone(),
+            None => format!("<invalid item {item}>"),
+        }
+    }
+
+    /// Id of the item with the given display name, if present (linear scan;
+    /// loaders that intern many tokens keep their own map).
+    pub fn item_named(&self, name: &str) -> Option<ItemId> {
+        self.items
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| i as ItemId)
+    }
+
+    /// Name of a class label.
+    pub fn class_name(&self, class: ClassId) -> Result<&str, DataError> {
+        self.classes
+            .get(class as usize)
+            .map(String::as_str)
+            .ok_or(DataError::UnknownClass {
+                class: class as usize,
+            })
+    }
+
+    /// Index of a class label by name.
+    pub fn class_index(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as ClassId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn basket_space() -> ItemSpace {
+        ItemSpace::baskets(
+            ["milk", "bread", "beer"].map(String::from),
+            vec!["yes".into(), "no".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_schema_matches_the_schema_numbering() {
+        let schema = Schema::new(
+            vec![
+                Attribute::new("color", vec!["red".into(), "blue".into()]),
+                Attribute::new("size", vec!["small".into(), "large".into()]),
+            ],
+            vec!["yes".into(), "no".into()],
+        )
+        .unwrap();
+        let space = ItemSpace::from_schema(&schema);
+        assert_eq!(space.n_items(), schema.n_items());
+        assert_eq!(space.n_classes(), 2);
+        assert_eq!(space.n_columns(), Some(2));
+        assert!(!space.is_basket());
+        for item in 0..schema.n_items() as ItemId {
+            assert_eq!(space.describe_item(item), schema.describe_item(item));
+            let decoded = schema.decode(item).unwrap();
+            assert_eq!(
+                space.provenance(item).unwrap(),
+                &ItemProvenance::Attribute {
+                    column: decoded.attribute,
+                    value: decoded.value
+                }
+            );
+        }
+        assert_eq!(space.columns(), &["color".to_string(), "size".to_string()]);
+    }
+
+    #[test]
+    fn basket_space_names_and_lookup() {
+        let space = basket_space();
+        assert_eq!(space.n_items(), 3);
+        assert!(space.is_basket());
+        assert_eq!(space.n_columns(), None);
+        assert_eq!(space.describe_item(0), "milk");
+        assert_eq!(space.item_named("beer"), Some(2));
+        assert_eq!(space.item_named("wine"), None);
+        assert_eq!(
+            space.provenance(1).unwrap(),
+            &ItemProvenance::Basket {
+                token: "bread".into()
+            }
+        );
+        assert!(space.provenance(9).is_err());
+        assert!(space.describe_item(9).contains("invalid"));
+    }
+
+    #[test]
+    fn class_lookups() {
+        let space = basket_space();
+        assert_eq!(space.class_name(0).unwrap(), "yes");
+        assert_eq!(space.class_index("no"), Some(1));
+        assert_eq!(space.class_index("maybe"), None);
+        assert!(space.class_name(5).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ItemSpace::baskets(Vec::<String>::new(), vec!["a".into(), "b".into()]).is_err());
+        assert!(ItemSpace::baskets(["x".to_string()], vec!["only".into()]).is_err());
+    }
+}

@@ -15,16 +15,26 @@
 //! class column can be selected by index ([`LoadOptions::class_column`]) or
 //! by header name ([`LoadOptions::class_column_name`]).
 //!
-//! [`dataset_to_csv`] is the inverse: it renders any [`Dataset`] back to CSV
-//! with the schema's attribute/value/class names, so datasets can round-trip
-//! through files (e.g. synthetic data exported for the `sigrule` CLI).
+//! [`dataset_to_csv`] is the inverse: it renders any columnar [`Dataset`]
+//! back to CSV with the schema's attribute/value/class names, so datasets can
+//! round-trip through files (e.g. synthetic data exported for the `sigrule`
+//! CLI).
+//!
+//! Besides rows, the module reads *transaction* (market-basket) files: one
+//! basket per line, items separated by whitespace and/or commas, the class
+//! given by an optional `label:<name>` token ([`load_baskets_reader`]).
+//! Basket files compile into the same [`ItemSpace`]-backed [`Dataset`] the
+//! CSV path produces, so miners and corrections run unchanged on either.
+//! [`InputFormat`] and [`detect_format`] pick the reader for a file.
 
 use crate::dataset::Dataset;
 use crate::discretize::{DiscretizeMethod, Discretizer};
 use crate::error::DataError;
-use crate::item::ClassId;
+use crate::item::{ClassId, ItemId};
+use crate::itemspace::ItemSpace;
 use crate::record::Record;
 use crate::schema::{Attribute, Schema};
+use std::collections::HashMap;
 use std::io::BufRead;
 use std::path::Path;
 
@@ -420,15 +430,22 @@ fn csv_field(value: &str, separator: char) -> String {
     }
 }
 
-/// Renders a dataset back to CSV with the schema's attribute, value and class
-/// names; the class label is the last column, named `class`.
+/// Renders a columnar dataset back to CSV with the schema's attribute, value
+/// and class names; the class label is the last column, named `class`.
 ///
 /// Loading the result with [`load_csv_str`] and default options reconstructs
 /// a dataset with the same per-item supports (value and class *indices* may
 /// be renumbered in first-seen order; names are preserved).  Note that purely
 /// numeric categorical value names would be re-discretized on load.
+///
+/// # Panics
+///
+/// Panics when the dataset carries no schema (basket data); use
+/// [`dataset_to_baskets`] for those.
 pub fn dataset_to_csv(dataset: &Dataset) -> String {
-    let schema = dataset.schema();
+    let schema = dataset
+        .schema()
+        .expect("CSV export needs columnar data; use dataset_to_baskets for basket datasets");
     let separator = ',';
     let mut out = String::new();
     let header: Vec<String> = schema
@@ -454,6 +471,341 @@ pub fn dataset_to_csv(dataset: &Dataset) -> String {
     out
 }
 
+/// Which reader a file goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    /// Delimited rows: one record per row, one column per attribute
+    /// ([`load_csv_reader`]).
+    #[default]
+    Rows,
+    /// Transactions: one basket of item tokens per line
+    /// ([`load_baskets_reader`]).
+    Basket,
+}
+
+impl InputFormat {
+    /// Parses a CLI-style name (`rows`/`csv` or `basket`/`baskets`/
+    /// `transactions`).
+    pub fn parse(name: &str) -> Option<InputFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "rows" | "row" | "csv" | "tabular" => Some(InputFormat::Rows),
+            "basket" | "baskets" | "transactions" | "transaction" => Some(InputFormat::Basket),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InputFormat::Rows => "rows",
+            InputFormat::Basket => "basket",
+        }
+    }
+}
+
+/// Guesses the [`InputFormat`] of a file with the default [`BasketOptions`];
+/// see [`detect_format_with`].
+pub fn detect_format(path: impl AsRef<Path>) -> Result<InputFormat, DataError> {
+    detect_format_with(path, &BasketOptions::default())
+}
+
+/// Guesses the [`InputFormat`] of a file, deterministically: first by
+/// extension (`.csv`/`.tsv`/`.data` → rows; `.basket`/`.baskets`/`.dat` →
+/// basket), then — for unknown extensions — by sniffing the first non-blank,
+/// non-comment line: a line containing a label token (per the given
+/// [`BasketOptions`], `label:` by default) reads as a basket, anything else
+/// as rows.
+pub fn detect_format_with(
+    path: impl AsRef<Path>,
+    options: &BasketOptions,
+) -> Result<InputFormat, DataError> {
+    let path = path.as_ref();
+    match path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase())
+        .as_deref()
+    {
+        Some("csv" | "tsv" | "data" | "test") => return Ok(InputFormat::Rows),
+        Some("basket" | "baskets" | "dat" | "tx") => return Ok(InputFormat::Basket),
+        _ => {}
+    }
+    let file = std::fs::File::open(path)?;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || options.is_comment(trimmed) {
+            continue;
+        }
+        let has_label =
+            basket_tokens(trimmed).any(|t| t.strip_prefix(options.label_prefix.as_str()).is_some());
+        return Ok(if has_label {
+            InputFormat::Basket
+        } else {
+            InputFormat::Rows
+        });
+    }
+    Ok(InputFormat::Rows)
+}
+
+/// Options controlling basket (transaction) file parsing.
+///
+/// The format is one transaction per line: item tokens separated by
+/// whitespace and/or commas.  A token starting with
+/// [`BasketOptions::label_prefix`] (default `label:`) names the transaction's
+/// class; transactions without one take [`BasketOptions::default_class`] when
+/// set and are an error otherwise.  Lines starting with
+/// [`BasketOptions::comment_prefix`] are skipped.
+#[derive(Debug, Clone)]
+pub struct BasketOptions {
+    /// Prefix marking the class token of a transaction (default `label:`).
+    pub label_prefix: String,
+    /// Class assigned to transactions that carry no label token; `None`
+    /// makes an unlabelled transaction a parse error.
+    pub default_class: Option<String>,
+    /// Lines starting with this prefix are skipped (default `Some('#')`).
+    pub comment_prefix: Option<char>,
+}
+
+impl Default for BasketOptions {
+    fn default() -> Self {
+        BasketOptions {
+            label_prefix: "label:".to_string(),
+            default_class: None,
+            comment_prefix: Some('#'),
+        }
+    }
+}
+
+impl BasketOptions {
+    /// Sets the class assigned to transactions without a label token.
+    pub fn with_default_class(mut self, class: impl Into<String>) -> Self {
+        self.default_class = Some(class.into());
+        self
+    }
+
+    fn is_comment(&self, trimmed_line: &str) -> bool {
+        self.comment_prefix
+            .is_some_and(|p| trimmed_line.starts_with(p))
+    }
+}
+
+/// A non-fatal problem encountered while loading a basket file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadWarning {
+    /// Line number (1-based) the warning refers to.
+    pub line: usize,
+    /// What happened.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// The outcome of loading a basket file: the dataset plus any line-level
+/// warnings (blank lines skipped, empty transactions).
+#[derive(Debug, Clone)]
+pub struct BasketLoad {
+    /// The loaded dataset (basket [`ItemSpace`], no schema).
+    pub dataset: Dataset,
+    /// Non-fatal problems, in line order.
+    pub warnings: Vec<LoadWarning>,
+}
+
+/// Splits one basket line into item tokens (whitespace- and/or
+/// comma-separated; empty tokens are dropped).
+fn basket_tokens(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+}
+
+/// Parses a transaction (market-basket) dataset from any buffered reader:
+/// one basket per line.
+///
+/// * Items are tokens separated by whitespace and/or commas and are interned
+///   into a basket [`ItemSpace`] in first-seen order.
+/// * A token starting with the label prefix (`label:` by default) names the
+///   transaction's class; two *different* label tokens on one line are a
+///   parse error.
+/// * Duplicate items within one transaction are collapsed deterministically —
+///   the item counts once towards the basket's supports.
+/// * Blank or whitespace-only lines are skipped with a line-numbered
+///   [`LoadWarning`] instead of erroring; a transaction whose only token is
+///   its label is kept (it still carries a class) with a warning.
+pub fn load_baskets_reader<R: BufRead>(
+    reader: R,
+    options: &BasketOptions,
+) -> Result<BasketLoad, DataError> {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut token_ids: HashMap<String, ItemId> = HashMap::new();
+    let mut classes: Vec<String> = Vec::new();
+    let mut class_ids: HashMap<String, ClassId> = HashMap::new();
+    let mut records: Vec<Record> = Vec::new();
+    let mut warnings: Vec<LoadWarning> = Vec::new();
+
+    let mut intern_class = |name: &str, classes: &mut Vec<String>| -> ClassId {
+        *class_ids.entry(name.to_string()).or_insert_with(|| {
+            classes.push(name.to_string());
+            (classes.len() - 1) as ClassId
+        })
+    };
+
+    let mut any_line = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        any_line = true;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            warnings.push(LoadWarning {
+                line: line_no,
+                message: "blank line skipped".to_string(),
+            });
+            continue;
+        }
+        if options.is_comment(trimmed) {
+            continue;
+        }
+
+        let mut label: Option<&str> = None;
+        let mut items: Vec<ItemId> = Vec::new();
+        for token in basket_tokens(trimmed) {
+            if let Some(class) = token.strip_prefix(options.label_prefix.as_str()) {
+                if class.is_empty() {
+                    return Err(DataError::Parse {
+                        line: line_no,
+                        reason: format!("empty class label token {token:?}"),
+                    });
+                }
+                match label {
+                    Some(previous) if previous != class => {
+                        return Err(DataError::Parse {
+                            line: line_no,
+                            reason: format!(
+                                "conflicting class labels {previous:?} and {class:?} in one transaction"
+                            ),
+                        });
+                    }
+                    _ => label = Some(class),
+                }
+            } else {
+                let next_id = tokens.len() as ItemId;
+                let id = *token_ids.entry(token.to_string()).or_insert_with(|| {
+                    tokens.push(token.to_string());
+                    next_id
+                });
+                items.push(id);
+            }
+        }
+
+        let class_name = match (label, &options.default_class) {
+            (Some(label), _) => label,
+            (None, Some(default)) => default.as_str(),
+            (None, None) => {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    reason: format!(
+                        "transaction has no {}<class> token and no default class is configured",
+                        options.label_prefix
+                    ),
+                })
+            }
+        };
+        if items.is_empty() {
+            warnings.push(LoadWarning {
+                line: line_no,
+                message: "transaction has no items".to_string(),
+            });
+        }
+        let class = intern_class(class_name, &mut classes);
+        // Record::new sorts and dedups, collapsing repeated items.
+        records.push(Record::new(items, class));
+    }
+
+    if !any_line || records.is_empty() {
+        return Err(DataError::Parse {
+            line: 1,
+            reason: "no transactions in input".to_string(),
+        });
+    }
+    if classes.len() < 2 {
+        return Err(DataError::invalid_schema(
+            "basket data has fewer than two distinct class labels",
+        ));
+    }
+    let item_space = ItemSpace::baskets(tokens, classes)?;
+    let dataset = Dataset::from_baskets(item_space, records)?;
+    Ok(BasketLoad { dataset, warnings })
+}
+
+/// Parses basket text into a [`BasketLoad`].
+pub fn load_baskets_str(text: &str, options: &BasketOptions) -> Result<BasketLoad, DataError> {
+    load_baskets_reader(text.as_bytes(), options)
+}
+
+/// Loads a basket file from disk (buffered and streaming).
+pub fn load_baskets_file(
+    path: impl AsRef<Path>,
+    options: &BasketOptions,
+) -> Result<BasketLoad, DataError> {
+    let file = std::fs::File::open(path)?;
+    load_baskets_reader(std::io::BufReader::new(file), options)
+}
+
+/// Renders any dataset as basket lines: each record's item names as tokens
+/// plus a `label:<class>` token, one transaction per line.
+///
+/// The textual format has no quoting, so a token must not contain the
+/// separators (whitespace, commas): any run of them inside an item or class
+/// name is replaced by a single `_`.  Typical attribute datasets re-encode
+/// verbatim (`attribute=value` names are separator-free); names that needed
+/// mangling still re-load as *one* item each, but two names that differ only
+/// in separator placement would collide.
+pub fn dataset_to_baskets(dataset: &Dataset) -> String {
+    let space = dataset.item_space();
+    let mut out = String::new();
+    for record in dataset.records() {
+        let mut line: Vec<String> = record
+            .items()
+            .iter()
+            .map(|&i| basket_token(&space.describe_item(i)))
+            .collect();
+        line.push(format!(
+            "label:{}",
+            basket_token(space.class_name(record.class()).unwrap_or("?"))
+        ));
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Collapses every run of basket separators (whitespace, commas) inside a
+/// name into one `_`, so the name survives as a single token.
+fn basket_token(name: &str) -> String {
+    if !name.contains(|c: char| c == ',' || c.is_whitespace()) {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    let mut in_separator = false;
+    for c in name.chars() {
+        if c == ',' || c.is_whitespace() {
+            if !in_separator {
+                out.push('_');
+                in_separator = true;
+            }
+        } else {
+            out.push(c);
+            in_separator = false;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,13 +827,16 @@ age,color,outcome
         let d = load_csv_str(SAMPLE, &LoadOptions::default()).unwrap();
         assert_eq!(d.n_records(), 8);
         assert_eq!(d.n_classes(), 2);
-        assert_eq!(d.schema().n_attributes(), 2);
-        assert_eq!(d.schema().attributes()[0].name, "age");
-        assert_eq!(d.schema().attributes()[1].name, "color");
+        assert_eq!(d.schema().unwrap().n_attributes(), 2);
+        assert_eq!(d.schema().unwrap().attributes()[0].name, "age");
+        assert_eq!(d.schema().unwrap().attributes()[1].name, "color");
         // color has three categories
-        assert_eq!(d.schema().attributes()[1].cardinality(), 3);
+        assert_eq!(d.schema().unwrap().attributes()[1].cardinality(), 3);
         // classes preserve first-seen order
-        assert_eq!(d.schema().classes(), &["yes".to_string(), "no".to_string()]);
+        assert_eq!(
+            d.schema().unwrap().classes(),
+            &["yes".to_string(), "no".to_string()]
+        );
     }
 
     #[test]
@@ -494,7 +849,7 @@ age,color,outcome
         };
         let d = load_csv_str(text, &opts).unwrap();
         assert_eq!(d.n_records(), 3);
-        assert_eq!(d.schema().attributes()[0].name, "A0");
+        assert_eq!(d.schema().unwrap().attributes()[0].name, "A0");
         assert_eq!(d.n_classes(), 2);
     }
 
@@ -503,14 +858,14 @@ age,color,outcome
         let text = "a\tb\tcls\n1\tu\tx\n2\tv\ty\n";
         let d = load_csv_str(text, &LoadOptions::tsv()).unwrap();
         assert_eq!(d.n_records(), 2);
-        assert_eq!(d.schema().attributes()[1].name, "b");
+        assert_eq!(d.schema().unwrap().attributes()[1].name, "b");
     }
 
     #[test]
     fn missing_values_get_their_own_category() {
         let text = "a,b,cls\n1,?,x\n2,u,y\n3,v,x\n4,u,y\n";
         let d = load_csv_str(text, &LoadOptions::default()).unwrap();
-        let b = &d.schema().attributes()[1];
+        let b = &d.schema().unwrap().attributes()[1];
         assert!(b.values.contains(&"?".to_string()));
     }
 
@@ -522,8 +877,8 @@ age,color,outcome
             ..LoadOptions::default()
         };
         let d = load_csv_str(text, &opts).unwrap();
-        assert_eq!(d.schema().n_attributes(), 1);
-        assert_eq!(d.schema().classes().len(), 2);
+        assert_eq!(d.schema().unwrap().n_attributes(), 1);
+        assert_eq!(d.schema().unwrap().classes().len(), 2);
     }
 
     #[test]
@@ -531,8 +886,8 @@ age,color,outcome
         let text = "cls,a\nx,1\ny,2\nx,3\n";
         let opts = LoadOptions::default().with_class_name("cls");
         let d = load_csv_str(text, &opts).unwrap();
-        assert_eq!(d.schema().n_attributes(), 1);
-        assert_eq!(d.schema().attributes()[0].name, "a");
+        assert_eq!(d.schema().unwrap().n_attributes(), 1);
+        assert_eq!(d.schema().unwrap().attributes()[0].name, "a");
 
         let missing = LoadOptions::default().with_class_name("nope");
         let err = load_csv_str(text, &missing).unwrap_err();
@@ -553,12 +908,12 @@ age,color,outcome
         let text = "name,note,cls\nalpha,\"a, quoted\",x\nbeta,\"say \"\"hi\"\"\",y\n gamma , \"padded\" ,x\n";
         let d = load_csv_str(text, &LoadOptions::default()).unwrap();
         assert_eq!(d.n_records(), 3);
-        let note = &d.schema().attributes()[1];
+        let note = &d.schema().unwrap().attributes()[1];
         assert!(note.values.contains(&"a, quoted".to_string()));
         assert!(note.values.contains(&"say \"hi\"".to_string()));
         assert!(note.values.contains(&"padded".to_string()));
         // unquoted fields are still trimmed
-        let name = &d.schema().attributes()[0];
+        let name = &d.schema().unwrap().attributes()[0];
         assert!(name.values.contains(&"gamma".to_string()));
     }
 
@@ -567,7 +922,7 @@ age,color,outcome
         let text = "a,cls\n\"line\nbreak\",x\nplain,y\n";
         let d = load_csv_str(text, &LoadOptions::default()).unwrap();
         assert_eq!(d.n_records(), 2);
-        assert!(d.schema().attributes()[0]
+        assert!(d.schema().unwrap().attributes()[0]
             .values
             .contains(&"line\nbreak".to_string()));
     }
@@ -595,7 +950,7 @@ age,color,outcome
             ..LoadOptions::default()
         };
         let d = load_csv_str(text, &opts).unwrap();
-        assert!(d.schema().attributes()[0]
+        assert!(d.schema().unwrap().attributes()[0]
             .values
             .contains(&"\"raw".to_string()));
     }
@@ -677,8 +1032,226 @@ age,color,outcome
         assert_eq!(back.n_records(), d.n_records());
         assert_eq!(back.n_classes(), d.n_classes());
         assert_eq!(
-            back.schema().attributes()[0].values,
-            d.schema().attributes()[0].values
+            back.schema().unwrap().attributes()[0].values,
+            d.schema().unwrap().attributes()[0].values
         );
+    }
+
+    const BASKETS: &str = "\
+# toy transactions
+milk bread label:weekday
+milk, beer, label:weekend
+bread eggs milk label:weekday
+beer label:weekend
+";
+
+    #[test]
+    fn loads_basket_transactions() {
+        let load = load_baskets_str(BASKETS, &BasketOptions::default()).unwrap();
+        let d = &load.dataset;
+        assert!(load.warnings.is_empty());
+        assert_eq!(d.n_records(), 4);
+        assert!(d.schema().is_none());
+        assert!(d.item_space().is_basket());
+        // tokens interned in first-seen order
+        let space = d.item_space();
+        assert_eq!(space.describe_item(0), "milk");
+        assert_eq!(space.describe_item(1), "bread");
+        assert_eq!(space.describe_item(2), "beer");
+        assert_eq!(space.describe_item(3), "eggs");
+        assert_eq!(d.item_support(0), 3); // milk
+        assert_eq!(d.item_support(2), 2); // beer
+        assert_eq!(
+            space.classes(),
+            &["weekday".to_string(), "weekend".to_string()]
+        );
+        let counts = d.class_counts();
+        assert_eq!(counts.count(0), 2);
+        assert_eq!(counts.count(1), 2);
+    }
+
+    #[test]
+    fn blank_basket_lines_warn_instead_of_erroring() {
+        let text = "a b label:x\n\n   \nc label:y\n";
+        let load = load_baskets_str(text, &BasketOptions::default()).unwrap();
+        assert_eq!(load.dataset.n_records(), 2);
+        assert_eq!(
+            load.warnings,
+            vec![
+                LoadWarning {
+                    line: 2,
+                    message: "blank line skipped".into()
+                },
+                LoadWarning {
+                    line: 3,
+                    message: "blank line skipped".into()
+                },
+            ]
+        );
+        assert!(load.warnings[0].to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_items_in_one_transaction_count_once() {
+        let text = "a a b a label:x\nb label:y\n";
+        let load = load_baskets_str(text, &BasketOptions::default()).unwrap();
+        let d = &load.dataset;
+        assert_eq!(d.records()[0].items(), &[0, 1]);
+        assert_eq!(d.item_support(0), 1);
+    }
+
+    #[test]
+    fn unlabelled_transactions_need_a_default_class() {
+        let text = "a b\nc label:y\n";
+        let err = load_baskets_str(text, &BasketOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+
+        let opts = BasketOptions::default().with_default_class("x");
+        let load = load_baskets_str(text, &opts).unwrap();
+        assert_eq!(load.dataset.n_records(), 2);
+        assert_eq!(load.dataset.item_space().classes()[0], "x");
+    }
+
+    #[test]
+    fn conflicting_labels_are_a_parse_error() {
+        let text = "a label:x label:y\n";
+        let err = load_baskets_str(text, &BasketOptions::default()).unwrap_err();
+        match err {
+            DataError::Parse { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("conflicting"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // the same label twice is fine
+        let ok = load_baskets_str("a label:x label:x\nb label:y\n", &BasketOptions::default());
+        assert!(ok.is_ok());
+        // an empty label token is rejected
+        let err = load_baskets_str("a label:\nb label:y\n", &BasketOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn label_only_transaction_is_kept_with_a_warning() {
+        let text = "label:x\na label:y\n";
+        let load = load_baskets_str(text, &BasketOptions::default()).unwrap();
+        assert_eq!(load.dataset.n_records(), 2);
+        assert!(load.dataset.records()[0].is_empty());
+        assert_eq!(load.warnings.len(), 1);
+        assert!(load.warnings[0].message.contains("no items"));
+    }
+
+    #[test]
+    fn degenerate_basket_inputs_error() {
+        assert!(load_baskets_str("", &BasketOptions::default()).is_err());
+        assert!(load_baskets_str("# only a comment\n", &BasketOptions::default()).is_err());
+        // single class
+        let err = load_baskets_str("a label:x\nb label:x\n", &BasketOptions::default());
+        assert!(matches!(err, Err(DataError::InvalidSchema { .. })));
+    }
+
+    #[test]
+    fn basket_export_mangles_separator_names_into_single_tokens() {
+        // An attribute value containing a comma and spaces (quoted CSV)
+        // must not split into several items on re-load.
+        let d = load_csv_str(
+            "note,cls\n\"a, quoted\",x\nplain,y\n\"a, quoted\",x\n",
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        let text = dataset_to_baskets(&d);
+        assert!(text.contains("note=a_quoted"));
+        let back = load_baskets_str(&text, &BasketOptions::default()).unwrap();
+        assert_eq!(back.dataset.n_records(), 3);
+        let item = back
+            .dataset
+            .item_space()
+            .item_named("note=a_quoted")
+            .expect("mangled name is one token");
+        assert_eq!(back.dataset.item_support(item), 2);
+    }
+
+    #[test]
+    fn detect_format_honours_custom_label_prefix() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sigrule_detect_{}_c.txt", std::process::id()));
+        std::fs::write(&path, "milk bread class:yes\n").unwrap();
+        // default prefix sees no label token → rows
+        assert_eq!(detect_format(&path).unwrap(), InputFormat::Rows);
+        let opts = BasketOptions {
+            label_prefix: "class:".to_string(),
+            ..BasketOptions::default()
+        };
+        assert_eq!(
+            detect_format_with(&path, &opts).unwrap(),
+            InputFormat::Basket
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn basket_export_round_trips_supports() {
+        let load = load_baskets_str(BASKETS, &BasketOptions::default()).unwrap();
+        let text = dataset_to_baskets(&load.dataset);
+        let back = load_baskets_str(&text, &BasketOptions::default()).unwrap();
+        assert_eq!(back.dataset, load.dataset);
+    }
+
+    #[test]
+    fn basket_file_round_trip_and_missing_file() {
+        let path = std::env::temp_dir().join(format!(
+            "sigrule_basket_loader_{}.basket",
+            std::process::id()
+        ));
+        std::fs::write(&path, BASKETS).unwrap();
+        let load = load_baskets_file(&path, &BasketOptions::default()).unwrap();
+        assert_eq!(load.dataset.n_records(), 4);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load_baskets_file("/nonexistent/x.basket", &BasketOptions::default()),
+            Err(DataError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn input_format_parse_and_labels() {
+        assert_eq!(InputFormat::parse("rows"), Some(InputFormat::Rows));
+        assert_eq!(InputFormat::parse("CSV"), Some(InputFormat::Rows));
+        assert_eq!(InputFormat::parse("basket"), Some(InputFormat::Basket));
+        assert_eq!(
+            InputFormat::parse("transactions"),
+            Some(InputFormat::Basket)
+        );
+        assert_eq!(InputFormat::parse("nope"), None);
+        assert_eq!(InputFormat::Rows.label(), "rows");
+        assert_eq!(InputFormat::Basket.label(), "basket");
+    }
+
+    #[test]
+    fn detect_format_by_extension_and_content() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        let csv = dir.join(format!("sigrule_detect_{pid}.csv"));
+        std::fs::write(&csv, "a,cls\n1,x\n").unwrap();
+        assert_eq!(detect_format(&csv).unwrap(), InputFormat::Rows);
+
+        let basket = dir.join(format!("sigrule_detect_{pid}.basket"));
+        std::fs::write(&basket, "a b label:x\n").unwrap();
+        assert_eq!(detect_format(&basket).unwrap(), InputFormat::Basket);
+
+        // unknown extension: sniff the first data line
+        let sniff_basket = dir.join(format!("sigrule_detect_{pid}_b.txt"));
+        std::fs::write(&sniff_basket, "# comment\n\nmilk bread label:yes\n").unwrap();
+        assert_eq!(detect_format(&sniff_basket).unwrap(), InputFormat::Basket);
+
+        let sniff_rows = dir.join(format!("sigrule_detect_{pid}_r.txt"));
+        std::fs::write(&sniff_rows, "a,b,cls\n1,2,x\n").unwrap();
+        assert_eq!(detect_format(&sniff_rows).unwrap(), InputFormat::Rows);
+
+        for p in [csv, basket, sniff_basket, sniff_rows] {
+            std::fs::remove_file(p).ok();
+        }
+        assert!(detect_format("/nonexistent/sigrule.unknown").is_err());
     }
 }

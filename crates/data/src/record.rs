@@ -16,10 +16,12 @@ pub struct Record {
 }
 
 impl Record {
-    /// Creates a record from its items (one per attribute, any order) and its
-    /// class label.  The items are sorted into canonical order.
+    /// Creates a record from its items (any order) and its class label.  The
+    /// items are sorted into canonical order and duplicates are collapsed, so
+    /// an item repeated within one transaction counts once.
     pub fn new(mut items: Vec<ItemId>, class: ClassId) -> Self {
         items.sort_unstable();
+        items.dedup();
         Record { items, class }
     }
 
@@ -83,6 +85,13 @@ mod tests {
         assert_eq!(r.class(), 1);
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn construction_dedups_items() {
+        let r = Record::new(vec![4, 2, 4, 4, 2], 0);
+        assert_eq!(r.items(), &[2, 4]);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

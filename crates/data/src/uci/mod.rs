@@ -333,7 +333,7 @@ mod tests {
         let a = UciDataset::German.generate();
         let b = UciDataset::German.generate();
         assert_eq!(a.n_records(), 1000);
-        assert_eq!(a.schema().n_attributes(), 20);
+        assert_eq!(a.schema().unwrap().n_attributes(), 20);
         assert_eq!(a, b, "same name ⇒ same seed ⇒ identical dataset");
     }
 
@@ -376,7 +376,7 @@ mod tests {
         // and check its class distribution is far from the base rate.
         let mut best_conf: f64 = 0.0;
         for v in 0..card {
-            let item = d.schema().item_id(attr, v).unwrap();
+            let item = d.schema().unwrap().item_id(attr, v).unwrap();
             let p = Pattern::singleton(item);
             let supp = d.support(&p);
             if supp < 100 {

@@ -434,8 +434,11 @@ pub struct VerticalDataset {
 
 impl VerticalDataset {
     /// Builds the vertical layout from a horizontal dataset in one pass.
+    /// Works for any item source — attribute rows and baskets alike — because
+    /// the bitmap columns are sized by the dataset's
+    /// [`ItemSpace`](crate::itemspace::ItemSpace), not by schema columns.
     pub fn from_dataset(dataset: &Dataset) -> Self {
-        let n_items = dataset.schema().n_items();
+        let n_items = dataset.n_items();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_items];
         for (tid, record) in dataset.records().iter().enumerate() {
             for &item in record.items() {

@@ -20,7 +20,7 @@ pub fn table2() -> Table {
         table.push_row(vec![
             ds.name().to_string(),
             data.n_records().to_string(),
-            data.schema().n_attributes().to_string(),
+            data.schema().unwrap().n_attributes().to_string(),
             data.n_classes().to_string(),
         ]);
     }

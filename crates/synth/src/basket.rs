@@ -1,0 +1,477 @@
+//! Seeded market-basket (transaction) data generation.
+//!
+//! The attribute generator ([`crate::generator`]) fills a fixed-width matrix;
+//! transaction data has no columns, so this generator mirrors the same
+//! plant-then-fill recipe over free-form itemsets instead: item popularity
+//! follows a power law (a few staples appear in most baskets, a long tail
+//! appears rarely), a number of class-correlated itemsets are planted first,
+//! and every basket is then padded with popularity-weighted random items.
+//! Generation is fully deterministic in the seed.
+//!
+//! The output is a basket [`Dataset`] over a basket [`ItemSpace`] — exactly
+//! what
+//! [`sigrule_data::loader::load_baskets_str`] produces for a transaction
+//! file — plus the planted ground truth as [`EmbeddedRule`]s, so the
+//! evaluation machinery scores power and false positives on basket data the
+//! same way it does on attribute data.
+
+use crate::generator::EmbeddedRule;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sigrule_data::{ClassId, Dataset, ItemId, ItemSpace, Pattern, Record};
+
+/// Parameters of the basket generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasketParams {
+    /// Number of transactions (`n`).
+    pub n_transactions: usize,
+    /// Catalogue size: number of distinct items.
+    pub n_items: usize,
+    /// Minimum basket length (items per transaction).
+    pub min_basket: usize,
+    /// Maximum basket length.
+    pub max_basket: usize,
+    /// Exponent `s` of the power-law item popularity: the weight of the
+    /// `i`-th most popular item is `1 / (i + 1)^s`.  `0.0` makes all items
+    /// equally likely.
+    pub zipf_exponent: f64,
+    /// Number of class labels.
+    pub n_classes: usize,
+    /// Number of planted class-correlated itemsets.
+    pub n_rules: usize,
+    /// Minimum planted itemset length.
+    pub min_rule_items: usize,
+    /// Maximum planted itemset length.
+    pub max_rule_items: usize,
+    /// Minimum planted coverage (transactions carrying the itemset).
+    pub min_coverage: usize,
+    /// Maximum planted coverage.
+    pub max_coverage: usize,
+    /// Minimum planted confidence.
+    pub min_confidence: f64,
+    /// Maximum planted confidence.
+    pub max_confidence: f64,
+}
+
+impl Default for BasketParams {
+    fn default() -> Self {
+        BasketParams {
+            n_transactions: 1000,
+            n_items: 50,
+            min_basket: 2,
+            max_basket: 8,
+            zipf_exponent: 1.0,
+            n_classes: 2,
+            n_rules: 0,
+            min_rule_items: 2,
+            max_rule_items: 3,
+            min_coverage: 100,
+            max_coverage: 150,
+            min_confidence: 0.8,
+            max_confidence: 0.9,
+        }
+    }
+}
+
+impl BasketParams {
+    /// Sets the transaction count.
+    pub fn with_transactions(mut self, n: usize) -> Self {
+        self.n_transactions = n;
+        self
+    }
+
+    /// Sets the catalogue size.
+    pub fn with_items(mut self, n: usize) -> Self {
+        self.n_items = n;
+        self
+    }
+
+    /// Sets the basket length bounds.
+    pub fn with_basket_size(mut self, min: usize, max: usize) -> Self {
+        self.min_basket = min;
+        self.max_basket = max;
+        self
+    }
+
+    /// Sets the power-law exponent of the item popularity.
+    pub fn with_zipf(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Sets the number of planted class-correlated itemsets.
+    pub fn with_rules(mut self, n: usize) -> Self {
+        self.n_rules = n;
+        self
+    }
+
+    /// Sets the planted coverage bounds.
+    pub fn with_coverage(mut self, min: usize, max: usize) -> Self {
+        self.min_coverage = min;
+        self.max_coverage = max;
+        self
+    }
+
+    /// Sets the planted confidence bounds.
+    pub fn with_confidence(mut self, min: f64, max: f64) -> Self {
+        self.min_confidence = min;
+        self.max_confidence = max;
+        self
+    }
+
+    /// Checks the parameters for contradictions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_transactions == 0 {
+            return Err("n_transactions must be positive".into());
+        }
+        if self.n_items == 0 {
+            return Err("n_items must be positive".into());
+        }
+        if self.min_basket == 0 || self.min_basket > self.max_basket {
+            return Err(format!(
+                "basket length bounds [{}, {}] are invalid",
+                self.min_basket, self.max_basket
+            ));
+        }
+        if self.max_basket > self.n_items {
+            return Err(format!(
+                "max_basket {} exceeds the catalogue of {} items",
+                self.max_basket, self.n_items
+            ));
+        }
+        if self.n_classes < 2 {
+            return Err("n_classes must be at least 2".into());
+        }
+        if self.zipf_exponent < 0.0 {
+            return Err("zipf_exponent must be non-negative".into());
+        }
+        if self.n_rules > 0 {
+            if self.min_rule_items == 0 || self.min_rule_items > self.max_rule_items {
+                return Err(format!(
+                    "rule length bounds [{}, {}] are invalid",
+                    self.min_rule_items, self.max_rule_items
+                ));
+            }
+            if self.max_rule_items > self.n_items {
+                return Err(format!(
+                    "max_rule_items {} exceeds the catalogue of {} items",
+                    self.max_rule_items, self.n_items
+                ));
+            }
+            if self.max_rule_items > self.max_basket {
+                return Err(format!(
+                    "max_rule_items {} exceeds max_basket {}: planted transactions would \
+                     violate the basket length bound",
+                    self.max_rule_items, self.max_basket
+                ));
+            }
+            if self.min_coverage == 0 || self.min_coverage > self.max_coverage {
+                return Err(format!(
+                    "coverage bounds [{}, {}] are invalid",
+                    self.min_coverage, self.max_coverage
+                ));
+            }
+            if self.max_coverage > self.n_transactions {
+                return Err(format!(
+                    "max_coverage {} exceeds n_transactions {}",
+                    self.max_coverage, self.n_transactions
+                ));
+            }
+            if !(0.0..=1.0).contains(&self.min_confidence)
+                || !(0.0..=1.0).contains(&self.max_confidence)
+                || self.min_confidence > self.max_confidence
+            {
+                return Err(format!(
+                    "confidence bounds [{}, {}] are invalid",
+                    self.min_confidence, self.max_confidence
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Seeded basket dataset generator configured by [`BasketParams`].
+#[derive(Debug, Clone)]
+pub struct BasketGenerator {
+    params: BasketParams,
+}
+
+impl BasketGenerator {
+    /// Creates a generator after validating the parameters.
+    pub fn new(params: BasketParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(BasketGenerator { params })
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &BasketParams {
+        &self.params
+    }
+
+    /// Generates one basket dataset and its planted ground-truth rules.
+    pub fn generate(&self, seed: u64) -> (Dataset, Vec<EmbeddedRule>) {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Cumulative power-law weights over the catalogue: item i has weight
+        // 1/(i+1)^s, so low ids are the staples.
+        let cumulative: Vec<f64> = {
+            let mut acc = 0.0;
+            (0..p.n_items)
+                .map(|i| {
+                    acc += 1.0 / ((i + 1) as f64).powf(p.zipf_exponent);
+                    acc
+                })
+                .collect()
+        };
+        let total_weight = *cumulative.last().expect("n_items > 0");
+        let sample_item = |rng: &mut StdRng| -> ItemId {
+            let x = rng.gen::<f64>() * total_weight;
+            cumulative.partition_point(|&c| c < x).min(p.n_items - 1) as ItemId
+        };
+
+        // Plant the class-correlated itemsets first, preferring transactions
+        // no earlier rule touched (rules overlap only when they must).
+        struct PlantedRule {
+            items: Vec<ItemId>,
+            class: ClassId,
+            coverage: usize,
+            confidence: f64,
+        }
+        let mut baskets: Vec<Vec<ItemId>> = vec![Vec::new(); p.n_transactions];
+        let mut labels: Vec<Option<ClassId>> = vec![None; p.n_transactions];
+        let mut planted: Vec<PlantedRule> = Vec::new();
+        // Rule items are drawn uniformly from outside the power-law head:
+        // staples land in most baskets by chance, which would dilute a
+        // planted itemset's confidence far below its target.
+        let head = (p.n_items / 10).min(p.n_items.saturating_sub(p.max_rule_items));
+        for _ in 0..p.n_rules {
+            let length = rng.gen_range(p.min_rule_items..=p.max_rule_items);
+            let mut items: Vec<ItemId> = Vec::with_capacity(length);
+            while items.len() < length {
+                let item = rng.gen_range(head..p.n_items) as ItemId;
+                if !items.contains(&item) {
+                    items.push(item);
+                }
+            }
+            items.sort_unstable();
+            let class = rng.gen_range(0..p.n_classes) as ClassId;
+            let coverage = rng.gen_range(p.min_coverage..=p.max_coverage);
+            let confidence = if p.max_confidence > p.min_confidence {
+                rng.gen_range(p.min_confidence..=p.max_confidence)
+            } else {
+                p.min_confidence
+            };
+
+            let mut fresh: Vec<usize> = (0..p.n_transactions)
+                .filter(|&t| labels[t].is_none())
+                .collect();
+            let mut taken: Vec<usize> = (0..p.n_transactions)
+                .filter(|&t| labels[t].is_some())
+                .collect();
+            fresh.shuffle(&mut rng);
+            taken.shuffle(&mut rng);
+            fresh.extend(taken);
+            for &t in fresh.iter().take(coverage) {
+                for &item in &items {
+                    if !baskets[t].contains(&item) {
+                        baskets[t].push(item);
+                    }
+                }
+                if labels[t].is_none() {
+                    labels[t] = Some(if rng.gen::<f64>() < confidence {
+                        class
+                    } else {
+                        let mut other = rng.gen_range(0..p.n_classes - 1) as ClassId;
+                        if other >= class {
+                            other += 1;
+                        }
+                        other
+                    });
+                }
+            }
+            planted.push(PlantedRule {
+                items,
+                class,
+                coverage,
+                confidence,
+            });
+        }
+
+        // Pad every basket to its sampled length with popularity-weighted
+        // items and give unconstrained transactions a uniform class label.
+        for t in 0..p.n_transactions {
+            let target = rng.gen_range(p.min_basket..=p.max_basket);
+            let mut attempts = 0usize;
+            // The attempt cap keeps padding finite when the planted itemset
+            // already exhausts the popular part of the catalogue.
+            while baskets[t].len() < target && attempts < 20 * p.n_items {
+                let item = sample_item(&mut rng);
+                if !baskets[t].contains(&item) {
+                    baskets[t].push(item);
+                }
+                attempts += 1;
+            }
+            if labels[t].is_none() {
+                labels[t] = Some(rng.gen_range(0..p.n_classes) as ClassId);
+            }
+        }
+
+        let width = (p.n_items.max(2) - 1).to_string().len();
+        let item_space = ItemSpace::baskets(
+            (0..p.n_items).map(|i| format!("item{i:0width$}")),
+            (0..p.n_classes).map(|c| format!("c{c}")).collect(),
+        )
+        .expect("validated parameters always produce a valid item space");
+        let records: Vec<Record> = baskets
+            .into_iter()
+            .zip(labels)
+            .map(|(items, class)| Record::new(items, class.expect("all labels assigned")))
+            .collect();
+        let dataset = Dataset::from_baskets(item_space, records)
+            .expect("generated ids are always within the item space");
+
+        let rules = planted
+            .into_iter()
+            .map(|rule| {
+                let pattern = Pattern::from_items(rule.items);
+                let coverage = dataset.support(&pattern);
+                let hits = dataset.rule_support(&pattern, rule.class);
+                EmbeddedRule {
+                    pattern,
+                    class: rule.class,
+                    target_coverage: rule.coverage,
+                    target_confidence: rule.confidence,
+                    coverage,
+                    confidence: if coverage == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / coverage as f64
+                    },
+                }
+            })
+            .collect();
+        (dataset, rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> BasketParams {
+        BasketParams::default()
+            .with_transactions(500)
+            .with_items(40)
+    }
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let gen = BasketGenerator::new(small_params()).unwrap();
+        let (d, rules) = gen.generate(7);
+        assert!(rules.is_empty());
+        assert_eq!(d.n_records(), 500);
+        assert_eq!(d.n_items(), 40);
+        assert!(d.schema().is_none());
+        assert!(d.item_space().is_basket());
+        for r in d.records() {
+            assert!(r.len() >= 2 && r.len() <= 8, "basket length {}", r.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let gen = BasketGenerator::new(small_params()).unwrap();
+        let (a, ra) = gen.generate(42);
+        let (b, rb) = gen.generate(42);
+        let (c, _) = gen.generate(43);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popular_items_dominate_under_a_power_law() {
+        let gen = BasketGenerator::new(small_params().with_zipf(1.2)).unwrap();
+        let (d, _) = gen.generate(3);
+        let head: usize = (0..5u32).map(|i| d.item_support(i)).sum();
+        let tail: usize = (35..40u32).map(|i| d.item_support(i)).sum();
+        assert!(
+            head > 4 * tail,
+            "head supports {head} should dwarf tail supports {tail}"
+        );
+    }
+
+    #[test]
+    fn planted_itemset_is_covered_and_class_correlated() {
+        let params = small_params()
+            .with_rules(1)
+            .with_coverage(120, 120)
+            .with_confidence(0.9, 0.9);
+        let gen = BasketGenerator::new(params).unwrap();
+        let (d, rules) = gen.generate(11);
+        assert_eq!(rules.len(), 1);
+        let rule = &rules[0];
+        assert_eq!(rule.target_coverage, 120);
+        assert!(rule.coverage >= 120, "coverage {}", rule.coverage);
+        assert!(
+            rule.confidence > 0.7,
+            "planted confidence {} too weak",
+            rule.confidence
+        );
+        // predictive: far above the ~0.5 base rate
+        assert!(d.rule_support(&rule.pattern, rule.class) * 2 > d.support(&rule.pattern));
+    }
+
+    #[test]
+    fn multiple_rules_are_all_planted() {
+        let params = small_params()
+            .with_rules(3)
+            .with_coverage(60, 90)
+            .with_confidence(0.7, 0.9);
+        let gen = BasketGenerator::new(params).unwrap();
+        let (_, rules) = gen.generate(5);
+        assert_eq!(rules.len(), 3);
+        for rule in &rules {
+            assert!(rule.coverage >= 60);
+            assert!(rule.pattern.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(BasketGenerator::new(BasketParams::default().with_transactions(0)).is_err());
+        assert!(BasketGenerator::new(BasketParams::default().with_items(0)).is_err());
+        assert!(BasketGenerator::new(BasketParams::default().with_basket_size(5, 2)).is_err());
+        assert!(BasketGenerator::new(BasketParams::default().with_basket_size(2, 99)).is_err());
+        assert!(
+            BasketGenerator::new(BasketParams::default().with_rules(1).with_coverage(10, 5))
+                .is_err()
+        );
+        assert!(BasketGenerator::new(
+            BasketParams::default()
+                .with_rules(1)
+                .with_confidence(0.9, 0.2)
+        )
+        .is_err());
+        // a planted itemset may not exceed the basket length bound
+        assert!(
+            BasketGenerator::new(BasketParams::default().with_rules(1).with_basket_size(2, 2))
+                .is_err()
+        );
+        let p = BasketParams {
+            n_classes: 1,
+            ..BasketParams::default()
+        };
+        assert!(BasketGenerator::new(p).is_err());
+    }
+
+    #[test]
+    fn generator_exposes_params() {
+        let p = small_params();
+        let gen = BasketGenerator::new(p.clone()).unwrap();
+        assert_eq!(gen.params(), &p);
+    }
+}

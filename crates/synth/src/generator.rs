@@ -311,7 +311,7 @@ mod tests {
         let (d, rules) = gen.generate(7);
         assert!(rules.is_empty());
         assert_eq!(d.n_records(), 400);
-        assert_eq!(d.schema().n_attributes(), 12);
+        assert_eq!(d.schema().unwrap().n_attributes(), 12);
         let counts = d.class_counts();
         assert!(
             (counts.count(0) as i64 - 200).abs() <= 1,
@@ -334,7 +334,7 @@ mod tests {
     fn attribute_cardinalities_respect_bounds() {
         let gen = SyntheticGenerator::new(small_params()).unwrap();
         let (d, _) = gen.generate(3);
-        for attr in d.schema().attributes() {
+        for attr in d.schema().unwrap().attributes() {
             assert!((2..=8).contains(&attr.cardinality()));
         }
     }

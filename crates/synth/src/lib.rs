@@ -14,7 +14,11 @@
 //!   positives;
 //! * [`PairedSynthetic`] — the paper's construction for a fair holdout
 //!   comparison: two independently generated halves with the same rules
-//!   embedded at half coverage, concatenated into one dataset (§5.1).
+//!   embedded at half coverage, concatenated into one dataset (§5.1);
+//! * [`BasketGenerator`] — the transaction-data counterpart: seeded
+//!   market-basket generation with power-law item popularity and planted
+//!   class-correlated itemsets, producing basket datasets over the same
+//!   [`ItemSpace`](sigrule_data::ItemSpace) layer the loaders emit.
 //!
 //! # Example: generate a dataset with one planted rule
 //!
@@ -37,8 +41,10 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod basket;
 pub mod generator;
 pub mod params;
 
+pub use basket::{BasketGenerator, BasketParams};
 pub use generator::{EmbeddedRule, PairedSynthetic, SyntheticGenerator};
 pub use params::SyntheticParams;

@@ -21,7 +21,7 @@ fn main() {
     println!(
         "patients: {}, attributes: {}, positives: {} ({:.1}%)\n",
         dataset.n_records(),
-        dataset.schema().n_attributes(),
+        dataset.schema().unwrap().n_attributes(),
         counts.count(1),
         100.0 * counts.count(1) as f64 / dataset.n_records() as f64
     );
@@ -53,7 +53,7 @@ fn main() {
     let mut rules: Vec<&ClassRule> = perm.significant_rules();
     rules.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).unwrap());
     for rule in rules.iter().take(8) {
-        println!("  {}", rule.describe(mined.schema()));
+        println!("  {}", rule.describe(mined.item_space()));
     }
     if rules.is_empty() {
         println!("  (none — tighten min_sup or collect more data)");

@@ -27,7 +27,7 @@ fn main() {
         "dataset D2kA20R5: {} records, {} attributes; min_sup={min_sup}, N={n_permutations} \
          permutations; {} core(s) available\n",
         dataset.n_records(),
-        dataset.schema().n_attributes(),
+        dataset.schema().unwrap().n_attributes(),
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 

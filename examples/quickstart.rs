@@ -20,7 +20,7 @@ fn main() {
     println!(
         "dataset: {} records, {} attributes, {} embedded rules\n",
         paired.whole.n_records(),
-        paired.whole.schema().n_attributes(),
+        paired.whole.schema().unwrap().n_attributes(),
         paired.rules.len()
     );
 
@@ -58,6 +58,6 @@ fn main() {
     let mut significant: Vec<&ClassRule> = permutation.significant_rules();
     significant.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).unwrap());
     for rule in significant.iter().take(5) {
-        println!("  {}", rule.describe(mined.schema()));
+        println!("  {}", rule.describe(mined.item_space()));
     }
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Fetches the real datasets used by the paper's evaluation (UCI adult,
+# german, hypothyroid, mushroom) plus a public market-basket dataset
+# (FIMI retail), and verifies every file against scripts/datasets.sha256.
+#
+# Usage:
+#   scripts/fetch_datasets.sh [target-dir]     # default: data/
+#
+# Verification is trust-on-first-use: when scripts/datasets.sha256 carries a
+# hash for a file it MUST match (mismatch deletes the download and fails);
+# when it doesn't, the observed hash is appended so later fetches — and other
+# machines, once the manifest is committed — are pinned.  Tests never touch
+# the network: a tiny basket fixture is checked in under tests/fixtures/.
+
+set -euo pipefail
+
+TARGET_DIR="${1:-data}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+MANIFEST="$SCRIPT_DIR/datasets.sha256"
+
+# name|url pairs; the UCI files back docs/PAPER_MAP.md Table 2, retail.dat is
+# the classic market-basket benchmark for `sigrule mine --input-format basket`
+# (retail.dat carries no class labels: mine it with --default-class, or label
+# it yourself).
+DATASETS=(
+  "adult.data|https://archive.ics.uci.edu/ml/machine-learning-databases/adult/adult.data"
+  "adult.test|https://archive.ics.uci.edu/ml/machine-learning-databases/adult/adult.test"
+  "german.data|https://archive.ics.uci.edu/ml/machine-learning-databases/statlog/german/german.data"
+  "hypothyroid.data|https://archive.ics.uci.edu/ml/machine-learning-databases/thyroid-disease/hypothyroid.data"
+  "agaricus-lepiota.data|https://archive.ics.uci.edu/ml/machine-learning-databases/mushroom/agaricus-lepiota.data"
+  "retail.dat|http://fimi.uantwerpen.be/data/retail.dat"
+)
+
+sha256_of() {
+  if command -v sha256sum >/dev/null 2>&1; then
+    sha256sum "$1" | awk '{print $1}'
+  else
+    shasum -a 256 "$1" | awk '{print $1}'
+  fi
+}
+
+fetch() {
+  local url="$1" out="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fL --retry 3 -o "$out" "$url"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -O "$out" "$url"
+  else
+    echo "error: neither curl nor wget is available" >&2
+    exit 1
+  fi
+}
+
+mkdir -p "$TARGET_DIR"
+touch "$MANIFEST"
+
+failures=0
+for entry in "${DATASETS[@]}"; do
+  name="${entry%%|*}"
+  url="${entry#*|}"
+  out="$TARGET_DIR/$name"
+
+  if [[ ! -s "$out" ]]; then
+    echo "fetching $name ..."
+    fetch "$url" "$out"
+  else
+    echo "have     $name (skipping download)"
+  fi
+
+  actual="$(sha256_of "$out")"
+  expected="$(awk -v n="$name" '$2 == n {print $1}' "$MANIFEST" | head -n1)"
+  if [[ -z "$expected" ]]; then
+    echo "pinning  $name  sha256=$actual"
+    printf '%s  %s\n' "$actual" "$name" >>"$MANIFEST"
+  elif [[ "$actual" == "$expected" ]]; then
+    echo "verified $name"
+  else
+    echo "error: sha256 mismatch for $name" >&2
+    echo "  expected: $expected" >&2
+    echo "  actual:   $actual" >&2
+    rm -f "$out"
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "error: $failures file(s) failed verification" >&2
+  exit 1
+fi
+
+echo
+echo "All files are in $TARGET_DIR/.  Try:"
+echo "  cargo run --release -p sigrule_cli -- mine --input $TARGET_DIR/adult.data --no-header --min-sup 300 --correction permutation"
+echo "retail.dat ships without class labels; docs/DATASETS.md shows how to"
+echo "attach a label: token per transaction before mining it."

@@ -31,11 +31,16 @@ pub mod prelude {
     pub use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
     pub use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
     pub use sigrule::{mine_rules, ClassRule, MinedRuleSet, RuleMiningConfig};
-    pub use sigrule_data::loader::{dataset_to_csv, load_csv_file, load_csv_str, LoadOptions};
-    pub use sigrule_data::{Dataset, Pattern, Record, Schema};
+    pub use sigrule_data::loader::{
+        dataset_to_baskets, dataset_to_csv, detect_format, detect_format_with, load_baskets_file,
+        load_baskets_str, load_csv_file, load_csv_str, BasketLoad, BasketOptions, LoadOptions,
+    };
+    pub use sigrule_data::{
+        Dataset, InputFormat, ItemProvenance, ItemSpace, Pattern, Record, Schema,
+    };
     pub use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
     pub use sigrule_stats::{FisherTest, RuleCounts, Tail};
-    pub use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+    pub use sigrule_synth::{BasketGenerator, BasketParams, SyntheticGenerator, SyntheticParams};
 }
 
 #[cfg(test)]

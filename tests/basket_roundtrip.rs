@@ -1,0 +1,135 @@
+//! Property test for the basket loader: a synthetic basket dataset exported
+//! with [`dataset_to_baskets`] and re-loaded with [`load_baskets_str`] has
+//! identical supports — per item (matched by token), per class (matched by
+//! name), and for every mined frequent pattern (matched by the multiset of
+//! mined supports).
+
+use proptest::prelude::*;
+use sigrule_repro::mining::{EclatMiner, FrequentPatternMiner, MinerConfig};
+use sigrule_repro::prelude::*;
+
+fn roundtrip(dataset: &Dataset) -> Dataset {
+    let text = dataset_to_baskets(dataset);
+    load_baskets_str(&text, &BasketOptions::default())
+        .expect("exported baskets always load")
+        .dataset
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Item supports, class counts and pattern supports survive the basket
+    /// round trip (item and class ids are renumbered in first-seen order, so
+    /// everything is matched through names).
+    #[test]
+    fn basket_supports_survive_the_round_trip(
+        seed in 0u64..500,
+        n_transactions in 60usize..200,
+        n_items in 12usize..30,
+        zipf in 0u32..3,
+    ) {
+        let params = BasketParams::default()
+            .with_transactions(n_transactions)
+            .with_items(n_items)
+            .with_basket_size(2, 6)
+            .with_zipf(zipf as f64 * 0.5)
+            .with_rules(1)
+            .with_coverage(n_transactions / 5, n_transactions / 4)
+            .with_confidence(0.8, 0.9);
+        let (original, _) = BasketGenerator::new(params).unwrap().generate(seed);
+        let reloaded = roundtrip(&original);
+
+        prop_assert_eq!(reloaded.n_records(), original.n_records());
+        prop_assert_eq!(reloaded.n_classes(), original.n_classes());
+        // every generated item that occurs at least once survives; unused
+        // tokens are absent from the reloaded space
+        let occurring = (0..original.n_items() as u32)
+            .filter(|&i| original.item_support(i) > 0)
+            .count();
+        prop_assert_eq!(reloaded.n_items(), occurring);
+
+        // Class counts, matched by class name.
+        let original_counts = original.class_counts();
+        let reloaded_counts = reloaded.class_counts();
+        for (class_id, name) in original.item_space().classes().iter().enumerate() {
+            let reloaded_id = reloaded
+                .item_space()
+                .class_index(name)
+                .expect("class name survives the round trip");
+            prop_assert_eq!(
+                reloaded_counts.count(reloaded_id),
+                original_counts.count(class_id as u32)
+            );
+        }
+
+        // Item supports, matched by token.
+        for item in 0..original.n_items() as u32 {
+            if original.item_support(item) == 0 {
+                continue;
+            }
+            let token = original.item_space().describe_item(item);
+            let reloaded_item = reloaded
+                .item_space()
+                .item_named(&token)
+                .expect("occurring token survives the round trip");
+            prop_assert_eq!(
+                reloaded.item_support(reloaded_item),
+                original.item_support(item),
+                "support of {}", token
+            );
+        }
+
+        // Per-record itemsets survive, matched through tokens (record order
+        // is preserved by the textual format).
+        for (a, b) in original.records().iter().zip(reloaded.records().iter()) {
+            let mut original_tokens: Vec<String> = a
+                .items()
+                .iter()
+                .map(|&i| original.item_space().describe_item(i))
+                .collect();
+            let mut reloaded_tokens: Vec<String> = b
+                .items()
+                .iter()
+                .map(|&i| reloaded.item_space().describe_item(i))
+                .collect();
+            original_tokens.sort();
+            reloaded_tokens.sort();
+            prop_assert_eq!(original_tokens, reloaded_tokens);
+        }
+    }
+
+    /// Mining the reloaded dataset finds exactly as many frequent patterns
+    /// with exactly the same support multiset (patterns themselves are only
+    /// equal up to the token renumbering).
+    #[test]
+    fn mined_pattern_supports_survive_the_round_trip(
+        seed in 0u64..200,
+        n_transactions in 80usize..160,
+    ) {
+        let params = BasketParams::default()
+            .with_transactions(n_transactions)
+            .with_items(20)
+            .with_basket_size(2, 6)
+            .with_rules(1)
+            .with_coverage(n_transactions / 5, n_transactions / 4)
+            .with_confidence(0.85, 0.95);
+        let (original, _) = BasketGenerator::new(params).unwrap().generate(seed);
+        let reloaded = roundtrip(&original);
+
+        let config = MinerConfig::new(n_transactions / 8);
+        let miner = EclatMiner::default();
+        let mut original_supports: Vec<usize> = miner
+            .mine(&original, &config)
+            .into_iter()
+            .map(|p| p.support)
+            .collect();
+        let mut reloaded_supports: Vec<usize> = miner
+            .mine(&reloaded, &config)
+            .into_iter()
+            .map(|p| p.support)
+            .collect();
+        original_supports.sort_unstable();
+        reloaded_supports.sort_unstable();
+        prop_assert_eq!(original_supports, reloaded_supports);
+    }
+}

@@ -37,17 +37,17 @@ proptest! {
         prop_assert_eq!(reloaded.n_records(), original.n_records());
         prop_assert_eq!(reloaded.n_classes(), original.n_classes());
         prop_assert_eq!(
-            reloaded.schema().n_attributes(),
-            original.schema().n_attributes()
+            reloaded.schema().unwrap().n_attributes(),
+            original.schema().unwrap().n_attributes()
         );
-        prop_assert_eq!(reloaded.schema().n_items(), original.schema().n_items());
+        prop_assert_eq!(reloaded.schema().unwrap().n_items(), original.schema().unwrap().n_items());
 
         // Class counts, matched by class name.
         let original_counts = original.class_counts();
         let reloaded_counts = reloaded.class_counts();
-        for (class_id, name) in original.schema().classes().iter().enumerate() {
+        for (class_id, name) in original.schema().unwrap().classes().iter().enumerate() {
             let reloaded_id = reloaded
-                .schema()
+                .item_space()
                 .class_index(name)
                 .expect("class name survives the round trip");
             prop_assert_eq!(
@@ -57,15 +57,15 @@ proptest! {
         }
 
         // Item supports, matched by attribute/value name.
-        for (attr, attribute) in original.schema().attributes().iter().enumerate() {
-            let reloaded_attr = &reloaded.schema().attributes()[attr];
+        for (attr, attribute) in original.schema().unwrap().attributes().iter().enumerate() {
+            let reloaded_attr = &reloaded.schema().unwrap().attributes()[attr];
             prop_assert_eq!(&reloaded_attr.name, &attribute.name);
             for (value, value_name) in attribute.values.iter().enumerate() {
-                let original_item = original.schema().item_id(attr, value).unwrap();
+                let original_item = original.schema().unwrap().item_id(attr, value).unwrap();
                 let reloaded_value = reloaded_attr
                     .value_index(value_name)
                     .expect("value name survives the round trip");
-                let reloaded_item = reloaded.schema().item_id(attr, reloaded_value).unwrap();
+                let reloaded_item = reloaded.schema().unwrap().item_id(attr, reloaded_value).unwrap();
                 prop_assert_eq!(
                     reloaded.item_support(reloaded_item),
                     original.item_support(original_item)

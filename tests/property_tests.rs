@@ -177,7 +177,7 @@ proptest! {
         let recombined_counts = recombined.class_counts();
         let original_counts = dataset.class_counts();
         prop_assert_eq!(recombined_counts.as_slice(), original_counts.as_slice());
-        for item in 0..dataset.schema().n_items() as u32 {
+        for item in 0..dataset.n_items() as u32 {
             prop_assert_eq!(recombined.item_support(item), dataset.item_support(item));
         }
     }
