@@ -163,6 +163,10 @@ pub struct CommonOpts {
     pub format: Format,
     /// Rules shown in reports (0 = all).
     pub top: usize,
+    /// Treat loader warnings as fatal (`--strict`): any
+    /// [`LoadWarning`](sigrule_data::loader::LoadWarning) aborts the command
+    /// with a nonzero exit instead of stderr-only noise.
+    pub strict: bool,
 }
 
 impl CommonOpts {
@@ -184,7 +188,8 @@ impl CommonOpts {
         "top",
     ];
     /// Switch names consumed here.
-    pub const SWITCHES: &'static [&'static str] = &["tsv", "no-header", "all-patterns", "help"];
+    pub const SWITCHES: &'static [&'static str] =
+        &["tsv", "no-header", "all-patterns", "strict", "help"];
 
     /// Extracts the common options from a parsed argument map.
     pub fn from_args(args: &ArgMap) -> Result<CommonOpts, UsageError> {
@@ -234,6 +239,7 @@ impl CommonOpts {
                 None => Format::Human,
             },
             top: args.get_parsed("top")?.unwrap_or(20),
+            strict: args.has("strict"),
         };
         Ok(opts)
     }
@@ -282,44 +288,14 @@ impl CommonOpts {
     }
 }
 
-/// Parses `--correction` / `--metric` into an approach + metric pair.
-///
-/// `--correction bonferroni|bh` implies the metric; `--metric` otherwise
-/// selects FWER (default) or FDR.
+/// Parses `--correction` / `--metric` into an approach + metric pair through
+/// the shared front-end rules ([`CorrectionApproach::resolve`]): bonferroni/bh
+/// imply their metric, contradictions error, and an unknown approach name
+/// surfaces the library error — which lists every accepted value — as a
+/// usage error (exit code 2).
 pub fn parse_correction(args: &ArgMap) -> Result<(CorrectionApproach, ErrorMetric), UsageError> {
-    let (approach, implied) = match args.get("correction") {
-        None => (CorrectionApproach::Direct, None),
-        Some(name) => CorrectionApproach::parse(name).ok_or_else(|| {
-            UsageError(format!(
-                "--correction must be none, bonferroni, bh, permutation or holdout (got {name:?})"
-            ))
-        })?,
-    };
-    let metric = match args.get("metric") {
-        None => implied.unwrap_or(ErrorMetric::Fwer),
-        Some(name) => {
-            let requested = match name.to_ascii_lowercase().as_str() {
-                "fwer" => ErrorMetric::Fwer,
-                "fdr" => ErrorMetric::Fdr,
-                other => {
-                    return Err(UsageError(format!(
-                        "--metric must be fwer or fdr (got {other:?})"
-                    )))
-                }
-            };
-            if let Some(implied) = implied {
-                if implied != requested {
-                    return Err(UsageError(format!(
-                        "--correction {} controls {} and contradicts --metric {name}",
-                        args.get("correction").unwrap_or_default(),
-                        implied.label(),
-                    )));
-                }
-            }
-            requested
-        }
-    };
-    Ok((approach, metric))
+    CorrectionApproach::resolve(args.get("correction"), args.get("metric"))
+        .map_err(|e| UsageError(format!("--correction/--metric: {e}")))
 }
 
 #[cfg(test)]

@@ -2,10 +2,10 @@
 
 use crate::args::{parse_correction, ArgMap, CommonOpts, UsageError};
 use crate::output::{method_summary_row, significant_rules_table, Report};
+use sigrule::engine::{Engine, Loader};
 use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError};
 use sigrule::ErrorMetric;
-use sigrule_data::loader::{detect_format_with, load_baskets_file, load_csv_file};
-use sigrule_data::{Dataset, InputFormat};
+use sigrule_data::{Dataset, InputFormat, SharedDataset};
 use sigrule_eval::report::Table;
 use sigrule_synth::{SyntheticGenerator, SyntheticParams};
 use std::time::Instant;
@@ -63,39 +63,50 @@ fn pipeline_for(
     pipeline
 }
 
-/// Loads the dataset named by `--input` (required here) in the requested or
-/// auto-detected input format.  Returns the dataset, any loader warnings
-/// (rendered on stderr by the caller), the effective format and the load
-/// time.
+/// Fails the command when `--strict` was given and the loader produced
+/// warnings: strict mode turns blank lines, empty transactions and other
+/// dedupe noise into a nonzero exit instead of stderr-only messages.
+fn enforce_strict(opts: &CommonOpts, warnings: &[String]) -> Result<(), CliError> {
+    if opts.strict && !warnings.is_empty() {
+        return Err(CliError::Runtime(format!(
+            "--strict: input produced {} loader warning(s):\n  {}",
+            warnings.len(),
+            warnings.join("\n  ")
+        )));
+    }
+    Ok(())
+}
+
+/// Loads the dataset named by `--input` (required here) through the shared
+/// load stage ([`Loader`]), in the requested or auto-detected input format.
+/// Returns the dataset, any loader warnings (rendered on stderr by the
+/// caller), the effective format and the load time.
 fn load_input(opts: &CommonOpts) -> Result<(Dataset, Vec<String>, InputFormat, f64), CliError> {
     let Some(path) = &opts.input else {
         return Err(CliError::Usage(UsageError(
             "--input <file> is required".into(),
         )));
     };
-    let against_path = |e: sigrule_data::DataError| -> CliError {
-        CliError::Runtime(format!("{}: {e}", path.display()))
+    let loader = Loader {
+        load: opts.load_options(),
+        basket: opts.basket_options(),
+        input_format: opts.input_format,
     };
-    let format = match opts.input_format {
-        Some(format) => format,
-        None => detect_format_with(path, &opts.basket_options()).map_err(against_path)?,
-    };
-    let start = Instant::now();
-    match format {
-        InputFormat::Rows => {
-            let dataset = load_csv_file(path, &opts.load_options()).map_err(against_path)?;
-            Ok((dataset, Vec::new(), format, millis(start.elapsed())))
-        }
-        InputFormat::Basket => {
-            let load = load_baskets_file(path, &opts.basket_options()).map_err(against_path)?;
-            let warnings = load
-                .warnings
-                .iter()
-                .map(|w| format!("{}: {w}", path.display()))
-                .collect();
-            Ok((load.dataset, warnings, format, millis(start.elapsed())))
-        }
-    }
+    let loaded = loader
+        .load_file(path)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+    let warnings: Vec<String> = loaded
+        .warnings
+        .iter()
+        .map(|w| format!("{}: {w}", path.display()))
+        .collect();
+    enforce_strict(opts, &warnings)?;
+    Ok((
+        loaded.dataset,
+        warnings,
+        loaded.format,
+        millis(loaded.elapsed),
+    ))
 }
 
 fn dataset_summary(report: &mut Report, opts: &CommonOpts, dataset: &Dataset, format: InputFormat) {
@@ -133,11 +144,14 @@ pub fn mine(args: &ArgMap) -> Result<Report, CliError> {
 
     let (dataset, warnings, format, load_ms) = load_input(&opts)?;
     let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
-    let run = pipeline.run_dataset(&dataset)?;
+    // Share the loaded dataset with the engine instead of copying it (on
+    // large inputs run_dataset's seeding clone would double peak memory).
+    let shared = SharedDataset::new(dataset);
+    let run = pipeline.run_shared(&shared)?;
 
     let mut report = Report::new("mine");
     report.warnings = warnings;
-    dataset_summary(&mut report, &opts, &dataset, format);
+    dataset_summary(&mut report, &opts, shared.dataset(), format);
     report.add("rules_mined", run.mined.rules().len());
     report.add("hypothesis_tests", run.mined.n_tests());
     report.add("correction", run.result.method.clone());
@@ -180,15 +194,14 @@ pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
     let opts = CommonOpts::from_args(args)?;
 
     let (dataset, warnings, format, load_ms) = load_input(&opts)?;
-    let base = pipeline_for(
-        &opts,
-        dataset.n_records(),
-        CorrectionApproach::None,
-        ErrorMetric::Fwer,
-    );
-    let mine_start = Instant::now();
-    let mined = sigrule::mine_rules(&dataset, &base.mining);
-    let mine_ms = millis(mine_start.elapsed());
+    let n_records = dataset.n_records();
+    // One resident engine for the whole roster: the rule set is mined once
+    // and the permutation null is collected once, shared by the FWER and FDR
+    // permutation rows (the engine's null cache keys on (mining, N, seed),
+    // not on the metric).
+    let engine = Engine::new(dataset);
+    let (mined, mine_time, _) = engine.mine(&opts.mining_config(n_records));
+    let mine_ms = millis(mine_time);
 
     let mut table = Table::new(
         format!("correction comparison at alpha = {}", opts.alpha),
@@ -203,15 +216,17 @@ pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
         ],
     );
     for (approach, metric) in method_roster() {
-        let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
-        let start = Instant::now();
-        let result = pipeline.correct(&dataset, &mined)?;
-        table.push_row(method_summary_row(&result, millis(start.elapsed())));
+        let query = pipeline_for(&opts, n_records, approach, metric).query();
+        let outcome = engine.query(&query)?;
+        table.push_row(method_summary_row(
+            &outcome.result,
+            millis(outcome.timings.null + outcome.timings.correct),
+        ));
     }
 
     let mut report = Report::new("correct");
     report.warnings = warnings;
-    dataset_summary(&mut report, &opts, &dataset, format);
+    dataset_summary(&mut report, &opts, engine.dataset(), format);
     report.add("rules_mined", mined.rules().len());
     report.add("hypothesis_tests", mined.n_tests());
     report.add("permutations", opts.permutations);
@@ -256,7 +271,9 @@ pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
         (dataset, "synthetic", millis(start.elapsed()))
     };
     report.add("source", source);
-    dataset_summary(&mut report, &opts, &dataset, format);
+    let n_records = dataset.n_records();
+    let engine = Engine::new(dataset);
+    dataset_summary(&mut report, &opts, engine.dataset(), format);
     report.add("permutations", opts.permutations);
     report.add("seed", opts.seed);
 
@@ -268,21 +285,15 @@ pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
         "load".into(),
         source.into(),
         format!("{load_ms:.1}"),
-        format!("{} records", dataset.n_records()),
+        format!("{n_records} records"),
     ]);
 
-    let base = pipeline_for(
-        &opts,
-        dataset.n_records(),
-        CorrectionApproach::None,
-        ErrorMetric::Fwer,
-    );
-    let start = Instant::now();
-    let mined = sigrule::mine_rules(&dataset, &base.mining);
+    let mining = opts.mining_config(n_records);
+    let (mined, mine_time, _) = engine.mine(&mining);
     table.push_row(vec![
         "mine".into(),
-        format!("min_sup {}", base.mining.min_sup),
-        format!("{:.1}", millis(start.elapsed())),
+        format!("min_sup {}", mining.min_sup),
+        format!("{:.1}", millis(mine_time)),
         format!("{} rules, {} tests", mined.rules().len(), mined.n_tests()),
     ]);
 
@@ -290,14 +301,16 @@ pub fn bench(args: &ArgMap) -> Result<Report, CliError> {
         if approach == CorrectionApproach::None {
             continue;
         }
-        let pipeline = pipeline_for(&opts, dataset.n_records(), approach, metric);
-        let start = Instant::now();
-        let result = pipeline.correct(&dataset, &mined)?;
+        let query = pipeline_for(&opts, n_records, approach, metric).query();
+        let outcome = engine.query(&query)?;
         table.push_row(vec![
             "correct".into(),
-            format!("{} ({})", result.method, metric.label()),
-            format!("{:.1}", millis(start.elapsed())),
-            format!("{} significant", result.n_significant()),
+            format!("{} ({})", outcome.result.method, metric.label()),
+            format!(
+                "{:.1}",
+                millis(outcome.timings.null + outcome.timings.correct)
+            ),
+            format!("{} significant", outcome.result.n_significant()),
         ]);
     }
     report.tables.push(table);

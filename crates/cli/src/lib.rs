@@ -13,7 +13,9 @@
 //! * `sigrule correct` — mine once, run **every** correction approach, and
 //!   print a comparison table;
 //! * `sigrule bench` — time each pipeline stage on a file or on synthetic
-//!   data.
+//!   data;
+//! * `sigrule serve` — a resident engine process answering JSON-line
+//!   requests over a dataset loaded once (see [`serve`]).
 //!
 //! ```
 //! use sigrule_cli::{run, RunOutcome};
@@ -34,7 +36,9 @@
 
 pub mod args;
 pub mod commands;
+pub mod json;
 pub mod output;
+pub mod serve;
 
 use args::{ArgMap, CommonOpts};
 use commands::CliError;
@@ -49,6 +53,8 @@ USAGE:
   sigrule mine    --input <file> [options]   mine + one correction approach
   sigrule correct --input <file> [options]   compare all correction approaches
   sigrule bench   [--input <file>] [options] time every pipeline stage
+  sigrule serve                              resident engine on stdin/stdout
+                                             (JSON lines; see docs/SERVE.md)
   sigrule help                               print this text
 
 INPUT (format auto-detected by default):
@@ -60,6 +66,9 @@ INPUT (format auto-detected by default):
   --tsv                 rows: tab-separated input
   --no-header           rows: first row is data; columns are named A0, A1, ...
   --default-class <c>   basket: class for transactions without a label: token
+  --strict              treat loader warnings (blank lines, empty
+                        transactions) as errors: nonzero exit instead of
+                        stderr-only messages
 
   Basket files carry one transaction per line: item tokens separated by
   whitespace and/or commas, plus an optional `label:<class>` token.
@@ -148,9 +157,15 @@ pub fn run(argv: &[String]) -> RunOutcome {
         "mine" => commands::mine(&parsed),
         "correct" => commands::correct(&parsed),
         "bench" => commands::bench(&parsed),
+        "serve" => {
+            return RunOutcome::usage_error(
+                "serve is interactive: it reads JSON-line requests on stdin, so it only \
+                 runs from the sigrule binary (see docs/SERVE.md)",
+            )
+        }
         other => {
             return RunOutcome::usage_error(&format!(
-                "unknown subcommand {other:?} (expected mine, correct, bench or help)"
+                "unknown subcommand {other:?} (expected mine, correct, bench, serve or help)"
             ))
         }
     };

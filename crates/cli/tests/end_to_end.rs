@@ -307,6 +307,63 @@ fn basket_warnings_reach_stderr_without_breaking_json() {
 }
 
 #[test]
+fn strict_turns_loader_warnings_into_a_nonzero_exit() {
+    let path =
+        std::env::temp_dir().join(format!("sigrule_e2e_strict_{}.basket", std::process::id()));
+    std::fs::write(
+        &path,
+        "a b label:x\n\na c label:x\nb c label:y\nc d label:y\n",
+    )
+    .unwrap();
+    // Without --strict the blank line is a warning and the run succeeds
+    // (covered above); with --strict it is fatal.
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        path.to_str().unwrap(),
+        "--min-sup",
+        "1",
+        "--strict",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--strict") && stderr.contains("line 2"),
+        "stderr: {stderr}"
+    );
+    assert!(output.stdout.is_empty(), "no report on a strict failure");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_correction_name_exits_2_naming_the_valid_values() {
+    let csv = exported_csv("badcorr", 31);
+    let output = sigrule(&[
+        "mine",
+        "--input",
+        csv.to_str().unwrap(),
+        "--correction",
+        "bogus",
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for name in [
+        "none",
+        "bonferroni",
+        "bh",
+        "permutation",
+        "holdout",
+        "bogus",
+    ] {
+        assert!(
+            stderr.contains(name),
+            "stderr should mention {name}: {stderr}"
+        );
+    }
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
 fn csv_format_emits_the_rule_table() {
     let csv = exported_csv("csvfmt", 9);
     let output = sigrule(&[

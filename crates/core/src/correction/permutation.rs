@@ -68,7 +68,7 @@ use sigrule_data::ClassId;
 pub use sigrule_mining::SupportBackend;
 use sigrule_stats::{
     benjamini_hochberg_threshold, DynamicBuffer, EmpiricalNull, FisherTest, LogFactorialTable,
-    RuleCounts, SharedPValueTable, Tail,
+    RuleCounts, SharedPValueTable, SharedTableSet, Tail,
 };
 
 /// How permutation-time p-values are computed (the ablation axis of
@@ -187,10 +187,30 @@ struct ScoringPlan<'a> {
     /// Observed p-values sorted ascending (for pooled-null insertion points).
     sorted_observed: Vec<f64>,
     /// Shared static p-value tables, one per class slot
-    /// ([`BufferStrategy::StaticAndDynamic`] only).
-    static_tables: Option<Vec<SharedPValueTable>>,
+    /// ([`BufferStrategy::StaticAndDynamic`] only).  Cheaply cloned from a
+    /// caller-provided [`SharedTableSet`] when one is supplied, so a resident
+    /// engine builds the tables once per mined rule set, not once per run.
+    static_tables: Option<SharedTableSet>,
     logs: LogFactorialTable,
     fisher: FisherTest,
+}
+
+/// Builds the class → rules index of a mined rule set: the distinct rule
+/// classes (ascending) and, per class slot, the indices of the rules testing
+/// that class.
+fn class_index(mined: &MinedRuleSet) -> (Vec<ClassId>, Vec<Vec<usize>>) {
+    let rules = mined.rules();
+    let mut classes: Vec<ClassId> = rules.iter().map(|r| r.class).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut class_rules: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
+    for (i, rule) in rules.iter().enumerate() {
+        let slot = classes
+            .binary_search(&rule.class)
+            .expect("every rule class is in the distinct-class list");
+        class_rules[slot].push(i);
+    }
+    (classes, class_rules)
 }
 
 impl PermutationCorrection {
@@ -237,6 +257,21 @@ impl PermutationCorrection {
     /// per-permutation minimum p-value ("Perm_FWER" in Table 3).
     pub fn control_fwer(&self, mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
         let stats = self.collect_stats(mined);
+        self.fwer_from_stats(mined, &stats, alpha)
+    }
+
+    /// Derives the FWER decision from already-collected permutation
+    /// statistics: the resident engine caches [`PermutationStats`] per
+    /// (mining config, permutation count, seed) and re-answers any α through
+    /// this method without re-permuting.  `control_fwer` is exactly
+    /// [`collect_stats`](Self::collect_stats) followed by this, so cached and
+    /// fresh answers are bit-identical by construction.
+    pub fn fwer_from_stats(
+        &self,
+        mined: &MinedRuleSet,
+        stats: &PermutationStats,
+        alpha: f64,
+    ) -> CorrectionResult {
         let cutoff = if stats.minima.is_empty() {
             0.0
         } else {
@@ -261,6 +296,18 @@ impl PermutationCorrection {
     /// the recomputed p-values ("Perm_FDR" in Table 3).
     pub fn control_fdr(&self, mined: &MinedRuleSet, alpha: f64) -> CorrectionResult {
         let stats = self.collect_stats(mined);
+        self.fdr_from_stats(mined, &stats, alpha)
+    }
+
+    /// Derives the FDR decision from already-collected permutation
+    /// statistics; the cached counterpart of `control_fdr` (see
+    /// [`fwer_from_stats`](Self::fwer_from_stats)).
+    pub fn fdr_from_stats(
+        &self,
+        mined: &MinedRuleSet,
+        stats: &PermutationStats,
+        alpha: f64,
+    ) -> CorrectionResult {
         let significant = if mined.rules().is_empty() || stats.pool_size == 0 {
             vec![false; mined.rules().len()]
         } else {
@@ -288,6 +335,18 @@ impl PermutationCorrection {
     /// metrics need.  Exposed publicly so benchmarks can time the permutation
     /// pass itself and so both metrics can share a single pass if desired.
     pub fn collect_stats(&self, mined: &MinedRuleSet) -> PermutationStats {
+        self.collect_stats_with_tables(mined, None)
+    }
+
+    /// [`collect_stats`](Self::collect_stats) with caller-provided static
+    /// p-value tables (see [`build_shared_tables`](Self::build_shared_tables)).
+    /// The tables are deterministic functions of the mined rule set, so
+    /// passing a prebuilt set changes only the build cost, never a statistic.
+    pub fn collect_stats_with_tables(
+        &self,
+        mined: &MinedRuleSet,
+        tables: Option<&SharedTableSet>,
+    ) -> PermutationStats {
         let n_rules = mined.rules().len();
         if n_rules == 0 || self.n_permutations == 0 {
             return PermutationStats {
@@ -297,7 +356,7 @@ impl PermutationCorrection {
             };
         }
 
-        let plan = self.build_plan(mined);
+        let plan = self.build_plan(mined, tables);
 
         // Fixed-size chunks over the permutation indices; the chunk list (and
         // therefore the merge order below) is independent of the worker
@@ -353,11 +412,45 @@ impl PermutationCorrection {
         }
     }
 
+    /// Builds the static p-value tables (one [`SharedPValueTable`] per class
+    /// slot) for a mined rule set, exactly as a
+    /// [`BufferStrategy::StaticAndDynamic`] run would build them internally.
+    /// A resident engine calls this once per mined rule set, keeps the
+    /// returned [`SharedTableSet`], and passes it to
+    /// [`collect_stats_with_tables`](Self::collect_stats_with_tables) on every
+    /// subsequent request.
+    pub fn build_shared_tables(&self, mined: &MinedRuleSet) -> SharedTableSet {
+        let rules = mined.rules();
+        let n = mined.n_records();
+        let logs = LogFactorialTable::new(n);
+        let (classes, class_rules) = class_index(mined);
+        SharedTableSet::new(
+            classes
+                .iter()
+                .zip(class_rules.iter())
+                .map(|(&class, rule_idxs)| {
+                    SharedPValueTable::build(
+                        n,
+                        mined.class_counts()[class as usize],
+                        self.static_buffer_bytes,
+                        mined.config().min_sup.max(1),
+                        rule_idxs.iter().map(|&i| rules[i].coverage),
+                        &logs,
+                    )
+                })
+                .collect(),
+        )
+    }
+
     /// Builds the read-only state every worker shares: class → rules index,
     /// per-node counting kernels with packed cover bitmaps, sorted observed
-    /// p-values, and the up-front static p-value tables.
-    fn build_plan<'a>(&self, mined: &'a MinedRuleSet) -> ScoringPlan<'a> {
-        let rules = mined.rules();
+    /// p-values, and the up-front static p-value tables (reused from `tables`
+    /// when the caller already holds a prebuilt set).
+    fn build_plan<'a>(
+        &self,
+        mined: &'a MinedRuleSet,
+        tables: Option<&SharedTableSet>,
+    ) -> ScoringPlan<'a> {
         let n = mined.n_records();
         let logs = LogFactorialTable::new(n);
         let fisher = FisherTest::with_table(logs.clone());
@@ -365,38 +458,18 @@ impl PermutationCorrection {
         // Distinct classes actually used by rules, and the index of the
         // rules testing each, so the permutation loop runs one forest pass
         // per used class and never scans for a rule's support vector.
-        let mut classes: Vec<ClassId> = rules.iter().map(|r| r.class).collect();
-        classes.sort_unstable();
-        classes.dedup();
-        let mut class_rules: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
-        for (i, rule) in rules.iter().enumerate() {
-            let slot = classes
-                .binary_search(&rule.class)
-                .expect("every rule class is in the distinct-class list");
-            class_rules[slot].push(i);
-        }
+        let (classes, class_rules) = class_index(mined);
 
         let support_plan = mined.forest().support_plan(self.backend);
 
         // The coverages a class's rules use never change across permutations,
-        // so the static buffer can be built once, exactly, and shared.
+        // so the static buffer can be built once, exactly, and shared — or
+        // cloned for free from a set a resident engine built earlier.
         let static_tables = match self.buffer {
-            BufferStrategy::StaticAndDynamic => Some(
-                classes
-                    .iter()
-                    .zip(class_rules.iter())
-                    .map(|(&class, rule_idxs)| {
-                        SharedPValueTable::build(
-                            n,
-                            mined.class_counts()[class as usize],
-                            self.static_buffer_bytes,
-                            mined.config().min_sup.max(1),
-                            rule_idxs.iter().map(|&i| rules[i].coverage),
-                            &logs,
-                        )
-                    })
-                    .collect(),
-            ),
+            BufferStrategy::StaticAndDynamic => Some(match tables {
+                Some(prebuilt) => prebuilt.clone(),
+                None => self.build_shared_tables(mined),
+            }),
             _ => None,
         };
 
@@ -490,7 +563,7 @@ impl PermutationCorrection {
                                 .static_tables
                                 .as_ref()
                                 .expect("built for this strategy");
-                            match tables[slot].get(rule.coverage) {
+                            match tables.slot(slot).get(rule.coverage) {
                                 Some(buffer) => buffer.p_value(supp_r),
                                 None => dynamics[slot].p_value(rule.coverage, supp_r, &plan.logs),
                             }
@@ -636,6 +709,37 @@ mod tests {
         let full = perm(24).collect_stats(&m);
         let prefix = perm(9).collect_stats(&m);
         assert_eq!(prefix.minima.as_slice(), &full.minima[..9]);
+    }
+
+    #[test]
+    fn prebuilt_tables_do_not_change_the_statistics() {
+        let m = mined_with_rule(0.9, 14);
+        let c = perm(30);
+        let tables = c.build_shared_tables(&m);
+        let fresh = c.collect_stats(&m);
+        let reused = c.collect_stats_with_tables(&m, Some(&tables));
+        assert_eq!(fresh, reused);
+        // Re-using the same set again is still identical (the tables are
+        // read-only).
+        let again = c.collect_stats_with_tables(&m, Some(&tables));
+        assert_eq!(fresh, again);
+    }
+
+    #[test]
+    fn from_stats_matches_the_one_shot_controls() {
+        let m = mined_with_rule(0.9, 15);
+        let c = perm(60);
+        let stats = c.collect_stats(&m);
+        for alpha in [0.01, 0.05, 0.2] {
+            assert_eq!(
+                c.control_fwer(&m, alpha),
+                c.fwer_from_stats(&m, &stats, alpha)
+            );
+            assert_eq!(
+                c.control_fdr(&m, alpha),
+                c.fdr_from_stats(&m, &stats, alpha)
+            );
+        }
     }
 
     #[test]

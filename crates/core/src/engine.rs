@@ -1,0 +1,778 @@
+//! The session-oriented engine: load a dataset once, answer many queries.
+//!
+//! A one-shot [`Pipeline`](crate::pipeline::Pipeline) re-runs every stage per
+//! call, but most of what it builds is reusable across queries that only vary
+//! the significance level, error metric, or correction approach:
+//!
+//! * the loaded dataset and its vertical (tid-set) index — shared via
+//!   [`SharedDataset`], built lazily, once;
+//! * mined rule sets — cached per mining configuration ([`MiningKey`]);
+//! * the static p-value tables of the permutation engine — built once per
+//!   mined rule set and shared across runs ([`SharedTableSet`]);
+//! * permutation null distributions ([`PermutationStats`]) — cached per
+//!   (mining configuration, permutation count, seed), so a warm query at a
+//!   new α never re-permutes.
+//!
+//! The stages are explicit: [`Loader`] is the **load** stage (file/text →
+//! dataset + warnings), [`Engine`] is the **index + cache** stage, and
+//! [`Query`]/[`QueryOutcome`] are the **query** stage.  `Pipeline` composes
+//! all three for the one-shot case, so both paths run the same code and warm
+//! answers are bit-identical to cold ones — the engine is a caching layer,
+//! never a semantics change.
+//!
+//! ```
+//! use sigrule::engine::{Engine, Query};
+//! use sigrule::pipeline::CorrectionApproach;
+//! use sigrule::{ErrorMetric, RuleMiningConfig};
+//! # use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+//!
+//! # let params = SyntheticParams::default().with_records(300).with_attributes(8)
+//! #     .with_rules(1).with_coverage(60, 60).with_confidence(0.9, 0.9);
+//! # let (dataset, _) = SyntheticGenerator::new(params).unwrap().generate(1);
+//! let engine = Engine::new(dataset);
+//! let query = Query::new(RuleMiningConfig::new(30))
+//!     .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+//!     .with_permutations(50);
+//!
+//! let cold = engine.query(&query).unwrap();
+//! assert!(!cold.mined_cached);
+//!
+//! // Same mining config and null model, different α: everything is cached.
+//! let warm = engine.query(&query.clone().with_alpha(0.01)).unwrap();
+//! assert!(warm.mined_cached);
+//! assert_eq!(warm.null_cached, Some(true));
+//! ```
+
+use crate::config::RuleMiningConfig;
+use crate::correction::permutation::PermutationStats;
+use crate::correction::{
+    Correction, CorrectionContext, CorrectionResult, DirectAdjustment, ErrorMetric,
+    PermutationApproach, RandomHoldout, Uncorrected,
+};
+use crate::miner::{mine_rules_with_vertical, MinedRuleSet};
+use crate::pipeline::{CorrectionApproach, PipelineError};
+use sigrule_data::loader::{
+    detect_format_with, load_baskets_file, load_baskets_str, load_csv_file, load_csv_str,
+    BasketOptions, InputFormat, LoadOptions, LoadWarning,
+};
+use sigrule_data::{Dataset, SharedDataset};
+use sigrule_stats::SharedTableSet;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The load stage: turns a file or text into a dataset plus loader warnings,
+/// in a fixed or auto-detected input format.  Shared by the one-shot
+/// [`Pipeline`](crate::pipeline::Pipeline) and the `sigrule serve` process.
+#[derive(Debug, Clone, Default)]
+pub struct Loader {
+    /// CSV/TSV parsing and discretization options.
+    pub load: LoadOptions,
+    /// Basket (transaction) parsing options.
+    pub basket: BasketOptions,
+    /// The input format to assume; `None` auto-detects per file.
+    pub input_format: Option<InputFormat>,
+}
+
+/// What the load stage produced: the dataset, any non-fatal warnings, the
+/// effective input format and the wall-clock load time.
+#[derive(Debug, Clone)]
+pub struct LoadedSource {
+    /// The loaded dataset.
+    pub dataset: Dataset,
+    /// Non-fatal loader warnings (basket inputs only today).
+    pub warnings: Vec<LoadWarning>,
+    /// The format the input was actually parsed as.
+    pub format: InputFormat,
+    /// Wall-clock time spent loading.
+    pub elapsed: Duration,
+}
+
+impl LoadedSource {
+    /// Promotes the loaded source to a resident [`Engine`], carrying the
+    /// warnings and load time along.
+    pub fn into_engine(self) -> Engine {
+        let mut engine = Engine::new(self.dataset);
+        engine.load_time = self.elapsed;
+        engine.warnings = self.warnings;
+        engine
+    }
+}
+
+impl Loader {
+    /// Loads a file in the configured (or auto-detected) input format.
+    pub fn load_file(&self, path: impl AsRef<Path>) -> Result<LoadedSource, PipelineError> {
+        let path = path.as_ref();
+        let format = match self.input_format {
+            Some(format) => format,
+            None => detect_format_with(path, &self.basket)?,
+        };
+        let start = Instant::now();
+        match format {
+            InputFormat::Rows => {
+                let dataset = load_csv_file(path, &self.load)?;
+                Ok(LoadedSource {
+                    dataset,
+                    warnings: Vec::new(),
+                    format,
+                    elapsed: start.elapsed(),
+                })
+            }
+            InputFormat::Basket => {
+                let load = load_baskets_file(path, &self.basket)?;
+                Ok(LoadedSource {
+                    dataset: load.dataset,
+                    warnings: load.warnings,
+                    format,
+                    elapsed: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Parses CSV/TSV text.
+    pub fn load_csv_str(&self, text: &str) -> Result<LoadedSource, PipelineError> {
+        let start = Instant::now();
+        let dataset = load_csv_str(text, &self.load)?;
+        Ok(LoadedSource {
+            dataset,
+            warnings: Vec::new(),
+            format: InputFormat::Rows,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Parses basket (transaction) text.
+    pub fn load_baskets_str(&self, text: &str) -> Result<LoadedSource, PipelineError> {
+        let start = Instant::now();
+        let load = load_baskets_str(text, &self.basket)?;
+        Ok(LoadedSource {
+            dataset: load.dataset,
+            warnings: load.warnings,
+            format: InputFormat::Basket,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Hashable identity of a [`RuleMiningConfig`] (the float `min_conf` is keyed
+/// by its bit pattern, so two configs compare equal exactly when every mining
+/// parameter is identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MiningKey {
+    min_sup: usize,
+    min_conf_bits: u64,
+    max_length: Option<usize>,
+    closed_only: bool,
+    use_diffsets: bool,
+}
+
+impl From<&RuleMiningConfig> for MiningKey {
+    fn from(config: &RuleMiningConfig) -> Self {
+        MiningKey {
+            min_sup: config.min_sup,
+            min_conf_bits: config.min_conf.to_bits(),
+            max_length: config.max_length,
+            closed_only: config.closed_only,
+            use_diffsets: config.use_diffsets,
+        }
+    }
+}
+
+/// Cache key of a permutation null distribution: the mined rule set identity
+/// plus the permutation count and seed (the only engine parameters the null
+/// depends on — α and the error metric are applied after the fact).
+type NullKey = (MiningKey, usize, u64);
+
+/// One resident mined rule set plus its lazily built static p-value tables.
+#[derive(Debug)]
+struct MineEntry {
+    mined: Arc<MinedRuleSet>,
+    /// Built on the first permutation query against this rule set, then
+    /// reused by every later one.
+    tables: OnceLock<SharedTableSet>,
+}
+
+/// A cache slot that is filled at most once; concurrent requesters of the
+/// same key block on the filling thread instead of duplicating the work, so
+/// two identical queries racing on a cold cache still permute (or mine) only
+/// once.
+type CacheCell<T> = Arc<OnceLock<T>>;
+
+/// One query against a resident [`Engine`]: which rules to mine and how to
+/// correct them.  Everything the one-shot pipeline configures per run, minus
+/// the input source (the engine already holds the dataset).
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Rule-mining configuration (cache key of the mined rule set).
+    pub mining: RuleMiningConfig,
+    /// The correction approach to apply.
+    pub approach: CorrectionApproach,
+    /// The error metric the correction targets.
+    pub metric: ErrorMetric,
+    /// Significance level α.
+    pub alpha: f64,
+    /// Permutation count (permutation approach only).
+    pub n_permutations: usize,
+    /// Seed of the permutation shuffler / holdout partitioner.
+    pub seed: u64,
+    /// Worker-thread count for the permutation engine (`None`: rayon's
+    /// default pool).
+    pub threads: Option<usize>,
+}
+
+impl Query {
+    /// A query with the paper's defaults (Bonferroni at α = 0.05, seed 17,
+    /// 1000 permutations) and the given mining configuration.
+    pub fn new(mining: RuleMiningConfig) -> Self {
+        Query {
+            mining,
+            approach: CorrectionApproach::Direct,
+            metric: ErrorMetric::Fwer,
+            alpha: 0.05,
+            n_permutations: 1000,
+            seed: 17,
+            threads: None,
+        }
+    }
+
+    /// Selects the correction approach and error metric.
+    pub fn with_correction(mut self, approach: CorrectionApproach, metric: ErrorMetric) -> Self {
+        self.approach = approach;
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the significance level α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the permutation count.
+    pub fn with_permutations(mut self, n: usize) -> Self {
+        self.n_permutations = n;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the permutation engine to `n` worker threads.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Checks the query for contradictions before running.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(PipelineError::Config(format!(
+                "alpha must be in (0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if self.mining.min_sup == 0 {
+            return Err(PipelineError::Config("min_sup must be at least 1".into()));
+        }
+        if self.approach == CorrectionApproach::Permutation && self.n_permutations == 0 {
+            return Err(PipelineError::Config(
+                "the permutation approach needs at least 1 permutation".into(),
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(PipelineError::Config(
+                "thread count must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The [`Correction`] this query dispatches.
+    pub fn correction(&self) -> Box<dyn Correction> {
+        match self.approach {
+            CorrectionApproach::None => Box::new(Uncorrected),
+            CorrectionApproach::Direct => Box::new(DirectAdjustment),
+            CorrectionApproach::Permutation => Box::new(PermutationApproach {
+                n_permutations: self.n_permutations,
+                seed: self.seed,
+            }),
+            CorrectionApproach::Holdout => {
+                Box::new(RandomHoldout::from_mining(self.seed, &self.mining))
+            }
+        }
+    }
+
+    /// The null-distribution cache key, when this query's correction has a
+    /// cacheable null (the permutation approach).
+    fn null_key(&self) -> Option<NullKey> {
+        (self.approach == CorrectionApproach::Permutation).then(|| {
+            (
+                MiningKey::from(&self.mining),
+                self.n_permutations,
+                self.seed,
+            )
+        })
+    }
+}
+
+/// Wall-clock timings of one engine query, split by stage.  A warm query
+/// shows zero (well, nanosecond-scale lookup) `mine` and `null` times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTimings {
+    /// Mining the rule set (zero-ish on a mine-cache hit).
+    pub mine: Duration,
+    /// Collecting the permutation null (zero for non-permutation approaches
+    /// and on a null-cache hit).
+    pub null: Duration,
+    /// Deriving the significance decision.
+    pub correct: Duration,
+}
+
+impl QueryTimings {
+    /// Total time across the stages.
+    pub fn total(&self) -> Duration {
+        self.mine + self.null + self.correct
+    }
+}
+
+/// The outcome of one engine query: the (shared) mined rule set, the
+/// correction result, per-stage timings and which caches answered.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The mined rule set the query ran against (shared with the engine's
+    /// cache — cloning the `Arc` is free).
+    pub mined: Arc<MinedRuleSet>,
+    /// The correction outcome.
+    pub result: CorrectionResult,
+    /// Per-stage wall-clock timings.
+    pub timings: QueryTimings,
+    /// True when the mined rule set came from the cache.
+    pub mined_cached: bool,
+    /// Whether the permutation null came from the cache (`None` for
+    /// approaches without a cacheable null).
+    pub null_cached: Option<bool>,
+}
+
+/// A snapshot of the engine's cache state and hit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Mined-rule-set cache hits / misses.
+    pub mine_hits: u64,
+    /// Mined-rule-set cache misses (rule sets mined).
+    pub mine_misses: u64,
+    /// Permutation-null cache hits / misses.
+    pub null_hits: u64,
+    /// Permutation-null cache misses (nulls collected).
+    pub null_misses: u64,
+    /// Rule sets currently resident.
+    pub cached_rule_sets: usize,
+    /// Null distributions currently resident.
+    pub cached_nulls: usize,
+    /// Bytes held by the resident static p-value tables.
+    pub table_bytes: usize,
+}
+
+/// A dataset-resident query engine: owns one loaded dataset (shared, with a
+/// lazily built vertical index) and answers repeated [`Query`]s, caching
+/// mined rule sets and permutation null distributions.  See the
+/// [module docs](self) for the cache structure.
+///
+/// All methods take `&self`; the engine is `Sync` and is designed to be put
+/// behind an [`Arc`] and queried from many threads at once (`sigrule serve`
+/// does exactly that).
+#[derive(Debug)]
+pub struct Engine {
+    shared: SharedDataset,
+    load_time: Duration,
+    warnings: Vec<LoadWarning>,
+    mined: Mutex<HashMap<MiningKey, CacheCell<MineEntry>>>,
+    nulls: Mutex<HashMap<NullKey, CacheCell<Arc<PermutationStats>>>>,
+    queries: AtomicU64,
+    mine_hits: AtomicU64,
+    mine_misses: AtomicU64,
+    null_hits: AtomicU64,
+    null_misses: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine resident over a dataset.
+    pub fn new(dataset: Dataset) -> Self {
+        Engine::from_shared(SharedDataset::new(dataset))
+    }
+
+    /// Creates an engine over an already-shared dataset (the views built so
+    /// far are reused, not rebuilt).
+    pub fn from_shared(shared: SharedDataset) -> Self {
+        Engine {
+            shared,
+            load_time: Duration::ZERO,
+            warnings: Vec::new(),
+            mined: Mutex::new(HashMap::new()),
+            nulls: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            mine_hits: AtomicU64::new(0),
+            mine_misses: AtomicU64::new(0),
+            null_hits: AtomicU64::new(0),
+            null_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The resident dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        self.shared.dataset()
+    }
+
+    /// The shared dataset handle (dataset + lazily built views).
+    pub fn shared(&self) -> &SharedDataset {
+        &self.shared
+    }
+
+    /// Warnings raised while loading the resident dataset.
+    pub fn warnings(&self) -> &[LoadWarning] {
+        &self.warnings
+    }
+
+    /// Wall-clock time the load stage took (zero when the engine was built
+    /// from an in-memory dataset).
+    pub fn load_time(&self) -> Duration {
+        self.load_time
+    }
+
+    /// Mines (or fetches the cached) rule set for a mining configuration.
+    /// Returns the rule set, the time spent mining (zero on a hit) and
+    /// whether the cache answered.
+    pub fn mine(&self, config: &RuleMiningConfig) -> (Arc<MinedRuleSet>, Duration, bool) {
+        let (cell, elapsed, cached) = self.mine_entry(config);
+        let entry = cell.get().expect("mine cell is filled by mine_entry");
+        (entry.mined.clone(), elapsed, cached)
+    }
+
+    fn mine_entry(&self, config: &RuleMiningConfig) -> (CacheCell<MineEntry>, Duration, bool) {
+        let key = MiningKey::from(config);
+        // Take (or insert) the cell under the lock, then fill it outside the
+        // lock: the cell blocks concurrent requesters of the same key on the
+        // one thread actually mining, while other keys proceed in parallel.
+        let cell = self
+            .mined
+            .lock()
+            .expect("mine cache lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        let mut cold = false;
+        let start = Instant::now();
+        cell.get_or_init(|| {
+            cold = true;
+            let vertical = self.shared.vertical();
+            MineEntry {
+                mined: Arc::new(mine_rules_with_vertical(
+                    self.shared.dataset(),
+                    &vertical,
+                    config,
+                )),
+                tables: OnceLock::new(),
+            }
+        });
+        if cold {
+            self.mine_misses.fetch_add(1, Relaxed);
+            (cell, start.elapsed(), false)
+        } else {
+            self.mine_hits.fetch_add(1, Relaxed);
+            (cell, Duration::ZERO, true)
+        }
+    }
+
+    /// Answers one query, consulting and populating the caches.  Warm results
+    /// are bit-identical to cold ones (and to a one-shot
+    /// [`Pipeline`](crate::pipeline::Pipeline) run with the same parameters).
+    pub fn query(&self, query: &Query) -> Result<QueryOutcome, PipelineError> {
+        query.validate()?;
+        self.queries.fetch_add(1, Relaxed);
+        let (mine_cell, mine_time, mined_cached) = self.mine_entry(&query.mining);
+        let entry = mine_cell.get().expect("mine cell is filled by mine_entry");
+        let correction = query.correction();
+
+        let mut ctx = CorrectionContext::fresh(
+            self.shared.dataset(),
+            &entry.mined,
+            query.metric,
+            query.alpha,
+        );
+
+        // Null stage: look the cacheable null up, collecting it on a miss
+        // (under a pinned thread pool when the query asks for one).  The
+        // once-cell blocks concurrent identical queries on the one collector.
+        let mut null_time = Duration::ZERO;
+        let mut null_cached = None;
+        let null: Option<CacheCell<Arc<PermutationStats>>> = match query.null_key() {
+            None => None,
+            Some(key) => {
+                let cell = self
+                    .nulls
+                    .lock()
+                    .expect("null cache lock")
+                    .entry(key)
+                    .or_default()
+                    .clone();
+                if cell.get().is_none() {
+                    // Probably cold: prepare the shared tables and (when
+                    // requested) the pinned pool before entering the cell, so
+                    // pool-build errors can still be reported.
+                    let tables = entry.tables.get_or_init(|| {
+                        PermutationApproach {
+                            n_permutations: query.n_permutations,
+                            seed: query.seed,
+                        }
+                        .correction()
+                        .build_shared_tables(&entry.mined)
+                    });
+                    ctx.tables = Some(tables);
+                    let pool = match query.threads {
+                        Some(n) => Some(
+                            rayon::ThreadPoolBuilder::new()
+                                .num_threads(n)
+                                .build()
+                                .map_err(|e| PipelineError::Config(format!("thread pool: {e}")))?,
+                        ),
+                        None => None,
+                    };
+                    let mut cold = false;
+                    let start = Instant::now();
+                    cell.get_or_init(|| {
+                        cold = true;
+                        let collect = || {
+                            correction
+                                .collect_null(&ctx)
+                                .expect("a correction with a null key collects a null")
+                        };
+                        Arc::new(match &pool {
+                            Some(pool) => pool.install(collect),
+                            None => collect(),
+                        })
+                    });
+                    if cold {
+                        null_time = start.elapsed();
+                        self.null_misses.fetch_add(1, Relaxed);
+                        null_cached = Some(false);
+                    } else {
+                        self.null_hits.fetch_add(1, Relaxed);
+                        null_cached = Some(true);
+                    }
+                } else {
+                    self.null_hits.fetch_add(1, Relaxed);
+                    null_cached = Some(true);
+                }
+                Some(cell)
+            }
+        };
+        let null_stats = null
+            .as_ref()
+            .map(|cell| cell.get().expect("null cell is filled above").clone());
+        ctx.null = null_stats.as_deref();
+
+        // Decision stage: cheap, never cached (it depends on α and metric).
+        let start = Instant::now();
+        let result = correction.apply(&ctx);
+        let correct_time = start.elapsed();
+
+        Ok(QueryOutcome {
+            mined: entry.mined.clone(),
+            result,
+            timings: QueryTimings {
+                mine: mine_time,
+                null: null_time,
+                correct: correct_time,
+            },
+            mined_cached,
+            null_cached,
+        })
+    }
+
+    /// A snapshot of the cache state and hit counters.
+    pub fn stats(&self) -> EngineStats {
+        let mined = self.mined.lock().expect("mine cache lock");
+        let table_bytes = mined
+            .values()
+            .filter_map(|cell| cell.get().and_then(|e| e.tables.get()))
+            .map(SharedTableSet::resident_bytes)
+            .sum();
+        EngineStats {
+            queries: self.queries.load(Relaxed),
+            mine_hits: self.mine_hits.load(Relaxed),
+            mine_misses: self.mine_misses.load(Relaxed),
+            null_hits: self.null_hits.load(Relaxed),
+            null_misses: self.null_misses.load(Relaxed),
+            cached_rule_sets: mined.len(),
+            cached_nulls: self.nulls.lock().expect("null cache lock").len(),
+            table_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use sigrule_synth::{SyntheticGenerator, SyntheticParams};
+
+    fn synth(seed: u64) -> Dataset {
+        let params = SyntheticParams::default()
+            .with_records(300)
+            .with_attributes(8)
+            .with_rules(1)
+            .with_coverage(80, 80)
+            .with_confidence(0.9, 0.9);
+        SyntheticGenerator::new(params).unwrap().generate(seed).0
+    }
+
+    fn perm_query(min_sup: usize) -> Query {
+        Query::new(RuleMiningConfig::new(min_sup))
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(40)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn warm_queries_hit_every_cache() {
+        let engine = Engine::new(synth(1));
+        let cold = engine.query(&perm_query(30)).unwrap();
+        assert!(!cold.mined_cached);
+        assert_eq!(cold.null_cached, Some(false));
+
+        // Different α: mined rules and null both cached.
+        let warm = engine.query(&perm_query(30).with_alpha(0.01)).unwrap();
+        assert!(warm.mined_cached);
+        assert_eq!(warm.null_cached, Some(true));
+        assert_eq!(warm.timings.mine, Duration::ZERO);
+        assert_eq!(warm.timings.null, Duration::ZERO);
+
+        // Different metric: still fully cached (one pass serves both).
+        let fdr = engine
+            .query(
+                &perm_query(30).with_correction(CorrectionApproach::Permutation, ErrorMetric::Fdr),
+            )
+            .unwrap();
+        assert_eq!(fdr.null_cached, Some(true));
+
+        // Different seed: the null must be re-collected, the mine cache holds.
+        let reseeded = engine.query(&perm_query(30).with_seed(99)).unwrap();
+        assert!(reseeded.mined_cached);
+        assert_eq!(reseeded.null_cached, Some(false));
+
+        // Different mining config: everything cold again.
+        let other = engine.query(&perm_query(40)).unwrap();
+        assert!(!other.mined_cached);
+        assert_eq!(other.null_cached, Some(false));
+
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.cached_rule_sets, 2);
+        assert_eq!(stats.cached_nulls, 3);
+        assert_eq!(stats.mine_hits, 3);
+        assert_eq!(stats.mine_misses, 2);
+        assert_eq!(stats.null_hits, 2);
+        assert_eq!(stats.null_misses, 3);
+        assert!(stats.table_bytes > 0);
+    }
+
+    #[test]
+    fn warm_results_are_bit_identical_to_pipeline_runs() {
+        let dataset = synth(2);
+        let engine = Engine::new(dataset.clone());
+        for (approach, metric) in [
+            (CorrectionApproach::None, ErrorMetric::Fwer),
+            (CorrectionApproach::Direct, ErrorMetric::Fwer),
+            (CorrectionApproach::Direct, ErrorMetric::Fdr),
+            (CorrectionApproach::Permutation, ErrorMetric::Fwer),
+            (CorrectionApproach::Permutation, ErrorMetric::Fdr),
+            (CorrectionApproach::Holdout, ErrorMetric::Fwer),
+        ] {
+            for alpha in [0.05, 0.01] {
+                let query = Query::new(RuleMiningConfig::new(30))
+                    .with_correction(approach, metric)
+                    .with_permutations(40)
+                    .with_seed(7)
+                    .with_alpha(alpha);
+                let warm = engine.query(&query).unwrap();
+                let one_shot = Pipeline::new(30)
+                    .with_correction(approach, metric)
+                    .with_permutations(40)
+                    .with_seed(7)
+                    .with_alpha(alpha)
+                    .run_dataset(&dataset)
+                    .unwrap();
+                assert_eq!(
+                    warm.result, one_shot.result,
+                    "{approach:?}/{metric:?}@{alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_threads_match_default_pool_through_the_cache() {
+        let engine = Engine::new(synth(3));
+        let default_pool = engine.query(&perm_query(30)).unwrap();
+        // Fresh engine so the second run is cold too, but pinned.
+        let pinned_engine = Engine::new(synth(3));
+        let pinned = pinned_engine
+            .query(&perm_query(30).with_threads(2))
+            .unwrap();
+        assert_eq!(default_pool.result, pinned.result);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let engine = Engine::new(synth(4));
+        assert!(engine.query(&Query::new(RuleMiningConfig::new(0))).is_err());
+        assert!(engine
+            .query(&Query::new(RuleMiningConfig::new(10)).with_alpha(0.0))
+            .is_err());
+        assert!(engine.query(&perm_query(10).with_permutations(0)).is_err());
+        let mut q = Query::new(RuleMiningConfig::new(10));
+        q.threads = Some(0);
+        assert!(engine.query(&q).is_err());
+    }
+
+    #[test]
+    fn loader_round_trips_formats() {
+        let dataset = synth(5);
+        let csv = sigrule_data::loader::dataset_to_csv(&dataset);
+        let loaded = Loader::default().load_csv_str(&csv).unwrap();
+        assert_eq!(loaded.format, InputFormat::Rows);
+        assert_eq!(loaded.dataset.n_records(), dataset.n_records());
+        let engine = loaded.into_engine();
+        assert!(engine.load_time() > Duration::ZERO);
+        assert!(engine.warnings().is_empty());
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_engine() {
+        let engine = Arc::new(Engine::new(synth(6)));
+        let reference = engine.query(&perm_query(30)).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    engine
+                        .query(&perm_query(30).with_alpha(0.01 + 0.01 * i as f64))
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let outcome = h.join().unwrap();
+            assert!(outcome.mined_cached);
+            assert_eq!(outcome.null_cached, Some(true));
+            assert_eq!(outcome.result.n_tests, reference.result.n_tests);
+        }
+    }
+}

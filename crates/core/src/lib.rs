@@ -47,12 +47,14 @@
 
 pub mod config;
 pub mod correction;
+pub mod engine;
 pub mod miner;
 pub mod pipeline;
 pub mod rule;
 
 pub use config::RuleMiningConfig;
-pub use correction::{CorrectionResult, ErrorMetric};
-pub use miner::{mine_rules, MinedRuleSet};
+pub use correction::{Correction, CorrectionContext, CorrectionResult, ErrorMetric};
+pub use engine::{Engine, EngineStats, Loader, Query, QueryOutcome};
+pub use miner::{mine_rules, mine_rules_with_vertical, MinedRuleSet};
 pub use pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
 pub use rule::ClassRule;

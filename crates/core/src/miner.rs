@@ -4,7 +4,7 @@
 
 use crate::config::RuleMiningConfig;
 use crate::rule::ClassRule;
-use sigrule_data::{ClassId, Dataset, ItemSpace};
+use sigrule_data::{ClassId, Dataset, ItemSpace, VerticalDataset};
 use sigrule_mining::{EclatMiner, MinerConfig, PatternForest};
 use sigrule_stats::{LogFactorialTable, PValueCache};
 
@@ -114,6 +114,19 @@ impl MinedRuleSet {
 /// two-class data (the class it is positively associated with) or one rule per
 /// class otherwise.
 pub fn mine_rules(dataset: &Dataset, config: &RuleMiningConfig) -> MinedRuleSet {
+    let vertical = VerticalDataset::from_dataset(dataset);
+    mine_rules_with_vertical(dataset, &vertical, config)
+}
+
+/// [`mine_rules`] against a pre-built vertical (tid-set) view of the same
+/// dataset.  The resident [`Engine`](crate::engine::Engine) builds the view
+/// once and reuses it across every mining configuration; the mined rules are
+/// identical to [`mine_rules`]'s, which simply builds the view on the fly.
+pub fn mine_rules_with_vertical(
+    dataset: &Dataset,
+    vertical: &VerticalDataset,
+    config: &RuleMiningConfig,
+) -> MinedRuleSet {
     let miner = if config.use_diffsets {
         EclatMiner::default()
     } else {
@@ -123,7 +136,7 @@ pub fn mine_rules(dataset: &Dataset, config: &RuleMiningConfig) -> MinedRuleSet 
     if let Some(max_len) = config.max_length {
         miner_config = miner_config.with_max_length(max_len);
     }
-    let forest = miner.mine_forest(dataset, &miner_config);
+    let forest = miner.mine_forest_vertical(vertical, &miner_config);
 
     let labels = dataset.class_labels();
     let class_counts: Vec<usize> = dataset.class_counts().as_slice().to_vec();

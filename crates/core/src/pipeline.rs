@@ -5,12 +5,14 @@
 //! have to wire the stages by hand: the input — delimited rows *or* basket
 //! transactions, selected by [`InputFormat`] or auto-detected per file — is
 //! loaded through [`sigrule_data::loader`], class association rules are
-//! mined with [`mine_rules`], and one of the correction approaches of §4 is
-//! applied (direct adjustment, permutation, or random holdout — or no
-//! correction at all).  Both input formats compile into the same
-//! [`ItemSpace`](sigrule_data::ItemSpace)-backed dataset, so mining and the
-//! corrections are source-agnostic.  Every stage is timed, so the same type
-//! also backs `sigrule bench`.
+//! mined, and one of the correction approaches of §4 is applied (direct
+//! adjustment, permutation, or random holdout — or no correction at all).
+//!
+//! Since the engine refactor the pipeline is a **thin front**: every run
+//! builds a one-query [`Engine`] and goes through exactly the code a
+//! resident engine uses, so a `sigrule serve` answer and a one-shot run with
+//! the same parameters are bit-identical by construction.  The load stage
+//! lives in [`Loader`], the query vocabulary in [`Query`].
 //!
 //! ```
 //! use sigrule::pipeline::{CorrectionApproach, Pipeline};
@@ -34,21 +36,19 @@
 //! ```
 
 use crate::config::RuleMiningConfig;
-use crate::correction::holdout::random_holdout;
-use crate::correction::permutation::PermutationCorrection;
-use crate::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
-use crate::miner::{mine_rules, MinedRuleSet};
-use sigrule_data::loader::{
-    detect_format_with, load_baskets_file, load_baskets_str, load_csv_file, load_csv_str,
-    BasketOptions, InputFormat, LoadOptions, LoadWarning,
-};
-use sigrule_data::{DataError, Dataset};
+use crate::correction::{CorrectionContext, CorrectionResult, ErrorMetric};
+use crate::engine::{Engine, Loader, Query};
+use crate::miner::MinedRuleSet;
+use sigrule_data::loader::{BasketOptions, InputFormat, LoadOptions, LoadWarning};
+use sigrule_data::{DataError, Dataset, SharedDataset};
 use std::fmt;
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which of the paper's correction approaches the pipeline applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CorrectionApproach {
     /// Raw p-values at α ("No correction").
     None,
@@ -63,21 +63,94 @@ pub enum CorrectionApproach {
     Holdout,
 }
 
-impl CorrectionApproach {
+/// An unrecognised correction-approach name; the message lists the accepted
+/// spellings so a CLI can surface it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCorrectionApproachError {
+    /// The name that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ParseCorrectionApproachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown correction approach {:?}: expected one of none, direct, \
+             bonferroni (bc), bh (benjamini-hochberg), permutation (perm), \
+             or holdout (random-holdout)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCorrectionApproachError {}
+
+impl FromStr for CorrectionApproach {
+    type Err = ParseCorrectionApproachError;
+
     /// Parses a CLI-style name (`none`, `direct` / `bonferroni` / `bh`,
-    /// `permutation`, `holdout`).
-    pub fn parse(name: &str) -> Option<(CorrectionApproach, Option<ErrorMetric>)> {
+    /// `permutation`, `holdout`); the error names every accepted value.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        CorrectionApproach::parse_with_metric(name).map(|(approach, _)| approach)
+    }
+}
+
+impl CorrectionApproach {
+    /// Parses a CLI-style name together with the error metric it implies
+    /// (`bonferroni` implies FWER, `bh` implies FDR; the other names imply
+    /// nothing).
+    pub fn parse_with_metric(
+        name: &str,
+    ) -> Result<(CorrectionApproach, Option<ErrorMetric>), ParseCorrectionApproachError> {
         match name.to_ascii_lowercase().as_str() {
-            "none" => Some((CorrectionApproach::None, None)),
-            "direct" => Some((CorrectionApproach::Direct, None)),
-            "bonferroni" | "bc" => Some((CorrectionApproach::Direct, Some(ErrorMetric::Fwer))),
-            "bh" | "benjamini-hochberg" => {
-                Some((CorrectionApproach::Direct, Some(ErrorMetric::Fdr)))
-            }
-            "permutation" | "perm" => Some((CorrectionApproach::Permutation, None)),
-            "holdout" | "random-holdout" => Some((CorrectionApproach::Holdout, None)),
-            _ => None,
+            "none" => Ok((CorrectionApproach::None, None)),
+            "direct" => Ok((CorrectionApproach::Direct, None)),
+            "bonferroni" | "bc" => Ok((CorrectionApproach::Direct, Some(ErrorMetric::Fwer))),
+            "bh" | "benjamini-hochberg" => Ok((CorrectionApproach::Direct, Some(ErrorMetric::Fdr))),
+            "permutation" | "perm" => Ok((CorrectionApproach::Permutation, None)),
+            "holdout" | "random-holdout" => Ok((CorrectionApproach::Holdout, None)),
+            _ => Err(ParseCorrectionApproachError {
+                input: name.to_string(),
+            }),
         }
+    }
+
+    /// Resolves a user-supplied correction name and metric name pair into an
+    /// approach + metric, applying the defaults and the implied-metric rules
+    /// every front end shares (`bonferroni` implies FWER, `bh` implies FDR;
+    /// no correction defaults to `direct`, no metric to FWER; naming both a
+    /// metric-implying correction and a *different* metric is an error).
+    /// Both the CLI flags and the serve protocol go through this, so the two
+    /// surfaces cannot drift.
+    pub fn resolve(
+        correction: Option<&str>,
+        metric: Option<&str>,
+    ) -> Result<(CorrectionApproach, ErrorMetric), String> {
+        let (approach, implied) = match correction {
+            None => (CorrectionApproach::Direct, None),
+            Some(name) => CorrectionApproach::parse_with_metric(name).map_err(|e| e.to_string())?,
+        };
+        let metric = match metric {
+            None => implied.unwrap_or(ErrorMetric::Fwer),
+            Some(name) => {
+                let requested = match name.to_ascii_lowercase().as_str() {
+                    "fwer" => ErrorMetric::Fwer,
+                    "fdr" => ErrorMetric::Fdr,
+                    other => return Err(format!("metric must be fwer or fdr (got {other:?})")),
+                };
+                if let Some(implied) = implied {
+                    if implied != requested {
+                        return Err(format!(
+                            "correction {} controls {} and contradicts metric {name}",
+                            correction.unwrap_or_default(),
+                            implied.label(),
+                        ));
+                    }
+                }
+                requested
+            }
+        };
+        Ok((approach, metric))
     }
 
     /// CLI-facing name of the approach.
@@ -132,7 +205,8 @@ pub struct StageTimings {
     pub load: Duration,
     /// Mining rules and attaching p-values.
     pub mine: Duration,
-    /// Running the correction approach.
+    /// Running the correction approach (including collecting the permutation
+    /// null when the approach needs one).
     pub correct: Duration,
 }
 
@@ -155,8 +229,9 @@ pub struct PipelineRun {
     pub n_items: usize,
     /// Number of class labels of the input dataset.
     pub n_classes: usize,
-    /// The mined rule set (rules + everything needed to re-score them).
-    pub mined: MinedRuleSet,
+    /// The mined rule set (rules + everything needed to re-score them),
+    /// behind an [`Arc`] so engine-cached rule sets are shared, not copied.
+    pub mined: Arc<MinedRuleSet>,
     /// The correction outcome.
     pub result: CorrectionResult,
     /// Per-stage wall-clock timings.
@@ -271,28 +346,31 @@ impl Pipeline {
         self
     }
 
+    /// The load stage this pipeline's input options describe.
+    pub fn loader(&self) -> Loader {
+        Loader {
+            load: self.load.clone(),
+            basket: self.basket.clone(),
+            input_format: self.input_format,
+        }
+    }
+
+    /// The engine [`Query`] this pipeline's correction options describe.
+    pub fn query(&self) -> Query {
+        Query {
+            mining: self.mining.clone(),
+            approach: self.approach,
+            metric: self.metric,
+            alpha: self.alpha,
+            n_permutations: self.n_permutations,
+            seed: self.seed,
+            threads: self.threads,
+        }
+    }
+
     /// Checks the configuration for contradictions before running.
     pub fn validate(&self) -> Result<(), PipelineError> {
-        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
-            return Err(PipelineError::Config(format!(
-                "alpha must be in (0, 1], got {}",
-                self.alpha
-            )));
-        }
-        if self.mining.min_sup == 0 {
-            return Err(PipelineError::Config("min_sup must be at least 1".into()));
-        }
-        if self.approach == CorrectionApproach::Permutation && self.n_permutations == 0 {
-            return Err(PipelineError::Config(
-                "the permutation approach needs at least 1 permutation".into(),
-            ));
-        }
-        if self.threads == Some(0) {
-            return Err(PipelineError::Config(
-                "thread count must be at least 1".into(),
-            ));
-        }
-        Ok(())
+        self.query().validate()
     }
 
     /// Loads a file in the configured (or auto-detected) input format and
@@ -300,123 +378,115 @@ impl Pipeline {
     /// the transaction reader — the rest of the pipeline is identical.
     pub fn run_file(&self, path: impl AsRef<Path>) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        let path = path.as_ref();
-        let format = match self.input_format {
-            Some(format) => format,
-            None => detect_format_with(path, &self.basket)?,
-        };
-        let start = Instant::now();
-        match format {
-            InputFormat::Rows => {
-                let dataset = load_csv_file(path, &self.load)?;
-                self.run_loaded(&dataset, start.elapsed(), Vec::new())
-            }
-            InputFormat::Basket => {
-                let load = load_baskets_file(path, &self.basket)?;
-                self.run_loaded(&load.dataset, start.elapsed(), load.warnings)
-            }
-        }
+        let loaded = self.loader().load_file(path)?;
+        self.run_loaded(loaded.dataset, loaded.elapsed, loaded.warnings)
     }
 
     /// Loads a CSV/TSV file and runs the pipeline.
     pub fn run_csv_file(&self, path: impl AsRef<Path>) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        let start = Instant::now();
-        let dataset = load_csv_file(path, &self.load)?;
-        self.run_loaded(&dataset, start.elapsed(), Vec::new())
+        let loader = Loader {
+            input_format: Some(InputFormat::Rows),
+            ..self.loader()
+        };
+        let loaded = loader.load_file(path)?;
+        self.run_loaded(loaded.dataset, loaded.elapsed, loaded.warnings)
     }
 
     /// Parses CSV text and runs the pipeline.
     pub fn run_csv_str(&self, text: &str) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        let start = Instant::now();
-        let dataset = load_csv_str(text, &self.load)?;
-        self.run_loaded(&dataset, start.elapsed(), Vec::new())
+        let loaded = self.loader().load_csv_str(text)?;
+        self.run_loaded(loaded.dataset, loaded.elapsed, loaded.warnings)
     }
 
     /// Parses basket (transaction) text and runs the pipeline.
     pub fn run_baskets_str(&self, text: &str) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        let start = Instant::now();
-        let load = load_baskets_str(text, &self.basket)?;
-        self.run_loaded(&load.dataset, start.elapsed(), load.warnings)
+        let loaded = self.loader().load_baskets_str(text)?;
+        self.run_loaded(loaded.dataset, loaded.elapsed, loaded.warnings)
     }
 
     /// Runs the pipeline on an already-built dataset (skips the load stage).
+    /// The dataset is copied once to seed the engine; callers running many
+    /// pipelines over one dataset should share it via [`Pipeline::run_shared`]
+    /// (or better, keep a resident [`Engine`]) instead.
     pub fn run_dataset(&self, dataset: &Dataset) -> Result<PipelineRun, PipelineError> {
         self.validate()?;
-        self.run_loaded(dataset, Duration::ZERO, Vec::new())
+        self.run_loaded(dataset.clone(), Duration::ZERO, Vec::new())
     }
 
+    /// Runs the pipeline on an [`Arc`]-shared dataset without copying any
+    /// records (the lazily built views of the [`SharedDataset`] are reused
+    /// too).
+    pub fn run_shared(&self, shared: &SharedDataset) -> Result<PipelineRun, PipelineError> {
+        self.validate()?;
+        self.run_engine(
+            Engine::from_shared(shared.clone()),
+            Duration::ZERO,
+            Vec::new(),
+        )
+    }
+
+    /// The mine + correct stages, through a one-query [`Engine`].
     fn run_loaded(
         &self,
-        dataset: &Dataset,
+        dataset: Dataset,
         load: Duration,
         warnings: Vec<LoadWarning>,
     ) -> Result<PipelineRun, PipelineError> {
-        let mine_start = Instant::now();
-        let mined = mine_rules(dataset, &self.mining);
-        let mine = mine_start.elapsed();
+        self.run_engine(Engine::new(dataset), load, warnings)
+    }
 
-        let correct_start = Instant::now();
-        let result = self.correct(dataset, &mined)?;
-        let correct = correct_start.elapsed();
-
+    fn run_engine(
+        &self,
+        engine: Engine,
+        load: Duration,
+        warnings: Vec<LoadWarning>,
+    ) -> Result<PipelineRun, PipelineError> {
+        let dataset = engine.dataset();
+        let n_records = dataset.n_records();
+        let n_columns = dataset.n_columns();
+        let n_items = dataset.n_items();
+        let n_classes = dataset.n_classes();
+        let outcome = engine.query(&self.query())?;
         Ok(PipelineRun {
-            n_records: dataset.n_records(),
-            n_columns: dataset.n_columns(),
-            n_items: dataset.n_items(),
-            n_classes: dataset.n_classes(),
-            mined,
-            result,
+            n_records,
+            n_columns,
+            n_items,
+            n_classes,
+            mined: outcome.mined,
+            result: outcome.result,
             timings: StageTimings {
                 load,
-                mine,
-                correct,
+                mine: outcome.timings.mine,
+                correct: outcome.timings.null + outcome.timings.correct,
             },
             warnings,
         })
     }
 
-    /// Runs just the correction stage against an existing mined rule set.
+    /// Runs just the correction stage against an existing mined rule set,
+    /// dispatching through the [`Correction`](crate::correction::Correction)
+    /// trait.
     pub fn correct(
         &self,
         dataset: &Dataset,
         mined: &MinedRuleSet,
     ) -> Result<CorrectionResult, PipelineError> {
-        let result = match (self.approach, self.metric) {
-            (CorrectionApproach::None, _) => no_correction(mined, self.alpha),
-            (CorrectionApproach::Direct, ErrorMetric::Fwer) => {
-                direct::bonferroni(mined, self.alpha)
+        let correction = self.query().correction();
+        let ctx = CorrectionContext::fresh(dataset, mined, self.metric, self.alpha);
+        let run = || correction.apply(&ctx);
+        match self.threads {
+            Some(n) if self.approach == CorrectionApproach::Permutation => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| PipelineError::Config(format!("thread pool: {e}")))?;
+                Ok(pool.install(run))
             }
-            (CorrectionApproach::Direct, ErrorMetric::Fdr) => {
-                direct::benjamini_hochberg(mined, self.alpha)
-            }
-            (CorrectionApproach::Permutation, metric) => {
-                let correction =
-                    PermutationCorrection::new(self.n_permutations).with_seed(self.seed);
-                let run = || match metric {
-                    ErrorMetric::Fwer => correction.control_fwer(mined, self.alpha),
-                    ErrorMetric::Fdr => correction.control_fdr(mined, self.alpha),
-                };
-                match self.threads {
-                    Some(n) => rayon::ThreadPoolBuilder::new()
-                        .num_threads(n)
-                        .build()
-                        .map_err(|e| PipelineError::Config(format!("thread pool: {e}")))?
-                        .install(run),
-                    None => run(),
-                }
-            }
-            (CorrectionApproach::Holdout, metric) => {
-                let exploratory = RuleMiningConfig {
-                    min_sup: (self.mining.min_sup / 2).max(1),
-                    ..self.mining.clone()
-                };
-                random_holdout(dataset, self.seed, &exploratory, metric, self.alpha)
-            }
-        };
-        Ok(result)
+            _ => Ok(run()),
+        }
     }
 }
 
@@ -499,6 +569,22 @@ mod tests {
             rows
         };
         assert_eq!(render(&from_text), render(&from_data));
+    }
+
+    #[test]
+    fn run_shared_matches_run_dataset_without_copying() {
+        let (dataset, _) = synth_csv(6);
+        let shared = SharedDataset::new(dataset.clone());
+        let pipeline = Pipeline::new(30)
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(40)
+            .with_seed(9);
+        let from_shared = pipeline.run_shared(&shared).unwrap();
+        let from_dataset = pipeline.run_dataset(&dataset).unwrap();
+        assert_eq!(from_shared.result, from_dataset.result);
+        // The shared handle's lazily built vertical view was used (and is
+        // reusable by the next run).
+        assert!(shared.vertical_is_built());
     }
 
     #[test]
@@ -603,18 +689,48 @@ c d label:y
     #[test]
     fn approach_names_parse() {
         assert_eq!(
-            CorrectionApproach::parse("permutation"),
-            Some((CorrectionApproach::Permutation, None))
+            "permutation".parse::<CorrectionApproach>(),
+            Ok(CorrectionApproach::Permutation)
         );
         assert_eq!(
-            CorrectionApproach::parse("BC"),
-            Some((CorrectionApproach::Direct, Some(ErrorMetric::Fwer)))
+            CorrectionApproach::parse_with_metric("BC"),
+            Ok((CorrectionApproach::Direct, Some(ErrorMetric::Fwer)))
         );
         assert_eq!(
-            CorrectionApproach::parse("bh"),
-            Some((CorrectionApproach::Direct, Some(ErrorMetric::Fdr)))
+            CorrectionApproach::parse_with_metric("bh"),
+            Ok((CorrectionApproach::Direct, Some(ErrorMetric::Fdr)))
         );
-        assert_eq!(CorrectionApproach::parse("nope"), None);
+        // The shared front-end resolution rules.
+        assert_eq!(
+            CorrectionApproach::resolve(None, None),
+            Ok((CorrectionApproach::Direct, ErrorMetric::Fwer))
+        );
+        assert_eq!(
+            CorrectionApproach::resolve(Some("bh"), None),
+            Ok((CorrectionApproach::Direct, ErrorMetric::Fdr))
+        );
+        assert_eq!(
+            CorrectionApproach::resolve(Some("permutation"), Some("FDR")),
+            Ok((CorrectionApproach::Permutation, ErrorMetric::Fdr))
+        );
+        assert!(CorrectionApproach::resolve(Some("bh"), Some("fwer")).is_err());
+        assert!(CorrectionApproach::resolve(None, Some("neither")).is_err());
+        let err = "nope".parse::<CorrectionApproach>().unwrap_err();
+        let message = err.to_string();
+        for name in [
+            "none",
+            "direct",
+            "bonferroni",
+            "bh",
+            "permutation",
+            "holdout",
+        ] {
+            assert!(
+                message.contains(name),
+                "error should name {name}: {message}"
+            );
+        }
+        assert!(message.contains("nope"));
         assert_eq!(CorrectionApproach::Holdout.label(), "holdout");
     }
 }

@@ -71,6 +71,7 @@ pub mod itemspace;
 pub mod loader;
 pub mod record;
 pub mod schema;
+pub mod shared;
 pub mod uci;
 pub mod vertical;
 
@@ -81,4 +82,5 @@ pub use itemspace::{ItemDef, ItemProvenance, ItemSpace};
 pub use loader::InputFormat;
 pub use record::Record;
 pub use schema::{Attribute, Schema};
+pub use shared::SharedDataset;
 pub use vertical::{Bitmap, ClassBitmaps, Cover, TidSet, VerticalDataset};

@@ -1,0 +1,155 @@
+//! Cheap `Arc`-based sharing of a loaded dataset and its derived views.
+//!
+//! A resident engine answers many queries against one loaded dataset, and
+//! several of the artifacts derived from it — the [`VerticalDataset`] the
+//! miners consume and the packed per-class [`ClassBitmaps`] of the original
+//! labels — are expensive to build but immutable once built.  [`SharedDataset`]
+//! bundles the dataset with both views behind [`Arc`]s and builds each view
+//! **lazily, at most once**, whatever the number of threads asking:
+//!
+//! ```
+//! use sigrule_data::{Dataset, Record, Schema, SharedDataset};
+//!
+//! let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+//! let records = vec![
+//!     Record::new(vec![0, 2], 0),
+//!     Record::new(vec![1, 3], 1),
+//! ];
+//! let dataset = Dataset::new(schema, records).unwrap();
+//!
+//! let shared = SharedDataset::new(dataset);
+//! let a = shared.vertical();
+//! let b = shared.vertical();
+//! // Both handles point at the same lazily built vertical view.
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! ```
+//!
+//! Cloning a `SharedDataset` is a handful of reference-count bumps; clones
+//! share the dataset *and* the views (a view built through one clone is
+//! visible through every other).
+
+use crate::dataset::Dataset;
+use crate::vertical::{ClassBitmaps, VerticalDataset};
+use std::sync::{Arc, OnceLock};
+
+/// A dataset plus its lazily built derived views, all behind [`Arc`]s so a
+/// long-lived engine and any number of worker threads can share them without
+/// copying records.
+#[derive(Debug, Clone)]
+pub struct SharedDataset {
+    dataset: Arc<Dataset>,
+    /// Built on first use, then shared; [`OnceLock`] guarantees a single
+    /// build even under concurrent first access.
+    vertical: Arc<OnceLock<Arc<VerticalDataset>>>,
+    /// Per-class bitmaps of the *original* labels, built on first use.
+    class_bitmaps: Arc<OnceLock<Arc<ClassBitmaps>>>,
+}
+
+impl SharedDataset {
+    /// Wraps a dataset for sharing.  No views are built yet.
+    pub fn new(dataset: Dataset) -> Self {
+        SharedDataset::from_arc(Arc::new(dataset))
+    }
+
+    /// Wraps an already `Arc`-ed dataset for sharing.
+    pub fn from_arc(dataset: Arc<Dataset>) -> Self {
+        SharedDataset {
+            dataset,
+            vertical: Arc::new(OnceLock::new()),
+            class_bitmaps: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The vertical (tid-set) view, building it on first call.  Subsequent
+    /// calls — from any clone, on any thread — return the same allocation.
+    pub fn vertical(&self) -> Arc<VerticalDataset> {
+        self.vertical
+            .get_or_init(|| Arc::new(VerticalDataset::from_dataset(&self.dataset)))
+            .clone()
+    }
+
+    /// Packed per-class bitmaps of the original class labels, building them
+    /// on first call.
+    pub fn class_bitmaps(&self) -> Arc<ClassBitmaps> {
+        self.class_bitmaps
+            .get_or_init(|| {
+                Arc::new(ClassBitmaps::from_labels(
+                    &self.dataset.class_labels(),
+                    self.dataset.n_classes(),
+                ))
+            })
+            .clone()
+    }
+
+    /// True when the vertical view has already been built.
+    pub fn vertical_is_built(&self) -> bool {
+        self.vertical.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::Schema;
+
+    fn toy() -> Dataset {
+        let schema = Schema::synthetic(&[2, 2], 2).unwrap();
+        let records = vec![
+            Record::new(vec![0, 2], 0),
+            Record::new(vec![0, 3], 0),
+            Record::new(vec![1, 2], 1),
+        ];
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn views_are_lazy_and_shared() {
+        let shared = SharedDataset::new(toy());
+        assert!(!shared.vertical_is_built());
+        let clone = shared.clone();
+        let v1 = shared.vertical();
+        assert!(clone.vertical_is_built(), "clones share the built view");
+        let v2 = clone.vertical();
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(v1.n_records(), 3);
+    }
+
+    #[test]
+    fn vertical_matches_direct_construction() {
+        let d = toy();
+        let direct = VerticalDataset::from_dataset(&d);
+        let shared = SharedDataset::new(d);
+        assert_eq!(*shared.vertical(), direct);
+    }
+
+    #[test]
+    fn class_bitmaps_count_original_labels() {
+        let shared = SharedDataset::new(toy());
+        let bitmaps = shared.class_bitmaps();
+        let b2 = shared.class_bitmaps();
+        assert!(Arc::ptr_eq(&bitmaps, &b2));
+        assert_eq!(bitmaps.class(0).count_ones(), 2);
+        assert_eq!(bitmaps.class(1).count_ones(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        let shared = SharedDataset::new(toy());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.vertical())
+            })
+            .collect();
+        let views: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for v in &views[1..] {
+            assert!(Arc::ptr_eq(&views[0], v));
+        }
+    }
+}

@@ -415,6 +415,62 @@ impl SharedPValueTable {
     }
 }
 
+/// A full static-buffer arrangement for one mined rule set — one
+/// [`SharedPValueTable`] per class slot — behind an [`Arc`](std::sync::Arc)
+/// so a resident engine can build the tables **once** and reuse them across
+/// any number of requests (different permutation counts, seeds, or α) instead
+/// of rebuilding them per run.
+///
+/// The tables are immutable after construction, so cloning a set is a
+/// reference-count bump and sharing one across worker threads is free.
+#[derive(Debug, Clone)]
+pub struct SharedTableSet {
+    tables: std::sync::Arc<Vec<SharedPValueTable>>,
+}
+
+impl SharedTableSet {
+    /// Wraps per-class-slot tables (in the caller's slot order) for sharing.
+    pub fn new(tables: Vec<SharedPValueTable>) -> Self {
+        SharedTableSet {
+            tables: std::sync::Arc::new(tables),
+        }
+    }
+
+    /// The table of a class slot.
+    pub fn slot(&self, slot: usize) -> &SharedPValueTable {
+        &self.tables[slot]
+    }
+
+    /// All tables, in slot order.
+    pub fn tables(&self) -> &[SharedPValueTable] {
+        &self.tables
+    }
+
+    /// Number of class slots.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the set holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total bytes held by every resident buffer across the slots.
+    pub fn resident_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(SharedPValueTable::resident_bytes)
+            .sum()
+    }
+
+    /// True when `other` is the same underlying allocation (i.e. a clone of
+    /// this set, not merely an equal rebuild).
+    pub fn same_allocation(&self, other: &SharedTableSet) -> bool {
+        std::sync::Arc::ptr_eq(&self.tables, &other.tables)
+    }
+}
+
 /// A single-slot per-coverage buffer owned by one permutation worker: the
 /// dynamic half of §4.2.3, rebuilt whenever a different (large) coverage is
 /// requested.  Unlike [`PValueCache`] it carries no static part, so one
@@ -631,6 +687,30 @@ mod tests {
         let table = SharedPValueTable::build(200, 100, 4000, 10, 10..=200, &logs);
         assert_eq!(table.max_static_coverage(), cache.max_static_coverage());
         assert!(table.get(table.max_static_coverage() + 1).is_none());
+    }
+
+    #[test]
+    fn shared_table_set_is_one_allocation() {
+        let logs = LogFactorialTable::new(200);
+        let tables = vec![
+            SharedPValueTable::build(200, 80, 1 << 20, 5, [10usize, 20], &logs),
+            SharedPValueTable::build(200, 120, 1 << 20, 5, [10usize, 20], &logs),
+        ];
+        let set = SharedTableSet::new(tables);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert!(set.resident_bytes() > 0);
+        let clone = set.clone();
+        assert!(set.same_allocation(&clone));
+        // A rebuild with identical inputs is equal in content but distinct in
+        // allocation — reuse is observable.
+        let rebuilt = SharedTableSet::new(vec![
+            SharedPValueTable::build(200, 80, 1 << 20, 5, [10usize, 20], &logs),
+            SharedPValueTable::build(200, 120, 1 << 20, 5, [10usize, 20], &logs),
+        ]);
+        assert!(!set.same_allocation(&rebuilt));
+        assert_eq!(set.slot(0).n_c(), 80);
+        assert_eq!(set.tables().len(), 2);
     }
 
     #[test]

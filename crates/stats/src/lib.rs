@@ -55,7 +55,9 @@ pub use adjust::{
     adjusted_p_values, benjamini_hochberg, benjamini_hochberg_threshold, benjamini_yekutieli,
     bonferroni, bonferroni_threshold, holm, sidak, AdjustMethod,
 };
-pub use buffer::{CacheStats, DynamicBuffer, PValueBuffer, PValueCache, SharedPValueTable};
+pub use buffer::{
+    CacheStats, DynamicBuffer, PValueBuffer, PValueCache, SharedPValueTable, SharedTableSet,
+};
 pub use chisq::{chi_square_independence, chi_square_p_value, ChiSquareResult};
 pub use empirical::{empirical_fdr_adjust, min_p_threshold, EmpiricalNull, PooledNull};
 pub use error::StatsError;

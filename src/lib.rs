@@ -28,9 +28,17 @@ pub mod prelude {
     pub use sigrule::correction::permutation::{
         BufferStrategy, ExecutionMode, PermutationCorrection, PermutationStats, SupportBackend,
     };
-    pub use sigrule::correction::{direct, no_correction, CorrectionResult, ErrorMetric};
+    pub use sigrule::correction::{
+        direct, no_correction, Correction, CorrectionContext, CorrectionResult, DirectAdjustment,
+        ErrorMetric, PermutationApproach, RandomHoldout, Uncorrected,
+    };
+    pub use sigrule::engine::{
+        Engine, EngineStats, LoadedSource, Loader, Query, QueryOutcome, QueryTimings,
+    };
     pub use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
-    pub use sigrule::{mine_rules, ClassRule, MinedRuleSet, RuleMiningConfig};
+    pub use sigrule::{
+        mine_rules, mine_rules_with_vertical, ClassRule, MinedRuleSet, RuleMiningConfig,
+    };
     pub use sigrule_data::loader::{
         dataset_to_baskets, dataset_to_csv, detect_format, detect_format_with, load_baskets_file,
         load_baskets_str, load_csv_file, load_csv_str, BasketLoad, BasketOptions, LoadOptions,

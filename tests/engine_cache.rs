@@ -1,0 +1,142 @@
+//! Property test for the resident engine's query caching (ISSUE 4): warm
+//! queries — a second request against the same engine at a different α,
+//! error metric, or correction approach — must be **bit-identical** to a
+//! fresh one-shot [`Pipeline`] run with the same parameters, at any thread
+//! count.  The engine is a caching layer, never a semantics change.
+
+use proptest::prelude::*;
+use sigrule_repro::prelude::*;
+
+/// One shared synthetic dataset shape; the seed varies per case.
+fn dataset(seed: u64, records: usize, attributes: usize) -> Dataset {
+    let params = SyntheticParams::default()
+        .with_records(records)
+        .with_attributes(attributes)
+        .with_rules(1)
+        .with_coverage(records / 5, records / 4)
+        .with_confidence(0.85, 0.95);
+    SyntheticGenerator::new(params).unwrap().generate(seed).0
+}
+
+fn base_query(min_sup: usize, approach: CorrectionApproach, metric: ErrorMetric) -> Query {
+    Query::new(RuleMiningConfig::new(min_sup))
+        .with_correction(approach, metric)
+        .with_permutations(30)
+        .with_seed(23)
+}
+
+fn one_shot(dataset: &Dataset, query: &Query) -> CorrectionResult {
+    let mut pipeline = Pipeline::new(query.mining.min_sup)
+        .with_mining(query.mining.clone())
+        .with_correction(query.approach, query.metric)
+        .with_alpha(query.alpha)
+        .with_permutations(query.n_permutations)
+        .with_seed(query.seed);
+    if let Some(threads) = query.threads {
+        pipeline = pipeline.with_threads(threads);
+    }
+    pipeline.run_dataset(dataset).unwrap().result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A cold query populates the caches; every follow-up variation (new α,
+    /// new metric, new approach) must answer warm and still match a fresh
+    /// pipeline bit for bit.
+    #[test]
+    fn warm_queries_match_fresh_pipeline_runs(
+        seed in 0u64..200,
+        records in 150usize..300,
+        attributes in 6usize..10,
+        alpha_millis in 1usize..200,
+    ) {
+        let data = dataset(seed, records, attributes);
+        let engine = Engine::new(data.clone());
+        let min_sup = records / 6;
+        let alpha = alpha_millis as f64 / 1000.0;
+
+        // Cold: permutation FWER at the default α.
+        let cold = engine
+            .query(&base_query(min_sup, CorrectionApproach::Permutation, ErrorMetric::Fwer))
+            .unwrap();
+        prop_assert!(!cold.mined_cached);
+        prop_assert_eq!(cold.null_cached, Some(false));
+
+        // Warm variations: α, metric, and approach all change; the mined
+        // rule set (and, for permutation, the null) must come from the cache
+        // and the results must equal a fresh pipeline's exactly.
+        let variations = [
+            base_query(min_sup, CorrectionApproach::Permutation, ErrorMetric::Fwer)
+                .with_alpha(alpha),
+            base_query(min_sup, CorrectionApproach::Permutation, ErrorMetric::Fdr)
+                .with_alpha(alpha),
+            base_query(min_sup, CorrectionApproach::None, ErrorMetric::Fwer).with_alpha(alpha),
+            base_query(min_sup, CorrectionApproach::Direct, ErrorMetric::Fwer).with_alpha(alpha),
+            base_query(min_sup, CorrectionApproach::Direct, ErrorMetric::Fdr).with_alpha(alpha),
+            base_query(min_sup, CorrectionApproach::Holdout, ErrorMetric::Fwer).with_alpha(alpha),
+        ];
+        for query in &variations {
+            let warm = engine.query(query).unwrap();
+            prop_assert!(warm.mined_cached, "{:?} should hit the mine cache", query.approach);
+            if query.approach == CorrectionApproach::Permutation {
+                prop_assert_eq!(warm.null_cached, Some(true));
+            }
+            let fresh = one_shot(&data, query);
+            prop_assert_eq!(
+                &warm.result,
+                &fresh,
+                "engine and pipeline disagree for {:?}/{:?} at alpha {}",
+                query.approach,
+                query.metric,
+                query.alpha
+            );
+        }
+    }
+
+    /// Thread-count invariance through the cache: a null collected under a
+    /// pinned pool of any size answers warm queries identically, and matches
+    /// pipelines pinned to *different* thread counts.
+    #[test]
+    fn warm_cache_is_thread_count_invariant(
+        seed in 0u64..100,
+        collect_threads in 1usize..5,
+    ) {
+        let data = dataset(seed, 200, 8);
+        let engine = Engine::new(data.clone());
+        let cold_query = base_query(30, CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_threads(collect_threads);
+        let cold = engine.query(&cold_query).unwrap();
+        prop_assert_eq!(cold.null_cached, Some(false));
+
+        for query_threads in [1usize, 2, 4] {
+            let warm_query = base_query(30, CorrectionApproach::Permutation, ErrorMetric::Fwer)
+                .with_alpha(0.02)
+                .with_threads(query_threads);
+            let warm = engine.query(&warm_query).unwrap();
+            prop_assert_eq!(warm.null_cached, Some(true), "same (N, seed) null is reused");
+            let fresh = one_shot(&data, &warm_query);
+            prop_assert_eq!(&warm.result, &fresh, "threads {} vs {}", collect_threads, query_threads);
+        }
+    }
+}
+
+/// Non-property smoke check: the engine's own stats agree with the cache
+/// behaviour the property tests rely on.
+#[test]
+fn engine_stats_reflect_cache_traffic() {
+    let data = dataset(7, 200, 8);
+    let engine = Engine::new(data);
+    let q = base_query(30, CorrectionApproach::Permutation, ErrorMetric::Fwer);
+    engine.query(&q).unwrap();
+    engine.query(&q.clone().with_alpha(0.01)).unwrap();
+    engine.query(&q.clone().with_alpha(0.2)).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.mine_misses, 1);
+    assert_eq!(stats.mine_hits, 2);
+    assert_eq!(stats.null_misses, 1);
+    assert_eq!(stats.null_hits, 2);
+    assert_eq!(stats.cached_rule_sets, 1);
+    assert_eq!(stats.cached_nulls, 1);
+}
