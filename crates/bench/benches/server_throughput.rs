@@ -1,0 +1,145 @@
+//! Multi-client socket-server throughput (ISSUE 5): requests/sec through a
+//! live in-process TCP server, cold (null recomputed per request) vs warm
+//! (every cache hit).  This is the end-to-end cost the socket transport
+//! adds on top of the engine the `serve_cache` bench measures in isolation;
+//! BENCH_server.json records the results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigrule_data::loader::dataset_to_baskets;
+use sigrule_server::json::Json;
+use sigrule_server::transport::{serve_listener, ListenAddr, ServerConfig};
+use sigrule_server::ClientStream;
+use sigrule_synth::{BasketGenerator, BasketParams};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+
+const MIN_SUP: usize = 30;
+const N_PERMUTATIONS: usize = 100;
+/// Simultaneous client connections in the multi-client benches.
+const N_CLIENTS: usize = 4;
+
+/// One server process shared by every bench in this binary (Criterion runs
+/// them sequentially in-process): bound once, loaded once.
+fn served_addr() -> &'static ListenAddr {
+    static ADDR: OnceLock<ListenAddr> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        // A mid-size basket workload: large enough that a cold permutation
+        // run dominates transport overhead, small enough to iterate.
+        let params = BasketParams::default()
+            .with_transactions(1000)
+            .with_items(40)
+            .with_rules(2)
+            .with_coverage(150, 150)
+            .with_confidence(0.9, 0.9);
+        let (dataset, _) = BasketGenerator::new(params).unwrap().generate(7);
+        let path = std::env::temp_dir().join(format!(
+            "sigrule_server_throughput_{}.basket",
+            std::process::id()
+        ));
+        std::fs::write(&path, dataset_to_baskets(&dataset)).unwrap();
+
+        let (send_ready, recv_ready) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            serve_listener(
+                &ListenAddr::Tcp("127.0.0.1:0".to_string()),
+                &ServerConfig::default(),
+                |bound| send_ready.send(bound.to_string()).unwrap(),
+            )
+            .unwrap()
+        });
+        let addr = ListenAddr::parse(&recv_ready.recv().unwrap()).unwrap();
+        let mut admin = ClientStream::connect(&addr).unwrap();
+        let resp = admin
+            .request(&format!(r#"{{"cmd":"load","path":"{}"}}"#, path.display()))
+            .unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "load");
+        addr
+    })
+}
+
+fn correct_line(seed: u64, alpha: f64) -> String {
+    format!(
+        r#"{{"cmd":"correct","min_sup":{MIN_SUP},"correction":"permutation","permutations":{N_PERMUTATIONS},"seed":{seed},"alpha":{alpha},"top":1}}"#
+    )
+}
+
+/// Warm steady state, one connection: repeated corrects at a shifting α are
+/// answered entirely from the caches (the per-request floor of the
+/// transport + decision pass).
+fn bench_warm_single_client(c: &mut Criterion) {
+    let addr = served_addr();
+    let mut client = ClientStream::connect(addr).unwrap();
+    // Pre-warm the (seed 7) null.
+    let resp = client.request(&correct_line(7, 0.05)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(20);
+    let mut step = 0usize;
+    group.bench_function("warm_single_client", |b| {
+        b.iter(|| {
+            step += 1;
+            let alpha = 0.001 + (step % 500) as f64 * 0.0001;
+            let resp = client.request(&correct_line(7, alpha)).unwrap();
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        })
+    });
+    group.finish();
+}
+
+/// Warm steady state, N_CLIENTS connections pipelining concurrently: one
+/// iteration = N_CLIENTS requests in flight at once (divide the iteration
+/// time by N_CLIENTS for per-request cost).
+fn bench_warm_multi_client(c: &mut Criterion) {
+    let addr = served_addr();
+    let mut clients: Vec<ClientStream> = (0..N_CLIENTS)
+        .map(|_| ClientStream::connect(addr).unwrap())
+        .collect();
+    let resp = clients[0].request(&correct_line(7, 0.05)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(20);
+    let mut step = 0usize;
+    group.bench_function("warm_4_clients_batch", |b| {
+        b.iter(|| {
+            step += 1;
+            let alpha = 0.001 + (step % 500) as f64 * 0.0001;
+            for client in clients.iter_mut() {
+                client.send(&correct_line(7, alpha)).unwrap();
+            }
+            for client in clients.iter_mut() {
+                let resp = client.read_response().unwrap();
+                assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Cold path: every request uses a fresh permutation seed, so the null is
+/// recollected per request (the mine cache stays warm — the realistic
+/// "new analyst question" cost).
+fn bench_cold_null_single_client(c: &mut Criterion) {
+    let addr = served_addr();
+    let mut client = ClientStream::connect(addr).unwrap();
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    let mut seed = 1000u64;
+    group.bench_function("cold_null_single_client", |b| {
+        b.iter(|| {
+            seed += 1;
+            let resp = client.request(&correct_line(seed, 0.05)).unwrap();
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warm_single_client,
+    bench_warm_multi_client,
+    bench_cold_null_single_client
+);
+criterion_main!(benches);

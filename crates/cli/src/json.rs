@@ -1,467 +1,7 @@
-//! A minimal JSON parser and object builder for the `sigrule serve`
-//! protocol.
+//! The serve protocol's JSON parser and object builder.
 //!
-//! The build environment has no registry access (no `serde_json`), and the
-//! serve protocol only needs flat request objects plus line-oriented
-//! responses, so this module implements exactly that subset of RFC 8259:
-//! objects, arrays, strings (with the standard escapes), numbers, booleans
-//! and `null`.  Rendering goes through [`ObjectBuilder`], which shares the
-//! string-escaping rules with the report renderer in `sigrule_eval`.
+//! The implementation moved to [`sigrule_server::json`] when the serve core
+//! became the server subsystem; this module re-exports it so CLI-side code
+//! and tests keep their `sigrule_cli::json::Json` imports.
 
-use sigrule_eval::report::json_string;
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (stored as `f64`, ample for protocol fields).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object, in source order.
-    Object(Vec<(String, Json)>),
-}
-
-/// A JSON syntax error with the byte offset it was detected at.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset into the input.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl Json {
-    /// Parses one JSON document; trailing non-whitespace is an error.
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(JsonError {
-                offset: pos,
-                message: "trailing characters after the document".into(),
-            });
-        }
-        Ok(value)
-    }
-
-    /// Object field lookup (`None` for non-objects and missing keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Number(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as a non-negative integer, if `f64` represents it
-    /// exactly.  Values above 2⁵³ are rejected rather than silently rounded:
-    /// a seed the protocol cannot carry faithfully must error, not produce
-    /// results that differ from the same seed given to the one-shot CLI.
-    pub fn as_u64(&self) -> Option<u64> {
-        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
-        match self {
-            Json::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= MAX_EXACT => Some(*x as u64),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Renders the value back to compact JSON.
-    pub fn render(&self) -> String {
-        match self {
-            Json::Null => "null".to_string(),
-            Json::Bool(b) => b.to_string(),
-            Json::Number(x) => render_number(*x),
-            Json::String(s) => json_string(s),
-            Json::Array(items) => {
-                let inner: Vec<String> = items.iter().map(Json::render).collect();
-                format!("[{}]", inner.join(","))
-            }
-            Json::Object(fields) => {
-                let inner: Vec<String> = fields
-                    .iter()
-                    .map(|(k, v)| format!("{}:{}", json_string(k), v.render()))
-                    .collect();
-                format!("{{{}}}", inner.join(","))
-            }
-        }
-    }
-}
-
-/// Renders a float the way JSON expects (no `inf`/`NaN`; integers without a
-/// fraction part).
-fn render_number(x: f64) -> String {
-    if !x.is_finite() {
-        // JSON has no non-finite numbers; null is the conventional stand-in.
-        return "null".to_string();
-    }
-    if x.fract() == 0.0 && x.abs() < 1e15 {
-        format!("{}", x as i64)
-    } else {
-        format!("{x}")
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn error(pos: usize, message: impl Into<String>) -> JsonError {
-    JsonError {
-        offset: pos,
-        message: message.into(),
-    }
-}
-
-fn expect_literal(
-    bytes: &[u8],
-    pos: &mut usize,
-    literal: &str,
-    value: Json,
-) -> Result<Json, JsonError> {
-    if bytes[*pos..].starts_with(literal.as_bytes()) {
-        *pos += literal.len();
-        Ok(value)
-    } else {
-        Err(error(*pos, format!("expected {literal:?}")))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(error(*pos, "unexpected end of input")),
-        Some(b'n') => expect_literal(bytes, pos, "null", Json::Null),
-        Some(b't') => expect_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => expect_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::String),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-        Some(c) => Err(error(
-            *pos,
-            format!("unexpected character {:?}", *c as char),
-        )),
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are UTF-8");
-    text.parse::<f64>()
-        .map(Json::Number)
-        .map_err(|_| error(start, format!("malformed number {text:?}")))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
-    debug_assert_eq!(bytes[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(error(*pos, "unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{0008}'),
-                    Some(b'f') => out.push('\u{000c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| error(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| error(*pos, "non-ASCII \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| error(*pos, format!("bad \\u escape {hex:?}")))?;
-                        // Surrogate pairs are not needed by the protocol;
-                        // map unpaired surrogates to the replacement char.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    other => {
-                        return Err(error(
-                            *pos,
-                            format!("unknown escape {:?}", other.map(|&b| b as char)),
-                        ))
-                    }
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences included).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| error(*pos, "invalid UTF-8"))?;
-                let c = rest.chars().next().expect("non-empty by construction");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    debug_assert_eq!(bytes[*pos], b'[');
-    *pos += 1;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Array(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            _ => return Err(error(*pos, "expected ',' or ']'")),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    debug_assert_eq!(bytes[*pos], b'{');
-    *pos += 1;
-    let mut fields = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Object(fields));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(error(*pos, "expected a string key"));
-        }
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(error(*pos, "expected ':' after key"));
-        }
-        *pos += 1;
-        let value = parse_value(bytes, pos)?;
-        fields.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Object(fields));
-            }
-            _ => return Err(error(*pos, "expected ',' or '}'")),
-        }
-    }
-}
-
-/// Builds one compact JSON object, field by field, in insertion order.
-#[derive(Debug, Default)]
-pub struct ObjectBuilder {
-    parts: Vec<String>,
-}
-
-impl ObjectBuilder {
-    /// An empty builder.
-    pub fn new() -> Self {
-        ObjectBuilder::default()
-    }
-
-    /// Appends a field with pre-rendered JSON as its value.
-    pub fn raw(&mut self, key: &str, rendered: impl Into<String>) -> &mut Self {
-        self.parts
-            .push(format!("{}:{}", json_string(key), rendered.into()));
-        self
-    }
-
-    /// Appends a string field.
-    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
-        self.raw(key, json_string(value))
-    }
-
-    /// Appends a numeric field.
-    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
-        self.raw(key, render_number(value))
-    }
-
-    /// Appends a boolean field.
-    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
-        self.raw(key, value.to_string())
-    }
-
-    /// Appends an already-parsed [`Json`] value.
-    pub fn json(&mut self, key: &str, value: &Json) -> &mut Self {
-        self.raw(key, value.render())
-    }
-
-    /// Appends an array of strings.
-    pub fn strings(&mut self, key: &str, values: &[String]) -> &mut Self {
-        let inner: Vec<String> = values.iter().map(|s| json_string(s)).collect();
-        self.raw(key, format!("[{}]", inner.join(",")))
-    }
-
-    /// Appends every field of another builder, in order.
-    pub fn raw_fields(&mut self, other: ObjectBuilder) -> &mut Self {
-        self.parts.extend(other.parts);
-        self
-    }
-
-    /// Renders the object.
-    pub fn finish(&self) -> String {
-        format!("{{{}}}", self.parts.join(","))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_protocol_shaped_requests() {
-        let parsed = Json::parse(
-            r#"{"cmd":"correct","min_sup":2,"alpha":0.05,"strict":true,"id":"q1",
-                "tags":[1,-2.5,null],"nested":{"a":"b"}}"#,
-        )
-        .unwrap();
-        assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("correct"));
-        assert_eq!(parsed.get("min_sup").and_then(Json::as_u64), Some(2));
-        assert_eq!(parsed.get("alpha").and_then(Json::as_f64), Some(0.05));
-        assert_eq!(parsed.get("strict").and_then(Json::as_bool), Some(true));
-        assert_eq!(
-            parsed.get("tags"),
-            Some(&Json::Array(vec![
-                Json::Number(1.0),
-                Json::Number(-2.5),
-                Json::Null
-            ]))
-        );
-        assert_eq!(
-            parsed
-                .get("nested")
-                .and_then(|n| n.get("a"))
-                .and_then(Json::as_str),
-            Some("b")
-        );
-        assert!(parsed.get("absent").is_none());
-    }
-
-    #[test]
-    fn string_escapes_round_trip() {
-        let parsed = Json::parse(r#""a\"b\\c\ndAé""#).unwrap();
-        assert_eq!(parsed.as_str(), Some("a\"b\\c\ndAé"));
-        let rendered = parsed.render();
-        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\":}",
-            "{\"a\":1,}",
-            "[1,]",
-            "tru",
-            "\"unterminated",
-            "{\"a\":1} trailing",
-            "{'single':1}",
-            "--5",
-        ] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
-        }
-    }
-
-    #[test]
-    fn integers_are_exact() {
-        let parsed = Json::parse("{\"seed\":1234567890123}").unwrap();
-        assert_eq!(
-            parsed.get("seed").and_then(Json::as_u64),
-            Some(1234567890123)
-        );
-        assert_eq!(Json::Number(-1.0).as_u64(), None);
-        assert_eq!(Json::Number(1.5).as_u64(), None);
-        // Above 2^53 the f64 carrier can no longer represent every integer,
-        // so exactness cannot be guaranteed — reject instead of rounding.
-        assert_eq!(
-            Json::Number(9_007_199_254_740_992.0).as_u64(),
-            Some(1 << 53)
-        );
-        assert_eq!(Json::Number(9.3e15).as_u64(), None);
-    }
-
-    #[test]
-    fn builder_produces_parseable_objects() {
-        let mut b = ObjectBuilder::new();
-        b.string("cmd", "load")
-            .number("records", 42.0)
-            .number("load_ms", 1.25)
-            .boolean("ok", true)
-            .strings("warnings", &["line 1: blank".to_string()]);
-        let text = b.finish();
-        let parsed = Json::parse(&text).unwrap();
-        assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("load"));
-        assert_eq!(parsed.get("records").and_then(Json::as_u64), Some(42));
-        assert_eq!(parsed.get("load_ms").and_then(Json::as_f64), Some(1.25));
-        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
-    }
-}
+pub use sigrule_server::json::{Json, JsonError, ObjectBuilder};

@@ -53,8 +53,13 @@ USAGE:
   sigrule mine    --input <file> [options]   mine + one correction approach
   sigrule correct --input <file> [options]   compare all correction approaches
   sigrule bench   [--input <file>] [options] time every pipeline stage
-  sigrule serve                              resident engine on stdin/stdout
-                                             (JSON lines; see docs/SERVE.md)
+  sigrule serve   [--listen <addr>]          resident multi-dataset engine:
+                                             JSON lines on stdin/stdout, or a
+                                             concurrent TCP/unix socket server
+                                             (see sigrule serve --help and
+                                             docs/SERVE.md)
+  sigrule client  --connect <addr>           pipe stdin JSON lines to a served
+                                             process (tcp:HOST:PORT|unix:PATH)
   sigrule help                               print this text
 
 INPUT (format auto-detected by default):
@@ -159,13 +164,20 @@ pub fn run(argv: &[String]) -> RunOutcome {
         "bench" => commands::bench(&parsed),
         "serve" => {
             return RunOutcome::usage_error(
-                "serve is interactive: it reads JSON-line requests on stdin, so it only \
+                "serve is interactive: it reads JSON-line requests on stdin or a socket, \
+                 so it only runs from the sigrule binary (see docs/SERVE.md)",
+            )
+        }
+        "client" => {
+            return RunOutcome::usage_error(
+                "client is interactive: it pipes stdin to a served process, so it only \
                  runs from the sigrule binary (see docs/SERVE.md)",
             )
         }
         other => {
             return RunOutcome::usage_error(&format!(
-                "unknown subcommand {other:?} (expected mine, correct, bench, serve or help)"
+                "unknown subcommand {other:?} (expected mine, correct, bench, serve, \
+                 client or help)"
             ))
         }
     };

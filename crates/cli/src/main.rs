@@ -5,11 +5,14 @@ use std::io::Write;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    // `serve` is interactive (JSON lines on stdin/stdout) and streams its
-    // responses as requests complete, so it bypasses the buffered RunOutcome
-    // path the one-shot subcommands use.
+    // `serve` and `client` are interactive (JSON lines streamed as requests
+    // complete), so they bypass the buffered RunOutcome path the one-shot
+    // subcommands use.
     if argv.first().map(String::as_str) == Some("serve") {
         std::process::exit(sigrule_cli::serve::run_serve(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("client") {
+        std::process::exit(sigrule_cli::serve::run_client(&argv[1..]));
     }
     let outcome = sigrule_cli::run(&argv);
     if !outcome.stdout.is_empty() {

@@ -1,827 +1,244 @@
-//! `sigrule serve`: a resident engine process speaking JSON lines.
+//! `sigrule serve` / `sigrule client`: the resident server process and its
+//! line-pipe client.
 //!
-//! The one-shot subcommands re-load, re-mine and re-permute on every
-//! invocation.  `serve` instead keeps an [`Engine`] resident: the dataset is
-//! loaded once,
-//! and repeated `correct` requests that only vary α, the error metric, or the
-//! correction approach are answered from the engine's caches — bit-identical
-//! to a cold run, with stage timings that show what was reused.
+//! The server core — the multi-dataset
+//! [`EngineRegistry`](sigrule_server::EngineRegistry), the JSON-lines
+//! protocol and the transports — lives in [`sigrule_server`]; this module is
+//! the command-line front:
 //!
-//! # Protocol
+//! * `sigrule serve` (no flags) runs the single-connection stdin/stdout
+//!   loop, exactly as before the socket transports existed.
+//! * `sigrule serve --listen tcp:HOST:PORT|unix:PATH` binds a socket and
+//!   accepts many concurrent clients over the shared registry.  The first
+//!   stdout line is a ready line carrying the bound address (with the real
+//!   port when `tcp:...:0` asked for an ephemeral one).
+//! * `sigrule client --connect tcp:HOST:PORT|unix:PATH` pipes stdin request
+//!   lines to a served process and response lines to stdout.
 //!
-//! One JSON object per line on stdin, one JSON object per line on stdout.
-//! Every request may carry an `"id"` field (any JSON value), echoed verbatim
-//! in the response so concurrent responses can be matched to requests.
-//! Requests:
-//!
-//! * `{"cmd":"load","path":"..."}` — load a dataset file (replacing any
-//!   previous one).  Optional: `"format"` (`rows`/`basket`/`auto`),
-//!   `"class"`, `"separator"`, `"tsv"`, `"no_header"`, `"default_class"`,
-//!   `"strict"` (fail on loader warnings).
-//! * `{"cmd":"mine"}` — mine (and cache) a rule set.  Optional:
-//!   `"min_sup"` (default 1% of records, at least 2), `"min_conf"`,
-//!   `"max_length"`, `"all_patterns"`.
-//! * `{"cmd":"correct"}` — mine (via the cache) and apply one correction.
-//!   The mine fields above, plus `"correction"` (`none`/`bonferroni`/`bh`/
-//!   `permutation`/`holdout`, default `bonferroni`), `"metric"`
-//!   (`fwer`/`fdr`), `"alpha"` (default 0.05), `"permutations"` (default
-//!   1000), `"seed"` (default 17), `"threads"`, `"top"` (significant rules
-//!   listed in the response; default 20, 0 = all).
-//! * `{"cmd":"stats"}` — engine/cache statistics.
-//! * `{"cmd":"shutdown"}` — acknowledge and exit.
-//!
-//! Responses carry `"ok":true` plus command-specific fields, or `"ok":false`
-//! and an `"error"` message.  Requests are handled strictly in order by
-//! default (so a repeat of the previous request is always warm); a `mine`,
-//! `correct` or `stats` request carrying `"async":true` is instead handed to
-//! a worker thread over the shared engine, letting many queries run
-//! concurrently — match responses to requests by `"id"`.  `load` and
-//! `shutdown` always act as barriers (they wait for in-flight workers
-//! first).
+//! See `docs/SERVE.md` for the protocol reference and sample sessions.
 
-use crate::json::{Json, JsonError, ObjectBuilder};
-use sigrule::engine::{Engine, Loader, Query, QueryOutcome};
-use sigrule::pipeline::CorrectionApproach;
-use sigrule::rule::sort_by_significance;
-use sigrule::{ClassRule, RuleMiningConfig};
-use sigrule_data::loader::{BasketOptions, LoadOptions};
-use sigrule_data::InputFormat;
-use std::io::{BufRead, Write};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use sigrule_server::json::ObjectBuilder;
+use sigrule_server::proto::ServerOptions;
+use sigrule_server::transport::{serve_listener, serve_streams_with, ListenAddr, ServerConfig};
+use std::io::Write;
+
+// Compatibility re-exports: the serve core moved to `sigrule_server`.
+pub use sigrule_server::proto::{handle_line, ServerState};
+pub use sigrule_server::transport::serve_streams;
 
 /// Usage text for `sigrule serve --help`.
 pub const SERVE_USAGE: &str = "\
-sigrule serve — resident engine speaking JSON lines on stdin/stdout
+sigrule serve — resident multi-dataset engine speaking JSON lines
+
+USAGE:
+  sigrule serve [options]
+
+OPTIONS:
+  --listen <addr>          accept concurrent clients on a socket instead of
+                           stdin/stdout: tcp:HOST:PORT (port 0 = ephemeral,
+                           reported in the ready line) or unix:PATH
+  --max-connections <n>    socket mode: simultaneous client cap (default 64)
+  --cache-budget-mb <n>    evict least-recently-used cached rule sets /
+                           permutation nulls once resident cache bytes
+                           exceed n MiB (default: unbounded)
 
 One JSON object per line in, one per line out.  Requests:
-  {\"cmd\":\"load\",\"path\":\"data.basket\"}     load a dataset (once)
-  {\"cmd\":\"mine\",\"min_sup\":10}              mine + cache a rule set
-  {\"cmd\":\"correct\",\"correction\":\"permutation\",\"alpha\":0.05}
-                                             correct (cached when warm)
-  {\"cmd\":\"stats\"}                            cache statistics
-  {\"cmd\":\"shutdown\"}                         exit
+  {\"cmd\":\"load\",\"path\":\"data.basket\",\"name\":\"a\"}   load + register a dataset
+  {\"cmd\":\"mine\",\"dataset\":\"a\",\"min_sup\":10}        mine + cache a rule set
+  {\"cmd\":\"correct\",\"dataset\":\"a\",\"correction\":\"permutation\",\"alpha\":0.05}
+                                                   correct (cached when warm)
+  {\"cmd\":\"stats\",\"dataset\":\"a\"}                     one dataset's cache stats
+  {\"cmd\":\"registry_stats\"}                          every dataset + totals
+  {\"cmd\":\"shutdown\"}                                drain all clients and exit
 
-See docs/SERVE.md for the full field reference and a sample session.
+`name`/`dataset` default to \"default\", so single-dataset sessions can omit
+them.  See docs/SERVE.md for the full field reference and sample sessions.
 ";
 
-/// The serve process state: the resident engine (if a dataset is loaded) and
-/// the session start time.
-pub struct ServeState {
-    engine: RwLock<Option<Arc<Engine>>>,
-    started: Instant,
+/// Usage text for `sigrule client --help`.
+pub const CLIENT_USAGE: &str = "\
+sigrule client — pipe JSON-line requests to a served sigrule process
+
+USAGE:
+  sigrule client --connect <addr>
+
+OPTIONS:
+  --connect <addr>    the served address: tcp:HOST:PORT or unix:PATH
+
+Request lines are read from stdin and forwarded as-is; response lines are
+printed to stdout as they arrive.  On stdin end-of-file the write side is
+half-closed: pending responses still stream back until the server closes
+the connection.  See docs/SERVE.md for the protocol.
+";
+
+/// Parsed `serve` flags.
+struct ServeArgs {
+    listen: Option<ListenAddr>,
+    config: ServerConfig,
 }
 
-impl Default for ServeState {
-    fn default() -> Self {
-        ServeState {
-            engine: RwLock::new(None),
-            started: Instant::now(),
-        }
-    }
+fn flag_value<'a>(argv: &'a [String], i: usize, name: &str) -> Result<&'a str, String> {
+    argv.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{name} needs a value"))
 }
 
-impl ServeState {
-    /// A state with no dataset loaded.
-    pub fn new() -> Self {
-        ServeState::default()
-    }
-
-    fn current_engine(&self) -> Result<Arc<Engine>, String> {
-        // Tolerate poisoning: a panicked worker must not take the whole
-        // session down (the slot only ever holds a fully constructed engine).
-        self.engine
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
-            .ok_or_else(|| "no dataset loaded; send a load request first".to_string())
-    }
-}
-
-fn millis(d: Duration) -> f64 {
-    // Round to 3 decimals so the JSON stays compact and stable to read.
-    (d.as_secs_f64() * 1e3 * 1e3).round() / 1e3
-}
-
-fn get_str(req: &Json, key: &str) -> Result<Option<String>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_str()
-            .map(|s| Some(s.to_string()))
-            .ok_or_else(|| format!("{key:?} must be a string")),
-    }
-}
-
-fn get_bool(req: &Json, key: &str) -> Result<bool, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(false),
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| format!("{key:?} must be a boolean")),
-    }
-}
-
-fn get_usize(req: &Json, key: &str) -> Result<Option<usize>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_u64()
-            .map(|n| Some(n as usize))
-            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
-    }
-}
-
-fn get_u64(req: &Json, key: &str) -> Result<Option<u64>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_u64()
-            .map(Some)
-            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
-    }
-}
-
-fn get_f64(req: &Json, key: &str) -> Result<Option<f64>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_f64()
-            .map(Some)
-            .ok_or_else(|| format!("{key:?} must be a number")),
-    }
-}
-
-/// Fields every request may carry regardless of command.
-const COMMON_FIELDS: &[&str] = &["id", "cmd", "async"];
-/// Mining-configuration fields shared by `mine` and `correct`.
-const MINE_FIELDS: &[&str] = &["min_sup", "min_conf", "max_length", "all_patterns"];
-
-/// Rejects misspelled or unknown request fields, mirroring the CLI's
-/// `reject_unknown` flag check: a typo'd parameter must error, not silently
-/// run with defaults.
-fn reject_unknown_fields(req: &Json, allowed: &[&str]) -> Result<(), String> {
-    if let Json::Object(fields) = req {
-        for (key, _) in fields {
-            if !COMMON_FIELDS.contains(&key.as_str()) && !allowed.contains(&key.as_str()) {
-                return Err(format!(
-                    "unknown field {key:?} (expected one of: {})",
-                    allowed.join(", ")
-                ));
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut listen = None;
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => {
+                listen = Some(ListenAddr::parse(flag_value(argv, i, "--listen")?)?);
+            }
+            "--max-connections" => {
+                let n: usize = flag_value(argv, i, "--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--max-connections must be at least 1".to_string());
+                }
+                config.max_connections = n;
+            }
+            "--cache-budget-mb" => {
+                let n: usize = flag_value(argv, i, "--cache-budget-mb")?
+                    .parse()
+                    .map_err(|_| "--cache-budget-mb must be a non-negative integer".to_string())?;
+                config.cache_budget_bytes = Some(n * 1024 * 1024);
+            }
+            other => {
+                return Err(format!("serve takes no option {other:?}"));
             }
         }
+        i += 2;
     }
-    Ok(())
+    Ok(ServeArgs { listen, config })
 }
 
-/// The mining configuration a request describes, with the CLI's defaults
-/// (min_sup: 1% of records, at least 2).
-fn mining_config(req: &Json, n_records: usize) -> Result<RuleMiningConfig, String> {
-    let min_sup = get_usize(req, "min_sup")?.unwrap_or_else(|| (n_records / 100).max(2));
-    if min_sup == 0 {
-        return Err("\"min_sup\" must be at least 1".to_string());
+/// Entry point of `sigrule serve ARGS`: parses the flag surface and runs
+/// either the stdin loop or a socket listener.
+pub fn run_serve(argv: &[String]) -> i32 {
+    if matches!(
+        argv.first().map(String::as_str),
+        Some("--help" | "-h" | "help")
+    ) {
+        print!("{SERVE_USAGE}");
+        return 0;
     }
-    let mut config = RuleMiningConfig::new(min_sup)
-        .with_min_conf(get_f64(req, "min_conf")?.unwrap_or(0.0))
-        .with_closed_only(!get_bool(req, "all_patterns")?);
-    if let Some(len) = get_usize(req, "max_length")? {
-        config = config.with_max_length(len);
-    }
-    Ok(config)
-}
-
-fn handle_load(state: &ServeState, req: &Json) -> Result<ObjectBuilder, String> {
-    reject_unknown_fields(
-        req,
-        &[
-            "path",
-            "format",
-            "class",
-            "separator",
-            "tsv",
-            "no_header",
-            "default_class",
-            "strict",
-        ],
-    )?;
-    let Some(path) = get_str(req, "path")? else {
-        return Err("\"path\" is required".to_string());
+    let args = match parse_serve_args(argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sigrule: error: {message}\n\n{SERVE_USAGE}");
+            return 2;
+        }
     };
-    let input_format = match get_str(req, "format")?.as_deref() {
-        None | Some("auto") => None,
-        Some(name) => Some(
-            InputFormat::parse(name)
-                .ok_or_else(|| format!("\"format\" must be rows, basket or auto (got {name:?})"))?,
+    match args.listen {
+        None => serve_streams_with(
+            std::io::stdin().lock(),
+            std::io::stdout(),
+            ServerOptions {
+                cache_budget_bytes: args.config.cache_budget_bytes,
+            },
         ),
-    };
-    let separator = match (get_str(req, "separator")?, get_bool(req, "tsv")?) {
-        (Some(_), true) => return Err("\"separator\" and \"tsv\" are exclusive".to_string()),
-        (Some(s), false) => {
-            let mut chars = s.chars();
-            match (chars.next(), chars.next()) {
-                (Some(c), None) => c,
-                _ => {
-                    return Err(format!(
-                        "\"separator\" must be a single character (got {s:?})"
-                    ))
+        Some(addr) => {
+            let max_connections = args.config.max_connections;
+            let outcome = serve_listener(&addr, &args.config, |bound| {
+                // The ready line: machine-readable, first on stdout, so
+                // scripts (and the e2e tests) learn the ephemeral port.
+                let mut ready = ObjectBuilder::new();
+                ready
+                    .boolean("ok", true)
+                    .string("listening", bound)
+                    .number("max_connections", max_connections as f64);
+                println!("{}", ready.finish());
+                let _ = std::io::stdout().flush();
+            });
+            match outcome {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("sigrule: error: cannot serve on {addr}: {e}");
+                    1
                 }
             }
         }
-        (None, true) => '\t',
-        (None, false) => ',',
-    };
-    let mut load = LoadOptions {
-        separator,
-        has_header: !get_bool(req, "no_header")?,
-        ..LoadOptions::default()
-    };
-    if let Some(class) = get_str(req, "class")? {
-        match class.parse::<usize>() {
-            Ok(index) => load.class_column = Some(index),
-            Err(_) => load.class_column_name = Some(class),
+    }
+}
+
+/// Entry point of `sigrule client ARGS`.
+pub fn run_client(argv: &[String]) -> i32 {
+    if matches!(
+        argv.first().map(String::as_str),
+        Some("--help" | "-h" | "help")
+    ) {
+        print!("{CLIENT_USAGE}");
+        return 0;
+    }
+    let addr = match argv {
+        [flag, spec] if flag == "--connect" => match ListenAddr::parse(spec) {
+            Ok(addr) => addr,
+            Err(message) => {
+                eprintln!("sigrule: error: {message}\n\n{CLIENT_USAGE}");
+                return 2;
+            }
+        },
+        _ => {
+            eprintln!("sigrule: error: client needs exactly --connect <addr>\n\n{CLIENT_USAGE}");
+            return 2;
         }
-    }
-    let mut basket = BasketOptions::default();
-    if let Some(class) = get_str(req, "default_class")? {
-        basket.default_class = Some(class);
-    }
-
-    let loader = Loader {
-        load,
-        basket,
-        input_format,
     };
-    let loaded = loader
-        .load_file(&path)
-        .map_err(|e| format!("{path}: {e}"))?;
-    let warnings: Vec<String> = loaded
-        .warnings
-        .iter()
-        .map(|w| format!("{path}: {w}"))
-        .collect();
-    if get_bool(req, "strict")? && !warnings.is_empty() {
-        return Err(format!(
-            "strict: input produced {} loader warning(s): {}",
-            warnings.len(),
-            warnings.join("; ")
-        ));
-    }
-
-    let format = loaded.format;
-    let engine = loaded.into_engine();
-    let mut resp = ObjectBuilder::new();
-    resp.string("path", &path)
-        .string("format", format.label())
-        .number("records", engine.dataset().n_records() as f64)
-        .raw(
-            "columns",
-            engine
-                .dataset()
-                .n_columns()
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| "null".to_string()),
-        )
-        .number("items", engine.dataset().n_items() as f64)
-        .number("classes", engine.dataset().n_classes() as f64)
-        .number("load_ms", millis(engine.load_time()))
-        .strings("warnings", &warnings);
-    *state.engine.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(engine));
-    Ok(resp)
-}
-
-fn handle_mine(state: &ServeState, req: &Json) -> Result<ObjectBuilder, String> {
-    reject_unknown_fields(req, MINE_FIELDS)?;
-    let engine = state.current_engine()?;
-    let config = mining_config(req, engine.dataset().n_records())?;
-    let (mined, elapsed, cached) = engine.mine(&config);
-    let mut resp = ObjectBuilder::new();
-    resp.number("min_sup", config.min_sup as f64)
-        .number("rules_mined", mined.rules().len() as f64)
-        .number("hypothesis_tests", mined.n_tests() as f64)
-        .number("mine_ms", millis(elapsed))
-        .boolean("mined_cached", cached);
-    Ok(resp)
-}
-
-/// Renders the significant rules of a query outcome, most significant first,
-/// capped at `top` (0 = all).
-fn rules_array(outcome: &QueryOutcome, top: usize) -> String {
-    let mut rules: Vec<ClassRule> = outcome
-        .result
-        .significant_rules()
-        .into_iter()
-        .cloned()
-        .collect();
-    sort_by_significance(&mut rules);
-    let shown = if top == 0 {
-        rules.len()
-    } else {
-        top.min(rules.len())
-    };
-    let space = outcome.mined.item_space();
-    let rendered: Vec<String> = rules
-        .iter()
-        .take(shown)
-        .map(|rule| {
-            let lhs: Vec<String> = rule
-                .pattern
-                .items()
-                .iter()
-                .map(|&i| space.describe_item(i))
-                .collect();
-            let mut obj = ObjectBuilder::new();
-            obj.string("rule", &lhs.join(" AND "))
-                .string("class", space.class_name(rule.class).unwrap_or("?"))
-                .number("coverage", rule.coverage as f64)
-                .number("support", rule.support as f64)
-                .number("confidence", rule.confidence())
-                .raw("p_value", format!("{:e}", rule.p_value));
-            obj.finish()
-        })
-        .collect();
-    format!("[{}]", rendered.join(","))
-}
-
-fn handle_correct(state: &ServeState, req: &Json) -> Result<ObjectBuilder, String> {
-    let mut allowed = MINE_FIELDS.to_vec();
-    allowed.extend([
-        "correction",
-        "metric",
-        "alpha",
-        "permutations",
-        "seed",
-        "threads",
-        "top",
-    ]);
-    reject_unknown_fields(req, &allowed)?;
-    let engine = state.current_engine()?;
-    let mining = mining_config(req, engine.dataset().n_records())?;
-
-    let (approach, metric) = CorrectionApproach::resolve(
-        get_str(req, "correction")?.as_deref(),
-        get_str(req, "metric")?.as_deref(),
-    )?;
-
-    let mut query = Query::new(mining)
-        .with_correction(approach, metric)
-        .with_alpha(get_f64(req, "alpha")?.unwrap_or(0.05))
-        .with_permutations(get_usize(req, "permutations")?.unwrap_or(1000))
-        .with_seed(get_u64(req, "seed")?.unwrap_or(17));
-    if let Some(threads) = get_usize(req, "threads")? {
-        query = query.with_threads(threads);
-    }
-    let top = get_usize(req, "top")?.unwrap_or(20);
-
-    let outcome = engine.query(&query).map_err(|e| e.to_string())?;
-    let mut resp = ObjectBuilder::new();
-    resp.string("method", &outcome.result.method)
-        .string("metric", outcome.result.metric.label())
-        .number("alpha", outcome.result.alpha)
-        .number("min_sup", query.mining.min_sup as f64)
-        .number("rules_mined", outcome.mined.rules().len() as f64)
-        .number("hypothesis_tests", outcome.result.n_tests as f64)
-        .number("significant", outcome.result.n_significant() as f64);
-    match outcome.result.p_value_cutoff {
-        Some(cutoff) => resp.raw("p_value_cutoff", format!("{cutoff:e}")),
-        None => resp.raw("p_value_cutoff", "null"),
-    };
-    if approach == CorrectionApproach::Permutation {
-        resp.number("permutations", query.n_permutations as f64)
-            .number("seed", query.seed as f64);
-    }
-    resp.number("mine_ms", millis(outcome.timings.mine))
-        .number("null_ms", millis(outcome.timings.null))
-        .number("correct_ms", millis(outcome.timings.correct))
-        .boolean("mined_cached", outcome.mined_cached);
-    match outcome.null_cached {
-        Some(cached) => resp.boolean("null_cached", cached),
-        None => resp.raw("null_cached", "null"),
-    };
-    resp.raw("rules", rules_array(&outcome, top));
-    Ok(resp)
-}
-
-fn handle_stats(state: &ServeState, req: &Json) -> Result<ObjectBuilder, String> {
-    reject_unknown_fields(req, &[])?;
-    let mut resp = ObjectBuilder::new();
-    resp.number("uptime_ms", millis(state.started.elapsed()));
-    match state
-        .engine
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .as_ref()
-    {
-        None => {
-            resp.boolean("loaded", false);
-        }
-        Some(engine) => {
-            let stats = engine.stats();
-            resp.boolean("loaded", true)
-                .number("records", engine.dataset().n_records() as f64)
-                .number("items", engine.dataset().n_items() as f64)
-                .number("classes", engine.dataset().n_classes() as f64)
-                .number("queries", stats.queries as f64)
-                .number("mine_hits", stats.mine_hits as f64)
-                .number("mine_misses", stats.mine_misses as f64)
-                .number("null_hits", stats.null_hits as f64)
-                .number("null_misses", stats.null_misses as f64)
-                .number("cached_rule_sets", stats.cached_rule_sets as f64)
-                .number("cached_nulls", stats.cached_nulls as f64)
-                .number("table_bytes", stats.table_bytes as f64);
-        }
-    }
-    Ok(resp)
-}
-
-/// Handles one request line; returns the response line (no trailing newline)
-/// and whether the session should shut down.
-pub fn handle_line(state: &ServeState, line: &str) -> (String, bool) {
-    handle_parsed(state, Json::parse(line))
-}
-
-/// [`handle_line`] for an already-parsed request (the serve loop parses each
-/// line exactly once, for routing, and hands the result here).
-fn handle_parsed(state: &ServeState, parsed: Result<Json, JsonError>) -> (String, bool) {
-    let req = match parsed {
-        Ok(req @ Json::Object(_)) => req,
-        Ok(_) => {
-            let mut resp = ObjectBuilder::new();
-            resp.boolean("ok", false)
-                .string("error", "request must be a JSON object");
-            return (resp.finish(), false);
-        }
+    let input = std::io::BufReader::new(std::io::stdin());
+    match sigrule_server::client::pipe_lines(&addr, input, std::io::stdout()) {
+        Ok(code) => code,
         Err(e) => {
-            let mut resp = ObjectBuilder::new();
-            resp.boolean("ok", false).string("error", &e.to_string());
-            return (resp.finish(), false);
+            eprintln!("sigrule: error: cannot reach {addr}: {e}");
+            1
         }
-    };
-
-    let mut resp = ObjectBuilder::new();
-    if let Some(id) = req.get("id") {
-        resp.json("id", id);
-    }
-    let cmd = match req.get("cmd").and_then(Json::as_str) {
-        Some(cmd) => cmd.to_string(),
-        None => {
-            resp.boolean("ok", false)
-                .string("error", "missing \"cmd\" field");
-            return (resp.finish(), false);
-        }
-    };
-    resp.string("cmd", &cmd);
-
-    if cmd == "shutdown" {
-        resp.boolean("ok", true);
-        return (resp.finish(), true);
-    }
-    let handled = match cmd.as_str() {
-        "load" => handle_load(state, &req),
-        "mine" => handle_mine(state, &req),
-        "correct" => handle_correct(state, &req),
-        "stats" => handle_stats(state, &req),
-        other => Err(format!(
-            "unknown cmd {other:?} (expected load, mine, correct, stats or shutdown)"
-        )),
-    };
-    match handled {
-        Ok(fields) => {
-            resp.boolean("ok", true).raw_fields(fields);
-        }
-        Err(message) => {
-            resp.boolean("ok", false).string("error", &message);
-        }
-    }
-    (resp.finish(), false)
-}
-
-/// True when a request opted into concurrent handling: a `mine`, `correct`
-/// or `stats` request carrying `"async":true` runs on a worker thread over
-/// the shared engine, without blocking the reader.  Everything else —
-/// including `load` (which swaps the resident engine) and `shutdown` — is
-/// handled in request order, after every in-flight worker has finished, so
-/// the default flow has deterministic cache semantics (a repeat of the
-/// previous request is always warm).
-fn runs_async(parsed: &Result<Json, JsonError>) -> bool {
-    match parsed {
-        Ok(req) => {
-            matches!(
-                req.get("cmd").and_then(Json::as_str),
-                Some("mine") | Some("correct") | Some("stats")
-            ) && req.get("async").and_then(Json::as_bool) == Some(true)
-        }
-        Err(_) => false,
-    }
-}
-
-/// Upper bound on concurrently running `"async":true` workers; the reader
-/// joins the oldest worker before spawning past it.
-const MAX_ASYNC_WORKERS: usize = 16;
-
-/// Runs the serve loop over arbitrary streams (the binary passes
-/// stdin/stdout; tests pass in-memory buffers).  Returns the process exit
-/// code.  Queries run concurrently on worker threads over the shared engine
-/// (at most [`MAX_ASYNC_WORKERS`] at once); responses are written
-/// line-atomically and matched to requests by `"id"`.
-pub fn serve_streams<R, W>(reader: R, writer: W) -> i32
-where
-    R: BufRead,
-    W: Write + Send + 'static,
-{
-    let state = Arc::new(ServeState::new());
-    let out = Arc::new(Mutex::new(writer));
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-
-    let write_line = |out: &Arc<Mutex<W>>, line: &str| {
-        let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(out, "{line}");
-        let _ = out.flush();
-    };
-
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed = Json::parse(&line);
-        if !runs_async(&parsed) {
-            for worker in workers.drain(..) {
-                let _ = worker.join();
-            }
-            let (resp, shutdown) = handle_parsed(&state, parsed);
-            write_line(&out, &resp);
-            if shutdown {
-                return 0;
-            }
-        } else {
-            // Bound the in-flight workers: a long async sweep must not spawn
-            // one OS thread per request line.  Joining the oldest worker
-            // first keeps at most MAX_ASYNC_WORKERS alive.
-            if workers.len() >= MAX_ASYNC_WORKERS {
-                let _ = workers.remove(0).join();
-            }
-            let state = state.clone();
-            let out = out.clone();
-            workers.push(std::thread::spawn(move || {
-                // One response per request, even if the handler panics: a
-                // client matching responses by id must never hang on a
-                // silently dead worker.
-                let id = parsed.as_ref().ok().and_then(|r| r.get("id").cloned());
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_parsed(&state, parsed)
-                }));
-                let resp = match outcome {
-                    Ok((resp, _)) => resp,
-                    Err(_) => {
-                        let mut resp = ObjectBuilder::new();
-                        if let Some(id) = &id {
-                            resp.json("id", id);
-                        }
-                        resp.boolean("ok", false)
-                            .string("error", "internal error: request handler panicked");
-                        resp.finish()
-                    }
-                };
-                let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
-                let _ = writeln!(guard, "{resp}");
-                let _ = guard.flush();
-            }));
-        }
-    }
-    for worker in workers.drain(..) {
-        let _ = worker.join();
-    }
-    0
-}
-
-/// Entry point of `sigrule serve ARGS`: parses the (tiny) flag surface and
-/// runs the loop on stdin/stdout.
-pub fn run_serve(argv: &[String]) -> i32 {
-    match argv.first().map(String::as_str) {
-        Some("--help" | "-h" | "help") => {
-            print!("{SERVE_USAGE}");
-            0
-        }
-        Some(other) => {
-            eprintln!(
-                "sigrule: error: serve takes no option {other:?} \
-                 (configuration happens in the JSON protocol)\n\n{SERVE_USAGE}"
-            );
-            2
-        }
-        None => serve_streams(std::io::stdin().lock(), std::io::stdout()),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sigrule::{ErrorMetric, Pipeline};
-    use sigrule_data::loader::dataset_to_baskets;
-    use sigrule_synth::{BasketGenerator, BasketParams};
 
-    fn fixture_path() -> String {
-        // Prefer the checked-in fixture; fall back to a generated file so the
-        // unit test does not depend on the repository layout.
-        let checked_in = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../tests/fixtures/retail_toy.basket");
-        if checked_in.exists() {
-            return checked_in.to_string_lossy().into_owned();
-        }
-        let params = BasketParams::default()
-            .with_transactions(200)
-            .with_items(25)
-            .with_rules(1)
-            .with_coverage(50, 50)
-            .with_confidence(0.9, 0.9);
-        let (dataset, _) = BasketGenerator::new(params).unwrap().generate(42);
-        let path =
-            std::env::temp_dir().join(format!("sigrule_serve_unit_{}.basket", std::process::id()));
-        std::fs::write(&path, dataset_to_baskets(&dataset)).unwrap();
-        path.to_string_lossy().into_owned()
-    }
-
-    fn ok(resp: &str) -> Json {
-        let parsed = Json::parse(resp).expect("responses are valid JSON");
-        assert_eq!(
-            parsed.get("ok").and_then(Json::as_bool),
-            Some(true),
-            "expected ok response, got {resp}"
-        );
-        parsed
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn session_loads_mines_and_corrects_with_cache_reuse() {
-        let state = ServeState::new();
-        let path = fixture_path();
+    fn serve_flags_parse() {
+        let args = parse_serve_args(&argv(&[
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--max-connections",
+            "8",
+            "--cache-budget-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(args.listen, Some(ListenAddr::Tcp("127.0.0.1:0".into())));
+        assert_eq!(args.config.max_connections, 8);
+        assert_eq!(args.config.cache_budget_bytes, Some(64 * 1024 * 1024));
 
-        let (resp, _) = handle_line(&state, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
-        let load = ok(&resp);
-        let n_records = load.get("records").and_then(Json::as_u64).unwrap();
-        assert!(n_records > 0);
+        let default = parse_serve_args(&[]).unwrap();
+        assert_eq!(default.listen, None);
+        assert_eq!(default.config.cache_budget_bytes, None);
 
-        let correct = r#"{"cmd":"correct","min_sup":10,"correction":"permutation","permutations":50,"seed":7,"id":1}"#;
-        let (resp, _) = handle_line(&state, correct);
-        let cold = ok(&resp);
-        assert_eq!(cold.get("id").and_then(Json::as_u64), Some(1));
-        assert_eq!(
-            cold.get("mined_cached").and_then(Json::as_bool),
-            Some(false)
-        );
-        assert_eq!(cold.get("null_cached").and_then(Json::as_bool), Some(false));
-
-        let (resp, _) = handle_line(&state, correct);
-        let warm = ok(&resp);
-        assert_eq!(warm.get("mined_cached").and_then(Json::as_bool), Some(true));
-        assert_eq!(warm.get("null_cached").and_then(Json::as_bool), Some(true));
-        assert_eq!(warm.get("mine_ms").and_then(Json::as_f64), Some(0.0));
-        assert_eq!(warm.get("null_ms").and_then(Json::as_f64), Some(0.0));
-        // Identical parameters → identical decisions and rule lists.
-        assert_eq!(warm.get("significant"), cold.get("significant"));
-        assert_eq!(warm.get("p_value_cutoff"), cold.get("p_value_cutoff"));
-        assert_eq!(warm.get("rules"), cold.get("rules"));
-
-        // The warm answers match a one-shot pipeline bit for bit.
-        let one_shot = Pipeline::new(10)
-            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
-            .with_permutations(50)
-            .with_seed(7)
-            .run_file(&path)
-            .unwrap();
-        assert_eq!(
-            warm.get("significant").and_then(Json::as_u64),
-            Some(one_shot.result.n_significant() as u64)
-        );
-
-        let (resp, _) = handle_line(&state, r#"{"cmd":"stats"}"#);
-        let stats = ok(&resp);
-        assert_eq!(stats.get("loaded").and_then(Json::as_bool), Some(true));
-        assert_eq!(stats.get("queries").and_then(Json::as_u64), Some(2));
-        assert_eq!(stats.get("null_hits").and_then(Json::as_u64), Some(1));
-
-        let (resp, shutdown) = handle_line(&state, r#"{"cmd":"shutdown"}"#);
-        assert!(shutdown);
-        ok(&resp);
-    }
-
-    #[test]
-    fn errors_are_reported_not_fatal() {
-        let state = ServeState::new();
-        let (resp, shutdown) = handle_line(&state, "not json");
-        assert!(!shutdown);
-        let parsed = Json::parse(&resp).unwrap();
-        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
-
-        let (resp, _) = handle_line(&state, r#"{"cmd":"mine"}"#);
-        let parsed = Json::parse(&resp).unwrap();
-        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
-        assert!(parsed
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap()
-            .contains("no dataset loaded"));
-
-        let (resp, _) = handle_line(&state, r#"{"cmd":"transmogrify"}"#);
-        let parsed = Json::parse(&resp).unwrap();
-        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
-
-        // A misspelled field errors instead of silently running with
-        // defaults (parity with the CLI's unknown-flag rejection).
-        let (resp, _) = handle_line(&state, r#"{"cmd":"correct","min_supp":5}"#);
-        let parsed = Json::parse(&resp).unwrap();
-        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
-        assert!(parsed
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap()
-            .contains("min_supp"));
-
-        let (resp, _) = handle_line(&state, r#"{"cmd":"load"}"#);
-        let parsed = Json::parse(&resp).unwrap();
-        assert!(parsed
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap()
-            .contains("path"));
-
-        // An unknown correction name surfaces the FromStr error listing the
-        // valid values.
-        let path = fixture_path();
-        let (_, _) = handle_line(&state, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
-        let (resp, _) = handle_line(&state, r#"{"cmd":"correct","correction":"nope"}"#);
-        let parsed = Json::parse(&resp).unwrap();
-        let message = parsed.get("error").and_then(Json::as_str).unwrap();
-        assert!(message.contains("permutation"), "got {message}");
-        assert!(message.contains("holdout"), "got {message}");
-
-        // min_sup 0 is rejected consistently by mine and correct.
-        for cmd in ["mine", "correct"] {
-            let (resp, _) = handle_line(&state, &format!(r#"{{"cmd":"{cmd}","min_sup":0}}"#));
-            let parsed = Json::parse(&resp).unwrap();
-            assert_eq!(
-                parsed.get("ok").and_then(Json::as_bool),
-                Some(false),
-                "{cmd}"
-            );
-            assert!(parsed
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap()
-                .contains("min_sup"));
+        for bad in [
+            argv(&["--bogus"]),
+            argv(&["--listen"]),
+            argv(&["--listen", "nope"]),
+            argv(&["--max-connections", "0"]),
+            argv(&["--cache-budget-mb", "lots"]),
+        ] {
+            assert!(parse_serve_args(&bad).is_err(), "{bad:?} should fail");
         }
     }
 
     #[test]
-    fn serve_streams_round_trips_a_scripted_session() {
-        let path = fixture_path();
-        let script = format!(
-            concat!(
-                r#"{{"id":"a","cmd":"load","path":"{path}"}}"#,
-                "\n",
-                r#"{{"id":"b","cmd":"correct","min_sup":10,"correction":"bonferroni"}}"#,
-                "\n",
-                r#"{{"id":"c","cmd":"stats"}}"#,
-                "\n",
-                r#"{{"id":"d","cmd":"shutdown"}}"#,
-                "\n"
-            ),
-            path = path
-        );
-        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
-        // A Write proxy so the test can keep a handle on the buffer.
-        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
-        impl Write for SharedBuf {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
-        let code = serve_streams(script.as_bytes(), SharedBuf(out.clone()));
-        assert_eq!(code, 0);
-        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
-        let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4, "one response per request: {text}");
-        for line in &lines {
-            ok(line);
-        }
-        // Responses can be matched back by id.
-        let ids: Vec<String> = lines
-            .iter()
-            .map(|l| {
-                Json::parse(l)
-                    .unwrap()
-                    .get("id")
-                    .and_then(Json::as_str)
-                    .unwrap()
-                    .to_string()
-            })
-            .collect();
-        let mut sorted = ids.clone();
-        sorted.sort();
-        assert_eq!(sorted, vec!["a", "b", "c", "d"]);
+    fn client_requires_connect() {
+        assert_eq!(run_client(&argv(&["--connect"])), 2);
+        assert_eq!(run_client(&argv(&["--connect", "bogus"])), 2);
+        assert_eq!(run_client(&argv(&[])), 2);
     }
 }

@@ -146,6 +146,17 @@ pub struct PermutationStats {
     pub pool_size: u64,
 }
 
+impl PermutationStats {
+    /// Approximate resident bytes of the collected null distribution (the
+    /// per-permutation minima plus the pooled counts).  Used by the
+    /// byte-budget cache eviction of the engine and registry layers.
+    pub fn resident_bytes(&self) -> usize {
+        self.minima.len() * std::mem::size_of::<f64>()
+            + self.pool_counts_leq.len() * std::mem::size_of::<u64>()
+            + std::mem::size_of::<u64>()
+    }
+}
+
 /// Builds a rayon pool with the given worker count; running the engine under
 /// [`install`](rayon::ThreadPool::install) pins its parallelism.  Used by the
 /// equivalence tests to prove thread-count invariance, and by embedders that

@@ -193,6 +193,42 @@ struct MineEntry {
     /// Built on the first permutation query against this rule set, then
     /// reused by every later one.
     tables: OnceLock<SharedTableSet>,
+    /// Approximate bytes of `mined`, computed once at fill time: the rule
+    /// set is immutable, and recomputing would walk every forest node on
+    /// every stats/eviction pass.
+    mined_bytes: usize,
+    /// Approximate bytes of `tables`, computed once after their build (the
+    /// static tables are immutable too).
+    table_bytes: OnceLock<usize>,
+    /// LRU stamp: the engine clock value of the last query that touched this
+    /// entry.
+    last_used: AtomicU64,
+}
+
+impl MineEntry {
+    /// Approximate resident bytes of the built static p-value tables (zero
+    /// until they exist).
+    fn tables_bytes(&self) -> usize {
+        match self.tables.get() {
+            Some(tables) => *self.table_bytes.get_or_init(|| tables.resident_bytes()),
+            None => 0,
+        }
+    }
+
+    /// Approximate resident bytes: the rule set plus its static p-value
+    /// tables (when built).
+    fn bytes(&self) -> usize {
+        self.mined_bytes + self.tables_bytes()
+    }
+}
+
+/// One resident permutation null distribution.
+#[derive(Debug)]
+struct NullEntry {
+    stats: Arc<PermutationStats>,
+    /// LRU stamp: the engine clock value of the last query that touched this
+    /// entry.
+    last_used: AtomicU64,
 }
 
 /// A cache slot that is filled at most once; concurrent requesters of the
@@ -378,6 +414,45 @@ pub struct EngineStats {
     pub cached_nulls: usize,
     /// Bytes held by the resident static p-value tables.
     pub table_bytes: usize,
+    /// Approximate bytes held by the resident mined rule sets (forests,
+    /// rules, labels — excluding their p-value tables, counted separately).
+    pub rule_set_bytes: usize,
+    /// Approximate bytes held by the resident permutation nulls.
+    pub null_bytes: usize,
+    /// Rule sets evicted so far (byte-budget eviction).
+    pub evicted_rule_sets: u64,
+    /// Null distributions evicted so far (byte-budget eviction).
+    pub evicted_nulls: u64,
+}
+
+impl EngineStats {
+    /// Total approximate resident cache bytes (rule sets + p-value tables +
+    /// permutation nulls) — the quantity a byte budget bounds.
+    pub fn resident_bytes(&self) -> usize {
+        self.rule_set_bytes + self.table_bytes + self.null_bytes
+    }
+}
+
+/// The kind of an evictable engine cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEntryKind {
+    /// A mined rule set (plus its static p-value tables).
+    RuleSet,
+    /// A permutation null distribution.
+    Null,
+}
+
+/// One evictable cache entry, as seen by an eviction policy: what it is, how
+/// big it approximately is, and when it was last touched (engine clock
+/// stamps; higher = more recent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Entry kind.
+    pub kind: CacheEntryKind,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+    /// LRU stamp of the last query that touched the entry.
+    pub last_used: u64,
 }
 
 /// A dataset-resident query engine: owns one loaded dataset (shared, with a
@@ -394,12 +469,18 @@ pub struct Engine {
     load_time: Duration,
     warnings: Vec<LoadWarning>,
     mined: Mutex<HashMap<MiningKey, CacheCell<MineEntry>>>,
-    nulls: Mutex<HashMap<NullKey, CacheCell<Arc<PermutationStats>>>>,
+    nulls: Mutex<HashMap<NullKey, CacheCell<NullEntry>>>,
     queries: AtomicU64,
     mine_hits: AtomicU64,
     mine_misses: AtomicU64,
     null_hits: AtomicU64,
     null_misses: AtomicU64,
+    evicted_rule_sets: AtomicU64,
+    evicted_nulls: AtomicU64,
+    /// Monotonic LRU clock; every cache touch stamps the entry with the next
+    /// tick.  Shareable across engines (see [`Engine::set_clock`]) so a
+    /// registry can run one least-recently-used order over many engines.
+    clock: Arc<AtomicU64>,
 }
 
 impl Engine {
@@ -422,7 +503,23 @@ impl Engine {
             mine_misses: AtomicU64::new(0),
             null_hits: AtomicU64::new(0),
             null_misses: AtomicU64::new(0),
+            evicted_rule_sets: AtomicU64::new(0),
+            evicted_nulls: AtomicU64::new(0),
+            clock: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Replaces the engine's LRU clock with a shared one.  A registry holding
+    /// many engines points them all at one clock, so "least recently used"
+    /// is well-defined across engines; stamps only ever come from
+    /// `fetch_add`, so sharing is race-free.
+    pub fn set_clock(&mut self, clock: Arc<AtomicU64>) {
+        self.clock = clock;
+    }
+
+    /// Stamps the next LRU tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed)
     }
 
     /// The resident dataset.
@@ -472,15 +569,22 @@ impl Engine {
         cell.get_or_init(|| {
             cold = true;
             let vertical = self.shared.vertical();
+            let mined = Arc::new(mine_rules_with_vertical(
+                self.shared.dataset(),
+                &vertical,
+                config,
+            ));
+            let mined_bytes = mined.approx_bytes();
             MineEntry {
-                mined: Arc::new(mine_rules_with_vertical(
-                    self.shared.dataset(),
-                    &vertical,
-                    config,
-                )),
+                mined,
                 tables: OnceLock::new(),
+                mined_bytes,
+                table_bytes: OnceLock::new(),
+                last_used: AtomicU64::new(0),
             }
         });
+        let entry = cell.get().expect("mine cell is filled above");
+        entry.last_used.store(self.tick(), Relaxed);
         if cold {
             self.mine_misses.fetch_add(1, Relaxed);
             (cell, start.elapsed(), false)
@@ -512,7 +616,7 @@ impl Engine {
         // once-cell blocks concurrent identical queries on the one collector.
         let mut null_time = Duration::ZERO;
         let mut null_cached = None;
-        let null: Option<CacheCell<Arc<PermutationStats>>> = match query.null_key() {
+        let null: Option<CacheCell<NullEntry>> = match query.null_key() {
             None => None,
             Some(key) => {
                 let cell = self
@@ -553,10 +657,13 @@ impl Engine {
                                 .collect_null(&ctx)
                                 .expect("a correction with a null key collects a null")
                         };
-                        Arc::new(match &pool {
-                            Some(pool) => pool.install(collect),
-                            None => collect(),
-                        })
+                        NullEntry {
+                            stats: Arc::new(match &pool {
+                                Some(pool) => pool.install(collect),
+                                None => collect(),
+                            }),
+                            last_used: AtomicU64::new(0),
+                        }
                     });
                     if cold {
                         null_time = start.elapsed();
@@ -570,12 +677,14 @@ impl Engine {
                     self.null_hits.fetch_add(1, Relaxed);
                     null_cached = Some(true);
                 }
+                let entry = cell.get().expect("null cell is filled above");
+                entry.last_used.store(self.tick(), Relaxed);
                 Some(cell)
             }
         };
         let null_stats = null
             .as_ref()
-            .map(|cell| cell.get().expect("null cell is filled above").clone());
+            .map(|cell| cell.get().expect("null cell is filled above").stats.clone());
         ctx.null = null_stats.as_deref();
 
         // Decision stage: cheap, never cached (it depends on α and metric).
@@ -601,8 +710,19 @@ impl Engine {
         let mined = self.mined.lock().expect("mine cache lock");
         let table_bytes = mined
             .values()
-            .filter_map(|cell| cell.get().and_then(|e| e.tables.get()))
-            .map(SharedTableSet::resident_bytes)
+            .filter_map(|cell| cell.get())
+            .map(MineEntry::tables_bytes)
+            .sum();
+        let rule_set_bytes = mined
+            .values()
+            .filter_map(|cell| cell.get())
+            .map(|e| e.mined_bytes)
+            .sum();
+        let nulls = self.nulls.lock().expect("null cache lock");
+        let null_bytes = nulls
+            .values()
+            .filter_map(|cell| cell.get())
+            .map(|e| e.stats.resident_bytes())
             .sum();
         EngineStats {
             queries: self.queries.load(Relaxed),
@@ -611,8 +731,99 @@ impl Engine {
             null_hits: self.null_hits.load(Relaxed),
             null_misses: self.null_misses.load(Relaxed),
             cached_rule_sets: mined.len(),
-            cached_nulls: self.nulls.lock().expect("null cache lock").len(),
+            cached_nulls: nulls.len(),
             table_bytes,
+            rule_set_bytes,
+            null_bytes,
+            evicted_rule_sets: self.evicted_rule_sets.load(Relaxed),
+            evicted_nulls: self.evicted_nulls.load(Relaxed),
+        }
+    }
+
+    /// Total approximate resident cache bytes (rule sets + tables + nulls) —
+    /// what a byte-budget eviction policy bounds.  Entries still being filled
+    /// by a concurrent query are not counted (their size is unknown until the
+    /// fill completes).
+    pub fn cache_bytes(&self) -> usize {
+        self.stats().resident_bytes()
+    }
+
+    /// The filled, evictable cache entries: kind, approximate bytes, and LRU
+    /// stamp each.  Entries still being filled are skipped.
+    pub fn cache_entries(&self) -> Vec<CacheEntry> {
+        let mut entries = Vec::new();
+        for cell in self.mined.lock().expect("mine cache lock").values() {
+            if let Some(e) = cell.get() {
+                entries.push(CacheEntry {
+                    kind: CacheEntryKind::RuleSet,
+                    bytes: e.bytes(),
+                    last_used: e.last_used.load(Relaxed),
+                });
+            }
+        }
+        for cell in self.nulls.lock().expect("null cache lock").values() {
+            if let Some(e) = cell.get() {
+                entries.push(CacheEntry {
+                    kind: CacheEntryKind::Null,
+                    bytes: e.stats.resident_bytes(),
+                    last_used: e.last_used.load(Relaxed),
+                });
+            }
+        }
+        entries
+    }
+
+    /// The LRU stamp of the least-recently-used filled cache entry, or
+    /// `None` when nothing is evictable.
+    pub fn lru_stamp(&self) -> Option<u64> {
+        self.cache_entries().iter().map(|e| e.last_used).min()
+    }
+
+    /// Evicts the least-recently-used filled cache entry (a mined rule set —
+    /// with its tables — or a permutation null) and returns what was
+    /// dropped.  Queries holding an `Arc` to the evicted artifact keep it
+    /// alive until they finish; a later identical query recomputes it,
+    /// bit-identically (the caches never change semantics, only cost).
+    pub fn evict_lru(&self) -> Option<CacheEntry> {
+        // Decide between the LRU rule set and the LRU null under both locks,
+        // so a concurrent toucher cannot slip between the choice and the
+        // removal.
+        let mut mined = self.mined.lock().expect("mine cache lock");
+        let mut nulls = self.nulls.lock().expect("null cache lock");
+        let lru_mine = mined
+            .iter()
+            .filter_map(|(k, cell)| cell.get().map(|e| (*k, e.last_used.load(Relaxed))))
+            .min_by_key(|&(_, stamp)| stamp);
+        let lru_null = nulls
+            .iter()
+            .filter_map(|(k, cell)| cell.get().map(|e| (*k, e.last_used.load(Relaxed))))
+            .min_by_key(|&(_, stamp)| stamp);
+        let mine_is_lru = match (lru_mine, lru_null) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((_, m)), Some((_, n))) => m <= n,
+        };
+        if mine_is_lru {
+            let (key, stamp) = lru_mine.expect("checked above");
+            let cell = mined.remove(&key).expect("key taken under the lock");
+            let entry = cell.get().expect("filtered to filled cells");
+            self.evicted_rule_sets.fetch_add(1, Relaxed);
+            Some(CacheEntry {
+                kind: CacheEntryKind::RuleSet,
+                bytes: entry.bytes(),
+                last_used: stamp,
+            })
+        } else {
+            let (key, stamp) = lru_null.expect("checked above");
+            let cell = nulls.remove(&key).expect("key taken under the lock");
+            let entry = cell.get().expect("filtered to filled cells");
+            self.evicted_nulls.fetch_add(1, Relaxed);
+            Some(CacheEntry {
+                kind: CacheEntryKind::Null,
+                bytes: entry.stats.resident_bytes(),
+                last_used: stamp,
+            })
         }
     }
 }
@@ -740,6 +951,63 @@ mod tests {
         let mut q = Query::new(RuleMiningConfig::new(10));
         q.threads = Some(0);
         assert!(engine.query(&q).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_drops_entries_and_requeries_recompute_bit_identically() {
+        let engine = Engine::new(synth(7));
+        let first = engine.query(&perm_query(30)).unwrap();
+        engine.query(&perm_query(40)).unwrap();
+        // Touch the min_sup=30 entries again so min_sup=40 is the LRU pair.
+        engine.query(&perm_query(30).with_alpha(0.01)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cached_rule_sets, 2);
+        assert_eq!(stats.cached_nulls, 2);
+        assert!(stats.rule_set_bytes > 0);
+        assert!(stats.null_bytes > 0);
+        assert!(stats.resident_bytes() >= stats.table_bytes + stats.null_bytes);
+
+        // Strict LRU: the min_sup=40 rule set (stamped before its null) goes
+        // first, then the min_sup=40 null; the warm entries survive.
+        let evicted = engine.evict_lru().expect("something to evict");
+        assert_eq!(evicted.kind, CacheEntryKind::RuleSet);
+        assert!(evicted.bytes > 0);
+        let evicted = engine.evict_lru().expect("something to evict");
+        assert_eq!(evicted.kind, CacheEntryKind::Null);
+        let warm = engine.query(&perm_query(30)).unwrap();
+        assert!(warm.mined_cached);
+        assert_eq!(warm.null_cached, Some(true));
+
+        // Drain the rest; the caches empty out and account zero bytes.
+        while engine.evict_lru().is_some() {}
+        let empty = engine.stats();
+        assert_eq!(empty.cached_rule_sets, 0);
+        assert_eq!(empty.cached_nulls, 0);
+        assert_eq!(empty.resident_bytes(), 0);
+        assert_eq!(empty.evicted_rule_sets, 2);
+        assert_eq!(empty.evicted_nulls, 2);
+
+        // A re-query after total eviction recomputes, bit-identically.
+        let recomputed = engine.query(&perm_query(30)).unwrap();
+        assert!(!recomputed.mined_cached);
+        assert_eq!(recomputed.null_cached, Some(false));
+        assert_eq!(recomputed.result, first.result);
+    }
+
+    #[test]
+    fn shared_clock_orders_entries_across_engines() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a = Engine::new(synth(8));
+        let mut b = Engine::new(synth(9));
+        a.set_clock(clock.clone());
+        b.set_clock(clock.clone());
+        a.query(&perm_query(30)).unwrap();
+        b.query(&perm_query(30)).unwrap();
+        // Every stamp came from the one shared clock, so the cross-engine
+        // LRU order is total: all of a's stamps precede b's.
+        let max_a = a.cache_entries().iter().map(|e| e.last_used).max();
+        let min_b = b.lru_stamp();
+        assert!(max_a.unwrap() < min_b.unwrap());
     }
 
     #[test]

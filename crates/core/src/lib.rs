@@ -54,7 +54,7 @@ pub mod rule;
 
 pub use config::RuleMiningConfig;
 pub use correction::{Correction, CorrectionContext, CorrectionResult, ErrorMetric};
-pub use engine::{Engine, EngineStats, Loader, Query, QueryOutcome};
+pub use engine::{CacheEntry, CacheEntryKind, Engine, EngineStats, Loader, Query, QueryOutcome};
 pub use miner::{mine_rules, mine_rules_with_vertical, MinedRuleSet};
 pub use pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
 pub use rule::ClassRule;

@@ -89,6 +89,25 @@ impl MinedRuleSet {
         &self.config
     }
 
+    /// Approximate resident bytes of the rule set: rules (with their pattern
+    /// items), the backing forest, the label vector and the class counts.
+    /// An estimate (allocator overhead is not counted) used by the
+    /// byte-budget cache eviction of the engine and registry layers.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let rules = self.rules.len() * size_of::<ClassRule>()
+            + self
+                .rules
+                .iter()
+                .map(|r| std::mem::size_of_val(r.pattern.items()))
+                .sum::<usize>();
+        rules
+            + self.rule_nodes.len() * size_of::<usize>()
+            + self.forest.approx_bytes()
+            + self.labels.len() * size_of::<ClassId>()
+            + self.class_counts.len() * size_of::<usize>()
+    }
+
     /// Builds one p-value cache per class, sized for this dataset, to be used
     /// when re-scoring the rules under permuted labels.
     pub fn build_caches(

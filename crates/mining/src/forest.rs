@@ -227,6 +227,20 @@ impl PatternForest {
         self.nodes.iter().filter(|n| n.cover.is_diffset()).count()
     }
 
+    /// Approximate resident bytes of the forest: the node array plus every
+    /// node's pattern items and stored cover.  An estimate (allocator
+    /// overhead and capacity slack are not counted) used by the byte-budget
+    /// cache accounting of the engine/registry layers.
+    pub fn approx_bytes(&self) -> usize {
+        let nodes = self.nodes.len() * std::mem::size_of::<PatternNode>();
+        let heap: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of_val(n.pattern.items()) + n.cover.size_bytes())
+            .sum();
+        nodes + heap
+    }
+
     /// Indices of the nodes whose pattern is *closed*: no super-pattern in the
     /// forest covers exactly the same records (§3 of the paper; Pasquier et
     /// al.).

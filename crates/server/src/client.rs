@@ -1,0 +1,193 @@
+//! A line-pipe client for the socket transports: connect, send JSON-line
+//! requests, read JSON-line responses.
+//!
+//! This is what `sigrule client --connect ...` runs, and what the
+//! end-to-end tests use to drive a served process.  The client adds no
+//! protocol of its own — it is newline framing over a connected socket,
+//! with the responses parsed back into [`Json`] values.
+
+use crate::json::Json;
+use crate::transport::ListenAddr;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// The raw connected socket, abstracted over the address family.
+#[derive(Debug)]
+enum Raw {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Raw {
+    fn reader(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        match self {
+            Raw::Tcp(s) => Ok(Box::new(s.try_clone()?)),
+            #[cfg(unix)]
+            Raw::Unix(s) => Ok(Box::new(s.try_clone()?)),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Raw::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Raw::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            Raw::Tcp(s) => s.shutdown(Shutdown::Write),
+            #[cfg(unix)]
+            Raw::Unix(s) => s.shutdown(Shutdown::Write),
+        }
+    }
+}
+
+impl Write for Raw {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Raw::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Raw::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Raw::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Raw::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client speaking the JSON-lines protocol.
+pub struct ClientStream {
+    raw: Raw,
+    reader: BufReader<Box<dyn Read + Send>>,
+}
+
+impl ClientStream {
+    /// Connects to a served `tcp:` or `unix:` address.
+    pub fn connect(addr: &ListenAddr) -> std::io::Result<Self> {
+        let raw = match addr {
+            ListenAddr::Tcp(spec) => {
+                let stream = TcpStream::connect(spec)?;
+                // Line-sized writes: disable Nagle or every request pays
+                // the delayed-ACK floor.
+                stream.set_nodelay(true)?;
+                Raw::Tcp(stream)
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => Raw::Unix(UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+        };
+        let reader = BufReader::new(raw.reader()?);
+        Ok(ClientStream { raw, reader })
+    }
+
+    /// Bounds every subsequent response read: a server that answers nothing
+    /// within `timeout` turns into an error instead of a hang.  Pick a bound
+    /// comfortably above the slowest expected (cold) query.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.raw.set_read_timeout(timeout)
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.raw, "{line}")?;
+        self.raw.flush()
+    }
+
+    /// Reads one response line and parses it.  Errors on connection close
+    /// (`UnexpectedEof`) and on malformed response JSON (`InvalidData`).
+    pub fn read_response(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response {line:?}: {e}"),
+            )
+        })
+    }
+
+    /// Sends one request line and reads the next response line.  Only valid
+    /// while no `"async":true` responses are pending (ordering is by
+    /// arrival, not by id).
+    pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
+        self.send(line)?;
+        self.read_response()
+    }
+
+    /// Half-closes the write side: the server sees end-of-input (and drains
+    /// this connection's in-flight work) while responses keep flowing back.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.raw.shutdown_write()
+    }
+}
+
+/// Pipes `input` request lines to a served address and `input`'s responses
+/// to `output`, line for line — the body of `sigrule client`.  Returns the
+/// process exit code: 0 when the server closed the connection cleanly after
+/// end-of-input, 1 on connection errors.
+pub fn pipe_lines<R, W>(addr: &ListenAddr, input: R, output: W) -> std::io::Result<i32>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let client = ClientStream::connect(addr)?;
+    let (raw_reader, mut raw_writer) = (client.reader, client.raw);
+    // Forward requests on a side thread so responses stream out while
+    // requests stream in (an interactive session types ahead freely).
+    let forward = std::thread::spawn(move || -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            writeln!(raw_writer, "{line}")?;
+            raw_writer.flush()?;
+        }
+        raw_writer.shutdown_write()
+    });
+    let mut output = output;
+    let mut reader = raw_reader;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                output.write_all(line.as_bytes())?;
+                output.flush()?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // The server closed the connection.  Join the forwarder only if it
+    // already finished (its exit code says whether every request went out);
+    // when `input` is an interactive terminal it may still be blocked in a
+    // stdin read — exiting now (the thread dies with the process) beats
+    // hanging until the user types Ctrl-D after the session already ended.
+    if !forward.is_finished() {
+        return Ok(0);
+    }
+    match forward.join() {
+        Ok(Ok(())) => Ok(0),
+        Ok(Err(_)) | Err(_) => Ok(1),
+    }
+}

@@ -1,0 +1,41 @@
+//! The `sigrule` server subsystem: many datasets, many clients, one process.
+//!
+//! `sigrule serve` started life as a single-engine stdin/stdout loop
+//! (PR 4).  This crate generalises it into a resident service:
+//!
+//! * [`registry`] — the **EngineRegistry**: named, concurrently shared
+//!   [`Engine`](sigrule::engine::Engine) instances, one per loaded dataset,
+//!   with a byte-budget **LRU eviction policy** over the cached rule sets
+//!   and permutation nulls (the artifacts worth keeping resident — they are
+//!   the cost centre that makes interactive significance queries feasible).
+//! * [`proto`] — the JSON-lines protocol: `load` (now named), `mine` /
+//!   `correct` / `stats` (now routed by a `dataset` field),
+//!   `registry_stats`, `shutdown`.  One JSON object per line in, one per
+//!   line out; warm answers are bit-identical to cold ones.
+//! * [`transport`] — the transports: the single-connection stdin/stdout
+//!   front ([`transport::serve_streams`], what plain `sigrule serve` runs)
+//!   and the concurrent TCP / Unix-socket listener
+//!   ([`transport::serve_listener`], `sigrule serve --listen ...`) that
+//!   accepts many simultaneous clients over the shared registry, with a
+//!   connection cap and a graceful drain on shutdown.
+//! * [`client`] — a line-pipe client ([`client::ClientStream`]), used by
+//!   `sigrule client` and the end-to-end tests to drive a remote server.
+//! * [`json`] — the dependency-free JSON subset both sides speak.
+//!
+//! The stdin front and every socket connection run the same per-connection
+//! driver over the same [`proto::ServerState`], so the transports differ
+//! only in framing and lifecycle — never in answers.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod registry;
+pub mod transport;
+
+pub use client::ClientStream;
+pub use proto::{handle_line, ServerOptions, ServerState};
+pub use registry::{EngineRegistry, RegistrySnapshot};
+pub use transport::{serve_listener, serve_streams, ListenAddr, ServerConfig};

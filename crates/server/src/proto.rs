@@ -1,0 +1,840 @@
+//! The JSON-lines request protocol over a multi-dataset [`EngineRegistry`].
+//!
+//! One JSON object per line in, one JSON object per line out.  Every request
+//! may carry an `"id"` field (any JSON value), echoed verbatim in the
+//! response so concurrent responses can be matched to requests.  Requests:
+//!
+//! * `{"cmd":"load","path":"...","name":"..."}` — load a dataset file and
+//!   register it under `name` (default `"default"`, replacing any engine of
+//!   that name).  Optional: `"format"` (`rows`/`basket`/`auto`), `"class"`,
+//!   `"separator"`, `"tsv"`, `"no_header"`, `"default_class"`, `"strict"`.
+//! * `{"cmd":"mine","dataset":"..."}` — mine (and cache) a rule set on the
+//!   named dataset (default `"default"`).  Optional: `"min_sup"` (default 1%
+//!   of records, at least 2), `"min_conf"`, `"max_length"`, `"all_patterns"`.
+//! * `{"cmd":"correct","dataset":"..."}` — mine (via the cache) and apply
+//!   one correction.  The mine fields above, plus `"correction"`
+//!   (`none`/`bonferroni`/`bh`/`permutation`/`holdout`, default
+//!   `bonferroni`), `"metric"` (`fwer`/`fdr`), `"alpha"` (default 0.05),
+//!   `"permutations"` (default 1000), `"seed"` (default 17), `"threads"`,
+//!   `"top"` (significant rules listed in the response; default 20, 0 =
+//!   all).
+//! * `{"cmd":"stats","dataset":"..."}` — engine/cache statistics of the
+//!   named dataset, entry counts and approximate resident bytes included.
+//! * `{"cmd":"registry_stats"}` — every registered dataset's cache/size
+//!   accounting, the registry totals, the byte budget and the eviction
+//!   count.
+//! * `{"cmd":"shutdown"}` — acknowledge and exit (the transports drain
+//!   in-flight work first; see [`transport`](crate::transport)).
+//!
+//! Responses carry `"ok":true` plus command-specific fields, or
+//! `"ok":false` and an `"error"` message.  Requests are handled strictly in
+//! order per connection by default; a `mine`, `correct` or `stats` request
+//! carrying `"async":true` is handed to a worker thread over the shared
+//! registry — match responses by `"id"`.  Warm answers are bit-identical to
+//! cold ones, whichever transport and whichever connection asked.
+
+use crate::json::{Json, JsonError, ObjectBuilder};
+use crate::registry::EngineRegistry;
+use sigrule::engine::{Engine, Loader, Query, QueryOutcome};
+use sigrule::pipeline::CorrectionApproach;
+use sigrule::rule::sort_by_significance;
+use sigrule::{ClassRule, RuleMiningConfig};
+use sigrule_data::loader::{BasketOptions, LoadOptions};
+use sigrule_data::InputFormat;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The dataset name `load` registers under — and requests query — when none
+/// is given, keeping single-dataset sessions identical to the pre-registry
+/// protocol.
+pub const DEFAULT_DATASET: &str = "default";
+
+/// Server-level options shared by every transport.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// Byte budget over the registry's resident caches (`None` =
+    /// unbounded); enforced after every cache-filling request.
+    pub cache_budget_bytes: Option<usize>,
+}
+
+/// The serve process state: the engine registry and the session start time.
+/// Shared (behind an `Arc`) by every connection of a socket server.
+pub struct ServerState {
+    registry: EngineRegistry,
+    started: Instant,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState::with_options(ServerOptions::default())
+    }
+}
+
+impl ServerState {
+    /// A state with no dataset loaded and no cache budget.
+    pub fn new() -> Self {
+        ServerState::default()
+    }
+
+    /// A state with no dataset loaded and the given options.
+    pub fn with_options(options: ServerOptions) -> Self {
+        ServerState {
+            registry: EngineRegistry::with_budget(options.cache_budget_bytes),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine registry.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.registry
+    }
+
+    /// The engine a request routes to: its `"dataset"` field, defaulting to
+    /// [`DEFAULT_DATASET`].
+    fn engine_for(&self, req: &Json) -> Result<(String, Arc<Engine>), String> {
+        let name = get_str(req, "dataset")?.unwrap_or_else(|| DEFAULT_DATASET.to_string());
+        match self.registry.get(&name) {
+            Some(engine) => Ok((name, engine)),
+            None if self.registry.is_empty() => {
+                Err("no dataset loaded; send a load request first".to_string())
+            }
+            None => Err(format!(
+                "unknown dataset {name:?}; loaded: {}",
+                self.registry.names().join(", ")
+            )),
+        }
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    // Round to 3 decimals so the JSON stays compact and stable to read.
+    (d.as_secs_f64() * 1e3 * 1e3).round() / 1e3
+}
+
+fn get_str(req: &Json, key: &str) -> Result<Option<String>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("{key:?} must be a string")),
+    }
+}
+
+fn get_bool(req: &Json, key: &str) -> Result<bool, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("{key:?} must be a boolean")),
+    }
+}
+
+fn get_usize(req: &Json, key: &str) -> Result<Option<usize>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn get_u64(req: &Json, key: &str) -> Result<Option<u64>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn get_f64(req: &Json, key: &str) -> Result<Option<f64>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a number")),
+    }
+}
+
+/// Fields every request may carry regardless of command.
+const COMMON_FIELDS: &[&str] = &["id", "cmd", "async"];
+/// Mining-configuration fields shared by `mine` and `correct`.
+const MINE_FIELDS: &[&str] = &[
+    "dataset",
+    "min_sup",
+    "min_conf",
+    "max_length",
+    "all_patterns",
+];
+
+/// Rejects misspelled or unknown request fields, mirroring the CLI's
+/// `reject_unknown` flag check: a typo'd parameter must error, not silently
+/// run with defaults.
+fn reject_unknown_fields(req: &Json, allowed: &[&str]) -> Result<(), String> {
+    if let Json::Object(fields) = req {
+        for (key, _) in fields {
+            if !COMMON_FIELDS.contains(&key.as_str()) && !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field {key:?} (expected one of: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The mining configuration a request describes, with the CLI's defaults
+/// (min_sup: 1% of records, at least 2).
+fn mining_config(req: &Json, n_records: usize) -> Result<RuleMiningConfig, String> {
+    let min_sup = get_usize(req, "min_sup")?.unwrap_or_else(|| (n_records / 100).max(2));
+    if min_sup == 0 {
+        return Err("\"min_sup\" must be at least 1".to_string());
+    }
+    let mut config = RuleMiningConfig::new(min_sup)
+        .with_min_conf(get_f64(req, "min_conf")?.unwrap_or(0.0))
+        .with_closed_only(!get_bool(req, "all_patterns")?);
+    if let Some(len) = get_usize(req, "max_length")? {
+        config = config.with_max_length(len);
+    }
+    Ok(config)
+}
+
+fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+    reject_unknown_fields(
+        req,
+        &[
+            "path",
+            "name",
+            "format",
+            "class",
+            "separator",
+            "tsv",
+            "no_header",
+            "default_class",
+            "strict",
+        ],
+    )?;
+    let Some(path) = get_str(req, "path")? else {
+        return Err("\"path\" is required".to_string());
+    };
+    let name = get_str(req, "name")?.unwrap_or_else(|| DEFAULT_DATASET.to_string());
+    if name.is_empty() {
+        return Err("\"name\" must not be empty".to_string());
+    }
+    let input_format = match get_str(req, "format")?.as_deref() {
+        None | Some("auto") => None,
+        Some(fmt) => Some(
+            InputFormat::parse(fmt)
+                .ok_or_else(|| format!("\"format\" must be rows, basket or auto (got {fmt:?})"))?,
+        ),
+    };
+    let separator = match (get_str(req, "separator")?, get_bool(req, "tsv")?) {
+        (Some(_), true) => return Err("\"separator\" and \"tsv\" are exclusive".to_string()),
+        (Some(s), false) => {
+            let mut chars = s.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => c,
+                _ => {
+                    return Err(format!(
+                        "\"separator\" must be a single character (got {s:?})"
+                    ))
+                }
+            }
+        }
+        (None, true) => '\t',
+        (None, false) => ',',
+    };
+    let mut load = LoadOptions {
+        separator,
+        has_header: !get_bool(req, "no_header")?,
+        ..LoadOptions::default()
+    };
+    if let Some(class) = get_str(req, "class")? {
+        match class.parse::<usize>() {
+            Ok(index) => load.class_column = Some(index),
+            Err(_) => load.class_column_name = Some(class),
+        }
+    }
+    let mut basket = BasketOptions::default();
+    if let Some(class) = get_str(req, "default_class")? {
+        basket.default_class = Some(class);
+    }
+
+    let loader = Loader {
+        load,
+        basket,
+        input_format,
+    };
+    let loaded = loader
+        .load_file(&path)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let warnings: Vec<String> = loaded
+        .warnings
+        .iter()
+        .map(|w| format!("{path}: {w}"))
+        .collect();
+    if get_bool(req, "strict")? && !warnings.is_empty() {
+        return Err(format!(
+            "strict: input produced {} loader warning(s): {}",
+            warnings.len(),
+            warnings.join("; ")
+        ));
+    }
+
+    let format = loaded.format;
+    let engine = state.registry.insert(&name, loaded.into_engine());
+    let mut resp = ObjectBuilder::new();
+    resp.string("path", &path)
+        .string("name", &name)
+        .string("format", format.label())
+        .number("records", engine.dataset().n_records() as f64)
+        .raw(
+            "columns",
+            engine
+                .dataset()
+                .n_columns()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        )
+        .number("items", engine.dataset().n_items() as f64)
+        .number("classes", engine.dataset().n_classes() as f64)
+        .number("load_ms", millis(engine.load_time()))
+        .strings("warnings", &warnings);
+    Ok(resp)
+}
+
+fn handle_mine(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+    reject_unknown_fields(req, MINE_FIELDS)?;
+    let (name, engine) = state.engine_for(req)?;
+    let config = mining_config(req, engine.dataset().n_records())?;
+    let (mined, elapsed, cached) = engine.mine(&config);
+    let mut resp = ObjectBuilder::new();
+    resp.string("dataset", &name)
+        .number("min_sup", config.min_sup as f64)
+        .number("rules_mined", mined.rules().len() as f64)
+        .number("hypothesis_tests", mined.n_tests() as f64)
+        .number("mine_ms", millis(elapsed))
+        .boolean("mined_cached", cached);
+    state.registry.enforce_budget();
+    Ok(resp)
+}
+
+/// Renders the significant rules of a query outcome, most significant first,
+/// capped at `top` (0 = all).
+fn rules_array(outcome: &QueryOutcome, top: usize) -> String {
+    let mut rules: Vec<ClassRule> = outcome
+        .result
+        .significant_rules()
+        .into_iter()
+        .cloned()
+        .collect();
+    sort_by_significance(&mut rules);
+    let shown = if top == 0 {
+        rules.len()
+    } else {
+        top.min(rules.len())
+    };
+    let space = outcome.mined.item_space();
+    let rendered: Vec<String> = rules
+        .iter()
+        .take(shown)
+        .map(|rule| {
+            let lhs: Vec<String> = rule
+                .pattern
+                .items()
+                .iter()
+                .map(|&i| space.describe_item(i))
+                .collect();
+            let mut obj = ObjectBuilder::new();
+            obj.string("rule", &lhs.join(" AND "))
+                .string("class", space.class_name(rule.class).unwrap_or("?"))
+                .number("coverage", rule.coverage as f64)
+                .number("support", rule.support as f64)
+                .number("confidence", rule.confidence())
+                .raw("p_value", format!("{:e}", rule.p_value));
+            obj.finish()
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
+fn handle_correct(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+    let mut allowed = MINE_FIELDS.to_vec();
+    allowed.extend([
+        "correction",
+        "metric",
+        "alpha",
+        "permutations",
+        "seed",
+        "threads",
+        "top",
+    ]);
+    reject_unknown_fields(req, &allowed)?;
+    let (name, engine) = state.engine_for(req)?;
+    let mining = mining_config(req, engine.dataset().n_records())?;
+
+    let (approach, metric) = CorrectionApproach::resolve(
+        get_str(req, "correction")?.as_deref(),
+        get_str(req, "metric")?.as_deref(),
+    )?;
+
+    let mut query = Query::new(mining)
+        .with_correction(approach, metric)
+        .with_alpha(get_f64(req, "alpha")?.unwrap_or(0.05))
+        .with_permutations(get_usize(req, "permutations")?.unwrap_or(1000))
+        .with_seed(get_u64(req, "seed")?.unwrap_or(17));
+    if let Some(threads) = get_usize(req, "threads")? {
+        query = query.with_threads(threads);
+    }
+    let top = get_usize(req, "top")?.unwrap_or(20);
+
+    let outcome = engine.query(&query).map_err(|e| e.to_string())?;
+    let mut resp = ObjectBuilder::new();
+    resp.string("dataset", &name)
+        .string("method", &outcome.result.method)
+        .string("metric", outcome.result.metric.label())
+        .number("alpha", outcome.result.alpha)
+        .number("min_sup", query.mining.min_sup as f64)
+        .number("rules_mined", outcome.mined.rules().len() as f64)
+        .number("hypothesis_tests", outcome.result.n_tests as f64)
+        .number("significant", outcome.result.n_significant() as f64);
+    match outcome.result.p_value_cutoff {
+        Some(cutoff) => resp.raw("p_value_cutoff", format!("{cutoff:e}")),
+        None => resp.raw("p_value_cutoff", "null"),
+    };
+    if approach == CorrectionApproach::Permutation {
+        resp.number("permutations", query.n_permutations as f64)
+            .number("seed", query.seed as f64);
+    }
+    resp.number("mine_ms", millis(outcome.timings.mine))
+        .number("null_ms", millis(outcome.timings.null))
+        .number("correct_ms", millis(outcome.timings.correct))
+        .boolean("mined_cached", outcome.mined_cached);
+    match outcome.null_cached {
+        Some(cached) => resp.boolean("null_cached", cached),
+        None => resp.raw("null_cached", "null"),
+    };
+    resp.raw("rules", rules_array(&outcome, top));
+    state.registry.enforce_budget();
+    Ok(resp)
+}
+
+/// Appends one engine's dataset shape, counters and cache/size accounting.
+fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
+    let stats = engine.stats();
+    resp.number("records", engine.dataset().n_records() as f64)
+        .number("items", engine.dataset().n_items() as f64)
+        .number("classes", engine.dataset().n_classes() as f64)
+        .number("queries", stats.queries as f64)
+        .number("mine_hits", stats.mine_hits as f64)
+        .number("mine_misses", stats.mine_misses as f64)
+        .number("null_hits", stats.null_hits as f64)
+        .number("null_misses", stats.null_misses as f64)
+        .number("cached_rule_sets", stats.cached_rule_sets as f64)
+        .number("cached_nulls", stats.cached_nulls as f64)
+        .number("rule_set_bytes", stats.rule_set_bytes as f64)
+        .number("table_bytes", stats.table_bytes as f64)
+        .number("null_bytes", stats.null_bytes as f64)
+        .number("resident_bytes", stats.resident_bytes() as f64)
+        .number("evicted_rule_sets", stats.evicted_rule_sets as f64)
+        .number("evicted_nulls", stats.evicted_nulls as f64);
+}
+
+fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+    reject_unknown_fields(req, &["dataset"])?;
+    let mut resp = ObjectBuilder::new();
+    resp.number("uptime_ms", millis(state.started.elapsed()));
+    let name = get_str(req, "dataset")?.unwrap_or_else(|| DEFAULT_DATASET.to_string());
+    match state.registry.get(&name) {
+        None => {
+            resp.boolean("loaded", false);
+        }
+        Some(engine) => {
+            resp.boolean("loaded", true).string("dataset", &name);
+            engine_stats_fields(&mut resp, &engine);
+        }
+    }
+    Ok(resp)
+}
+
+fn handle_registry_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+    reject_unknown_fields(req, &[])?;
+    let registry = &state.registry;
+    let mut total = 0usize;
+    let datasets: Vec<String> = registry
+        .snapshot()
+        .iter()
+        .map(|snap| {
+            total += snap.stats.resident_bytes();
+            let mut obj = ObjectBuilder::new();
+            obj.string("name", &snap.name);
+            engine_stats_fields(&mut obj, &snap.engine);
+            obj.finish()
+        })
+        .collect();
+    let mut resp = ObjectBuilder::new();
+    resp.number("uptime_ms", millis(state.started.elapsed()))
+        .number("datasets_loaded", datasets.len() as f64)
+        .raw("datasets", format!("[{}]", datasets.join(",")))
+        .number("resident_bytes", total as f64);
+    match registry.budget_bytes() {
+        Some(budget) => resp.number("budget_bytes", budget as f64),
+        None => resp.raw("budget_bytes", "null"),
+    };
+    resp.number("evictions", registry.evictions() as f64);
+    Ok(resp)
+}
+
+/// Handles one request line; returns the response line (no trailing newline)
+/// and whether the session should shut down.
+pub fn handle_line(state: &ServerState, line: &str) -> (String, bool) {
+    handle_parsed(state, Json::parse(line))
+}
+
+/// [`handle_line`] for an already-parsed request (the transports parse each
+/// line exactly once, for routing, and hand the result here).
+pub(crate) fn handle_parsed(
+    state: &ServerState,
+    parsed: Result<Json, JsonError>,
+) -> (String, bool) {
+    let req = match parsed {
+        Ok(req @ Json::Object(_)) => req,
+        Ok(_) => {
+            let mut resp = ObjectBuilder::new();
+            resp.boolean("ok", false)
+                .string("error", "request must be a JSON object");
+            return (resp.finish(), false);
+        }
+        Err(e) => {
+            let mut resp = ObjectBuilder::new();
+            resp.boolean("ok", false).string("error", &e.to_string());
+            return (resp.finish(), false);
+        }
+    };
+
+    let mut resp = ObjectBuilder::new();
+    if let Some(id) = req.get("id") {
+        resp.json("id", id);
+    }
+    let cmd = match req.get("cmd").and_then(Json::as_str) {
+        Some(cmd) => cmd.to_string(),
+        None => {
+            resp.boolean("ok", false)
+                .string("error", "missing \"cmd\" field");
+            return (resp.finish(), false);
+        }
+    };
+    resp.string("cmd", &cmd);
+
+    if cmd == "shutdown" {
+        resp.boolean("ok", true);
+        return (resp.finish(), true);
+    }
+    let handled = match cmd.as_str() {
+        "load" => handle_load(state, &req),
+        "mine" => handle_mine(state, &req),
+        "correct" => handle_correct(state, &req),
+        "stats" => handle_stats(state, &req),
+        "registry_stats" => handle_registry_stats(state, &req),
+        other => Err(format!(
+            "unknown cmd {other:?} (expected load, mine, correct, stats, registry_stats \
+             or shutdown)"
+        )),
+    };
+    match handled {
+        Ok(fields) => {
+            resp.boolean("ok", true).raw_fields(fields);
+        }
+        Err(message) => {
+            resp.boolean("ok", false).string("error", &message);
+        }
+    }
+    (resp.finish(), false)
+}
+
+/// True when a request opted into concurrent handling: a `mine`, `correct`
+/// or `stats` request carrying `"async":true` runs on a worker thread over
+/// the shared registry, without blocking its connection's reader.
+/// Everything else — including `load` (which swaps a registered engine),
+/// `registry_stats` and `shutdown` — is handled in request order, after
+/// every in-flight worker of the connection has finished, so the default
+/// flow has deterministic cache semantics (a repeat of the previous request
+/// is always warm).
+pub(crate) fn runs_async(parsed: &Result<Json, JsonError>) -> bool {
+    match parsed {
+        Ok(req) => {
+            matches!(
+                req.get("cmd").and_then(Json::as_str),
+                Some("mine") | Some("correct") | Some("stats")
+            ) && req.get("async").and_then(Json::as_bool) == Some(true)
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use sigrule::{ErrorMetric, Pipeline};
+    use sigrule_data::loader::dataset_to_baskets;
+    use sigrule_synth::{BasketGenerator, BasketParams};
+
+    pub(crate) fn fixture_path() -> String {
+        // Prefer the checked-in fixture; fall back to a generated file so the
+        // unit test does not depend on the repository layout.
+        let checked_in = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fixtures/retail_toy.basket");
+        if checked_in.exists() {
+            return checked_in.to_string_lossy().into_owned();
+        }
+        let params = BasketParams::default()
+            .with_transactions(200)
+            .with_items(25)
+            .with_rules(1)
+            .with_coverage(50, 50)
+            .with_confidence(0.9, 0.9);
+        let (dataset, _) = BasketGenerator::new(params).unwrap().generate(42);
+        let path =
+            std::env::temp_dir().join(format!("sigrule_proto_unit_{}.basket", std::process::id()));
+        std::fs::write(&path, dataset_to_baskets(&dataset)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn ok(resp: &str) -> Json {
+        let parsed = Json::parse(resp).expect("responses are valid JSON");
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "expected ok response, got {resp}"
+        );
+        parsed
+    }
+
+    fn err(resp: &str) -> String {
+        let parsed = Json::parse(resp).expect("responses are valid JSON");
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "expected error response, got {resp}"
+        );
+        parsed
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error message")
+            .to_string()
+    }
+
+    #[test]
+    fn session_loads_mines_and_corrects_with_cache_reuse() {
+        let state = ServerState::new();
+        let path = fixture_path();
+
+        let (resp, _) = handle_line(&state, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
+        let load = ok(&resp);
+        assert_eq!(
+            load.get("name").and_then(Json::as_str),
+            Some(DEFAULT_DATASET)
+        );
+        let n_records = load.get("records").and_then(Json::as_u64).unwrap();
+        assert!(n_records > 0);
+
+        let correct = r#"{"cmd":"correct","min_sup":10,"correction":"permutation","permutations":50,"seed":7,"id":1}"#;
+        let (resp, _) = handle_line(&state, correct);
+        let cold = ok(&resp);
+        assert_eq!(cold.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            cold.get("mined_cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(cold.get("null_cached").and_then(Json::as_bool), Some(false));
+
+        let (resp, _) = handle_line(&state, correct);
+        let warm = ok(&resp);
+        assert_eq!(warm.get("mined_cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(warm.get("null_cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(warm.get("mine_ms").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(warm.get("null_ms").and_then(Json::as_f64), Some(0.0));
+        // Identical parameters → identical decisions and rule lists.
+        assert_eq!(warm.get("significant"), cold.get("significant"));
+        assert_eq!(warm.get("p_value_cutoff"), cold.get("p_value_cutoff"));
+        assert_eq!(warm.get("rules"), cold.get("rules"));
+
+        // The warm answers match a one-shot pipeline bit for bit.
+        let one_shot = Pipeline::new(10)
+            .with_correction(CorrectionApproach::Permutation, ErrorMetric::Fwer)
+            .with_permutations(50)
+            .with_seed(7)
+            .run_file(&path)
+            .unwrap();
+        assert_eq!(
+            warm.get("significant").and_then(Json::as_u64),
+            Some(one_shot.result.n_significant() as u64)
+        );
+
+        let (resp, _) = handle_line(&state, r#"{"cmd":"stats"}"#);
+        let stats = ok(&resp);
+        assert_eq!(stats.get("loaded").and_then(Json::as_bool), Some(true));
+        assert_eq!(stats.get("queries").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("null_hits").and_then(Json::as_u64), Some(1));
+        assert!(stats.get("resident_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(stats.get("rule_set_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(stats.get("null_bytes").and_then(Json::as_u64).unwrap() > 0);
+
+        let (resp, shutdown) = handle_line(&state, r#"{"cmd":"shutdown"}"#);
+        assert!(shutdown);
+        ok(&resp);
+    }
+
+    #[test]
+    fn named_datasets_route_requests_and_report_registry_stats() {
+        let state = ServerState::new();
+        let path = fixture_path();
+        let (resp, _) = handle_line(
+            &state,
+            &format!(r#"{{"cmd":"load","path":"{path}","name":"a"}}"#),
+        );
+        assert_eq!(ok(&resp).get("name").and_then(Json::as_str), Some("a"));
+        let (resp, _) = handle_line(
+            &state,
+            &format!(r#"{{"cmd":"load","path":"{path}","name":"b"}}"#),
+        );
+        ok(&resp);
+
+        // Queries route by dataset; the other engine's caches stay cold.
+        let (resp, _) = handle_line(&state, r#"{"cmd":"mine","dataset":"a","min_sup":10}"#);
+        let mine = ok(&resp);
+        assert_eq!(mine.get("dataset").and_then(Json::as_str), Some("a"));
+        let (resp, _) = handle_line(&state, r#"{"cmd":"stats","dataset":"b"}"#);
+        assert_eq!(ok(&resp).get("queries").and_then(Json::as_u64), Some(0));
+
+        // The default name is not loaded in this session.
+        let (resp, _) = handle_line(&state, r#"{"cmd":"mine","min_sup":10}"#);
+        assert!(err(&resp).contains("unknown dataset"));
+        let (resp, _) = handle_line(&state, r#"{"cmd":"mine","dataset":"c","min_sup":10}"#);
+        let message = err(&resp);
+        assert!(
+            message.contains("\"c\"") && message.contains("a, b"),
+            "{message}"
+        );
+
+        // registry_stats lists both engines with their size accounting.
+        let (resp, _) = handle_line(&state, r#"{"cmd":"registry_stats"}"#);
+        let stats = ok(&resp);
+        assert_eq!(stats.get("datasets_loaded").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("budget_bytes"), Some(&Json::Null));
+        assert_eq!(stats.get("evictions").and_then(Json::as_u64), Some(0));
+        let datasets = match stats.get("datasets") {
+            Some(Json::Array(items)) => items,
+            other => panic!("datasets should be an array, got {other:?}"),
+        };
+        assert_eq!(datasets.len(), 2);
+        assert_eq!(datasets[0].get("name").and_then(Json::as_str), Some("a"));
+        assert!(
+            datasets[0]
+                .get("resident_bytes")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            datasets[1].get("resident_bytes").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_requeries_stay_bit_identical() {
+        // Learn the warm size of one dataset's caches, unbounded.
+        let path = fixture_path();
+        let correct = r#"{"cmd":"correct","min_sup":10,"correction":"permutation","permutations":40,"seed":5,"top":0}"#;
+        let unbounded = ServerState::new();
+        let (resp, _) = handle_line(&unbounded, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
+        ok(&resp);
+        let (resp, _) = handle_line(&unbounded, correct);
+        let reference = ok(&resp);
+        let full = unbounded.registry().resident_bytes();
+        assert!(full > 0);
+
+        // A budget below one warm cache set forces eviction after every
+        // correct; answers must stay bit-identical while bytes stay bounded.
+        let budget = full / 2;
+        let state = ServerState::with_options(ServerOptions {
+            cache_budget_bytes: Some(budget),
+        });
+        let (resp, _) = handle_line(&state, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
+        ok(&resp);
+        for round in 0..3 {
+            let (resp, _) = handle_line(&state, correct);
+            let got = ok(&resp);
+            for field in ["significant", "p_value_cutoff", "hypothesis_tests", "rules"] {
+                assert_eq!(
+                    got.get(field),
+                    reference.get(field),
+                    "round {round}: {field}"
+                );
+            }
+            assert!(
+                state.registry().resident_bytes() <= budget,
+                "round {round}: over budget"
+            );
+        }
+        assert!(state.registry().evictions() > 0);
+        let (resp, _) = handle_line(&state, r#"{"cmd":"registry_stats"}"#);
+        let stats = ok(&resp);
+        assert_eq!(
+            stats.get("budget_bytes").and_then(Json::as_u64),
+            Some(budget as u64)
+        );
+        assert!(stats.get("evictions").and_then(Json::as_u64).unwrap() > 0);
+        assert!(stats.get("resident_bytes").and_then(Json::as_u64).unwrap() <= budget as u64);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let state = ServerState::new();
+        let (resp, shutdown) = handle_line(&state, "not json");
+        assert!(!shutdown);
+        err(&resp);
+
+        let (resp, _) = handle_line(&state, r#"{"cmd":"mine"}"#);
+        assert!(err(&resp).contains("no dataset loaded"));
+
+        let (resp, _) = handle_line(&state, r#"{"cmd":"transmogrify"}"#);
+        assert!(err(&resp).contains("registry_stats"));
+
+        // A misspelled field errors instead of silently running with
+        // defaults (parity with the CLI's unknown-flag rejection).
+        let (resp, _) = handle_line(&state, r#"{"cmd":"correct","min_supp":5}"#);
+        assert!(err(&resp).contains("min_supp"));
+
+        let (resp, _) = handle_line(&state, r#"{"cmd":"load"}"#);
+        assert!(err(&resp).contains("path"));
+
+        // An unknown correction name surfaces the FromStr error listing the
+        // valid values.
+        let path = fixture_path();
+        let (_, _) = handle_line(&state, &format!(r#"{{"cmd":"load","path":"{path}"}}"#));
+        let (resp, _) = handle_line(&state, r#"{"cmd":"correct","correction":"nope"}"#);
+        let message = err(&resp);
+        assert!(message.contains("permutation"), "got {message}");
+        assert!(message.contains("holdout"), "got {message}");
+
+        // min_sup 0 is rejected consistently by mine and correct.
+        for cmd in ["mine", "correct"] {
+            let (resp, _) = handle_line(&state, &format!(r#"{{"cmd":"{cmd}","min_sup":0}}"#));
+            assert!(err(&resp).contains("min_sup"), "{cmd}");
+        }
+
+        // An empty dataset name on load is rejected.
+        let (resp, _) = handle_line(
+            &state,
+            &format!(r#"{{"cmd":"load","path":"{path}","name":""}}"#),
+        );
+        assert!(err(&resp).contains("name"));
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`mining`] — Apriori, Eclat/dEclat, FP-growth, closed patterns;
 //! * [`synth`] — the Table 1 synthetic data generator;
 //! * [`core`] — class association rules and the three correction approaches;
-//! * [`eval`] — the paper's evaluation methodology and every figure/table.
+//! * [`eval`] — the paper's evaluation methodology and every figure/table;
+//! * [`server`] — the multi-dataset engine registry (byte-budget LRU cache
+//!   eviction) and the concurrent stdin/TCP/Unix-socket serve transports.
 
 #![deny(missing_docs)]
 
@@ -19,6 +21,7 @@ pub use sigrule as core;
 pub use sigrule_data as data;
 pub use sigrule_eval as eval;
 pub use sigrule_mining as mining;
+pub use sigrule_server as server;
 pub use sigrule_stats as stats;
 pub use sigrule_synth as synth;
 
@@ -33,7 +36,8 @@ pub mod prelude {
         ErrorMetric, PermutationApproach, RandomHoldout, Uncorrected,
     };
     pub use sigrule::engine::{
-        Engine, EngineStats, LoadedSource, Loader, Query, QueryOutcome, QueryTimings,
+        CacheEntry, CacheEntryKind, Engine, EngineStats, LoadedSource, Loader, Query, QueryOutcome,
+        QueryTimings,
     };
     pub use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
     pub use sigrule::{
@@ -47,6 +51,9 @@ pub mod prelude {
         Dataset, InputFormat, ItemProvenance, ItemSpace, Pattern, Record, Schema,
     };
     pub use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
+    pub use sigrule_server::{
+        ClientStream, EngineRegistry, ListenAddr, RegistrySnapshot, ServerConfig, ServerState,
+    };
     pub use sigrule_stats::{FisherTest, RuleCounts, Tail};
     pub use sigrule_synth::{BasketGenerator, BasketParams, SyntheticGenerator, SyntheticParams};
 }
