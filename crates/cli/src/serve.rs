@@ -60,15 +60,22 @@ pub const CLIENT_USAGE: &str = "\
 sigrule client — pipe JSON-line requests to a served sigrule process
 
 USAGE:
-  sigrule client --connect <addr>
+  sigrule client --connect <addr> [--retries <n>]
 
 OPTIONS:
   --connect <addr>    the served address: tcp:HOST:PORT or unix:PATH
+  --retries <n>       retry each request up to n times on transient errors
+                      (\"error_kind\":\"transient\": deadline_exceeded,
+                      overloaded, shutting_down, internal) with exponential
+                      backoff and jitter, honouring the server's
+                      retry_after_ms hint.  Implies request/response
+                      lockstep: each line waits for its answer before the
+                      next is sent.  Default: 0 (forward as-is, no retries)
 
 Request lines are read from stdin and forwarded as-is; response lines are
 printed to stdout as they arrive.  On stdin end-of-file the write side is
 half-closed: pending responses still stream back until the server closes
-the connection.  See docs/SERVE.md for the protocol.
+the connection.  See docs/SERVE.md for the protocol and the error taxonomy.
 ";
 
 /// Parsed `serve` flags.
@@ -174,26 +181,56 @@ pub fn run_client(argv: &[String]) -> i32 {
         print!("{CLIENT_USAGE}");
         return 0;
     }
-    let addr = match argv {
-        [flag, spec] if flag == "--connect" => match ListenAddr::parse(spec) {
-            Ok(addr) => addr,
-            Err(message) => {
-                eprintln!("sigrule: error: {message}\n\n{CLIENT_USAGE}");
-                return 2;
-            }
-        },
-        _ => {
-            eprintln!("sigrule: error: client needs exactly --connect <addr>\n\n{CLIENT_USAGE}");
+    let (addr, retries) = match parse_client_args(argv) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("sigrule: error: {message}\n\n{CLIENT_USAGE}");
             return 2;
         }
     };
     let input = std::io::BufReader::new(std::io::stdin());
-    match sigrule_server::client::pipe_lines(&addr, input, std::io::stdout()) {
+    let piped = match retries {
+        0 => sigrule_server::client::pipe_lines(&addr, input, std::io::stdout()),
+        n => sigrule_server::client::pipe_lines_with_retry(
+            &addr,
+            input,
+            std::io::stdout(),
+            &sigrule_server::client::RetryPolicy::with_max_retries(n),
+        ),
+    };
+    match piped {
         Ok(code) => code,
         Err(e) => {
             eprintln!("sigrule: error: cannot reach {addr}: {e}");
             1
         }
+    }
+}
+
+/// Parses `client` flags into the connect address and the retry budget.
+fn parse_client_args(argv: &[String]) -> Result<(ListenAddr, u32), String> {
+    let mut addr = None;
+    let mut retries = 0u32;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" => {
+                addr = Some(ListenAddr::parse(flag_value(argv, i, "--connect")?)?);
+            }
+            "--retries" => {
+                retries = flag_value(argv, i, "--retries")?
+                    .parse()
+                    .map_err(|_| "--retries must be a non-negative integer".to_string())?;
+            }
+            other => {
+                return Err(format!("client takes no option {other:?}"));
+            }
+        }
+        i += 2;
+    }
+    match addr {
+        Some(addr) => Ok((addr, retries)),
+        None => Err("client needs --connect <addr>".to_string()),
     }
 }
 
@@ -240,5 +277,28 @@ mod tests {
         assert_eq!(run_client(&argv(&["--connect"])), 2);
         assert_eq!(run_client(&argv(&["--connect", "bogus"])), 2);
         assert_eq!(run_client(&argv(&[])), 2);
+        assert_eq!(run_client(&argv(&["--retries", "3"])), 2);
+    }
+
+    #[test]
+    fn client_flags_parse() {
+        let (addr, retries) = parse_client_args(&argv(&[
+            "--connect",
+            "tcp:127.0.0.1:7878",
+            "--retries",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(addr, ListenAddr::Tcp("127.0.0.1:7878".into()));
+        assert_eq!(retries, 4);
+        let (_, default_retries) = parse_client_args(&argv(&["--connect", "unix:/tmp/s"])).unwrap();
+        assert_eq!(default_retries, 0);
+        for bad in [
+            argv(&["--retries", "-1", "--connect", "tcp:h:1"]),
+            argv(&["--retries", "many", "--connect", "tcp:h:1"]),
+            argv(&["--connect", "tcp:h:1", "--bogus"]),
+        ] {
+            assert!(parse_client_args(&bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

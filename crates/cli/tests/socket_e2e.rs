@@ -66,7 +66,7 @@ impl ServedProcess {
     }
 
     fn connect(&self) -> ClientStream {
-        let client = ClientStream::connect(&self.addr).expect("connect");
+        let mut client = ClientStream::connect(&self.addr).expect("connect");
         client
             .set_read_timeout(Some(READ_TIMEOUT))
             .expect("read timeout");
@@ -344,6 +344,56 @@ fn shutdown_drains_async_workers_on_other_connections() {
     assert_eq!(slow.get("id").and_then(Json::as_str), Some("slow"));
     assert_ok(&slow);
     assert_matches_reference(&slow, &reference(8, 100, 17), "drained worker");
+    served.assert_clean_exit();
+}
+
+/// A TCP client that vanishes right after firing a cold async `correct`
+/// must not leak its worker or stall anyone else: other connections keep
+/// answering (bit-identically), and shutdown still drains and exits
+/// cleanly.
+#[test]
+fn dropped_client_mid_cold_query_does_not_stall_other_connections() {
+    let served = ServedProcess::spawn("tcp:127.0.0.1:0", &[]);
+    let path = fixture();
+    let path_str = path.to_str().unwrap();
+
+    let mut admin = served.connect();
+    let resp = admin
+        .request(&format!(r#"{{"cmd":"load","path":"{path_str}"}}"#))
+        .unwrap();
+    assert_ok(&resp);
+
+    // The doomed connection fires a cold async query, never reads, and is
+    // dropped as soon as the engine has accepted the work.
+    {
+        let mut doomed = served.connect();
+        doomed
+            .send(&correct_line("doomed", "default", 0.05, true))
+            .unwrap();
+        loop {
+            let stats = admin.request(r#"{"cmd":"stats"}"#).unwrap();
+            if stats.get("queries").and_then(Json::as_u64).unwrap_or(0) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    } // <- socket closed here, mid-flight
+
+    // Other connections are not stalled: a fresh client runs the same
+    // query and gets the full, bit-identical answer (whether it shares
+    // the doomed worker's fill or redoes the work itself).
+    let mut survivor = served.connect();
+    let resp = survivor
+        .request(&correct_line("live", "default", 0.05, false))
+        .unwrap();
+    assert_ok(&resp);
+    assert_matches_reference(&resp, &reference(8, 100, 17), "survivor after drop");
+
+    // Shutdown drains whatever is left of the doomed worker and exits
+    // cleanly — a leaked worker would hang the drain (and trip the CI
+    // timeout wrapping this binary).
+    let bye = survivor.request(r#"{"cmd":"shutdown"}"#).unwrap();
+    assert_ok(&bye);
     served.assert_clean_exit();
 }
 

@@ -22,6 +22,7 @@ pub mod direct;
 pub mod holdout;
 pub mod permutation;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::RuleMiningConfig;
 use crate::miner::MinedRuleSet;
 use crate::rule::ClassRule;
@@ -153,10 +154,19 @@ impl<'a> CorrectionContext<'a> {
 pub trait Correction: Send + Sync {
     /// The correction-specific expensive artifact that depends only on the
     /// mined rule set — never on α or the metric — and is therefore cacheable
-    /// across queries.  Returns `None` for approaches with no such
+    /// across queries.  Returns `Ok(None)` for approaches with no such
     /// precomputation (everything except the permutation approach today).
-    fn collect_null(&self, _ctx: &CorrectionContext<'_>) -> Option<PermutationStats> {
-        None
+    ///
+    /// The collection is cancellable: `cancel` is checked between permutation
+    /// chunks, and a fired token aborts with [`Cancelled`] at the next chunk
+    /// boundary.  Pass [`CancelToken::none`] for the infallible one-shot
+    /// path.
+    fn collect_null(
+        &self,
+        _ctx: &CorrectionContext<'_>,
+        _cancel: &CancelToken,
+    ) -> Result<Option<PermutationStats>, Cancelled> {
+        Ok(None)
     }
 
     /// Decides significance.  Must be deterministic given the context.
@@ -206,11 +216,14 @@ impl PermutationApproach {
 }
 
 impl Correction for PermutationApproach {
-    fn collect_null(&self, ctx: &CorrectionContext<'_>) -> Option<PermutationStats> {
-        Some(
-            self.correction()
-                .collect_stats_with_tables(ctx.mined, ctx.tables),
-        )
+    fn collect_null(
+        &self,
+        ctx: &CorrectionContext<'_>,
+        cancel: &CancelToken,
+    ) -> Result<Option<PermutationStats>, Cancelled> {
+        self.correction()
+            .collect_stats_cancellable(ctx.mined, ctx.tables, cancel)
+            .map(Some)
     }
 
     fn apply(&self, ctx: &CorrectionContext<'_>) -> CorrectionResult {
@@ -344,12 +357,20 @@ mod tests {
         // Fresh context: the null is collected inside apply.
         assert_eq!(perm.apply(&ctx), reference);
         // Cached context: the engine collected the null once, any α reuses it.
-        let null = perm.collect_null(&ctx).expect("permutation has a null");
+        let none = CancelToken::none();
+        let null = perm
+            .collect_null(&ctx, &none)
+            .expect("the never-firing token cannot cancel")
+            .expect("permutation has a null");
         let cached_ctx = CorrectionContext {
             null: Some(&null),
             ..ctx
         };
         assert_eq!(perm.apply(&cached_ctx), reference);
+        // A pre-cancelled token aborts the collection instead.
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(perm.collect_null(&ctx, &fired).is_err());
 
         let hd = RandomHoldout::from_mining(11, m.config());
         assert_eq!(hd.exploratory.min_sup, 20);
@@ -358,9 +379,12 @@ mod tests {
             holdout::random_holdout(&d, 11, &hd.exploratory, ErrorMetric::Fwer, 0.05)
         );
         // Approaches with no cacheable artifact report so.
-        assert!(Uncorrected.collect_null(&ctx).is_none());
-        assert!(DirectAdjustment.collect_null(&ctx).is_none());
-        assert!(hd.collect_null(&ctx).is_none());
+        assert!(Uncorrected.collect_null(&ctx, &none).unwrap().is_none());
+        assert!(DirectAdjustment
+            .collect_null(&ctx, &none)
+            .unwrap()
+            .is_none());
+        assert!(hd.collect_null(&ctx, &none).unwrap().is_none());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 //! class to the rules testing it, so the inner loop never scans for its
 //! support vector.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::correction::{CorrectionResult, ErrorMetric};
 use crate::miner::{MinedRuleSet, DEFAULT_STATIC_BUFFER_BYTES};
 use rand::rngs::StdRng;
@@ -358,31 +359,61 @@ impl PermutationCorrection {
         mined: &MinedRuleSet,
         tables: Option<&SharedTableSet>,
     ) -> PermutationStats {
+        self.collect_stats_cancellable(mined, tables, &CancelToken::none())
+            .expect("the never-firing token cannot cancel")
+    }
+
+    /// [`collect_stats_with_tables`](Self::collect_stats_with_tables) with a
+    /// cooperative [`CancelToken`].  The token is checked before each
+    /// fixed-size permutation chunk (serial and parallel alike), so a fired
+    /// token aborts within one chunk's worth of work.  Cancellation only ever
+    /// drops chunk results on the floor — it cannot corrupt them — so a
+    /// subsequent uncancelled run over the same inputs is bit-identical to a
+    /// run that was never cancelled.
+    pub fn collect_stats_cancellable(
+        &self,
+        mined: &MinedRuleSet,
+        tables: Option<&SharedTableSet>,
+        cancel: &CancelToken,
+    ) -> Result<PermutationStats, Cancelled> {
+        cancel.check()?;
         let n_rules = mined.rules().len();
         if n_rules == 0 || self.n_permutations == 0 {
-            return PermutationStats {
+            return Ok(PermutationStats {
                 minima: Vec::new(),
                 pool_counts_leq: vec![0; n_rules],
                 pool_size: (self.n_permutations as u64) * (n_rules as u64),
-            };
+            });
         }
 
         let plan = self.build_plan(mined, tables);
 
         // Fixed-size chunks over the permutation indices; the chunk list (and
         // therefore the merge order below) is independent of the worker
-        // count.
+        // count.  Each chunk re-checks the token before running, so on the
+        // parallel path a fired token turns every not-yet-started chunk into a
+        // cheap early return rather than tearing threads down.
         let chunk_starts: Vec<usize> = (0..self.n_permutations).step_by(PERMS_PER_CHUNK).collect();
-        let chunks: Vec<ChunkStats> = match self.mode {
-            ExecutionMode::Serial => chunk_starts
-                .into_iter()
-                .map(|start| self.run_chunk(&plan, start))
-                .collect(),
+        let chunk_results: Vec<Result<ChunkStats, Cancelled>> = match self.mode {
+            ExecutionMode::Serial => {
+                let mut out = Vec::with_capacity(chunk_starts.len());
+                for start in chunk_starts {
+                    cancel.check()?;
+                    out.push(Ok(self.run_chunk(&plan, start)));
+                }
+                out
+            }
             ExecutionMode::Parallel => chunk_starts
                 .into_par_iter()
-                .map(|start| self.run_chunk(&plan, start))
+                .map(|start| {
+                    cancel.check()?;
+                    Ok(self.run_chunk(&plan, start))
+                })
                 .collect(),
         };
+        let chunks = chunk_results
+            .into_iter()
+            .collect::<Result<Vec<ChunkStats>, Cancelled>>()?;
 
         // Merge in chunk (= permutation) order: minima are keyed by
         // permutation index, histogram cells add exactly.
@@ -416,11 +447,11 @@ impl PermutationCorrection {
             })
             .collect();
 
-        PermutationStats {
+        Ok(PermutationStats {
             minima,
             pool_counts_leq,
             pool_size: (self.n_permutations as u64) * (n_rules as u64),
-        }
+        })
     }
 
     /// Builds the static p-value tables (one [`SharedPValueTable`] per class
@@ -503,6 +534,7 @@ impl PermutationCorrection {
     /// and reduces them to a [`ChunkStats`].  All mutable state is chunk-
     /// local; everything shared is behind `&`.
     fn run_chunk(&self, plan: &ScoringPlan<'_>, start: usize) -> ChunkStats {
+        crate::fault::point("perm.chunk");
         let mined = plan.mined;
         let rules = mined.rules();
         let n = mined.n_records();

@@ -43,13 +43,14 @@
 //! assert_eq!(warm.null_cached, Some(true));
 //! ```
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::RuleMiningConfig;
 use crate::correction::permutation::PermutationStats;
 use crate::correction::{
     Correction, CorrectionContext, CorrectionResult, DirectAdjustment, ErrorMetric,
     PermutationApproach, RandomHoldout, Uncorrected,
 };
-use crate::miner::{mine_rules_with_vertical, MinedRuleSet};
+use crate::miner::{mine_rules_cancellable, MinedRuleSet};
 use crate::pipeline::{CorrectionApproach, PipelineError};
 use sigrule_data::loader::{
     detect_format_with, load_baskets_file, load_baskets_str, load_csv_file, load_csv_str,
@@ -60,7 +61,7 @@ use sigrule_stats::SharedTableSet;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The load stage: turns a file or text into a dataset plus loader warnings,
@@ -231,11 +232,102 @@ struct NullEntry {
     last_used: AtomicU64,
 }
 
-/// A cache slot that is filled at most once; concurrent requesters of the
-/// same key block on the filling thread instead of duplicating the work, so
-/// two identical queries racing on a cold cache still permute (or mine) only
-/// once.
-type CacheCell<T> = Arc<OnceLock<T>>;
+/// The state of a [`FillCell`]: never filled, being filled by one thread, or
+/// filled for good.
+#[derive(Debug)]
+enum FillState<T> {
+    Empty,
+    Filling,
+    Full(Arc<T>),
+}
+
+/// A cache slot that is filled at most once per *successful* fill attempt.
+/// Concurrent requesters of the same key block on the filling thread instead
+/// of duplicating the work, so two identical queries racing on a cold cache
+/// still permute (or mine) only once.
+///
+/// Unlike a `OnceLock`, a fill here is **fallible and abortable**: if the
+/// filling closure errors (a cancelled query), or panics (an injected
+/// fault), the cell reverts to empty — never a partial entry — and one of
+/// the blocked waiters takes the fill over.  The next identical query redoes
+/// the work from scratch and stays bit-identical; cancellation can change
+/// cost, never answers.
+#[derive(Debug)]
+struct FillCell<T> {
+    state: Mutex<FillState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for FillCell<T> {
+    fn default() -> Self {
+        FillCell {
+            state: Mutex::new(FillState::Empty),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Resets an aborted fill (error or panic) back to empty and wakes the
+/// waiters so one of them can take over.
+struct FillAbortGuard<'a, T> {
+    cell: &'a FillCell<T>,
+    armed: bool,
+}
+
+impl<T> Drop for FillAbortGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.cell.lock() = FillState::Empty;
+            self.cell.ready.notify_all();
+        }
+    }
+}
+
+impl<T> FillCell<T> {
+    /// The state lock, recovering from poisoning: the abort guard keeps the
+    /// state machine consistent even when a filling thread panics, so a
+    /// poisoned mutex carries no broken invariant.
+    fn lock(&self) -> MutexGuard<'_, FillState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The filled value, if any (never blocks on a fill in progress).
+    fn get(&self) -> Option<Arc<T>> {
+        match &*self.lock() {
+            FillState::Full(value) => Some(value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the filled value, filling it with `fill` when the cell is
+    /// empty.  The second tuple field is `true` when the value was already
+    /// resident (a cache hit).  While one thread fills, concurrent callers
+    /// block; if the fill errors or panics, the cell reverts to empty and a
+    /// blocked caller retries the fill itself.
+    fn get_or_fill<E>(&self, fill: impl FnOnce() -> Result<T, E>) -> Result<(Arc<T>, bool), E> {
+        let mut state = self.lock();
+        loop {
+            match &*state {
+                FillState::Full(value) => return Ok((value.clone(), true)),
+                FillState::Filling => {
+                    state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                FillState::Empty => break,
+            }
+        }
+        *state = FillState::Filling;
+        drop(state);
+        let mut guard = FillAbortGuard {
+            cell: self,
+            armed: true,
+        };
+        let value = Arc::new(fill()?);
+        guard.armed = false;
+        *self.lock() = FillState::Full(value.clone());
+        self.ready.notify_all();
+        Ok((value, false))
+    }
+}
 
 /// One query against a resident [`Engine`]: which rules to mine and how to
 /// correct them.  Everything the one-shot pipeline configures per run, minus
@@ -257,6 +349,10 @@ pub struct Query {
     /// Worker-thread count for the permutation engine (`None`: rayon's
     /// default pool).
     pub threads: Option<usize>,
+    /// Cancellation token checked between permutation chunks and mining
+    /// phases; deliberately **not** part of any cache key (a cancelled and a
+    /// clean query are the same query).  Defaults to the never-firing token.
+    pub cancel: CancelToken,
 }
 
 impl Query {
@@ -271,6 +367,7 @@ impl Query {
             n_permutations: 1000,
             seed: 17,
             threads: None,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -302,6 +399,15 @@ impl Query {
     /// Pins the permutation engine to `n` worker threads.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token: the query aborts (with
+    /// [`PipelineError::Cancelled`]) at the next chunk or phase boundary
+    /// after the token fires, leaving the engine caches cold or complete —
+    /// never partial.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -408,6 +514,9 @@ pub struct EngineStats {
     pub null_hits: u64,
     /// Permutation-null cache misses (nulls collected).
     pub null_misses: u64,
+    /// Queries aborted by their cancellation token (deadline or explicit
+    /// cancel) before finishing.
+    pub cancelled_queries: u64,
     /// Rule sets currently resident.
     pub cached_rule_sets: usize,
     /// Null distributions currently resident.
@@ -468,13 +577,14 @@ pub struct Engine {
     shared: SharedDataset,
     load_time: Duration,
     warnings: Vec<LoadWarning>,
-    mined: Mutex<HashMap<MiningKey, CacheCell<MineEntry>>>,
-    nulls: Mutex<HashMap<NullKey, CacheCell<NullEntry>>>,
+    mined: Mutex<HashMap<MiningKey, Arc<FillCell<MineEntry>>>>,
+    nulls: Mutex<HashMap<NullKey, Arc<FillCell<NullEntry>>>>,
     queries: AtomicU64,
     mine_hits: AtomicU64,
     mine_misses: AtomicU64,
     null_hits: AtomicU64,
     null_misses: AtomicU64,
+    cancelled_queries: AtomicU64,
     evicted_rule_sets: AtomicU64,
     evicted_nulls: AtomicU64,
     /// Monotonic LRU clock; every cache touch stamps the entry with the next
@@ -503,6 +613,7 @@ impl Engine {
             mine_misses: AtomicU64::new(0),
             null_hits: AtomicU64::new(0),
             null_misses: AtomicU64::new(0),
+            cancelled_queries: AtomicU64::new(0),
             evicted_rule_sets: AtomicU64::new(0),
             evicted_nulls: AtomicU64::new(0),
             clock: Arc::new(AtomicU64::new(0)),
@@ -547,12 +658,27 @@ impl Engine {
     /// Returns the rule set, the time spent mining (zero on a hit) and
     /// whether the cache answered.
     pub fn mine(&self, config: &RuleMiningConfig) -> (Arc<MinedRuleSet>, Duration, bool) {
-        let (cell, elapsed, cached) = self.mine_entry(config);
-        let entry = cell.get().expect("mine cell is filled by mine_entry");
-        (entry.mined.clone(), elapsed, cached)
+        self.mine_cancellable(config, &CancelToken::none())
+            .expect("mining with the never-firing token cannot be cancelled")
     }
 
-    fn mine_entry(&self, config: &RuleMiningConfig) -> (CacheCell<MineEntry>, Duration, bool) {
+    /// [`mine`](Engine::mine) with a cancellation token, checked between
+    /// mining phases.  On cancellation the mine cache is left cold — the
+    /// next identical call redoes the work, bit-identically.
+    pub fn mine_cancellable(
+        &self,
+        config: &RuleMiningConfig,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<MinedRuleSet>, Duration, bool), Cancelled> {
+        let (entry, elapsed, cached) = self.mine_entry(config, cancel)?;
+        Ok((entry.mined.clone(), elapsed, cached))
+    }
+
+    fn mine_entry(
+        &self,
+        config: &RuleMiningConfig,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<MineEntry>, Duration, bool), Cancelled> {
         let key = MiningKey::from(config);
         // Take (or insert) the cell under the lock, then fill it outside the
         // lock: the cell blocks concurrent requesters of the same key on the
@@ -564,44 +690,58 @@ impl Engine {
             .entry(key)
             .or_default()
             .clone();
-        let mut cold = false;
         let start = Instant::now();
-        cell.get_or_init(|| {
-            cold = true;
+        let (entry, cached) = cell.get_or_fill(|| {
+            cancel.check()?;
             let vertical = self.shared.vertical();
-            let mined = Arc::new(mine_rules_with_vertical(
+            let mined = Arc::new(mine_rules_cancellable(
                 self.shared.dataset(),
                 &vertical,
                 config,
-            ));
+                cancel,
+            )?);
             let mined_bytes = mined.approx_bytes();
-            MineEntry {
+            Ok(MineEntry {
                 mined,
                 tables: OnceLock::new(),
                 mined_bytes,
                 table_bytes: OnceLock::new(),
                 last_used: AtomicU64::new(0),
-            }
-        });
-        let entry = cell.get().expect("mine cell is filled above");
+            })
+        })?;
         entry.last_used.store(self.tick(), Relaxed);
-        if cold {
-            self.mine_misses.fetch_add(1, Relaxed);
-            (cell, start.elapsed(), false)
-        } else {
+        if cached {
             self.mine_hits.fetch_add(1, Relaxed);
-            (cell, Duration::ZERO, true)
+            Ok((entry, Duration::ZERO, true))
+        } else {
+            self.mine_misses.fetch_add(1, Relaxed);
+            Ok((entry, start.elapsed(), false))
         }
     }
 
     /// Answers one query, consulting and populating the caches.  Warm results
     /// are bit-identical to cold ones (and to a one-shot
     /// [`Pipeline`](crate::pipeline::Pipeline) run with the same parameters).
+    ///
+    /// The query's [`CancelToken`] is checked between permutation chunks and
+    /// mining phases; once it fires the query returns
+    /// [`PipelineError::Cancelled`] promptly, and whatever cache fill it was
+    /// driving reverts to cold — the next identical query redoes the work
+    /// and answers bit-identically.
     pub fn query(&self, query: &Query) -> Result<QueryOutcome, PipelineError> {
         query.validate()?;
         self.queries.fetch_add(1, Relaxed);
-        let (mine_cell, mine_time, mined_cached) = self.mine_entry(&query.mining);
-        let entry = mine_cell.get().expect("mine cell is filled by mine_entry");
+        let outcome = self.query_inner(query);
+        if matches!(outcome, Err(PipelineError::Cancelled(_))) {
+            self.cancelled_queries.fetch_add(1, Relaxed);
+        }
+        outcome
+    }
+
+    fn query_inner(&self, query: &Query) -> Result<QueryOutcome, PipelineError> {
+        let cancel = &query.cancel;
+        cancel.check()?;
+        let (entry, mine_time, mined_cached) = self.mine_entry(&query.mining, cancel)?;
         let correction = query.correction();
 
         let mut ctx = CorrectionContext::fresh(
@@ -613,10 +753,10 @@ impl Engine {
 
         // Null stage: look the cacheable null up, collecting it on a miss
         // (under a pinned thread pool when the query asks for one).  The
-        // once-cell blocks concurrent identical queries on the one collector.
+        // fill cell blocks concurrent identical queries on the one collector.
         let mut null_time = Duration::ZERO;
         let mut null_cached = None;
-        let null: Option<CacheCell<NullEntry>> = match query.null_key() {
+        let null_stats: Option<Arc<PermutationStats>> = match query.null_key() {
             None => None,
             Some(key) => {
                 let cell = self
@@ -630,6 +770,7 @@ impl Engine {
                     // Probably cold: prepare the shared tables and (when
                     // requested) the pinned pool before entering the cell, so
                     // pool-build errors can still be reported.
+                    cancel.check()?;
                     let tables = entry.tables.get_or_init(|| {
                         PermutationApproach {
                             n_permutations: query.n_permutations,
@@ -648,46 +789,47 @@ impl Engine {
                         ),
                         None => None,
                     };
-                    let mut cold = false;
                     let start = Instant::now();
-                    cell.get_or_init(|| {
-                        cold = true;
-                        let collect = || {
-                            correction
-                                .collect_null(&ctx)
-                                .expect("a correction with a null key collects a null")
-                        };
-                        NullEntry {
-                            stats: Arc::new(match &pool {
+                    let (null_entry, cached) =
+                        cell.get_or_fill(|| -> Result<NullEntry, Cancelled> {
+                            cancel.check()?;
+                            let collect = || {
+                                correction.collect_null(&ctx, cancel).map(|stats| {
+                                    stats.expect("a correction with a null key collects a null")
+                                })
+                            };
+                            let stats = match &pool {
                                 Some(pool) => pool.install(collect),
                                 None => collect(),
-                            }),
-                            last_used: AtomicU64::new(0),
-                        }
-                    });
-                    if cold {
+                            }?;
+                            Ok(NullEntry {
+                                stats: Arc::new(stats),
+                                last_used: AtomicU64::new(0),
+                            })
+                        })?;
+                    if cached {
+                        self.null_hits.fetch_add(1, Relaxed);
+                        null_cached = Some(true);
+                    } else {
                         null_time = start.elapsed();
                         self.null_misses.fetch_add(1, Relaxed);
                         null_cached = Some(false);
-                    } else {
-                        self.null_hits.fetch_add(1, Relaxed);
-                        null_cached = Some(true);
                     }
+                    null_entry.last_used.store(self.tick(), Relaxed);
+                    Some(null_entry.stats.clone())
                 } else {
                     self.null_hits.fetch_add(1, Relaxed);
                     null_cached = Some(true);
+                    let null_entry = cell.get().expect("null cell is full above");
+                    null_entry.last_used.store(self.tick(), Relaxed);
+                    Some(null_entry.stats.clone())
                 }
-                let entry = cell.get().expect("null cell is filled above");
-                entry.last_used.store(self.tick(), Relaxed);
-                Some(cell)
             }
         };
-        let null_stats = null
-            .as_ref()
-            .map(|cell| cell.get().expect("null cell is filled above").stats.clone());
         ctx.null = null_stats.as_deref();
 
         // Decision stage: cheap, never cached (it depends on α and metric).
+        cancel.check()?;
         let start = Instant::now();
         let result = correction.apply(&ctx);
         let correct_time = start.elapsed();
@@ -711,7 +853,7 @@ impl Engine {
         let table_bytes = mined
             .values()
             .filter_map(|cell| cell.get())
-            .map(MineEntry::tables_bytes)
+            .map(|e| e.tables_bytes())
             .sum();
         let rule_set_bytes = mined
             .values()
@@ -730,6 +872,7 @@ impl Engine {
             mine_misses: self.mine_misses.load(Relaxed),
             null_hits: self.null_hits.load(Relaxed),
             null_misses: self.null_misses.load(Relaxed),
+            cancelled_queries: self.cancelled_queries.load(Relaxed),
             cached_rule_sets: mined.len(),
             cached_nulls: nulls.len(),
             table_bytes,
@@ -1020,6 +1163,98 @@ mod tests {
         let engine = loaded.into_engine();
         assert!(engine.load_time() > Duration::ZERO);
         assert!(engine.warnings().is_empty());
+    }
+
+    #[test]
+    fn cancelled_cold_query_leaves_caches_cold_and_retry_is_bit_identical() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let reference = Engine::new(synth(10)).query(&perm_query(30)).unwrap();
+
+        // An already-expired deadline aborts before any cache fill.
+        let engine = Engine::new(synth(10));
+        let expired = perm_query(30).with_cancel(CancelToken::with_deadline(Duration::ZERO));
+        match engine.query(&expired) {
+            Err(PipelineError::Cancelled(c)) => {
+                assert_eq!(c.reason, CancelReason::DeadlineExceeded)
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.cancelled_queries, 1);
+        assert_eq!(stats.resident_bytes(), 0, "aborted fill left residue");
+
+        // An explicitly pre-cancelled token aborts the same way.
+        let token = CancelToken::new();
+        token.cancel();
+        match engine.query(&perm_query(30).with_cancel(token)) {
+            Err(PipelineError::Cancelled(c)) => {
+                assert_eq!(c.reason, CancelReason::Cancelled)
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+
+        // The retry is cold (the caches stayed cold) and bit-identical.
+        let retry = engine.query(&perm_query(30)).unwrap();
+        assert!(!retry.mined_cached);
+        assert_eq!(retry.null_cached, Some(false));
+        assert_eq!(retry.result, reference.result);
+        assert_eq!(engine.stats().cancelled_queries, 2);
+    }
+
+    #[test]
+    fn fill_cell_aborted_fills_revert_to_empty() {
+        let cell = FillCell::<usize>::default();
+        // An erroring fill leaves the cell empty.
+        assert!(cell
+            .get_or_fill(|| -> Result<usize, &'static str> { Err("cancelled") })
+            .is_err());
+        assert!(cell.get().is_none());
+        // A panicking fill (an injected fault) leaves the cell empty too.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cell.get_or_fill(|| -> Result<usize, &'static str> { panic!("boom") });
+        }));
+        assert!(panicked.is_err());
+        assert!(cell.get().is_none());
+        // A later fill succeeds and sticks.
+        let (v, cached) = cell
+            .get_or_fill(|| -> Result<usize, &'static str> { Ok(7) })
+            .unwrap();
+        assert_eq!((*v, cached), (7, false));
+        let (v, cached) = cell
+            .get_or_fill(|| -> Result<usize, &'static str> { Ok(9) })
+            .unwrap();
+        assert_eq!((*v, cached), (7, true), "second fill is a hit");
+    }
+
+    #[test]
+    fn fill_cell_waiter_takes_over_an_aborted_fill() {
+        let cell = Arc::new(FillCell::<usize>::default());
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (abort_tx, abort_rx) = std::sync::mpsc::channel::<()>();
+        let aborter = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                cell.get_or_fill(|| -> Result<usize, &'static str> {
+                    started_tx.send(()).unwrap();
+                    abort_rx.recv().unwrap();
+                    Err("cancelled")
+                })
+            })
+        };
+        started_rx.recv().unwrap();
+        let waiter = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                cell.get_or_fill(|| -> Result<usize, &'static str> { Ok(42) })
+            })
+        };
+        // Let the waiter block on the in-progress fill, then abort it.
+        std::thread::sleep(Duration::from_millis(20));
+        abort_tx.send(()).unwrap();
+        assert!(aborter.join().unwrap().is_err());
+        let (v, cached) = waiter.join().unwrap().unwrap();
+        assert_eq!((*v, cached), (42, false), "waiter took the fill over");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Fault injection at labeled sites, for chaos testing the serve stack.
+//!
+//! Production code calls [`point`] / [`io_point`] at named sites (e.g.
+//! `perm.chunk` before each permutation chunk, `req.correct` at the top of
+//! the correct handler).  Without the `faults` cargo feature both compile
+//! to empty inline functions — zero cost, nothing to configure.  With the
+//! feature on, the `SIGRULE_FAULTS` environment variable (read once, at the
+//! first fault point) selects what each site does:
+//!
+//! ```text
+//! SIGRULE_FAULTS="perm.chunk=delay:40;req.correct=panic@1;load.read=io@2"
+//! ```
+//!
+//! is a `;`-separated list of `site=action` rules, where `action` is one
+//! of:
+//!
+//! * `panic` — panic at every hit of the site;
+//! * `panic@N` — panic at the N-th hit only (1-based), then behave
+//!   normally — "fail once, succeed on retry";
+//! * `delay:MS` — sleep `MS` milliseconds at every hit — "slow chunk";
+//! * `io` / `io@N` — make an [`io_point`] site report an injected IO
+//!   error (every hit / N-th hit only).
+//!
+//! Hit counts are per site and process-wide, so a multi-connection chaos
+//! test observes one shared fault schedule.  The chaos suite
+//! (`crates/cli/tests/chaos_e2e.rs`) builds the served binary with
+//! `--features faults` and asserts the server's invariants under these
+//! plans.
+
+#[cfg(feature = "faults")]
+mod active {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Action {
+        Panic,
+        PanicAt(u64),
+        Delay(u64),
+        Io,
+        IoAt(u64),
+    }
+
+    struct Plan {
+        rules: Vec<(String, Action)>,
+        hits: Mutex<HashMap<String, u64>>,
+    }
+
+    fn parse_action(spec: &str) -> Option<Action> {
+        if spec == "panic" {
+            return Some(Action::Panic);
+        }
+        if let Some(n) = spec.strip_prefix("panic@") {
+            return n.parse().ok().map(Action::PanicAt);
+        }
+        if let Some(ms) = spec.strip_prefix("delay:") {
+            return ms.parse().ok().map(Action::Delay);
+        }
+        if spec == "io" {
+            return Some(Action::Io);
+        }
+        if let Some(n) = spec.strip_prefix("io@") {
+            return n.parse().ok().map(Action::IoAt);
+        }
+        None
+    }
+
+    fn plan() -> &'static Plan {
+        static PLAN: OnceLock<Plan> = OnceLock::new();
+        PLAN.get_or_init(|| {
+            let mut rules = Vec::new();
+            if let Ok(spec) = std::env::var("SIGRULE_FAULTS") {
+                for rule in spec.split(';').filter(|r| !r.trim().is_empty()) {
+                    let Some((site, action)) = rule.split_once('=') else {
+                        panic!("SIGRULE_FAULTS rule {rule:?} is not site=action");
+                    };
+                    let action = parse_action(action.trim()).unwrap_or_else(|| {
+                        panic!("SIGRULE_FAULTS rule {rule:?} has an unknown action")
+                    });
+                    rules.push((site.trim().to_string(), action));
+                }
+            }
+            Plan {
+                rules,
+                hits: Mutex::new(HashMap::new()),
+            }
+        })
+    }
+
+    /// The action configured for `site`, with the site's hit counter
+    /// already advanced, or `None` when the plan does not mention it.
+    fn fire(site: &str) -> Option<(Action, u64)> {
+        let plan = plan();
+        let action = plan
+            .rules
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|&(_, action)| action)?;
+        let mut hits = plan.hits.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = hits.entry(site.to_string()).or_insert(0);
+        *hit += 1;
+        Some((action, *hit))
+    }
+
+    /// A fault point that may panic or delay, per the configured plan.
+    pub fn point(site: &str) {
+        let Some((action, hit)) = fire(site) else {
+            return;
+        };
+        match action {
+            Action::Panic => panic!("injected fault: panic at {site} (hit {hit})"),
+            Action::PanicAt(n) if hit == n => {
+                panic!("injected fault: panic at {site} (hit {hit})")
+            }
+            Action::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+
+    /// A fault point that may report an injected IO failure, per the
+    /// configured plan (it may also panic or delay, like [`point`]).
+    pub fn io_point(site: &str) -> Result<(), String> {
+        let Some((action, hit)) = fire(site) else {
+            return Ok(());
+        };
+        match action {
+            Action::Panic => panic!("injected fault: panic at {site} (hit {hit})"),
+            Action::PanicAt(n) if hit == n => {
+                panic!("injected fault: panic at {site} (hit {hit})")
+            }
+            Action::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Action::Io => Err(format!("injected IO fault at {site} (hit {hit})")),
+            Action::IoAt(n) if hit == n => Err(format!("injected IO fault at {site} (hit {hit})")),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+pub use active::{io_point, point};
+
+/// A fault point that may panic or delay.  Without the `faults` feature
+/// this is an empty inline no-op.
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub fn point(_site: &str) {}
+
+/// A fault point that may report an injected IO failure.  Without the
+/// `faults` feature this is an inline `Ok(())`.
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub fn io_point(_site: &str) -> Result<(), String> {
+    Ok(())
+}

@@ -45,16 +45,19 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cancel;
 pub mod config;
 pub mod correction;
 pub mod engine;
+pub mod fault;
 pub mod miner;
 pub mod pipeline;
 pub mod rule;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use config::RuleMiningConfig;
 pub use correction::{Correction, CorrectionContext, CorrectionResult, ErrorMetric};
 pub use engine::{CacheEntry, CacheEntryKind, Engine, EngineStats, Loader, Query, QueryOutcome};
-pub use miner::{mine_rules, mine_rules_with_vertical, MinedRuleSet};
+pub use miner::{mine_rules, mine_rules_cancellable, mine_rules_with_vertical, MinedRuleSet};
 pub use pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
 pub use rule::ClassRule;

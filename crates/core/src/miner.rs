@@ -2,6 +2,7 @@
 //! once, turn each into class association rules, and attach two-tailed Fisher
 //! exact p-values.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::RuleMiningConfig;
 use crate::rule::ClassRule;
 use sigrule_data::{ClassId, Dataset, ItemSpace, VerticalDataset};
@@ -146,6 +147,24 @@ pub fn mine_rules_with_vertical(
     vertical: &VerticalDataset,
     config: &RuleMiningConfig,
 ) -> MinedRuleSet {
+    mine_rules_cancellable(dataset, vertical, config, &CancelToken::none())
+        .expect("the never-firing token cannot cancel")
+}
+
+/// [`mine_rules_with_vertical`] with a cooperative [`CancelToken`].
+///
+/// The token is checked between the three mining phases (pattern forest,
+/// per-class supports, and p-value scoring), so a fired token aborts before
+/// the next phase starts.  Mining is a pure function of `(dataset, config)`;
+/// an abort produces no partial rule set, and a subsequent uncancelled call
+/// over the same inputs is bit-identical to one that was never cancelled.
+pub fn mine_rules_cancellable(
+    dataset: &Dataset,
+    vertical: &VerticalDataset,
+    config: &RuleMiningConfig,
+    cancel: &CancelToken,
+) -> Result<MinedRuleSet, Cancelled> {
+    cancel.check()?;
     let miner = if config.use_diffsets {
         EclatMiner::default()
     } else {
@@ -156,6 +175,7 @@ pub fn mine_rules_with_vertical(
         miner_config = miner_config.with_max_length(max_len);
     }
     let forest = miner.mine_forest_vertical(vertical, &miner_config);
+    cancel.check()?;
 
     let labels = dataset.class_labels();
     let class_counts: Vec<usize> = dataset.class_counts().as_slice().to_vec();
@@ -170,9 +190,12 @@ pub fn mine_rules_with_vertical(
     };
 
     // Rule supports for every class, computed once on the original labels.
-    let per_class_supports: Vec<Vec<usize>> = (0..n_classes)
-        .map(|c| forest.rule_supports(&labels, c as ClassId))
-        .collect();
+    let mut per_class_supports: Vec<Vec<usize>> = Vec::with_capacity(n_classes);
+    for c in 0..n_classes {
+        cancel.check()?;
+        per_class_supports.push(forest.rule_supports(&labels, c as ClassId));
+    }
+    cancel.check()?;
 
     let logs = LogFactorialTable::new(n);
     let mut caches: Vec<PValueCache> = class_counts
@@ -226,7 +249,7 @@ pub fn mine_rules_with_vertical(
     let tests_per_pattern = if n_classes == 2 { 1 } else { n_classes };
     let n_tests = selected.len() * tests_per_pattern;
 
-    MinedRuleSet {
+    Ok(MinedRuleSet {
         rules,
         rule_nodes,
         forest,
@@ -235,7 +258,7 @@ pub fn mine_rules_with_vertical(
         item_space: dataset.item_space().clone(),
         n_tests,
         config: config.clone(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -171,6 +171,11 @@ pub enum PipelineError {
     Data(DataError),
     /// The pipeline configuration itself is invalid.
     Config(String),
+    /// The query's [`CancelToken`](crate::cancel::CancelToken) fired —
+    /// deadline or explicit cancel — before the work finished.  The engine
+    /// cache is left cold (never partial); an identical retry redoes the
+    /// work and stays bit-identical.
+    Cancelled(crate::cancel::Cancelled),
 }
 
 impl fmt::Display for PipelineError {
@@ -178,6 +183,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Data(e) => write!(f, "{e}"),
             PipelineError::Config(reason) => write!(f, "invalid configuration: {reason}"),
+            PipelineError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -187,6 +193,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Data(e) => Some(e),
             PipelineError::Config(_) => None,
+            PipelineError::Cancelled(_) => None,
         }
     }
 }
@@ -194,6 +201,12 @@ impl std::error::Error for PipelineError {
 impl From<DataError> for PipelineError {
     fn from(e: DataError) -> Self {
         PipelineError::Data(e)
+    }
+}
+
+impl From<crate::cancel::Cancelled> for PipelineError {
+    fn from(c: crate::cancel::Cancelled) -> Self {
+        PipelineError::Cancelled(c)
     }
 }
 
@@ -356,6 +369,8 @@ impl Pipeline {
     }
 
     /// The engine [`Query`] this pipeline's correction options describe.
+    /// One-shot runs are never cancelled, so the query carries the
+    /// never-firing token.
     pub fn query(&self) -> Query {
         Query {
             mining: self.mining.clone(),
@@ -365,6 +380,7 @@ impl Pipeline {
             n_permutations: self.n_permutations,
             seed: self.seed,
             threads: self.threads,
+            cancel: crate::cancel::CancelToken::none(),
         }
     }
 

@@ -5,6 +5,13 @@
 //! end-to-end tests use to drive a served process.  The client adds no
 //! protocol of its own — it is newline framing over a connected socket,
 //! with the responses parsed back into [`Json`] values.
+//!
+//! [`ClientStream::request_with_retry`] layers the retry discipline of the
+//! error taxonomy (see [`crate::error`] and `docs/SERVE.md`) on top:
+//! exponential backoff with deterministic jitter on `"error_kind":
+//! "transient"` answers only, honouring a server-provided
+//! `"retry_after_ms"` hint, and reconnecting when the server dropped the
+//! connection (the `overloaded` rejection does).
 
 use crate::json::Json;
 use crate::transport::ListenAddr;
@@ -13,6 +20,70 @@ use std::net::{Shutdown, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
+
+/// Exponential backoff with deterministic jitter for transient protocol
+/// errors.  Attempt `k` (0-based) backs off `base_delay * 2^k`, capped at
+/// `max_delay`, then scaled into `[0.5, 1.0)` of itself by a jitter stream
+/// seeded from `jitter_seed` — deterministic, so client sessions replay
+/// identically, while distinct seeds decorrelate stampeding clients.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a different retry budget.
+    pub fn with_max_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based).  A server
+    /// `retry_after_ms` hint acts as a floor: the server knows better than
+    /// the client how soon capacity frees up.
+    pub fn backoff(&self, attempt: u32, retry_after_ms: Option<u64>) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max_delay);
+        // xorshift64 over (seed, attempt): no RNG dependency, and the same
+        // (policy, attempt) pair always backs off identically.
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(attempt).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let jittered = exp.mul_f64(0.5 + unit / 2.0);
+        match retry_after_ms {
+            Some(ms) => jittered.max(Duration::from_millis(ms)),
+            None => jittered,
+        }
+    }
+}
 
 /// The raw connected socket, abstracted over the address family.
 #[derive(Debug)]
@@ -67,8 +138,10 @@ impl Write for Raw {
 
 /// A connected client speaking the JSON-lines protocol.
 pub struct ClientStream {
+    addr: ListenAddr,
     raw: Raw,
     reader: BufReader<Box<dyn Read + Send>>,
+    read_timeout: Option<Duration>,
 }
 
 impl ClientStream {
@@ -93,14 +166,35 @@ impl ClientStream {
             }
         };
         let reader = BufReader::new(raw.reader()?);
-        Ok(ClientStream { raw, reader })
+        Ok(ClientStream {
+            addr: addr.clone(),
+            raw,
+            reader,
+            read_timeout: None,
+        })
     }
 
     /// Bounds every subsequent response read: a server that answers nothing
     /// within `timeout` turns into an error instead of a hang.  Pick a bound
-    /// comfortably above the slowest expected (cold) query.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.raw.set_read_timeout(timeout)
+    /// comfortably above the slowest expected (cold) query.  The bound
+    /// survives [`request_with_retry`](Self::request_with_retry)'s
+    /// reconnects.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.raw.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// Replaces the dead socket with a fresh connection to the same address,
+    /// re-applying the configured read timeout.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let mut fresh = ClientStream::connect(&self.addr)?;
+        if self.read_timeout.is_some() {
+            fresh.set_read_timeout(self.read_timeout)?;
+        }
+        self.raw = fresh.raw;
+        self.reader = fresh.reader;
+        Ok(())
     }
 
     /// Sends one request line.
@@ -134,6 +228,48 @@ impl ClientStream {
     pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
         self.send(line)?;
         self.read_response()
+    }
+
+    /// [`request`](Self::request) with the retry discipline of the error
+    /// taxonomy: an `"ok":false` answer whose `"error_kind"` is
+    /// `"transient"` is retried with exponential backoff and jitter (a
+    /// `"retry_after_ms"` hint floors the backoff, and an `overloaded`
+    /// rejection — which the server follows with a disconnect — triggers a
+    /// reconnect first); permanent errors and untyped failures return
+    /// immediately.  Transport-level errors reconnect and retry on the same
+    /// budget, since a died connection says nothing about the request.
+    /// Returns the final response (which may still be an error) once the
+    /// budget is spent.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Json> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request(line) {
+                Ok(resp) => {
+                    let retryable = resp.get("ok").and_then(Json::as_bool) == Some(false)
+                        && resp.get("error_kind").and_then(Json::as_str) == Some("transient");
+                    if !retryable || attempt >= policy.max_retries {
+                        return Ok(resp);
+                    }
+                    let hint = resp.get("retry_after_ms").and_then(Json::as_u64);
+                    std::thread::sleep(policy.backoff(attempt, hint));
+                    if resp.get("code").and_then(Json::as_str) == Some("overloaded") {
+                        self.reconnect()?;
+                    }
+                }
+                Err(e) => {
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt, None));
+                    self.reconnect()?;
+                }
+            }
+            attempt += 1;
+        }
     }
 
     /// Half-closes the write side: the server sees end-of-input (and drains
@@ -190,4 +326,41 @@ where
         Ok(Ok(())) => Ok(0),
         Ok(Err(_)) | Err(_) => Ok(1),
     }
+}
+
+/// [`pipe_lines`] with retries: each request line runs through
+/// [`ClientStream::request_with_retry`] before its response is written, so
+/// transient errors are absorbed up to the policy's budget — the body of
+/// `sigrule client --retries N`.  Requests run in strict lockstep (no
+/// type-ahead): retrying a line requires knowing its response before the
+/// next line goes out.
+pub fn pipe_lines_with_retry<R, W>(
+    addr: &ListenAddr,
+    input: R,
+    output: W,
+    policy: &RetryPolicy,
+) -> std::io::Result<i32>
+where
+    R: BufRead,
+    W: Write,
+{
+    let mut client = ClientStream::connect(addr)?;
+    let mut output = output;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = client.request_with_retry(&line, policy)?;
+        writeln!(output, "{}", resp.render())?;
+        output.flush()?;
+        // After an acknowledged shutdown the server closes the listener;
+        // retrying further lines would only reconnect into nothing.
+        if resp.get("cmd").and_then(Json::as_str) == Some("shutdown")
+            && resp.get("ok").and_then(Json::as_bool) == Some(true)
+        {
+            break;
+        }
+    }
+    Ok(0)
 }

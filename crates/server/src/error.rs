@@ -1,0 +1,255 @@
+//! The structured error taxonomy the protocol speaks.
+//!
+//! Every error answer carries three machine-readable fields next to the
+//! human-readable `error` message:
+//!
+//! * `code` — a stable identifier from the closed set in [`ErrorCode`];
+//! * `error_kind` — `"transient"` or `"permanent"` ([`ErrorKind`]), the one
+//!   bit a client needs for its retry decision;
+//! * `retry_after_ms` — an optional hint on transient errors for how long to
+//!   back off before the retry.
+//!
+//! The taxonomy exists so clients never have to parse prose: retry on
+//! `transient` (deadline expiries, a full connection slot table, a handler
+//! that panicked mid-request), give up on `permanent` (malformed requests,
+//! unknown datasets, bad input files).  See `docs/SERVE.md` for the full
+//! table with retry guidance per code.
+
+use sigrule::cancel::{CancelReason, Cancelled};
+use sigrule::PipelineError;
+use sigrule_data::DataError;
+use std::fmt;
+
+use crate::json::ObjectBuilder;
+
+/// Whether a client should retry the exact same request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The failure is tied to timing or load, not to the request itself:
+    /// the same request may well succeed if retried (with backoff).
+    Transient,
+    /// The request can never succeed as written; retrying wastes work.
+    Permanent,
+}
+
+impl ErrorKind {
+    /// The wire spelling (`"transient"` / `"permanent"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+        }
+    }
+}
+
+/// The closed set of stable error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was malformed: bad JSON, unknown command, missing or
+    /// ill-typed fields, out-of-range parameter values.
+    InvalidRequest,
+    /// The request named a dataset the registry does not hold.
+    NotFound,
+    /// The request's `timeout_ms` deadline expired before the work finished.
+    DeadlineExceeded,
+    /// The request was cancelled (for example, its connection went away).
+    Cancelled,
+    /// The server is at its connection cap; the slot table may drain soon.
+    Overloaded,
+    /// The server is shutting down and no longer accepts new work.
+    ShuttingDown,
+    /// An I/O error while reading an input file.
+    Io,
+    /// An input file parsed but its contents were invalid.
+    InvalidData,
+    /// The request handler failed unexpectedly (for example, it panicked).
+    /// The caches are unwind-safe — an aborted fill is rolled back to cold —
+    /// so a retry recomputes from a consistent state.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Io => "io",
+            ErrorCode::InvalidData => "invalid_data",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// The kind every instance of this code carries.  The mapping is fixed:
+    /// a code is either always worth retrying or never, so clients can key
+    /// decisions off either field.
+    pub fn kind(self) -> ErrorKind {
+        match self {
+            ErrorCode::InvalidRequest
+            | ErrorCode::NotFound
+            | ErrorCode::Io
+            | ErrorCode::InvalidData => ErrorKind::Permanent,
+            ErrorCode::DeadlineExceeded
+            | ErrorCode::Cancelled
+            | ErrorCode::Overloaded
+            | ErrorCode::ShuttingDown
+            | ErrorCode::Internal => ErrorKind::Transient,
+        }
+    }
+}
+
+/// A structured protocol error: stable code, retry classification, message,
+/// and an optional backoff hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerError {
+    /// The stable error code.
+    pub code: ErrorCode,
+    /// The human-readable message.
+    pub message: String,
+    /// Backoff hint in milliseconds, set on some transient errors (today:
+    /// `overloaded`).
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServerError {
+    /// A new error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServerError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches a backoff hint.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// The kind implied by the code.
+    pub fn kind(&self) -> ErrorKind {
+        self.code.kind()
+    }
+
+    /// Renders the error fields into a response object (after the `id`/`cmd`
+    /// echo fields, before serialisation).
+    pub fn render_into(&self, obj: &mut ObjectBuilder) {
+        obj.string("error", &self.message)
+            .string("code", self.code.as_str())
+            .string("error_kind", self.kind().as_str());
+        if let Some(ms) = self.retry_after_ms {
+            obj.number("retry_after_ms", ms as f64);
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.code.as_str())
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+// Field-extraction helpers and older handlers report plain strings; those
+// are all request-shape problems.
+impl From<String> for ServerError {
+    fn from(message: String) -> Self {
+        ServerError::new(ErrorCode::InvalidRequest, message)
+    }
+}
+
+impl From<Cancelled> for ServerError {
+    fn from(c: Cancelled) -> Self {
+        let code = match c.reason {
+            CancelReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            CancelReason::Cancelled => ErrorCode::Cancelled,
+        };
+        ServerError::new(code, c.to_string())
+    }
+}
+
+impl From<PipelineError> for ServerError {
+    fn from(e: PipelineError) -> Self {
+        let code = match &e {
+            PipelineError::Cancelled(c) => match c.reason {
+                CancelReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+                CancelReason::Cancelled => ErrorCode::Cancelled,
+            },
+            PipelineError::Data(DataError::Io { .. }) => ErrorCode::Io,
+            PipelineError::Data(_) => ErrorCode::InvalidData,
+            PipelineError::Config(_) => ErrorCode::InvalidRequest,
+        };
+        ServerError::new(code, e.to_string())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_stable_spellings_and_kinds() {
+        let cases = [
+            (ErrorCode::InvalidRequest, "invalid_request", "permanent"),
+            (ErrorCode::NotFound, "not_found", "permanent"),
+            (
+                ErrorCode::DeadlineExceeded,
+                "deadline_exceeded",
+                "transient",
+            ),
+            (ErrorCode::Cancelled, "cancelled", "transient"),
+            (ErrorCode::Overloaded, "overloaded", "transient"),
+            (ErrorCode::ShuttingDown, "shutting_down", "transient"),
+            (ErrorCode::Io, "io", "permanent"),
+            (ErrorCode::InvalidData, "invalid_data", "permanent"),
+            (ErrorCode::Internal, "internal", "transient"),
+        ];
+        for (code, spelling, kind) in cases {
+            assert_eq!(code.as_str(), spelling);
+            assert_eq!(code.kind().as_str(), kind);
+        }
+    }
+
+    #[test]
+    fn render_emits_taxonomy_fields_and_optional_hint() {
+        let mut obj = ObjectBuilder::new();
+        ServerError::new(ErrorCode::NotFound, "no dataset named x").render_into(&mut obj);
+        let plain = obj.finish();
+        assert!(plain.contains("\"error\":\"no dataset named x\""));
+        assert!(plain.contains("\"code\":\"not_found\""));
+        assert!(plain.contains("\"error_kind\":\"permanent\""));
+        assert!(!plain.contains("retry_after_ms"));
+
+        let mut obj = ObjectBuilder::new();
+        ServerError::new(ErrorCode::Overloaded, "connection limit reached")
+            .with_retry_after_ms(250)
+            .render_into(&mut obj);
+        let hinted = obj.finish();
+        assert!(hinted.contains("\"error_kind\":\"transient\""));
+        assert!(hinted.contains("\"retry_after_ms\":250"));
+    }
+
+    #[test]
+    fn pipeline_cancellations_map_to_their_codes() {
+        use sigrule::cancel::CancelToken;
+        let deadline = CancelToken::with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let c = deadline.check().unwrap_err();
+        let mapped = ServerError::from(PipelineError::from(c));
+        assert_eq!(mapped.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(mapped.kind(), ErrorKind::Transient);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let c = token.check().unwrap_err();
+        let mapped = ServerError::from(PipelineError::from(c));
+        assert_eq!(mapped.code, ErrorCode::Cancelled);
+    }
+}

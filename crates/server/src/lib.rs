@@ -28,14 +28,20 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// A server must not die on a poisoned lock or a malformed peer: every lock
+// acquisition recovers from poisoning explicitly, and every remaining
+// `unwrap`/`expect` carries a proof of infallibility (or a test-only allow).
+#![warn(clippy::unwrap_used)]
 
 pub mod client;
+pub mod error;
 pub mod json;
 pub mod proto;
 pub mod registry;
 pub mod transport;
 
-pub use client::ClientStream;
+pub use client::{ClientStream, RetryPolicy};
+pub use error::{ErrorCode, ErrorKind, ServerError};
 pub use proto::{handle_line, ServerOptions, ServerState};
 pub use registry::{EngineRegistry, RegistrySnapshot};
 pub use transport::{serve_listener, serve_streams, ListenAddr, ServerConfig};

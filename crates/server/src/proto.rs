@@ -33,8 +33,10 @@
 //! registry — match responses by `"id"`.  Warm answers are bit-identical to
 //! cold ones, whichever transport and whichever connection asked.
 
+use crate::error::{ErrorCode, ServerError};
 use crate::json::{Json, JsonError, ObjectBuilder};
 use crate::registry::EngineRegistry;
+use sigrule::cancel::CancelToken;
 use sigrule::engine::{Engine, Loader, Query, QueryOutcome};
 use sigrule::pipeline::CorrectionApproach;
 use sigrule::rule::sort_by_significance;
@@ -91,16 +93,20 @@ impl ServerState {
 
     /// The engine a request routes to: its `"dataset"` field, defaulting to
     /// [`DEFAULT_DATASET`].
-    fn engine_for(&self, req: &Json) -> Result<(String, Arc<Engine>), String> {
+    fn engine_for(&self, req: &Json) -> Result<(String, Arc<Engine>), ServerError> {
         let name = get_str(req, "dataset")?.unwrap_or_else(|| DEFAULT_DATASET.to_string());
         match self.registry.get(&name) {
             Some(engine) => Ok((name, engine)),
-            None if self.registry.is_empty() => {
-                Err("no dataset loaded; send a load request first".to_string())
-            }
-            None => Err(format!(
-                "unknown dataset {name:?}; loaded: {}",
-                self.registry.names().join(", ")
+            None if self.registry.is_empty() => Err(ServerError::new(
+                ErrorCode::NotFound,
+                "no dataset loaded; send a load request first",
+            )),
+            None => Err(ServerError::new(
+                ErrorCode::NotFound,
+                format!(
+                    "unknown dataset {name:?}; loaded: {}",
+                    self.registry.names().join(", ")
+                ),
             )),
         }
     }
@@ -161,7 +167,7 @@ fn get_f64(req: &Json, key: &str) -> Result<Option<f64>, String> {
 }
 
 /// Fields every request may carry regardless of command.
-const COMMON_FIELDS: &[&str] = &["id", "cmd", "async"];
+const COMMON_FIELDS: &[&str] = &["id", "cmd", "async", "timeout_ms"];
 /// Mining-configuration fields shared by `mine` and `correct`.
 const MINE_FIELDS: &[&str] = &[
     "dataset",
@@ -204,7 +210,7 @@ fn mining_config(req: &Json, n_records: usize) -> Result<RuleMiningConfig, Strin
     Ok(config)
 }
 
-fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerError> {
     reject_unknown_fields(
         req,
         &[
@@ -220,11 +226,11 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
         ],
     )?;
     let Some(path) = get_str(req, "path")? else {
-        return Err("\"path\" is required".to_string());
+        return Err("\"path\" is required".to_string().into());
     };
     let name = get_str(req, "name")?.unwrap_or_else(|| DEFAULT_DATASET.to_string());
     if name.is_empty() {
-        return Err("\"name\" must not be empty".to_string());
+        return Err("\"name\" must not be empty".to_string().into());
     }
     let input_format = match get_str(req, "format")?.as_deref() {
         None | Some("auto") => None,
@@ -234,15 +240,17 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
         ),
     };
     let separator = match (get_str(req, "separator")?, get_bool(req, "tsv")?) {
-        (Some(_), true) => return Err("\"separator\" and \"tsv\" are exclusive".to_string()),
+        (Some(_), true) => {
+            return Err("\"separator\" and \"tsv\" are exclusive".to_string().into())
+        }
         (Some(s), false) => {
             let mut chars = s.chars();
             match (chars.next(), chars.next()) {
                 (Some(c), None) => c,
                 _ => {
-                    return Err(format!(
-                        "\"separator\" must be a single character (got {s:?})"
-                    ))
+                    return Err(
+                        format!("\"separator\" must be a single character (got {s:?})").into(),
+                    )
                 }
             }
         }
@@ -270,9 +278,13 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
         basket,
         input_format,
     };
-    let loaded = loader
-        .load_file(&path)
-        .map_err(|e| format!("{path}: {e}"))?;
+    sigrule::fault::io_point("load.read")
+        .map_err(|e| ServerError::new(ErrorCode::Io, format!("{path}: {e}")))?;
+    let loaded = loader.load_file(&path).map_err(|e| {
+        let mut mapped = ServerError::from(e);
+        mapped.message = format!("{path}: {}", mapped.message);
+        mapped
+    })?;
     let warnings: Vec<String> = loaded
         .warnings
         .iter()
@@ -283,7 +295,8 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
             "strict: input produced {} loader warning(s): {}",
             warnings.len(),
             warnings.join("; ")
-        ));
+        )
+        .into());
     }
 
     let format = loaded.format;
@@ -308,11 +321,20 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
     Ok(resp)
 }
 
-fn handle_mine(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+fn handle_mine(
+    state: &ServerState,
+    req: &Json,
+    cancel: &CancelToken,
+) -> Result<ObjectBuilder, ServerError> {
     reject_unknown_fields(req, MINE_FIELDS)?;
     let (name, engine) = state.engine_for(req)?;
     let config = mining_config(req, engine.dataset().n_records())?;
-    let (mined, elapsed, cached) = engine.mine(&config);
+    sigrule::fault::point("req.mine");
+    // Enforce the budget on the error path too: a cancelled request may
+    // still have filled a cache before aborting.
+    let mine_outcome = engine.mine_cancellable(&config, cancel);
+    state.registry.enforce_budget();
+    let (mined, elapsed, cached) = mine_outcome?;
     let mut resp = ObjectBuilder::new();
     resp.string("dataset", &name)
         .number("min_sup", config.min_sup as f64)
@@ -320,7 +342,6 @@ fn handle_mine(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String>
         .number("hypothesis_tests", mined.n_tests() as f64)
         .number("mine_ms", millis(elapsed))
         .boolean("mined_cached", cached);
-    state.registry.enforce_budget();
     Ok(resp)
 }
 
@@ -363,7 +384,11 @@ fn rules_array(outcome: &QueryOutcome, top: usize) -> String {
     format!("[{}]", rendered.join(","))
 }
 
-fn handle_correct(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+fn handle_correct(
+    state: &ServerState,
+    req: &Json,
+    cancel: &CancelToken,
+) -> Result<ObjectBuilder, ServerError> {
     let mut allowed = MINE_FIELDS.to_vec();
     allowed.extend([
         "correction",
@@ -387,13 +412,19 @@ fn handle_correct(state: &ServerState, req: &Json) -> Result<ObjectBuilder, Stri
         .with_correction(approach, metric)
         .with_alpha(get_f64(req, "alpha")?.unwrap_or(0.05))
         .with_permutations(get_usize(req, "permutations")?.unwrap_or(1000))
-        .with_seed(get_u64(req, "seed")?.unwrap_or(17));
+        .with_seed(get_u64(req, "seed")?.unwrap_or(17))
+        .with_cancel(cancel.clone());
     if let Some(threads) = get_usize(req, "threads")? {
         query = query.with_threads(threads);
     }
     let top = get_usize(req, "top")?.unwrap_or(20);
 
-    let outcome = engine.query(&query).map_err(|e| e.to_string())?;
+    sigrule::fault::point("req.correct");
+    // Enforce the budget on the error path too: a query aborted mid-null
+    // may still have filled the mine cache before the deadline fired.
+    let queried = engine.query(&query);
+    state.registry.enforce_budget();
+    let outcome = queried?;
     let mut resp = ObjectBuilder::new();
     resp.string("dataset", &name)
         .string("method", &outcome.result.method)
@@ -420,7 +451,6 @@ fn handle_correct(state: &ServerState, req: &Json) -> Result<ObjectBuilder, Stri
         None => resp.raw("null_cached", "null"),
     };
     resp.raw("rules", rules_array(&outcome, top));
-    state.registry.enforce_budget();
     Ok(resp)
 }
 
@@ -431,6 +461,7 @@ fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
         .number("items", engine.dataset().n_items() as f64)
         .number("classes", engine.dataset().n_classes() as f64)
         .number("queries", stats.queries as f64)
+        .number("cancelled_queries", stats.cancelled_queries as f64)
         .number("mine_hits", stats.mine_hits as f64)
         .number("mine_misses", stats.mine_misses as f64)
         .number("null_hits", stats.null_hits as f64)
@@ -445,7 +476,7 @@ fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
         .number("evicted_nulls", stats.evicted_nulls as f64);
 }
 
-fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerError> {
     reject_unknown_fields(req, &["dataset"])?;
     let mut resp = ObjectBuilder::new();
     resp.number("uptime_ms", millis(state.started.elapsed()));
@@ -462,7 +493,7 @@ fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String
     Ok(resp)
 }
 
-fn handle_registry_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, String> {
+fn handle_registry_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerError> {
     reject_unknown_fields(req, &[])?;
     let registry = &state.registry;
     let mut total = 0usize;
@@ -493,27 +524,43 @@ fn handle_registry_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilde
 /// Handles one request line; returns the response line (no trailing newline)
 /// and whether the session should shut down.
 pub fn handle_line(state: &ServerState, line: &str) -> (String, bool) {
-    handle_parsed(state, Json::parse(line))
+    handle_parsed(state, Json::parse(line), &CancelToken::none())
+}
+
+/// Renders a bare error response line: the echoed `id` (when known), then
+/// `"ok":false` and the structured error fields.
+pub(crate) fn error_line(id: Option<&Json>, error: &ServerError) -> String {
+    let mut resp = ObjectBuilder::new();
+    if let Some(id) = id {
+        resp.json("id", id);
+    }
+    resp.boolean("ok", false);
+    error.render_into(&mut resp);
+    resp.finish()
 }
 
 /// [`handle_line`] for an already-parsed request (the transports parse each
 /// line exactly once, for routing, and hand the result here).
+///
+/// `cancel` is the connection's lifecycle token; a request carrying
+/// `"timeout_ms"` runs under a child token that adds that deadline, so the
+/// request is bounded by whichever fires first — its own deadline or the
+/// connection going away.
 pub(crate) fn handle_parsed(
     state: &ServerState,
     parsed: Result<Json, JsonError>,
+    cancel: &CancelToken,
 ) -> (String, bool) {
     let req = match parsed {
         Ok(req @ Json::Object(_)) => req,
         Ok(_) => {
-            let mut resp = ObjectBuilder::new();
-            resp.boolean("ok", false)
-                .string("error", "request must be a JSON object");
-            return (resp.finish(), false);
+            let error =
+                ServerError::new(ErrorCode::InvalidRequest, "request must be a JSON object");
+            return (error_line(None, &error), false);
         }
         Err(e) => {
-            let mut resp = ObjectBuilder::new();
-            resp.boolean("ok", false).string("error", &e.to_string());
-            return (resp.finish(), false);
+            let error = ServerError::new(ErrorCode::InvalidRequest, e.to_string());
+            return (error_line(None, &error), false);
         }
     };
 
@@ -524,9 +571,8 @@ pub(crate) fn handle_parsed(
     let cmd = match req.get("cmd").and_then(Json::as_str) {
         Some(cmd) => cmd.to_string(),
         None => {
-            resp.boolean("ok", false)
-                .string("error", "missing \"cmd\" field");
-            return (resp.finish(), false);
+            let error = ServerError::new(ErrorCode::InvalidRequest, "missing \"cmd\" field");
+            return (error_line(req.get("id"), &error), false);
         }
     };
     resp.string("cmd", &cmd);
@@ -535,26 +581,39 @@ pub(crate) fn handle_parsed(
         resp.boolean("ok", true);
         return (resp.finish(), true);
     }
-    let handled = match cmd.as_str() {
+    let handled = request_token(&req, cancel).and_then(|request_cancel| match cmd.as_str() {
         "load" => handle_load(state, &req),
-        "mine" => handle_mine(state, &req),
-        "correct" => handle_correct(state, &req),
+        "mine" => handle_mine(state, &req, &request_cancel),
+        "correct" => handle_correct(state, &req, &request_cancel),
         "stats" => handle_stats(state, &req),
         "registry_stats" => handle_registry_stats(state, &req),
-        other => Err(format!(
-            "unknown cmd {other:?} (expected load, mine, correct, stats, registry_stats \
-             or shutdown)"
+        other => Err(ServerError::new(
+            ErrorCode::InvalidRequest,
+            format!(
+                "unknown cmd {other:?} (expected load, mine, correct, stats, registry_stats \
+                 or shutdown)"
+            ),
         )),
-    };
+    });
     match handled {
         Ok(fields) => {
             resp.boolean("ok", true).raw_fields(fields);
         }
-        Err(message) => {
-            resp.boolean("ok", false).string("error", &message);
+        Err(error) => {
+            resp.boolean("ok", false);
+            error.render_into(&mut resp);
         }
     }
     (resp.finish(), false)
+}
+
+/// The token a request's work runs under: the connection token, narrowed by
+/// the request's own `"timeout_ms"` deadline when present.
+fn request_token(req: &Json, cancel: &CancelToken) -> Result<CancelToken, ServerError> {
+    match get_u64(req, "timeout_ms")? {
+        Some(ms) => Ok(cancel.child_with_deadline(Duration::from_millis(ms))),
+        None => Ok(cancel.clone()),
+    }
 }
 
 /// True when a request opted into concurrent handling: a `mine`, `correct`
@@ -578,6 +637,7 @@ pub(crate) fn runs_async(parsed: &Result<Json, JsonError>) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 pub(crate) mod tests {
     use super::*;
     use sigrule::{ErrorMetric, Pipeline};

@@ -41,6 +41,10 @@ use std::sync::{Arc, Mutex};
 /// an `Arc` and be hit from many connection threads at once.
 #[derive(Debug)]
 pub struct EngineRegistry {
+    /// The name → engine map.  Lock acquisitions recover from poisoning
+    /// (`unwrap_or_else(|e| e.into_inner())`): the map holds only `Arc`s, so
+    /// no panic can leave it mid-mutation, and a server thread dying must
+    /// not take every other connection's registry access down with it.
     engines: Mutex<HashMap<String, Arc<Engine>>>,
     /// One LRU clock shared by every registered engine.
     clock: Arc<AtomicU64>,
@@ -100,7 +104,7 @@ impl EngineRegistry {
         let engine = Arc::new(engine);
         self.engines
             .lock()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_string(), engine.clone());
         engine
     }
@@ -109,7 +113,7 @@ impl EngineRegistry {
     pub fn get(&self, name: &str) -> Option<Arc<Engine>> {
         self.engines
             .lock()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
     }
@@ -119,7 +123,7 @@ impl EngineRegistry {
         let mut names: Vec<String> = self
             .engines
             .lock()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .keys()
             .cloned()
             .collect();
@@ -129,7 +133,7 @@ impl EngineRegistry {
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.engines.lock().expect("registry lock").len()
+        self.engines.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no dataset is registered.
@@ -143,7 +147,7 @@ impl EngineRegistry {
         let engines: Vec<(String, Arc<Engine>)> = self
             .engines
             .lock()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, engine)| (name.clone(), engine.clone()))
             .collect();
@@ -189,7 +193,7 @@ impl EngineRegistry {
         let engines: Vec<Arc<Engine>> = self
             .engines
             .lock()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .cloned()
             .collect();
@@ -219,6 +223,7 @@ impl EngineRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use sigrule::engine::Query;

@@ -13,8 +13,10 @@
 //! The socket listener enforces a connection cap: a client over the cap
 //! receives one `{"ok":false,"error":...}` line and is disconnected.
 
-use crate::json::{Json, ObjectBuilder};
-use crate::proto::{handle_parsed, runs_async, ServerOptions, ServerState};
+use crate::error::{ErrorCode, ServerError};
+use crate::json::Json;
+use crate::proto::{error_line, handle_parsed, runs_async, ServerOptions, ServerState};
+use sigrule::cancel::CancelToken;
 use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -102,15 +104,18 @@ struct WaitGroup {
 }
 
 impl WaitGroup {
+    // The count is a plain integer: no invariant can be broken by a panic
+    // mid-critical-section, so a poisoned lock is recovered, not propagated —
+    // a panicking worker must not take the shutdown drain down with it.
     fn enter(self: &Arc<Self>) -> WaitGuard {
-        *self.count.lock().expect("waitgroup lock") += 1;
+        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
         WaitGuard(self.clone())
     }
 
     fn wait_idle(&self) {
-        let mut count = self.count.lock().expect("waitgroup lock");
+        let mut count = self.count.lock().unwrap_or_else(|e| e.into_inner());
         while *count > 0 {
-            count = self.zero.wait(count).expect("waitgroup lock");
+            count = self.zero.wait(count).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -119,7 +124,7 @@ struct WaitGuard(Arc<WaitGroup>);
 
 impl Drop for WaitGuard {
     fn drop(&mut self) {
-        let mut count = self.0.count.lock().expect("waitgroup lock");
+        let mut count = self.0.count.lock().unwrap_or_else(|e| e.into_inner());
         *count -= 1;
         if *count == 0 {
             self.0.zero.notify_all();
@@ -154,10 +159,11 @@ impl SharedServer {
 /// responses are written line-atomically.
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
-fn write_line(out: &SharedWriter, line: &str) {
+/// Writes one response line; `false` means the peer is gone (or wedged past
+/// the write timeout), so the caller should cancel the connection's work.
+fn write_line(out: &SharedWriter, line: &str) -> bool {
     let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = writeln!(out, "{line}");
-    let _ = out.flush();
+    writeln!(out, "{line}").is_ok() && out.flush().is_ok()
 }
 
 /// Upper bound on concurrently running `"async":true` workers per
@@ -181,6 +187,34 @@ struct ConnDriver {
     server: Arc<SharedServer>,
     out: SharedWriter,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// The connection's lifecycle token.  Every request runs under a child
+    /// of it (optionally narrowed by the request's `timeout_ms`), so firing
+    /// it — the connection died mid-work — aborts every in-flight request
+    /// of this connection at its next cancellation point.
+    cancel: CancelToken,
+}
+
+/// Handles one request under a panic barrier: a handler panic becomes an
+/// `internal`/transient error response (the caches are unwind-safe — an
+/// aborted fill rolls back to cold), never a silently dead connection.
+fn handle_trapped(
+    state: &ServerState,
+    parsed: Result<Json, crate::json::JsonError>,
+    cancel: &CancelToken,
+) -> (String, bool) {
+    let id = parsed.as_ref().ok().and_then(|r| r.get("id").cloned());
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_parsed(state, parsed, cancel)
+    })) {
+        Ok(answer) => answer,
+        Err(_) => {
+            let error = ServerError::new(
+                ErrorCode::Internal,
+                "internal error: request handler panicked",
+            );
+            (error_line(id.as_ref(), &error), false)
+        }
+    }
 }
 
 impl ConnDriver {
@@ -189,6 +223,7 @@ impl ConnDriver {
             server,
             out: Arc::new(Mutex::new(out)),
             workers: Vec::new(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -200,13 +235,11 @@ impl ConnDriver {
         if self.server.shutdown.load(SeqCst) {
             // The drain already began; answering would race the exit.
             let id = parsed.as_ref().ok().and_then(|r| r.get("id").cloned());
-            let mut resp = ObjectBuilder::new();
-            if let Some(id) = &id {
-                resp.json("id", id);
-            }
-            resp.boolean("ok", false)
-                .string("error", "server is shutting down");
-            write_line(&self.out, &resp.finish());
+            let error = ServerError::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down; no new work is accepted",
+            );
+            write_line(&self.out, &error_line(id.as_ref(), &error));
             return LineOutcome::Continue;
         }
         if !runs_async(&parsed) {
@@ -215,7 +248,7 @@ impl ConnDriver {
             self.join_workers();
             let (resp, shutdown) = {
                 let _guard = self.server.inflight.enter();
-                handle_parsed(&self.server.state, parsed)
+                handle_trapped(&self.server.state, parsed, &self.cancel)
             };
             if shutdown {
                 // Drain: flag first (no new work starts), then wait for every
@@ -225,7 +258,10 @@ impl ConnDriver {
                 self.server.shutdown.store(true, SeqCst);
                 self.server.inflight.wait_idle();
             }
-            write_line(&self.out, &resp);
+            if !write_line(&self.out, &resp) {
+                // The peer is gone; abort whatever it still had in flight.
+                self.cancel.cancel();
+            }
             if shutdown {
                 LineOutcome::Shutdown
             } else {
@@ -240,29 +276,17 @@ impl ConnDriver {
             }
             let server = self.server.clone();
             let out = self.out.clone();
+            let cancel = self.cancel.clone();
             let guard = self.server.inflight.enter();
             self.workers.push(std::thread::spawn(move || {
                 let _guard = guard;
                 // One response per request, even if the handler panics: a
                 // client matching responses by id must never hang on a
                 // silently dead worker.
-                let id = parsed.as_ref().ok().and_then(|r| r.get("id").cloned());
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_parsed(&server.state, parsed)
-                }));
-                let resp = match outcome {
-                    Ok((resp, _)) => resp,
-                    Err(_) => {
-                        let mut resp = ObjectBuilder::new();
-                        if let Some(id) = &id {
-                            resp.json("id", id);
-                        }
-                        resp.boolean("ok", false)
-                            .string("error", "internal error: request handler panicked");
-                        resp.finish()
-                    }
-                };
-                write_line(&out, &resp);
+                let (resp, _) = handle_trapped(&server.state, parsed, &cancel);
+                if !write_line(&out, &resp) {
+                    cancel.cancel();
+                }
             }));
             LineOutcome::Continue
         }
@@ -322,6 +346,10 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// forever; after this long the write fails, the response is dropped, and
 /// the connection is effectively dead.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Backoff hint attached to the connection-cap rejection: a slot frees as
+/// soon as any connected client disconnects, so suggest a short pause.
+const OVERLOADED_RETRY_AFTER_MS: u64 = 250;
 
 /// One accepted socket connection, abstracted over the address family.
 trait SocketStream: Read + Write + Send + Sized + 'static {
@@ -467,7 +495,16 @@ fn handle_socket_connection<S: SocketStream>(server: Arc<SharedServer>, stream: 
                         | std::io::ErrorKind::TimedOut
                         | std::io::ErrorKind::Interrupted
                 ) => {}
-            Err(_) => return,
+            Err(_) => {
+                // A hard read error (connection reset, not a plain EOF): the
+                // client is gone without half-closing, so nobody will read
+                // the in-flight responses — abort that work instead of
+                // computing into the void.  A clean EOF above deliberately
+                // does NOT cancel: half-close-then-drain is the documented
+                // client pattern ([`crate::client::ClientStream::shutdown_write`]).
+                conn.cancel.cancel();
+                return;
+            }
         }
     }
 }
@@ -481,14 +518,16 @@ fn accept_loop<A: Acceptor>(listener: A, server: Arc<SharedServer>, max_connecti
         match listener.poll_accept() {
             Ok(Some(stream)) => {
                 if server.connections.load(SeqCst) >= max_connections {
-                    // Over the cap: one explanatory line, then disconnect.
+                    // Over the cap: one structured transient error line with
+                    // a backoff hint, then disconnect.  Slots free as soon as
+                    // a connection closes, so the hint is short.
                     let mut stream = stream;
-                    let mut resp = ObjectBuilder::new();
-                    resp.boolean("ok", false).string(
-                        "error",
-                        &format!("connection limit reached ({max_connections}); retry later"),
-                    );
-                    let _ = writeln!(stream, "{}", resp.finish());
+                    let error = ServerError::new(
+                        ErrorCode::Overloaded,
+                        format!("connection limit reached ({max_connections}); retry later"),
+                    )
+                    .with_retry_after_ms(OVERLOADED_RETRY_AFTER_MS);
+                    let _ = writeln!(stream, "{}", error_line(None, &error));
                     continue;
                 }
                 server.connections.fetch_add(1, SeqCst);
@@ -543,6 +582,7 @@ pub fn serve_listener(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::client::ClientStream;
@@ -711,6 +751,20 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("connection limit"));
+        // The rejection is a structured transient error with a backoff hint,
+        // so clients can retry mechanically instead of parsing prose.
+        assert_eq!(
+            rejected.get("code").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(
+            rejected.get("error_kind").and_then(Json::as_str),
+            Some("transient")
+        );
+        assert_eq!(
+            rejected.get("retry_after_ms").and_then(Json::as_u64),
+            Some(OVERLOADED_RETRY_AFTER_MS)
+        );
 
         let bye = first.request(r#"{"cmd":"shutdown"}"#).unwrap();
         assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));

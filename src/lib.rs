@@ -41,7 +41,8 @@ pub mod prelude {
     };
     pub use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError, PipelineRun};
     pub use sigrule::{
-        mine_rules, mine_rules_with_vertical, ClassRule, MinedRuleSet, RuleMiningConfig,
+        mine_rules, mine_rules_with_vertical, CancelReason, CancelToken, Cancelled, ClassRule,
+        MinedRuleSet, RuleMiningConfig,
     };
     pub use sigrule_data::loader::{
         dataset_to_baskets, dataset_to_csv, detect_format, detect_format_with, load_baskets_file,
