@@ -114,7 +114,7 @@ pub enum Format {
 }
 
 impl Format {
-    fn parse(name: &str) -> Result<Format, UsageError> {
+    pub(crate) fn parse(name: &str) -> Result<Format, UsageError> {
         match name.to_ascii_lowercase().as_str() {
             "human" | "text" => Ok(Format::Human),
             "json" => Ok(Format::Json),

@@ -14,6 +14,8 @@
 //!   print a comparison table;
 //! * `sigrule bench` — time each pipeline stage on a file or on synthetic
 //!   data;
+//! * `sigrule eval` — planted-truth benchmark sweeps: synthetic datasets ×
+//!   corrections × α, scored against the embedded rules (see [`eval`]);
 //! * `sigrule serve` — a resident engine process answering JSON-line
 //!   requests over a dataset loaded once (see [`serve`]).
 //!
@@ -36,6 +38,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod eval;
 pub mod json;
 pub mod output;
 pub mod serve;
@@ -53,6 +56,10 @@ USAGE:
   sigrule mine    --input <file> [options]   mine + one correction approach
   sigrule correct --input <file> [options]   compare all correction approaches
   sigrule bench   [--input <file>] [options] time every pipeline stage
+  sigrule eval    [--grid k=v1,v2 ...]       planted-truth benchmark sweep:
+                                             seeded synthetic datasets ×
+                                             corrections × α, scored against
+                                             the planted rules (docs/EVAL.md)
   sigrule serve   [--listen <addr>]          resident multi-dataset engine:
                                              JSON lines on stdin/stdout, or a
                                              concurrent TCP/unix socket server
@@ -101,6 +108,19 @@ BENCH (synthetic input when --input is omitted):
   --records <n>         synthetic records (default 2000)
   --attributes <n>      synthetic attributes (default 20)
   --rules <n>           embedded rules (default 2)
+
+EVAL (all flags optional; sweep semantics in docs/EVAL.md):
+  --grid k=v1,v2 ...    grid axes: rows, noise, rules, coverage, alpha
+                        (defaults rows=1000 noise=0.2 rules=2 coverage=0.15)
+  --corrections <list>  comma list of none | bonferroni | bh | direct[:m] |
+                        permutation | holdout (default none,direct,permutation)
+  --workload <name>     rows | basket (default rows)
+  --reps <n>            seeded replicates per cell (default 3)
+  --attributes <n>      rows workload: attribute count (default 12)
+  --items <n>           basket workload: catalogue size (default 60)
+  --min-sup-frac <f>    minimum support as a fraction of rows (default 0.05)
+  (--alpha, --seed, --permutations, --threads, --format as in SHARED;
+   eval's --permutations defaults to 300)
 
 Exit codes: 0 success, 1 runtime error (e.g. malformed input file), 2 usage.
 ";
@@ -151,6 +171,11 @@ pub fn run(argv: &[String]) -> RunOutcome {
         return RunOutcome::ok(USAGE.to_string());
     }
     let rest = &argv[1..];
+    // `eval` parses its own arguments: `--grid` consumes bare axis tokens
+    // that the strict flag parser below would reject as positionals.
+    if command == "eval" {
+        return eval::run_eval(rest);
+    }
     let parsed = match ArgMap::parse(rest, CommonOpts::SWITCHES) {
         Ok(parsed) => parsed,
         Err(e) => return RunOutcome::usage_error(&e.0),
@@ -176,8 +201,8 @@ pub fn run(argv: &[String]) -> RunOutcome {
         }
         other => {
             return RunOutcome::usage_error(&format!(
-                "unknown subcommand {other:?} (expected mine, correct, bench, serve, \
-                 client or help)"
+                "unknown subcommand {other:?} (expected mine, correct, bench, eval, \
+                 serve, client or help)"
             ))
         }
     };

@@ -1,0 +1,163 @@
+//! End-to-end tests of `sigrule eval`: determinism across thread counts and
+//! repeated invocations, the paper's Table 2 ordering on the rendered CSV,
+//! and the committed golden fixture.
+
+use sigrule_cli::{run, RunOutcome};
+
+fn eval(parts: &[&str]) -> RunOutcome {
+    let mut argv = vec!["eval".to_string()];
+    argv.extend(parts.iter().map(|s| s.to_string()));
+    run(&argv)
+}
+
+/// A small planted-rule sweep (the acceptance grid, scaled down to test
+/// size): 2 dataset sizes × 2 noise levels × 3 corrections.
+const SWEEP_ARGS: &[&str] = &[
+    "--grid",
+    "rows=150,300",
+    "noise=0.1,0.3",
+    "rules=1",
+    "coverage=0.25",
+    "--corrections",
+    "none,direct,permutation",
+    "--reps",
+    "3",
+    "--seed",
+    "42",
+    "--permutations",
+    "40",
+    "--attributes",
+    "12",
+    "--min-sup-frac",
+    "0.1",
+];
+
+fn with_format(format: &str, extra: &[&'static str]) -> Vec<&'static str> {
+    // Leaking is fine in tests; keeps the argv plumbing simple.
+    let mut args: Vec<&'static str> = SWEEP_ARGS.to_vec();
+    args.push("--format");
+    args.push(Box::leak(format.to_string().into_boxed_str()));
+    args.extend(extra);
+    args
+}
+
+#[test]
+fn output_is_bit_identical_across_thread_counts() {
+    let base = eval(&with_format("json", &[]));
+    assert_eq!(base.exit_code, 0, "stderr: {}", base.stderr);
+    for threads in ["1", "2", "8"] {
+        let pinned = eval(&with_format("json", &["--threads", threads]));
+        assert_eq!(pinned.exit_code, 0, "stderr: {}", pinned.stderr);
+        assert_eq!(
+            base.stdout, pinned.stdout,
+            "--threads {threads} changed the output"
+        );
+    }
+    // A repeated identical invocation (fresh, cold runner) is also
+    // bit-identical.
+    let again = eval(&with_format("json", &[]));
+    assert_eq!(base.stdout, again.stdout);
+}
+
+#[test]
+fn csv_cells_show_the_papers_table_2_ordering() {
+    let outcome = eval(&with_format("csv", &[]));
+    assert_eq!(outcome.exit_code, 0, "stderr: {}", outcome.stderr);
+    let mut lines = outcome.stdout.lines();
+    let header: Vec<&str> = lines.next().expect("csv header").split(',').collect();
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let (c_rows, c_noise, c_corr) = (col("rows"), col("noise"), col("correction"));
+    let (c_fp, c_recall, c_fwer) = (col("mean_fp"), col("recall"), col("fwer"));
+
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert_eq!(rows.len(), 2 * 2 * 3, "one row per cell");
+
+    // Group by dataset cell (rows × noise): within each, compare corrections.
+    for dataset in ["150", "300"] {
+        for noise in ["0.1", "0.3"] {
+            let cell = |correction: &str| -> &Vec<&str> {
+                rows.iter()
+                    .find(|r| {
+                        r[c_rows] == dataset && r[c_noise] == noise && r[c_corr] == correction
+                    })
+                    .unwrap_or_else(|| panic!("no cell {dataset}/{noise}/{correction}"))
+            };
+            let fp = |correction: &str| cell(correction)[c_fp].parse::<f64>().unwrap();
+            let fwer = |correction: &str| cell(correction)[c_fwer].parse::<f64>().unwrap();
+            let recall = |correction: &str| cell(correction)[c_recall].parse::<f64>().unwrap();
+
+            // Table 2's ordering: uncorrected reports strictly more false
+            // positives than the permutation approach, whose empirical FWER
+            // stays at the α level (3 replicates: 0 contaminated).
+            assert!(
+                fp("none") > fp("permutation"),
+                "{dataset}/{noise}: none fp {} !> permutation fp {}",
+                fp("none"),
+                fp("permutation")
+            );
+            assert!(
+                fwer("permutation") <= fwer("none"),
+                "{dataset}/{noise}: permutation fwer above uncorrected"
+            );
+            assert!(
+                fp("direct") <= fp("none"),
+                "{dataset}/{noise}: bonferroni above uncorrected"
+            );
+            // The planted rule (confidence ≥ 0.7) is found by the corrected
+            // approaches on the larger datasets.
+            if dataset == "300" && noise == "0.1" {
+                assert!(
+                    recall("permutation") > 0.0,
+                    "{dataset}/{noise}: permutation missed the planted rule"
+                );
+                assert!(recall("direct") > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_fixture_matches() {
+    // The committed fixture pins the full JSON output of a small sweep; any
+    // change to seeding, metrics, formatting or cell ordering shows up as a
+    // diff here.  Regenerate (after an intentional change) with:
+    //   cargo run -p sigrule_cli -- eval --grid rows=150 noise=0.2 \
+    //     --corrections none,permutation --reps 2 --seed 42 \
+    //     --permutations 40 --attributes 8 --min-sup-frac 0.08 \
+    //     --format json > tests/fixtures/eval_smoke.json
+    let outcome = eval(&[
+        "--grid",
+        "rows=150",
+        "noise=0.2",
+        "--corrections",
+        "none,permutation",
+        "--reps",
+        "2",
+        "--seed",
+        "42",
+        "--permutations",
+        "40",
+        "--attributes",
+        "8",
+        "--min-sup-frac",
+        "0.08",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(outcome.exit_code, 0, "stderr: {}", outcome.stderr);
+    let fixture_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/eval_smoke.json"
+    );
+    let expected = std::fs::read_to_string(fixture_path)
+        .unwrap_or_else(|e| panic!("cannot read {fixture_path}: {e}"));
+    assert_eq!(
+        outcome.stdout, expected,
+        "eval output drifted from the golden fixture"
+    );
+}

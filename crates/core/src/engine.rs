@@ -738,6 +738,20 @@ impl Engine {
         outcome
     }
 
+    /// Answers a batch of queries against this engine, in order, stopping at
+    /// the first failure.
+    ///
+    /// This is the evaluation entry point: a sweep harness prepares all the
+    /// (correction, α) combinations it wants on one dataset and submits them
+    /// together, so queries that share a mining configuration reuse the mined
+    /// rule set and queries that share a `(mining, n_permutations, seed)`
+    /// triple reuse the permutation null — the per-query
+    /// [`QueryOutcome::mined_cached`] / [`QueryOutcome::null_cached`] flags
+    /// report exactly which reuse happened.
+    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>, PipelineError> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
     fn query_inner(&self, query: &Query) -> Result<QueryOutcome, PipelineError> {
         let cancel = &query.cancel;
         cancel.check()?;

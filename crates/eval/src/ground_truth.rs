@@ -1,0 +1,233 @@
+//! Canonical, ItemSpace-resolved matching of mined rules against planted
+//! ground truth.
+//!
+//! The synthetic generators report [`EmbeddedRule`]s with patterns expressed
+//! as dense item ids *of the item space they generated*.  When the dataset is
+//! round-tripped through a file (or loaded by a different process) the loader
+//! assigns ids in first-appearance order, so the numeric ids can drift even
+//! though the items themselves are identical.  [`resolve_truth`] re-anchors a
+//! ground-truth list into a target item space by canonical item *name*, which
+//! is stable across serialisation, deduplication and re-loading.
+//!
+//! [`score_result`] then judges one correction result against resolved ground
+//! truth using the paper's §5.2 false-positive definition — the same code path
+//! as [`crate::evaluate`], but without requiring a [`crate::PreparedDataset`],
+//! so the resident [`Engine`](sigrule::engine::Engine) outcomes can be scored
+//! directly.
+
+use crate::false_positive::{effective_cutoff, is_false_positive, matches_embedded};
+use crate::metrics::DatasetMetrics;
+use sigrule::CorrectionResult;
+use sigrule_data::{Dataset, ItemSpace, Pattern};
+use sigrule_synth::EmbeddedRule;
+
+/// Why a ground-truth list could not be resolved into a target item space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundTruthError {
+    /// An embedded rule references an item name absent from the target space.
+    UnknownItem {
+        /// Index of the offending rule in the ground-truth list.
+        rule: usize,
+        /// The canonical item name that failed to resolve.
+        name: String,
+    },
+    /// An embedded rule references a class label absent from the target space.
+    UnknownClass {
+        /// Index of the offending rule in the ground-truth list.
+        rule: usize,
+        /// The class label that failed to resolve.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for GroundTruthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroundTruthError::UnknownItem { rule, name } => write!(
+                f,
+                "embedded rule #{rule}: item {name:?} is not in the target item space"
+            ),
+            GroundTruthError::UnknownClass { rule, name } => write!(
+                f,
+                "embedded rule #{rule}: class {name:?} is not in the target item space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GroundTruthError {}
+
+/// Re-anchors embedded rules from the item space they were generated against
+/// (`source`) into `target`, matching items and classes by canonical name.
+///
+/// When `source` and `target` are the same space this is the identity on ids,
+/// but running through it anyway keeps the sweep harness on the one canonical
+/// path that also survives file round trips.
+pub fn resolve_truth(
+    target: &ItemSpace,
+    source: &ItemSpace,
+    truth: &[EmbeddedRule],
+) -> Result<Vec<EmbeddedRule>, GroundTruthError> {
+    truth
+        .iter()
+        .enumerate()
+        .map(|(idx, rule)| {
+            let items = rule
+                .item_names(source)
+                .into_iter()
+                .map(|name| {
+                    target
+                        .item_named(&name)
+                        .ok_or(GroundTruthError::UnknownItem { rule: idx, name })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let class_label = rule.class_name(source).unwrap_or_default().to_string();
+            let class = target
+                .class_index(&class_label)
+                .ok_or(GroundTruthError::UnknownClass {
+                    rule: idx,
+                    name: class_label,
+                })?;
+            Ok(EmbeddedRule {
+                pattern: Pattern::from_items(items),
+                class,
+                ..rule.clone()
+            })
+        })
+        .collect()
+}
+
+/// Scores one correction result against resolved ground truth on `dataset`.
+///
+/// Uses the §5.2 definitions: a significant rule is a false positive unless
+/// it matches an embedded rule (closure-aware) or its significance is
+/// explained by an embedded rule it overlaps with; an embedded rule counts as
+/// detected when some significant rule matches it.
+pub fn score_result(
+    dataset: &Dataset,
+    embedded: &[EmbeddedRule],
+    result: &CorrectionResult,
+) -> DatasetMetrics {
+    let cutoff = effective_cutoff(result);
+    let significant_rules = result.significant_rules();
+
+    let n_false_positives = significant_rules
+        .iter()
+        .filter(|rule| is_false_positive(dataset, rule, embedded, cutoff))
+        .count();
+
+    let n_detected = embedded
+        .iter()
+        .filter(|truth| {
+            significant_rules
+                .iter()
+                .any(|rule| matches_embedded(dataset, rule, truth))
+        })
+        .count();
+
+    DatasetMetrics {
+        n_significant: significant_rules.len(),
+        n_false_positives,
+        n_detected,
+        n_embedded: embedded.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrule::correction::no_correction;
+    use sigrule::{mine_rules, RuleMiningConfig};
+    use sigrule_data::loader::{dataset_to_baskets, load_baskets_str, BasketOptions};
+    use sigrule_synth::{BasketGenerator, BasketParams, SyntheticGenerator, SyntheticParams};
+
+    #[test]
+    fn identity_resolution_preserves_patterns() {
+        let params = SyntheticParams::default()
+            .with_records(400)
+            .with_attributes(10)
+            .with_rules(2)
+            .with_coverage(80, 100)
+            .with_confidence(0.9, 0.95);
+        let (d, truth) = SyntheticGenerator::new(params).unwrap().generate(11);
+        let space = d.item_space();
+        let resolved = resolve_truth(space, space, &truth).unwrap();
+        assert_eq!(resolved.len(), truth.len());
+        for (a, b) in resolved.iter().zip(truth.iter()) {
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.coverage, b.coverage);
+        }
+    }
+
+    #[test]
+    fn basket_truth_survives_file_round_trip() {
+        // Generate a basket dataset, serialise it to the basket text format,
+        // reload it (the loader assigns ids in first-appearance order, so ids
+        // can permute), resolve the ground truth by name into the reloaded
+        // space, and check the planted rules still have their coverage.
+        let params = BasketParams::default()
+            .with_transactions(300)
+            .with_items(40)
+            .with_basket_size(3, 7)
+            .with_rules(2)
+            .with_coverage(60, 80)
+            .with_confidence(0.9, 0.95);
+        let (d, truth) = BasketGenerator::new(params).unwrap().generate(7);
+        let text = dataset_to_baskets(&d);
+        let reloaded = load_baskets_str(&text, &BasketOptions::default())
+            .unwrap()
+            .dataset;
+        let resolved = resolve_truth(reloaded.item_space(), d.item_space(), &truth).unwrap();
+        for (orig, rule) in truth.iter().zip(resolved.iter()) {
+            assert_eq!(
+                reloaded.support(&rule.pattern),
+                orig.coverage,
+                "planted coverage must survive the round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_item_is_reported() {
+        let params = SyntheticParams::default()
+            .with_records(200)
+            .with_attributes(8)
+            .with_rules(1)
+            .with_coverage(50, 60)
+            .with_confidence(0.9, 0.9);
+        let (d, truth) = SyntheticGenerator::new(params.clone()).unwrap().generate(3);
+        // A basket space shares no item names with the attribute=value space.
+        let other = BasketGenerator::new(BasketParams::default().with_transactions(50))
+            .unwrap()
+            .generate(1)
+            .0;
+        let err = resolve_truth(other.item_space(), d.item_space(), &truth).unwrap_err();
+        assert!(matches!(err, GroundTruthError::UnknownItem { rule: 0, .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("not in the target item space"), "{msg}");
+    }
+
+    #[test]
+    fn score_result_matches_evaluate_semantics() {
+        let params = SyntheticParams::default()
+            .with_records(500)
+            .with_attributes(12)
+            .with_rules(1)
+            .with_coverage(120, 120)
+            .with_confidence(0.9, 0.9);
+        let (d, truth) = SyntheticGenerator::new(params).unwrap().generate(5);
+        let mined = mine_rules(&d, &RuleMiningConfig::new(60));
+        let result = no_correction(&mined, 0.05);
+        let truth = resolve_truth(d.item_space(), d.item_space(), &truth).unwrap();
+        let m = score_result(&d, &truth, &result);
+        assert_eq!(m.n_embedded, 1);
+        assert_eq!(m.n_significant, result.n_significant());
+        assert!(m.n_false_positives <= m.n_significant);
+        assert_eq!(m.n_detected, 1, "a confidence-0.9 rule should be detected");
+
+        // With no ground truth every significant rule is a false positive.
+        let random = score_result(&d, &[], &result);
+        assert_eq!(random.n_false_positives, random.n_significant);
+    }
+}

@@ -10,7 +10,13 @@
 //!   on a prepared dataset;
 //! * [`report`] — plain-text tables in the shape the paper's figures plot;
 //! * [`experiments`] — one module per figure/table of the paper, each
-//!   producing a [`report::Table`] that the `repro_*` binaries print.
+//!   producing a [`report::Table`] that the `repro_*` binaries print;
+//! * [`ground_truth`] — canonical (ItemSpace-resolved) matching of mined
+//!   rules against planted [`EmbeddedRule`](sigrule_synth::EmbeddedRule)
+//!   ground truth, robust to file round trips;
+//! * [`sweep`] — the `sigrule eval` grid sweep: seeded synthetic datasets ×
+//!   corrections × α, run through a resident engine and scored against the
+//!   planted truth (the paper's Table 2, automated).
 //!
 //! # Example: run a method family and render a table
 //!
@@ -41,11 +47,17 @@
 
 pub mod experiments;
 pub mod false_positive;
+pub mod ground_truth;
 pub mod methods;
 pub mod metrics;
 pub mod report;
+pub mod sweep;
 
-pub use false_positive::{adjusted_p_value, is_false_positive, matches_embedded};
+pub use false_positive::{adjusted_p_value, is_false_positive, matches_embedded, residual_p_value};
+pub use ground_truth::{resolve_truth, score_result, GroundTruthError};
 pub use methods::{Method, MethodRunner, PreparedDataset};
 pub use metrics::{evaluate, AggregateMetrics, DatasetMetrics};
 pub use report::Table;
+pub use sweep::{
+    CorrectionSpec, SweepCell, SweepError, SweepGrid, SweepReport, SweepRunner, Workload,
+};

@@ -320,8 +320,9 @@ impl BasketGenerator {
         }
 
         let width = (p.n_items.max(2) - 1).to_string().len();
+        let token = |i: usize| format!("item{i:0width$}");
         let item_space = ItemSpace::baskets(
-            (0..p.n_items).map(|i| format!("item{i:0width$}")),
+            (0..p.n_items).map(token),
             (0..p.n_classes).map(|c| format!("c{c}")).collect(),
         )
         .expect("validated parameters always produce a valid item space");
@@ -333,10 +334,20 @@ impl BasketGenerator {
         let dataset = Dataset::from_baskets(item_space, records)
             .expect("generated ids are always within the item space");
 
+        // Report planted itemsets as dense ids *of the dataset's item space*,
+        // resolved by token name — never raw catalogue positions.  The two
+        // coincide today, but matching through the space keeps the ground
+        // truth valid under any future interning/dedup order and matches how
+        // a loader-produced dataset would have to be scored.
+        let item_space = dataset.item_space();
         let rules = planted
             .into_iter()
             .map(|rule| {
-                let pattern = Pattern::from_items(rule.items);
+                let pattern = Pattern::from_items(rule.items.iter().map(|&i| {
+                    item_space
+                        .item_named(&token(i as usize))
+                        .expect("every planted item is in the catalogue")
+                }));
                 let coverage = dataset.support(&pattern);
                 let hits = dataset.rule_support(&pattern, rule.class);
                 EmbeddedRule {
@@ -378,6 +389,37 @@ mod tests {
         assert!(d.item_space().is_basket());
         for r in d.records() {
             assert!(r.len() >= 2 && r.len() <= 8, "basket length {}", r.len());
+        }
+    }
+
+    #[test]
+    fn planted_patterns_are_dense_ids_of_the_dataset_item_space() {
+        // The planted itemsets must come back as dense ids of the *dataset's*
+        // item space (resolved by token name), never as raw catalogue
+        // positions: ground-truth matching must not re-tokenize.
+        let params = small_params()
+            .with_rules(3)
+            .with_coverage(60, 90)
+            .with_confidence(0.8, 0.9);
+        let gen = BasketGenerator::new(params).unwrap();
+        let (d, rules) = gen.generate(21);
+        let space = d.item_space();
+        assert_eq!(rules.len(), 3);
+        for rule in &rules {
+            for name in rule.item_names(space) {
+                let id = space.item_named(&name).expect("name must resolve");
+                assert!(
+                    rule.pattern.items().contains(&id),
+                    "pattern {:?} does not contain resolved id {id} for {name:?}",
+                    rule.pattern
+                );
+            }
+            assert_eq!(
+                d.support(&rule.pattern),
+                rule.coverage,
+                "coverage must be measured on the dataset's own ids"
+            );
+            assert!(rule.coverage >= 60 && rule.coverage <= 90);
         }
     }
 

@@ -10,7 +10,7 @@ use crate::params::SyntheticParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sigrule_data::{ClassId, Dataset, Pattern, Record, Schema};
+use sigrule_data::{ClassId, Dataset, ItemSpace, Pattern, Record, Schema};
 
 /// A ground-truth rule embedded into a synthetic dataset, with both its
 /// target and realised statistics.
@@ -32,6 +32,31 @@ pub struct EmbeddedRule {
     pub coverage: usize,
     /// Confidence actually realised in the dataset.
     pub confidence: f64,
+}
+
+impl EmbeddedRule {
+    /// The canonical display names of the pattern's items in the item space
+    /// the rule was generated against (`attribute=value` for row workloads,
+    /// the raw token for basket workloads).
+    ///
+    /// Names — not dense ids — are the representation that survives a round
+    /// trip through a file: a loader assigns ids in first-appearance order,
+    /// so the same planted itemset can carry different ids in the reloaded
+    /// dataset.  Ground-truth matchers resolve these names into the target
+    /// dataset's item space (see `sigrule_eval`'s ground-truth module)
+    /// instead of re-tokenizing source text.
+    pub fn item_names(&self, space: &ItemSpace) -> Vec<String> {
+        self.pattern
+            .items()
+            .iter()
+            .map(|&item| space.describe_item(item))
+            .collect()
+    }
+
+    /// The class label name in the generating item space.
+    pub fn class_name<'a>(&self, space: &'a ItemSpace) -> Option<&'a str> {
+        space.class_name(self.class).ok()
+    }
 }
 
 /// Internal specification of a rule before it is planted.

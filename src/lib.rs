@@ -11,7 +11,8 @@
 //! * [`mining`] — Apriori, Eclat/dEclat, FP-growth, closed patterns;
 //! * [`synth`] — the Table 1 synthetic data generator;
 //! * [`core`] — class association rules and the three correction approaches;
-//! * [`eval`] — the paper's evaluation methodology and every figure/table;
+//! * [`eval`] — the paper's evaluation methodology, every figure/table, and
+//!   the `sigrule eval` planted-truth sweep harness;
 //! * [`server`] — the multi-dataset engine registry (byte-budget LRU cache
 //!   eviction) and the concurrent stdin/TCP/Unix-socket serve transports.
 
@@ -51,7 +52,10 @@ pub mod prelude {
     pub use sigrule_data::{
         Dataset, InputFormat, ItemProvenance, ItemSpace, Pattern, Record, Schema,
     };
-    pub use sigrule_eval::{evaluate, Method, MethodRunner, PreparedDataset};
+    pub use sigrule_eval::{
+        evaluate, resolve_truth, score_result, Method, MethodRunner, PreparedDataset, SweepGrid,
+        SweepReport, SweepRunner,
+    };
     pub use sigrule_server::{
         ClientStream, EngineRegistry, ListenAddr, RegistrySnapshot, ServerConfig, ServerState,
     };
