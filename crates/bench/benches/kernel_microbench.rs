@@ -1,0 +1,130 @@
+//! Support-kernel microbenchmarks: `and_count` and the batched
+//! `and_count_many` across bitmap widths and densities, pinned to each
+//! kernel implementation (scalar baseline vs. the runtime-dispatched SIMD
+//! path) and to the batched lane-block sweep.
+//!
+//! The headline comparison BENCH_perm.json's `kernel_microbench` axis
+//! records: at engine-realistic widths (2k–128k records) the AVX2 path beats
+//! the unrolled scalar sweep on single intersections, and the batched
+//! 8-lane sweep amortises the cover loads so one batched pass beats eight
+//! separate `and_count` calls per word of cover.
+//!
+//! Forcing a kernel kind is safe here because every kind computes identical
+//! counts (tests/kernel_equivalence.rs) — the force hook exists exactly for
+//! this A/B use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigrule_data::kernel::{self, KernelKind};
+use sigrule_data::{Bitmap, LaneBlock, TidSet};
+
+/// Lanes per batched sweep: matches the engine's `PERMS_PER_CHUNK`.
+const LANES: usize = 8;
+
+/// Deterministic bitmap with roughly one set bit per `stride` records.
+fn striped_bitmap(n_bits: usize, stride: usize, phase: usize) -> Bitmap {
+    let tids = TidSet::from_tids((phase as u32..n_bits as u32).step_by(stride));
+    Bitmap::from_tids(&tids, n_bits)
+}
+
+/// The kernel kinds this machine can run: always scalar, plus the detected
+/// SIMD path.
+fn kinds() -> Vec<KernelKind> {
+    let mut kinds = vec![KernelKind::Scalar];
+    kinds.extend(kernel::simd_kind());
+    kinds
+}
+
+fn bench_and_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_count");
+    for &n_bits in &[2_000usize, 16_384, 131_072] {
+        // Half-dense covers: the regime the bitmap kernel is selected for.
+        let a = striped_bitmap(n_bits, 2, 0);
+        let b = striped_bitmap(n_bits, 3, 1);
+        for kind in kinds() {
+            kernel::force(Some(kind));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n_bits),
+                &n_bits,
+                |bench, _| bench.iter(|| black_box(a.and_count(black_box(&b)))),
+            );
+        }
+        kernel::force(None);
+    }
+    group.finish();
+}
+
+fn bench_and_count_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_count_many");
+    for &n_bits in &[2_000usize, 16_384, 131_072] {
+        let cover = striped_bitmap(n_bits, 2, 0);
+        let others: Vec<Bitmap> = (0..LANES)
+            .map(|lane| striped_bitmap(n_bits, 3 + lane % 3, lane))
+            .collect();
+        let mut block = LaneBlock::zeros(LANES, n_bits);
+        for (lane, other) in others.iter().enumerate() {
+            block.copy_lane_from(lane, other);
+        }
+        let mut acc = vec![0u32; LANES];
+        for kind in kinds() {
+            kernel::force(Some(kind));
+            // One batched 8-lane sweep over a pre-packed block (the engine's
+            // steady state: the block is filled once per chunk).
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched/{}", kind.name()), n_bits),
+                &n_bits,
+                |bench, _| {
+                    bench.iter(|| {
+                        block.and_count_per_lane(black_box(&cover), &mut acc);
+                        black_box(acc[LANES - 1])
+                    })
+                },
+            );
+            // The same work as 8 separate and_count calls (the per-
+            // permutation engine's cost for one cover and one chunk).
+            group.bench_with_input(
+                BenchmarkId::new(format!("separate/{}", kind.name()), n_bits),
+                &n_bits,
+                |bench, _| {
+                    bench.iter(|| {
+                        let mut last = 0usize;
+                        for other in &others {
+                            last = black_box(&cover).and_count(other);
+                        }
+                        black_box(last)
+                    })
+                },
+            );
+        }
+        kernel::force(None);
+    }
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    // Density axis at fixed width: how the kernels scale as covers thin out
+    // toward the tid-list break-even (1 id per 64 records).
+    let n_bits = 16_384usize;
+    let mut group = c.benchmark_group("and_count_density");
+    for &stride in &[2usize, 8, 32, 64] {
+        let a = striped_bitmap(n_bits, stride, 0);
+        let b = striped_bitmap(n_bits, 3, 1);
+        for kind in kinds() {
+            kernel::force(Some(kind));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("1per{stride}")),
+                &stride,
+                |bench, _| bench.iter(|| black_box(a.and_count(black_box(&b)))),
+            );
+        }
+        kernel::force(None);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_and_count,
+    bench_and_count_many,
+    bench_density_sweep
+);
+criterion_main!(kernels);

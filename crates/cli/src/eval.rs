@@ -4,9 +4,12 @@
 //! [`SweepGrid`] from `--grid` axes and flags, run it (under a pinned rayon
 //! pool when `--threads` is given), and render the cells as a [`Report`].
 //!
-//! The output contains no timings or cache counters, so it is bit-identical
-//! across thread counts and warm/cold engine caches — the determinism tests
-//! compare the rendered bytes directly.
+//! The machine-readable output (`--format json|csv`) contains no timings or
+//! cache counters, so it is bit-identical across thread counts and warm/cold
+//! engine caches — the determinism tests compare the rendered bytes
+//! directly.  The human format appends one footer line with the null
+//! collection wall-clock and the active support-kernel counters, so kernel
+//! regressions show up in the harness users already run.
 
 use crate::args::{ArgMap, Format, UsageError};
 use crate::output::Report;
@@ -116,7 +119,21 @@ pub fn run_eval(argv: &[String]) -> RunOutcome {
     report.add("datasets", grid.n_datasets());
     report.add("cells", sweep.cells.len());
     report.tables.push(sweep.to_table());
-    RunOutcome::ok(report.render(format))
+    let mut rendered = report.render(format);
+    if format == Format::Human {
+        // Timings and kernel counters live only in the human footer: the
+        // machine-readable formats stay bit-identical across kernels, thread
+        // counts and cache states.
+        let counters = sigrule_data::kernel::counters();
+        rendered.push_str(&format!(
+            "null_ms={:.1} kernel={} batched_sweeps={} per_perm_sweeps={} (human-format footer; not in json/csv)\n",
+            sweep.cache.null_time.as_secs_f64() * 1e3,
+            counters.kernel,
+            counters.batched_sweeps,
+            counters.per_perm_sweeps,
+        ));
+    }
+    RunOutcome::ok(rendered)
 }
 
 /// Builds the grid (defaults → flags → `--grid` axes, later wins) plus the
@@ -216,6 +233,35 @@ mod tests {
         assert_eq!(outcome.exit_code, 0, "stderr: {}", outcome.stderr);
         assert!(outcome.stdout.contains("\"command\":\"eval\""));
         assert!(outcome.stdout.contains("\"rows\":\"120\""));
+    }
+
+    #[test]
+    fn human_footer_reports_kernel_counters_but_json_stays_clean() {
+        let args = [
+            "--grid",
+            "rows=120",
+            "noise=0.1",
+            "--corrections",
+            "none",
+            "--reps",
+            "1",
+            "--permutations",
+            "10",
+            "--attributes",
+            "6",
+        ];
+        let human = run_eval(&argv(&args));
+        assert_eq!(human.exit_code, 0, "stderr: {}", human.stderr);
+        assert!(human.stdout.contains("null_ms="), "human footer missing");
+        assert!(human.stdout.contains("kernel="), "kernel kind missing");
+        let mut json_args: Vec<&str> = args.to_vec();
+        json_args.extend(["--format", "json"]);
+        let json = run_eval(&argv(&json_args));
+        assert_eq!(json.exit_code, 0);
+        assert!(
+            !json.stdout.contains("null_ms"),
+            "timings must stay out of machine-readable output"
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use sigrule_data::ClassId;
+use sigrule_data::{kernel, ClassId};
 pub use sigrule_mining::SupportBackend;
 use sigrule_stats::{
     benjamini_hochberg_threshold, DynamicBuffer, EmpiricalNull, FisherTest, LogFactorialTable,
@@ -86,6 +86,31 @@ pub enum BufferStrategy {
     /// buffer for the rest ("16M static buf+…").  The static buffer is built
     /// once up front and shared read-only across worker threads.
     StaticAndDynamic,
+}
+
+/// Whether a chunk's permutations are counted one at a time or in one
+/// batched lane-blocked pass.
+///
+/// The batched path fills a transposed
+/// [`ClassLaneBlocks`](sigrule_data::ClassLaneBlocks) once per chunk from
+/// all of the chunk's shuffled label vectors and then sweeps every rule
+/// cover against all permutations at once — loading each cover word once per
+/// chunk instead of once per permutation.  Both paths compute identical
+/// exact counts and are reduced by order-independent operations (per-lane
+/// minima and an additive histogram), so the statistics are bit-identical
+/// either way; the policy only moves the cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Batch whenever the support plan has bitmap-kernel nodes (they profit
+    /// directly from the one-pass cover sweep); pure tid-list plans keep the
+    /// per-permutation loop so the paper's TidLists ablation axis still
+    /// measures exactly the engine §4.2.2 describes.
+    #[default]
+    Auto,
+    /// Always count one permutation at a time (the pre-batching engine).
+    PerPermutation,
+    /// Always take the lane-blocked batched path.
+    Batched,
 }
 
 /// Whether the `N` permutations run on one thread or fan out over rayon.
@@ -118,6 +143,8 @@ pub struct PermutationCorrection {
     /// Support-counting kernel selection (tid-lists, bitmaps, or per-node
     /// auto-selection by density).
     pub backend: SupportBackend,
+    /// Batched (lane-blocked) vs per-permutation chunk counting.
+    pub batch: BatchPolicy,
 }
 
 impl Default for PermutationCorrection {
@@ -129,6 +156,7 @@ impl Default for PermutationCorrection {
             static_buffer_bytes: DEFAULT_STATIC_BUFFER_BYTES,
             mode: ExecutionMode::default(),
             backend: SupportBackend::default(),
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -256,6 +284,12 @@ impl PermutationCorrection {
     /// Overrides the support-counting kernel selection.
     pub fn with_backend(mut self, backend: SupportBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the batched vs per-permutation chunk policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -388,6 +422,23 @@ impl PermutationCorrection {
 
         let plan = self.build_plan(mined, tables);
 
+        // Resolve the batch policy once per run: the batched path profits
+        // whenever some node counts with the bitmap kernel (its cover sweep
+        // then runs once per chunk instead of once per permutation).  Both
+        // paths produce bit-identical statistics.
+        let batched = match self.batch {
+            BatchPolicy::PerPermutation => false,
+            BatchPolicy::Batched => true,
+            BatchPolicy::Auto => plan.support_plan.prefers_batched(),
+        };
+        let run = |start: usize| {
+            if batched {
+                self.run_chunk_batched(&plan, start)
+            } else {
+                self.run_chunk(&plan, start)
+            }
+        };
+
         // Fixed-size chunks over the permutation indices; the chunk list (and
         // therefore the merge order below) is independent of the worker
         // count.  Each chunk re-checks the token before running, so on the
@@ -399,7 +450,7 @@ impl PermutationCorrection {
                 let mut out = Vec::with_capacity(chunk_starts.len());
                 for start in chunk_starts {
                     cancel.check()?;
-                    out.push(Ok(self.run_chunk(&plan, start)));
+                    out.push(Ok(run(start)));
                 }
                 out
             }
@@ -407,7 +458,7 @@ impl PermutationCorrection {
                 .into_par_iter()
                 .map(|start| {
                     cancel.check()?;
-                    Ok(self.run_chunk(&plan, start))
+                    Ok(run(start))
                 })
                 .collect(),
         };
@@ -587,31 +638,8 @@ impl PermutationCorrection {
                 for &ri in &plan.class_rules[slot] {
                     let rule = &rules[ri];
                     let supp_r = supports[mined.rule_node(ri)];
-                    let p = match self.buffer {
-                        BufferStrategy::None => {
-                            let counts = RuleCounts::new(
-                                n,
-                                mined.class_counts()[class as usize],
-                                rule.coverage,
-                                supp_r,
-                            )
-                            .expect("permuted support stays within the margins");
-                            plan.fisher.p_value(&counts, Tail::TwoSided)
-                        }
-                        BufferStrategy::DynamicOnly => {
-                            dynamics[slot].p_value(rule.coverage, supp_r, &plan.logs)
-                        }
-                        BufferStrategy::StaticAndDynamic => {
-                            let tables = plan
-                                .static_tables
-                                .as_ref()
-                                .expect("built for this strategy");
-                            match tables.slot(slot).get(rule.coverage) {
-                                Some(buffer) => buffer.p_value(supp_r),
-                                None => dynamics[slot].p_value(rule.coverage, supp_r, &plan.logs),
-                            }
-                        }
-                    };
+                    let p =
+                        self.rule_p_value(plan, slot, class, rule.coverage, supp_r, &mut dynamics);
                     if p < perm_min {
                         perm_min = p;
                     }
@@ -620,8 +648,128 @@ impl PermutationCorrection {
             }
             minima.push(perm_min);
         }
+        kernel::note_per_perm_sweeps(((end - start) * plan.classes.len()) as u64);
 
         ChunkStats { minima, cnt }
+    }
+
+    /// Runs permutations `start .. start + PERMS_PER_CHUNK` (clamped to `N`)
+    /// through the **batched** lane-blocked engine: all of the chunk's label
+    /// vectors are generated up front (each from its own `(seed, index)`
+    /// stream, exactly as the per-permutation path draws them), the per-class
+    /// lane blocks are filled once in one transposed pass, and every rule
+    /// cover is then swept against all permutations of the chunk at once.
+    ///
+    /// Bit-identical to [`run_chunk`](Self::run_chunk): every support is the
+    /// same exact integer (both paths count the same sets), every p-value is
+    /// a deterministic function of `(coverage, support)`, and the chunk
+    /// reductions — per-lane minima and the additive insertion-point
+    /// histogram — do not depend on the order rules and permutations are
+    /// visited in, which is the only thing batching changes.
+    fn run_chunk_batched(&self, plan: &ScoringPlan<'_>, start: usize) -> ChunkStats {
+        crate::fault::point("perm.chunk");
+        let mined = plan.mined;
+        let rules = mined.rules();
+        let n = mined.n_records();
+        let end = (start + PERMS_PER_CHUNK).min(self.n_permutations);
+        let lanes = end - start;
+
+        // All of the chunk's shuffled label vectors, lane-major.  Each lane
+        // shuffles a fresh copy of the original labels under the same
+        // per-permutation seed derivation as the per-permutation path.
+        let mut labels_flat: Vec<ClassId> = Vec::with_capacity(lanes * n);
+        for perm in start..end {
+            let base = labels_flat.len();
+            labels_flat.extend_from_slice(mined.labels());
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (perm as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            labels_flat[base..].shuffle(&mut rng);
+        }
+        let mut blocks = plan
+            .support_plan
+            .make_class_lane_blocks(mined.n_classes(), lanes);
+        blocks.fill(&labels_flat);
+
+        let mut supports: Vec<u32> = Vec::with_capacity(mined.forest().len() * lanes);
+        let mut dynamics: Vec<DynamicBuffer> = match self.buffer {
+            BufferStrategy::None => Vec::new(),
+            _ => plan
+                .classes
+                .iter()
+                .map(|&c| DynamicBuffer::new(n, mined.class_counts()[c as usize]))
+                .collect(),
+        };
+
+        let mut perm_min = vec![f64::INFINITY; lanes];
+        let mut cnt = vec![0u64; rules.len() + 1];
+
+        for (slot, &class) in plan.classes.iter().enumerate() {
+            mined.forest().rule_supports_planned_block(
+                &plan.support_plan,
+                blocks.class(class),
+                &mut supports,
+            );
+            for &ri in &plan.class_rules[slot] {
+                let rule = &rules[ri];
+                let node = mined.rule_node(ri);
+                for (lane, min) in perm_min.iter_mut().enumerate() {
+                    let supp_r = supports[node * lanes + lane] as usize;
+                    let p =
+                        self.rule_p_value(plan, slot, class, rule.coverage, supp_r, &mut dynamics);
+                    if p < *min {
+                        *min = p;
+                    }
+                    cnt[plan.sorted_observed.partition_point(|&x| x < p)] += 1;
+                }
+            }
+        }
+        kernel::note_batched_sweeps(plan.classes.len() as u64);
+
+        ChunkStats {
+            minima: perm_min,
+            cnt,
+        }
+    }
+
+    /// The permutation-time p-value of one rule given its permuted support:
+    /// the [`BufferStrategy`] three-way shared by both chunk paths.  A pure
+    /// function of `(coverage, support)` for fixed margins — the dynamic
+    /// buffer is only a cache, so visit order never changes a value.
+    #[inline]
+    fn rule_p_value(
+        &self,
+        plan: &ScoringPlan<'_>,
+        slot: usize,
+        class: ClassId,
+        coverage: usize,
+        supp_r: usize,
+        dynamics: &mut [DynamicBuffer],
+    ) -> f64 {
+        let mined = plan.mined;
+        match self.buffer {
+            BufferStrategy::None => {
+                let counts = RuleCounts::new(
+                    mined.n_records(),
+                    mined.class_counts()[class as usize],
+                    coverage,
+                    supp_r,
+                )
+                .expect("permuted support stays within the margins");
+                plan.fisher.p_value(&counts, Tail::TwoSided)
+            }
+            BufferStrategy::DynamicOnly => dynamics[slot].p_value(coverage, supp_r, &plan.logs),
+            BufferStrategy::StaticAndDynamic => {
+                let tables = plan
+                    .static_tables
+                    .as_ref()
+                    .expect("built for this strategy");
+                match tables.slot(slot).get(coverage) {
+                    Some(buffer) => buffer.p_value(supp_r),
+                    None => dynamics[slot].p_value(coverage, supp_r, &plan.logs),
+                }
+            }
+        }
     }
 }
 
@@ -740,6 +888,38 @@ mod tests {
             .collect_stats(&m);
         assert_eq!(tids, bitmaps);
         assert_eq!(tids, auto);
+    }
+
+    #[test]
+    fn batch_policies_are_bit_identical() {
+        // The batched lane-blocked path must reproduce the per-permutation
+        // engine exactly — for every backend and buffer strategy, including
+        // a permutation count that leaves a short tail chunk.
+        let m = mined_with_rule(0.85, 16);
+        for backend in [
+            SupportBackend::TidLists,
+            SupportBackend::Bitmaps,
+            SupportBackend::Auto,
+        ] {
+            for buffer in [
+                BufferStrategy::None,
+                BufferStrategy::DynamicOnly,
+                BufferStrategy::StaticAndDynamic,
+            ] {
+                let base = perm(21).with_backend(backend).with_buffer(buffer);
+                let per = base
+                    .clone()
+                    .with_batch(BatchPolicy::PerPermutation)
+                    .collect_stats(&m);
+                let batched = base
+                    .clone()
+                    .with_batch(BatchPolicy::Batched)
+                    .collect_stats(&m);
+                let auto = base.with_batch(BatchPolicy::Auto).collect_stats(&m);
+                assert_eq!(per, batched, "backend {backend:?} buffer {buffer:?}");
+                assert_eq!(per, auto, "backend {backend:?} buffer {buffer:?}");
+            }
+        }
     }
 
     #[test]

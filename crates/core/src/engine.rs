@@ -532,6 +532,16 @@ pub struct EngineStats {
     pub evicted_rule_sets: u64,
     /// Null distributions evicted so far (byte-budget eviction).
     pub evicted_nulls: u64,
+    /// Active support-counting kernel kind (`"scalar"`, `"avx2"`, `"neon"`)
+    /// — resolved once per process from `SIGRULE_KERNEL` + feature
+    /// detection; see [`sigrule_data::kernel`].
+    pub kernel: &'static str,
+    /// Forest sweeps run through the batched lane-blocked permutation path.
+    /// Process-wide (shared by all engines in the process), like the kernel
+    /// kind it accompanies.
+    pub batched_sweeps: u64,
+    /// Forest sweeps run one permutation at a time.  Process-wide.
+    pub per_perm_sweeps: u64,
 }
 
 impl EngineStats {
@@ -880,6 +890,7 @@ impl Engine {
             .filter_map(|cell| cell.get())
             .map(|e| e.stats.resident_bytes())
             .sum();
+        let kernel_counters = sigrule_data::kernel::counters();
         EngineStats {
             queries: self.queries.load(Relaxed),
             mine_hits: self.mine_hits.load(Relaxed),
@@ -894,6 +905,9 @@ impl Engine {
             null_bytes,
             evicted_rule_sets: self.evicted_rule_sets.load(Relaxed),
             evicted_nulls: self.evicted_nulls.load(Relaxed),
+            kernel: kernel_counters.kernel,
+            batched_sweeps: kernel_counters.batched_sweeps,
+            per_perm_sweeps: kernel_counters.per_perm_sweeps,
         }
     }
 

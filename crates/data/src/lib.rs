@@ -68,6 +68,7 @@ pub mod discretize;
 pub mod error;
 pub mod item;
 pub mod itemspace;
+pub mod kernel;
 pub mod loader;
 pub mod record;
 pub mod schema;
@@ -79,8 +80,11 @@ pub use dataset::{ClassCounts, Dataset};
 pub use error::DataError;
 pub use item::{ClassId, Item, ItemId, Pattern};
 pub use itemspace::{ItemDef, ItemProvenance, ItemSpace};
+pub use kernel::{KernelCounters, KernelKind};
 pub use loader::InputFormat;
 pub use record::Record;
 pub use schema::{Attribute, Schema};
 pub use shared::SharedDataset;
-pub use vertical::{Bitmap, ClassBitmaps, Cover, TidSet, VerticalDataset};
+pub use vertical::{
+    Bitmap, ClassBitmaps, ClassLaneBlocks, Cover, LaneBlock, TidSet, VerticalDataset,
+};

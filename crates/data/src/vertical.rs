@@ -22,10 +22,18 @@
 //! * [`Bitmap`] — packed record-id set with popcount counting.
 //! * [`ClassBitmaps`] — one bitmap per class built from a label vector,
 //!   rebuilt cheaply on every permutation.
+//! * [`LaneBlock`] — a *transposed* block of equally sized bitmaps (one per
+//!   permutation lane) the batched permutation engine sweeps in one pass.
+//! * [`ClassLaneBlocks`] — one lane block per class, filled from a whole
+//!   chunk of shuffled label vectors at once.
 //! * [`VerticalDataset`] — per-item tid-sets plus the class label vector.
+//!
+//! All popcount sweeps route through [`crate::kernel`], which dispatches to
+//! explicit SIMD implementations at runtime.
 
 use crate::dataset::Dataset;
 use crate::item::{ClassId, ItemId};
+use crate::kernel;
 use serde::{Deserialize, Serialize};
 
 /// A sorted set of record ids (tids).
@@ -225,23 +233,41 @@ impl Bitmap {
 
     /// Number of set bits (the cardinality of the record set).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::count_ones(&self.words)
     }
 
     /// Cardinality of the intersection `self ∩ other`: the word-wise
-    /// `AND` + popcount kernel of the bitmap permutation engine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the bitmaps cover a different number of record ids.
+    /// `AND` + popcount kernel of the bitmap permutation engine.  Debug
+    /// builds assert matching sizes; the kernel itself only sweeps the
+    /// common word prefix.
     #[inline]
     pub fn and_count(&self, other: &Bitmap) -> usize {
-        assert_eq!(self.n_bits, other.n_bits, "bitmap sizes differ");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(&a, &b)| (a & b).count_ones() as usize)
-            .sum()
+        debug_assert_eq!(self.n_bits, other.n_bits, "bitmap sizes differ");
+        kernel::and_count(&self.words, &other.words)
+    }
+
+    /// Cardinality of the difference `self \ other` (`AND NOT` + popcount):
+    /// the complement-cover primitive negative rules build on.
+    #[inline]
+    pub fn andnot_count(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.n_bits, other.n_bits, "bitmap sizes differ");
+        kernel::andnot_count(&self.words, &other.words)
+    }
+
+    /// Intersection cardinality of `self` against *every* bitmap in
+    /// `others` in one cache-blocked pass: the slice of bitmaps is packed
+    /// into a transposed [`LaneBlock`] so each of `self`'s words is loaded
+    /// once and swept against all lanes.  Equivalent to mapping
+    /// [`Bitmap::and_count`] over `others`, bit for bit.
+    pub fn and_count_many(&self, others: &[Bitmap]) -> Vec<usize> {
+        let mut block = LaneBlock::zeros(others.len(), self.n_bits);
+        for (lane, other) in others.iter().enumerate() {
+            debug_assert_eq!(self.n_bits, other.n_bits, "bitmap sizes differ");
+            block.copy_lane_from(lane, other);
+        }
+        let mut acc = vec![0u32; others.len().max(1)];
+        block.and_count_per_lane(self, &mut acc);
+        acc[..others.len()].iter().map(|&c| c as usize).collect()
     }
 
     /// The packed words, low record ids first.
@@ -309,6 +335,188 @@ impl ClassBitmaps {
     /// The bitmap of one class.
     pub fn class(&self, class: ClassId) -> &Bitmap {
         &self.bitmaps[class as usize]
+    }
+}
+
+/// A block of `lanes` equally sized bitmaps in *transposed* (lane-blocked)
+/// layout: word `w` of lane `l` lives at `words[w * lanes + l]`, so all
+/// lanes' copies of one word index are contiguous in memory.
+///
+/// This is the batched permutation engine's working set: one lane per
+/// permutation of a chunk, one block per class.  A rule-cover sweep then
+/// loads each cover word **once** and `AND`s it against `lanes` adjacent
+/// permuted label words ([`LaneBlock::and_count_per_lane`]), instead of
+/// re-reading the cover for every permutation — turning B passes over the
+/// cover into one cache-blocked pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBlock {
+    words: Vec<u64>,
+    lanes: usize,
+    words_per_lane: usize,
+    n_bits: usize,
+}
+
+impl LaneBlock {
+    /// An all-zero block of `lanes` bitmaps over `n_bits` record ids each.
+    pub fn zeros(lanes: usize, n_bits: usize) -> Self {
+        let words_per_lane = n_bits.div_ceil(64);
+        LaneBlock {
+            words: vec![0u64; words_per_lane * lanes],
+            lanes,
+            words_per_lane,
+            n_bits,
+        }
+    }
+
+    /// Number of lanes (bitmaps) in the block.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of record ids each lane covers.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Clears every lane, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets bit `t` of lane `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, t: u32) {
+        let t = t as usize;
+        debug_assert!(lane < self.lanes, "lane {lane} out of range");
+        debug_assert!(t < self.n_bits, "tid {t} out of range 0..{}", self.n_bits);
+        self.words[(t / 64) * self.lanes + lane] |= 1u64 << (t % 64);
+    }
+
+    /// Copies a conventionally laid-out bitmap into one lane of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap's size differs from the block's.
+    pub fn copy_lane_from(&mut self, lane: usize, bitmap: &Bitmap) {
+        assert_eq!(bitmap.n_bits(), self.n_bits, "bitmap sizes differ");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        for (w, &word) in bitmap.words().iter().enumerate() {
+            self.words[w * self.lanes + lane] = word;
+        }
+    }
+
+    /// The transposed words (`[word][lane]` layout).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Writes `acc[l] = |cover ∩ lane l|` for every lane in one pass over
+    /// the block.  `acc` must hold at least [`LaneBlock::lanes`] counters.
+    #[inline]
+    pub fn and_count_per_lane(&self, cover: &Bitmap, acc: &mut [u32]) {
+        debug_assert_eq!(cover.n_bits(), self.n_bits, "bitmap sizes differ");
+        if self.lanes == 0 {
+            return;
+        }
+        kernel::and_count_many(cover.words(), &self.words, self.lanes, acc);
+    }
+
+    /// Writes `acc[l] = |lane l|` (popcount per lane) in one pass.
+    #[inline]
+    pub fn count_ones_per_lane(&self, acc: &mut [u32]) {
+        if self.lanes == 0 {
+            return;
+        }
+        kernel::count_ones_many(&self.words, self.lanes, acc);
+    }
+
+    /// Writes `acc[l]` = how many of the sorted record ids in `tids` are
+    /// set in lane `l` — the sparse (tid-list) counting kernel of the
+    /// batched path: one lane-group load per id instead of one label-array
+    /// walk per permutation.
+    #[inline]
+    pub fn tid_hits_per_lane(&self, tids: &[u32], acc: &mut [u32]) {
+        if self.lanes == 0 {
+            return;
+        }
+        kernel::gather_count_many(tids, &self.words, self.lanes, acc);
+    }
+
+    /// Memory footprint of the packed words in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// One [`LaneBlock`] per class: the batched counterpart of
+/// [`ClassBitmaps`].  Where the per-permutation engine re-fills one set of
+/// class bitmaps B times per chunk, the batched engine fills these blocks
+/// **once** from all B shuffled label vectors and then sweeps every rule
+/// cover against all permutations of the chunk in lane-blocked passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLaneBlocks {
+    blocks: Vec<LaneBlock>,
+    lanes: usize,
+    n_records: usize,
+}
+
+impl ClassLaneBlocks {
+    /// Creates empty per-class lane blocks for `n_classes` classes,
+    /// `lanes` permutations and `n_records` records.
+    pub fn new(n_classes: usize, lanes: usize, n_records: usize) -> Self {
+        ClassLaneBlocks {
+            blocks: (0..n_classes)
+                .map(|_| LaneBlock::zeros(lanes, n_records))
+                .collect(),
+            lanes,
+            n_records,
+        }
+    }
+
+    /// Re-fills the blocks from a lane-major flat slice of label vectors
+    /// (`labels_by_lane[lane * n_records + t]` = label of record `t` under
+    /// permutation `lane`), reusing the allocations.  This is the
+    /// block-transposed counterpart of calling [`ClassBitmaps::fill`] once
+    /// per permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length is not `lanes * n_records`.
+    pub fn fill(&mut self, labels_by_lane: &[ClassId]) {
+        assert_eq!(
+            labels_by_lane.len(),
+            self.lanes * self.n_records,
+            "label block length mismatch"
+        );
+        for block in &mut self.blocks {
+            block.clear();
+        }
+        for (lane, labels) in labels_by_lane.chunks_exact(self.n_records).enumerate() {
+            for (t, &c) in labels.iter().enumerate() {
+                let block = &mut self.blocks[c as usize];
+                block.words[(t / 64) * self.lanes + lane] |= 1u64 << (t % 64);
+            }
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of permutation lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lane block of one class.
+    pub fn class(&self, class: ClassId) -> &LaneBlock {
+        &self.blocks[class as usize]
+    }
+
+    /// Memory footprint of all blocks in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.blocks.iter().map(LaneBlock::size_bytes).sum()
     }
 }
 
@@ -618,6 +826,85 @@ mod tests {
             t.count_class(v.labels(), 1),
             d.rule_support(&Pattern::from_items([0, 2]), 1)
         );
+    }
+
+    #[test]
+    fn bitmap_andnot_count_is_set_difference() {
+        let a = Bitmap::from_tids(&TidSet::from_tids([0, 3, 64, 65, 100]), 130);
+        let b = Bitmap::from_tids(&TidSet::from_tids([3, 65, 129]), 130);
+        assert_eq!(a.andnot_count(&b), 3); // {0, 64, 100}
+        assert_eq!(b.andnot_count(&a), 1); // {129}
+    }
+
+    #[test]
+    fn and_count_many_matches_per_bitmap_counts() {
+        let n = 200;
+        let cover = Bitmap::from_tids(&TidSet::from_tids((0..n as u32).step_by(3)), n);
+        let others: Vec<Bitmap> = (0..5)
+            .map(|k| {
+                Bitmap::from_tids(&TidSet::from_tids((k..n as u32).step_by(2 + k as usize)), n)
+            })
+            .collect();
+        let batched = cover.and_count_many(&others);
+        let singles: Vec<usize> = others.iter().map(|b| cover.and_count(b)).collect();
+        assert_eq!(batched, singles);
+        assert!(cover.and_count_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn lane_block_round_trips_bitmaps() {
+        let n = 150;
+        let bitmaps: Vec<Bitmap> = (0..3)
+            .map(|k| Bitmap::from_tids(&TidSet::from_tids((k..n as u32).step_by(5)), n))
+            .collect();
+        let mut block = LaneBlock::zeros(3, n);
+        for (lane, b) in bitmaps.iter().enumerate() {
+            block.copy_lane_from(lane, b);
+        }
+        let mut ones = vec![0u32; 3];
+        block.count_ones_per_lane(&mut ones);
+        for (lane, b) in bitmaps.iter().enumerate() {
+            assert_eq!(ones[lane] as usize, b.count_ones(), "lane {lane}");
+        }
+        let tids: Vec<u32> = vec![0, 5, 7, 64, 100, 149];
+        let mut hits = vec![0u32; 3];
+        block.tid_hits_per_lane(&tids, &mut hits);
+        for (lane, b) in bitmaps.iter().enumerate() {
+            let expect = tids.iter().filter(|&&t| b.contains(t)).count();
+            assert_eq!(hits[lane] as usize, expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn class_lane_blocks_match_per_perm_class_bitmaps() {
+        let n = 100;
+        let n_classes = 3;
+        let lanes = 4;
+        // Four deterministic pseudo-shuffled label vectors, lane-major.
+        let mut flat: Vec<ClassId> = Vec::with_capacity(lanes * n);
+        for lane in 0..lanes {
+            for t in 0..n {
+                flat.push(((t * 7 + lane * 13 + t / 9) % n_classes) as ClassId);
+            }
+        }
+        let mut blocks = ClassLaneBlocks::new(n_classes, lanes, n);
+        blocks.fill(&flat);
+        assert_eq!(blocks.n_classes(), n_classes);
+        assert_eq!(blocks.lanes(), lanes);
+        let cover = Bitmap::from_tids(&TidSet::from_tids((0..n as u32).step_by(2)), n);
+        let mut acc = vec![0u32; lanes];
+        for c in 0..n_classes as ClassId {
+            blocks.class(c).and_count_per_lane(&cover, &mut acc);
+            for lane in 0..lanes {
+                let labels = &flat[lane * n..(lane + 1) * n];
+                let per_perm = ClassBitmaps::from_labels(labels, n_classes);
+                assert_eq!(
+                    acc[lane] as usize,
+                    cover.and_count(per_perm.class(c)),
+                    "class {c} lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -413,6 +413,9 @@ pub struct CacheReuse {
     pub mined_hits: usize,
     /// Queries whose permutation null came from the cache.
     pub null_hits: usize,
+    /// Wall-clock time spent collecting permutation nulls (zero on cache
+    /// hits), summed over all queries of the sweep.
+    pub null_time: std::time::Duration,
 }
 
 /// The outcome of one sweep: every cell in deterministic grid order
@@ -480,6 +483,7 @@ struct DatasetRun {
     metrics: Vec<DatasetMetrics>,
     mined_hits: usize,
     null_hits: usize,
+    null_time: std::time::Duration,
 }
 
 /// A resident engine and the ground truth of the dataset it serves.
@@ -536,6 +540,7 @@ impl SweepRunner {
             cache.queries += run.metrics.len();
             cache.mined_hits += run.mined_hits;
             cache.null_hits += run.null_hits;
+            cache.null_time += run.null_time;
             per_dataset.push(run.metrics);
         }
 
@@ -610,6 +615,7 @@ impl SweepRunner {
                 .iter()
                 .filter(|o| o.null_cached == Some(true))
                 .count(),
+            null_time: outcomes.iter().map(|o| o.timings.null).sum(),
         })
     }
 

@@ -23,7 +23,9 @@
 //! packed bitmaps, so the per-permutation pass
 //! ([`PatternForest::rule_supports_planned`]) allocates nothing.
 
-use sigrule_data::{Bitmap, ClassBitmaps, ClassId, Cover, Pattern, TidSet};
+use sigrule_data::{
+    Bitmap, ClassBitmaps, ClassId, ClassLaneBlocks, Cover, LaneBlock, Pattern, TidSet,
+};
 
 /// One frequent pattern in the forest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,6 +189,74 @@ impl PatternForest {
         }
     }
 
+    /// Computes `supp(X ⇒ c)` for every node and every permutation *lane* of
+    /// a transposed class block in one batched pass: the lane-blocked
+    /// counterpart of calling
+    /// [`rule_supports_planned`](PatternForest::rule_supports_planned) once
+    /// per permutation.
+    ///
+    /// `class_block` holds one label bitmap per permutation lane for a single
+    /// class (see [`ClassLaneBlocks`]).  Bitmap-kernel nodes sweep their
+    /// packed cover against all lanes at once
+    /// ([`LaneBlock::and_count_per_lane`]); tid-list nodes count membership
+    /// of their stored ids across all lanes
+    /// ([`LaneBlock::tid_hits_per_lane`]) — no per-permutation label-array
+    /// walks at all.  Results land node-major in `out`
+    /// (`out[node * lanes + lane]`), cleared and resized first.
+    ///
+    /// Every count is an exact integer computed from the same sets as the
+    /// per-permutation pass, so each lane of the output is bit-identical to
+    /// [`rule_supports_planned`](PatternForest::rule_supports_planned) on
+    /// that permutation's labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan or block dimensions do not match the forest.
+    pub fn rule_supports_planned_block(
+        &self,
+        plan: &SupportPlan,
+        class_block: &LaneBlock,
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(
+            plan.bitmaps.len(),
+            self.nodes.len(),
+            "support plan was built for a different forest"
+        );
+        assert_eq!(
+            class_block.n_bits(),
+            self.n_records,
+            "class block must cover the mined dataset's records"
+        );
+        let lanes = class_block.lanes();
+        out.clear();
+        out.resize(self.nodes.len() * lanes, 0);
+        if lanes == 0 {
+            return;
+        }
+        let mut class_total = vec![0u32; lanes];
+        class_block.count_ones_per_lane(&mut class_total);
+        let mut hits = vec![0u32; lanes];
+        for (i, (node, stored_bits)) in self.nodes.iter().zip(plan.bitmaps.iter()).enumerate() {
+            match stored_bits {
+                Some(bits) => class_block.and_count_per_lane(bits, &mut hits),
+                None => class_block.tid_hits_per_lane(node.cover.stored_tids().tids(), &mut hits),
+            }
+            let diffset = node.cover.is_diffset();
+            for lane in 0..lanes {
+                let parent_rule_support = match node.parent {
+                    Some(p) => out[p * lanes + lane],
+                    None => class_total[lane],
+                };
+                out[i * lanes + lane] = if diffset {
+                    parent_rule_support - hits[lane]
+                } else {
+                    hits[lane]
+                };
+            }
+        }
+    }
+
     /// Builds the per-node counting plan for the permutation engine: packs
     /// the covers selected by `backend` into bitmaps (a one-off cost reused
     /// by every permutation) and leaves the rest on the tid-list kernel.
@@ -322,6 +392,23 @@ impl SupportPlan {
     pub fn make_class_bitmaps(&self, n_classes: usize) -> ClassBitmaps {
         ClassBitmaps::new(n_classes, self.n_records)
     }
+
+    /// True when the batched (lane-blocked) permutation path is worth
+    /// taking for this plan: any bitmap-kernel node profits directly from
+    /// the one-pass cover sweep, and the transposed fill then amortises
+    /// over the whole chunk.  Pure tid-list plans (the paper's §4.2.2
+    /// ablation axis) stay on the per-permutation path so the TidLists
+    /// backend keeps measuring exactly the engine the paper describes.
+    pub fn prefers_batched(&self) -> bool {
+        self.needs_class_bitmaps()
+    }
+
+    /// Allocates the per-class lane blocks the batched counting pass uses
+    /// (one lane per permutation of a chunk); the permutation engine keeps
+    /// one set per worker and re-fills it per chunk.
+    pub fn make_class_lane_blocks(&self, n_classes: usize, lanes: usize) -> ClassLaneBlocks {
+        ClassLaneBlocks::new(n_classes, lanes, self.n_records)
+    }
 }
 
 /// Hashes a tid-set with FxHash-style mixing; collisions at equal support are
@@ -429,6 +516,54 @@ mod tests {
                 if !plan.needs_class_bitmaps() {
                     forest.rule_supports_planned(&plan, &labels, None, class, &mut out);
                     assert_eq!(out, expected, "backend {backend:?} class {class} (None)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_block_counting_matches_per_perm_for_every_backend() {
+        let (forest, labels) = toy_forest();
+        // Three "permutations": the original labels plus two rotations.
+        let lanes = 3;
+        let n = labels.len();
+        let mut flat: Vec<ClassId> = Vec::with_capacity(lanes * n);
+        for lane in 0..lanes {
+            for t in 0..n {
+                flat.push(labels[(t + lane) % n]);
+            }
+        }
+        for backend in [
+            SupportBackend::TidLists,
+            SupportBackend::Bitmaps,
+            SupportBackend::Auto,
+        ] {
+            let plan = forest.support_plan(backend);
+            assert_eq!(plan.prefers_batched(), plan.needs_class_bitmaps());
+            let mut blocks = plan.make_class_lane_blocks(2, lanes);
+            blocks.fill(&flat);
+            let mut block_out = Vec::new();
+            let mut perm_out = Vec::new();
+            for class in 0..2u32 {
+                forest.rule_supports_planned_block(&plan, blocks.class(class), &mut block_out);
+                assert_eq!(block_out.len(), forest.len() * lanes);
+                for lane in 0..lanes {
+                    let lane_labels = &flat[lane * n..(lane + 1) * n];
+                    let bitmaps = ClassBitmaps::from_labels(lane_labels, 2);
+                    forest.rule_supports_planned(
+                        &plan,
+                        lane_labels,
+                        Some(bitmaps.class(class)),
+                        class,
+                        &mut perm_out,
+                    );
+                    for node in 0..forest.len() {
+                        assert_eq!(
+                            block_out[node * lanes + lane] as usize,
+                            perm_out[node],
+                            "backend {backend:?} class {class} lane {lane} node {node}"
+                        );
+                    }
                 }
             }
         }

@@ -473,7 +473,10 @@ fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
         .number("null_bytes", stats.null_bytes as f64)
         .number("resident_bytes", stats.resident_bytes() as f64)
         .number("evicted_rule_sets", stats.evicted_rule_sets as f64)
-        .number("evicted_nulls", stats.evicted_nulls as f64);
+        .number("evicted_nulls", stats.evicted_nulls as f64)
+        .string("kernel", stats.kernel)
+        .number("batched_sweeps", stats.batched_sweeps as f64)
+        .number("per_perm_sweeps", stats.per_perm_sweeps as f64);
 }
 
 fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerError> {

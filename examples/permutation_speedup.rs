@@ -6,10 +6,13 @@
 //! most expensive (§4.2, Figures 4 and 5).  This example times the four
 //! optimisation levels of Figure 4 on the paper's `D2kA20R5` synthetic
 //! dataset, then the engine axes added on top of the paper: bitmap
-//! (popcount) support counting and the rayon fan-out across permutations.
+//! (popcount) support counting, the rayon fan-out across permutations, and
+//! the support-kernel axis (scalar vs. runtime-dispatched SIMD, per-
+//! permutation vs. lane-blocked batched chunks).
 //!
 //! Run with: `cargo run --release --example permutation_speedup`
 
+use sigrule_repro::data::kernel::{self, KernelKind};
 use sigrule_repro::prelude::*;
 use std::time::Instant;
 
@@ -113,10 +116,41 @@ fn main() {
         );
     }
 
+    // ---- Kernel axis: scalar vs SIMD, per-permutation vs batched chunks ----
+    println!("\nKernel axis (parallel, density auto-selection throughout):");
+    let mut kernel_kinds: Vec<(&str, Option<KernelKind>)> =
+        vec![("scalar kernels", Some(KernelKind::Scalar))];
+    if let Some(simd) = kernel::simd_kind() {
+        kernel_kinds.push(("simd kernels", Some(simd)));
+    }
+    kernel_kinds.push(("auto-dispatched kernels", None));
+    let mut kernel_reference = None;
+    for (kind_label, kind) in kernel_kinds {
+        for (batch_label, batch) in [
+            ("per-permutation", BatchPolicy::PerPermutation),
+            ("batched chunks", BatchPolicy::Batched),
+        ] {
+            kernel::force(kind);
+            let correction = PermutationCorrection::new(n_permutations).with_batch(batch);
+            let start = Instant::now();
+            let stats = correction.collect_stats(&mined);
+            let elapsed = start.elapsed().as_secs_f64();
+            kernel::force(None);
+            let reference_time = *kernel_reference.get_or_insert(elapsed);
+            let label = format!("{kind_label}, {batch_label}");
+            println!(
+                "  {label:<45} {elapsed:>8.3}s  (x{:>5.1} speedup)  {} minima",
+                reference_time / elapsed,
+                stats.minima.len()
+            );
+        }
+    }
+
     println!(
         "\nThe exact factors depend on the machine, but the ordering matches Figure 4:\n\
          p-value buffering is worth an order of magnitude, Diffsets add more, bitmap\n\
-         counting accelerates dense covers, and the rayon fan-out scales the whole\n\
-         pass with the core count (statistics stay bit-identical throughout)."
+         counting accelerates dense covers, the rayon fan-out scales the whole pass\n\
+         with the core count, and SIMD + lane-blocked batching squeeze the remaining\n\
+         popcount loop (statistics stay bit-identical throughout)."
     );
 }

@@ -30,7 +30,8 @@ pub use sigrule_synth as synth;
 pub mod prelude {
     pub use sigrule::correction::holdout::{holdout_from_parts, random_holdout};
     pub use sigrule::correction::permutation::{
-        BufferStrategy, ExecutionMode, PermutationCorrection, PermutationStats, SupportBackend,
+        BatchPolicy, BufferStrategy, ExecutionMode, PermutationCorrection, PermutationStats,
+        SupportBackend,
     };
     pub use sigrule::correction::{
         direct, no_correction, Correction, CorrectionContext, CorrectionResult, DirectAdjustment,
@@ -45,6 +46,7 @@ pub mod prelude {
         mine_rules, mine_rules_with_vertical, CancelReason, CancelToken, Cancelled, ClassRule,
         MinedRuleSet, RuleMiningConfig,
     };
+    pub use sigrule_data::kernel::{KernelCounters, KernelKind};
     pub use sigrule_data::loader::{
         dataset_to_baskets, dataset_to_csv, detect_format, detect_format_with, load_baskets_file,
         load_baskets_str, load_csv_file, load_csv_str, BasketLoad, BasketOptions, LoadOptions,

@@ -1,6 +1,7 @@
 //! Property tests for the parallel bitset permutation engine: whatever the
 //! execution mode (serial vs. rayon fan-out), worker count, support-counting
-//! backend (tid-lists vs. bitmaps vs. density auto-selection) or buffer
+//! backend (tid-lists vs. bitmaps vs. density auto-selection), batch policy
+//! (per-permutation vs. lane-blocked chunks) or buffer
 //! strategy, `collect_stats` must produce **identical** `PermutationStats`
 //! for the same seed.  This is the contract that makes the engine's
 //! parallelism and vectorisation invisible to the statistics of the paper.
@@ -103,6 +104,26 @@ proptest! {
                 for (a, b) in reference.minima.iter().zip(stats.minima.iter()) {
                     prop_assert!((a - b).abs() < 1e-9, "minima diverge: {} vs {}", a, b);
                 }
+            }
+        }
+    }
+
+    /// The batched lane-blocked chunk path is bit-identical to the
+    /// per-permutation loop — under both execution modes and with the
+    /// density auto-selected backend (the production configuration).
+    #[test]
+    fn batch_policies_agree_bitwise((mined, n_perms, seed) in engine_case()) {
+        let reference = engine(n_perms, seed)
+            .with_mode(ExecutionMode::Serial)
+            .with_batch(BatchPolicy::PerPermutation)
+            .collect_stats(&mined);
+        for batch in [BatchPolicy::Batched, BatchPolicy::Auto] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Parallel] {
+                let stats = engine(n_perms, seed)
+                    .with_mode(mode)
+                    .with_batch(batch)
+                    .collect_stats(&mined);
+                prop_assert_eq!(&reference, &stats, "batch={:?} mode={:?}", batch, mode);
             }
         }
     }
