@@ -2,11 +2,14 @@
 
 use crate::args::{parse_correction, ArgMap, CommonOpts, UsageError};
 use crate::output::{method_summary_row, significant_rules_table, Report};
+use sigrule::cancel::CancelToken;
 use sigrule::engine::{Engine, Loader};
 use sigrule::pipeline::{CorrectionApproach, Pipeline, PipelineError};
 use sigrule::ErrorMetric;
 use sigrule_data::{Dataset, InputFormat, SharedDataset};
 use sigrule_eval::report::Table;
+use sigrule_server::coordinate::{self, DistributedNull, ShardSpec};
+use sigrule_server::json::ObjectBuilder;
 use sigrule_synth::{SyntheticGenerator, SyntheticParams};
 use std::time::Instant;
 
@@ -187,13 +190,84 @@ fn method_roster() -> Vec<(CorrectionApproach, ErrorMetric)> {
     ]
 }
 
+/// The `load` request line `--workers` sharding replays on each worker so
+/// the dataset resolves there under the same name with the same loader
+/// options.  Workers must see the same file path — a shared filesystem or
+/// an identical layout.
+fn worker_load_line(opts: &CommonOpts, name: &str) -> Option<String> {
+    let path = opts.input.as_ref()?;
+    let mut line = ObjectBuilder::new();
+    line.string("cmd", "load")
+        .string("path", &path.display().to_string())
+        .string("name", name);
+    if let Some(format) = opts.input_format {
+        line.string("format", format.label());
+    }
+    if let Some(class) = &opts.class {
+        line.string("class", class);
+    }
+    if opts.separator != ',' {
+        line.string("separator", &opts.separator.to_string());
+    }
+    if opts.no_header {
+        line.boolean("no_header", true);
+    }
+    if let Some(class) = &opts.default_class {
+        line.string("default_class", class);
+    }
+    Some(line.finish())
+}
+
+/// Scatters the cold permutation null across the `--workers` fleet (plus
+/// the local executor) before the method roster runs, so the permutation
+/// rows hit a warm cache whose statistics are bit-identical to a local
+/// collection.  Unreachable or dying workers degrade to warnings — the
+/// local executor covers for them — and the returned warnings go to
+/// stderr, never into the report body, so machine output stays identical
+/// to an undistributed run.
+fn distribute_null(
+    engine: &Engine,
+    opts: &CommonOpts,
+    workers_spec: &str,
+) -> Result<Vec<String>, CliError> {
+    let workers = coordinate::parse_worker_list(workers_spec)
+        .map_err(|e| CliError::Usage(UsageError(format!("--workers: {e}"))))?;
+    if workers.is_empty() || opts.permutations == 0 {
+        return Ok(Vec::new());
+    }
+    let n_records = engine.dataset().n_records();
+    let name = match &opts.input {
+        Some(path) => format!("cli:{}", path.display()),
+        None => "cli:synthetic".to_string(),
+    };
+    let mut spec = ShardSpec::new(
+        &name,
+        &opts.mining_config(n_records),
+        opts.permutations,
+        opts.seed,
+    );
+    spec.threads = opts.threads;
+    let plan = DistributedNull {
+        workers,
+        load_line: worker_load_line(opts, &name),
+        spec,
+    };
+    let fill = coordinate::fill_engine_null(engine, &plan, &CancelToken::none())
+        .map_err(|c| CliError::Runtime(c.to_string()))?;
+    Ok(fill.warnings)
+}
+
 /// `sigrule correct`: load → mine once → every correction approach →
 /// comparison table (the CLI's version of the paper's Table 3 axes).
+/// With `--workers`, the cold permutation null is scattered across remote
+/// `sigrule serve` processes first — same statistics, shared wall-clock.
 pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
-    args.reject_unknown(CommonOpts::VALUE_FLAGS)?;
+    let mut known = CommonOpts::VALUE_FLAGS.to_vec();
+    known.push("workers");
+    args.reject_unknown(&known)?;
     let opts = CommonOpts::from_args(args)?;
 
-    let (dataset, warnings, format, load_ms) = load_input(&opts)?;
+    let (dataset, mut warnings, format, load_ms) = load_input(&opts)?;
     let n_records = dataset.n_records();
     // One resident engine for the whole roster: the rule set is mined once
     // and the permutation null is collected once, shared by the FWER and FDR
@@ -202,6 +276,9 @@ pub fn correct(args: &ArgMap) -> Result<Report, CliError> {
     let engine = Engine::new(dataset);
     let (mined, mine_time, _) = engine.mine(&opts.mining_config(n_records));
     let mine_ms = millis(mine_time);
+    if let Some(workers_spec) = args.get("workers") {
+        warnings.extend(distribute_null(&engine, &opts, workers_spec)?);
+    }
 
     let mut table = Table::new(
         format!("correction comparison at alpha = {}", opts.alpha),

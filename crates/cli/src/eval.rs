@@ -132,6 +132,20 @@ pub fn run_eval(argv: &[String]) -> RunOutcome {
             counters.batched_sweeps,
             counters.per_perm_sweeps,
         ));
+        // A second footer line only when a distributed null ran in this
+        // process: how the shards landed and how often ranges were
+        // re-dispatched.  Same convention — human format only, so json/csv
+        // stay bit-identical whether or not work was scattered.
+        let shards = sigrule::correction::permutation::shard_counters::counters();
+        if shards.distribution_active() {
+            rendered.push_str(&format!(
+                "shards_local={} shards_remote={} shard_retries={} remote_ms={} (distributed null; human-format footer)\n",
+                shards.shards_local,
+                shards.shards_remote,
+                shards.shard_retries,
+                shards.remote_ms,
+            ));
+        }
     }
     RunOutcome::ok(rendered)
 }
@@ -261,6 +275,45 @@ mod tests {
         assert!(
             !json.stdout.contains("null_ms"),
             "timings must stay out of machine-readable output"
+        );
+    }
+
+    #[test]
+    fn human_footer_adds_shard_counters_when_distribution_ran() {
+        // The counters are process-wide and additive, so simulating a
+        // scattered null here is safe for every other test: they only ever
+        // assert presence, not exact values.
+        sigrule::correction::permutation::shard_counters::note_local_shards(3);
+        sigrule::correction::permutation::shard_counters::note_remote_shards(2, 40);
+        sigrule::correction::permutation::shard_counters::note_retries(1);
+        let args = [
+            "--grid",
+            "rows=120",
+            "noise=0.1",
+            "--corrections",
+            "none",
+            "--reps",
+            "1",
+            "--permutations",
+            "10",
+            "--attributes",
+            "6",
+        ];
+        let human = run_eval(&argv(&args));
+        assert_eq!(human.exit_code, 0, "stderr: {}", human.stderr);
+        assert!(
+            human.stdout.contains("shards_remote="),
+            "shard footer missing: {}",
+            human.stdout
+        );
+        assert!(human.stdout.contains("shard_retries="));
+        let mut json_args: Vec<&str> = args.to_vec();
+        json_args.extend(["--format", "json"]);
+        let json = run_eval(&argv(&json_args));
+        assert_eq!(json.exit_code, 0);
+        assert!(
+            !json.stdout.contains("shards_"),
+            "shard counters must stay out of machine-readable output"
         );
     }
 

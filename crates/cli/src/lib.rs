@@ -101,6 +101,10 @@ SHARED:
   --permutations <n>    permutation count (default 1000)
   --seed <n>            RNG seed for permutation/holdout (default 17)
   --threads <n>         worker threads for the permutation engine
+  --workers <list>      correct: scatter the cold permutation null across
+                        remote `sigrule serve` processes (comma list of
+                        tcp:HOST:PORT|unix:PATH); statistics stay
+                        bit-identical, lost workers cost time, never answers
   --format <name>       human | json | csv (default human)
   --top <n>             rules shown in reports (default 20; 0 = all)
 

@@ -47,6 +47,9 @@ One JSON object per line in, one per line out.  Requests:
   {\"cmd\":\"mine\",\"dataset\":\"a\",\"min_sup\":10}        mine + cache a rule set
   {\"cmd\":\"correct\",\"dataset\":\"a\",\"correction\":\"permutation\",\"alpha\":0.05}
                                                    correct (cached when warm)
+  {\"cmd\":\"perm_shard\",\"dataset\":\"a\",\"start\":0,\"end\":64}
+                                                   collect one permutation range
+                                                   (distributed-null worker)
   {\"cmd\":\"stats\",\"dataset\":\"a\"}                     one dataset's cache stats
   {\"cmd\":\"registry_stats\"}                          every dataset + totals
   {\"cmd\":\"shutdown\"}                                drain all clients and exit

@@ -336,6 +336,106 @@ fn short_deadline_over_slow_chunks_aborts_promptly_and_leaves_cache_cold() {
     served.assert_clean_exit();
 }
 
+/// Drops wall-clock fields (summary `load_ms`/`mine_ms`, the comparison
+/// table's `time_ms` column) so a distributed and a single-process
+/// `correct` report compare bit for bit on everything that matters.
+fn strip_timings(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            fields.retain(|(key, _)| key != "load_ms" && key != "mine_ms");
+            let time_col = fields
+                .iter()
+                .find_map(|(key, value)| match (key.as_str(), value) {
+                    ("columns", Json::Array(cols)) => {
+                        cols.iter().position(|c| c.as_str() == Some("time_ms"))
+                    }
+                    _ => None,
+                });
+            for (key, value) in fields.iter_mut() {
+                match (key.as_str(), value, time_col) {
+                    ("columns", Json::Array(cols), Some(idx)) => {
+                        cols.remove(idx);
+                    }
+                    ("rows", Json::Array(rows), Some(idx)) => {
+                        for row in rows {
+                            if let Json::Array(cells) = row {
+                                cells.remove(idx);
+                            }
+                        }
+                    }
+                    (_, value, _) => strip_timings(value),
+                }
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                strip_timings(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A worker that dies mid-shard (injected panic at `shard.run`, first hit
+/// only — by then the coordinator has already handed it a range) costs
+/// time, never answers: the range is re-dispatched, the merged report is
+/// bit-identical to a single-process run, and both workers still drain to
+/// a clean `shutdown`.
+#[test]
+fn worker_killed_mid_shard_redispatches_and_matches_the_clean_run() {
+    let dying = TormentedProcess::spawn("shard.run=panic@1");
+    let clean = TormentedProcess::spawn("");
+    let workers = format!("{},{}", dying.addr, clean.addr);
+    let input = fixture();
+    let base = [
+        "correct",
+        "--input",
+        input.to_str().unwrap(),
+        "--min-sup",
+        "8",
+        "--permutations",
+        "100",
+        "--seed",
+        "17",
+        "--format",
+        "json",
+    ];
+    // The driver runs in-process: this test carries no SIGRULE_FAULTS, so
+    // only the spawned workers are tormented.
+    let mut argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    argv.extend(["--workers".to_string(), workers]);
+    let distributed = sigrule_cli::run(&argv);
+    assert_eq!(
+        distributed.exit_code, 0,
+        "distributed run failed: {}",
+        distributed.stderr
+    );
+    assert!(
+        distributed.stderr.contains("re-dispatched"),
+        "the dying worker's range should be re-dispatched (stderr: {})",
+        distributed.stderr
+    );
+
+    let plain = sigrule_cli::run(&base.map(String::from));
+    assert_eq!(plain.exit_code, 0, "plain run failed: {}", plain.stderr);
+
+    let mut got = Json::parse(distributed.stdout.trim()).expect("distributed report is JSON");
+    let mut want = Json::parse(plain.stdout.trim()).expect("plain report is JSON");
+    strip_timings(&mut got);
+    strip_timings(&mut want);
+    assert_eq!(
+        got.render(),
+        want.render(),
+        "distributed answer must be bit-identical to the single-process run"
+    );
+
+    for served in [dying, clean] {
+        let mut client = served.connect();
+        assert_ok(&client.request(r#"{"cmd":"shutdown"}"#).unwrap());
+        served.assert_clean_exit();
+    }
+}
+
 /// An injected read failure surfaces as a *permanent* `io` error — which
 /// the retry machinery must NOT retry (a retry would succeed here, since
 /// the fault fires on the first hit only, so an `ok` answer means the

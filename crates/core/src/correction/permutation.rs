@@ -175,14 +175,234 @@ pub struct PermutationStats {
     pub pool_size: u64,
 }
 
+/// Bytes of the canonical encoded form of a null's payload: the minima (one
+/// `f64` bit pattern each), the pooled counts (one `u64` each) and the pool
+/// size.  This **one helper** backs both [`PermutationStats::resident_bytes`]
+/// (cache accounting) and the serialized shard form
+/// ([`PartialPermutationStats::to_bytes`]), so the wire encoding and the
+/// byte accounting cannot drift apart silently.
+pub fn encoded_stats_bytes(n_minima: usize, n_counts: usize) -> usize {
+    (n_minima + n_counts + 1) * std::mem::size_of::<u64>()
+}
+
+/// Appends the canonical stats payload — minima as `f64::to_bits`
+/// little-endian words, counts, then the pool size — to `out`.  Exactly
+/// [`encoded_stats_bytes`] bytes are written.  Bit patterns (not decimal
+/// renderings) go on the wire, so a decoded value is the *identical* `f64`,
+/// which is what the merged-null bit-identity guarantee rests on.
+fn encode_stats_payload(minima: &[f64], counts: &[u64], pool_size: u64, out: &mut Vec<u8>) {
+    out.reserve(encoded_stats_bytes(minima.len(), counts.len()));
+    for &m in minima {
+        out.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+    for &c in counts {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&pool_size.to_le_bytes());
+}
+
+/// Reads one little-endian `u64` word at word index `i`.
+fn read_word(bytes: &[u8], i: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+    u64::from_le_bytes(word)
+}
+
 impl PermutationStats {
     /// Approximate resident bytes of the collected null distribution (the
     /// per-permutation minima plus the pooled counts).  Used by the
-    /// byte-budget cache eviction of the engine and registry layers.
+    /// byte-budget cache eviction of the engine and registry layers; defined
+    /// as the length of the canonical encoding ([`encoded_stats_bytes`]) so
+    /// accounting and wire form agree by construction.
     pub fn resident_bytes(&self) -> usize {
-        self.minima.len() * std::mem::size_of::<f64>()
-            + self.pool_counts_leq.len() * std::mem::size_of::<u64>()
-            + std::mem::size_of::<u64>()
+        encoded_stats_bytes(self.minima.len(), self.pool_counts_leq.len())
+    }
+
+    /// Reassembles the full null from partial nulls collected over disjoint
+    /// permutation ranges, **order-independently**: the partials may arrive
+    /// in any order (and with duplicates for a range already merged — the
+    /// first occurrence wins, later ones are ignored, which is what makes a
+    /// straggler re-dispatch idempotent).  The surviving set must tile
+    /// `0..N` contiguously.
+    ///
+    /// Bit-identity with a single-process
+    /// [`collect_stats`](PermutationCorrection::collect_stats) run holds by
+    /// construction: minima are keyed by absolute permutation index (so
+    /// concatenation in range order reproduces the full run's vector
+    /// exactly), and the pooled counts are exact integer sums over disjoint
+    /// permutation subsets (`u64` addition is associative and commutative).
+    pub fn merge(partials: &[PartialPermutationStats]) -> Result<PermutationStats, MergeError> {
+        if partials.is_empty() {
+            return Err(MergeError("no partial stats to merge".into()));
+        }
+        let n_rules = partials[0].pool_counts_leq.len();
+        let mut by_start: Vec<&PartialPermutationStats> = Vec::with_capacity(partials.len());
+        for p in partials {
+            if p.pool_counts_leq.len() != n_rules {
+                return Err(MergeError(format!(
+                    "partial for {}..{} scores {} rules, expected {}",
+                    p.start,
+                    p.end,
+                    p.pool_counts_leq.len(),
+                    n_rules
+                )));
+            }
+            if !by_start
+                .iter()
+                .any(|q| q.start == p.start && q.end == p.end)
+            {
+                by_start.push(p);
+            }
+        }
+        by_start.sort_by_key(|p| p.start);
+
+        let mut expected_start = 0usize;
+        let mut minima = Vec::new();
+        let mut pool_counts_leq = vec![0u64; n_rules];
+        let mut pool_size = 0u64;
+        for p in &by_start {
+            if p.start != expected_start {
+                return Err(MergeError(format!(
+                    "ranges do not tile the permutations: expected a partial \
+                     starting at {}, got {}..{}",
+                    expected_start, p.start, p.end
+                )));
+            }
+            expected_start = p.end;
+            minima.extend_from_slice(&p.minima);
+            for (total, &c) in pool_counts_leq.iter_mut().zip(p.pool_counts_leq.iter()) {
+                *total += c;
+            }
+            pool_size += p.pool_size;
+        }
+        Ok(PermutationStats {
+            minima,
+            pool_counts_leq,
+            pool_size,
+        })
+    }
+}
+
+/// A merge over partial nulls failed: the partials do not tile the
+/// permutation range, or score inconsistent rule sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError(pub String);
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot merge partial permutation stats: {}", self.0)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The null statistics of one contiguous permutation range `[start, end)`:
+/// what a distributed shard computes and ships back for
+/// [`PermutationStats::merge`].
+///
+/// Everything in here is additive or index-keyed: `minima` are the range's
+/// per-permutation minima in permutation order, `pool_counts_leq` is the
+/// range's contribution to every rule's pooled count (an exact integer,
+/// summable across disjoint ranges), and `pool_size` is the range's share of
+/// `N · N_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialPermutationStats {
+    /// First permutation index of the range (inclusive).
+    start: usize,
+    /// One past the last permutation index of the range.
+    end: usize,
+    /// Minimum p-value of each permutation in `start..end`, in permutation
+    /// order (empty when the rule set is empty).
+    minima: Vec<f64>,
+    /// Per rule (in mined order), how many of this range's pooled p-values
+    /// are `≤` the rule's observed p-value.
+    pool_counts_leq: Vec<u64>,
+    /// This range's share of the pool, `(end - start) · N_t`.
+    pool_size: u64,
+}
+
+impl PartialPermutationStats {
+    /// First permutation index of the range.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last permutation index of the range.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of rules this partial scores.
+    pub fn n_rules(&self) -> usize {
+        self.pool_counts_leq.len()
+    }
+
+    /// Serializes to the canonical byte form: a four-word header
+    /// (`start`, `end`, minima count, rule count) followed by the shared
+    /// stats payload (`encode_stats_payload` — the same layout
+    /// [`PermutationStats::resident_bytes`] accounts for).  `f64` minima
+    /// travel as bit patterns, so decode → merge is bit-identical to an
+    /// in-process merge.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            4 * std::mem::size_of::<u64>()
+                + encoded_stats_bytes(self.minima.len(), self.pool_counts_leq.len()),
+        );
+        out.extend_from_slice(&(self.start as u64).to_le_bytes());
+        out.extend_from_slice(&(self.end as u64).to_le_bytes());
+        out.extend_from_slice(&(self.minima.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.pool_counts_leq.len() as u64).to_le_bytes());
+        encode_stats_payload(
+            &self.minima,
+            &self.pool_counts_leq,
+            self.pool_size,
+            &mut out,
+        );
+        out
+    }
+
+    /// Decodes the [`to_bytes`](Self::to_bytes) form, validating the header
+    /// against the byte length and the range invariants so a truncated or
+    /// corrupted shard is rejected instead of silently corrupting a merge.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PartialPermutationStats, MergeError> {
+        const HEADER_WORDS: usize = 4;
+        if !bytes.len().is_multiple_of(8) || bytes.len() < HEADER_WORDS * 8 {
+            return Err(MergeError(format!(
+                "encoded shard has invalid length {}",
+                bytes.len()
+            )));
+        }
+        let start = read_word(bytes, 0) as usize;
+        let end = read_word(bytes, 1) as usize;
+        let n_minima = read_word(bytes, 2) as usize;
+        let n_rules = read_word(bytes, 3) as usize;
+        let expected = HEADER_WORDS * 8 + encoded_stats_bytes(n_minima, n_rules);
+        if bytes.len() != expected {
+            return Err(MergeError(format!(
+                "encoded shard is {} bytes, header implies {expected}",
+                bytes.len()
+            )));
+        }
+        if start > end || (n_minima != end - start && !(n_rules == 0 && n_minima == 0)) {
+            return Err(MergeError(format!(
+                "encoded shard header is inconsistent: range {start}..{end} \
+                 with {n_minima} minima over {n_rules} rules"
+            )));
+        }
+        let minima: Vec<f64> = (0..n_minima)
+            .map(|i| f64::from_bits(read_word(bytes, HEADER_WORDS + i)))
+            .collect();
+        let pool_counts_leq: Vec<u64> = (0..n_rules)
+            .map(|i| read_word(bytes, HEADER_WORDS + n_minima + i))
+            .collect();
+        let pool_size = read_word(bytes, HEADER_WORDS + n_minima + n_rules);
+        Ok(PartialPermutationStats {
+            start,
+            end,
+            minima,
+            pool_counts_leq,
+            pool_size,
+        })
     }
 }
 
@@ -201,8 +421,10 @@ pub fn rayon_pool(threads: usize) -> Result<rayon::ThreadPool, rayon::ThreadPool
 
 /// Permutations per work chunk.  Chunking is fixed — independent of the
 /// worker count — so the merge order, and therefore every statistic, is
-/// identical whatever parallelism the host offers.
-const PERMS_PER_CHUNK: usize = 8;
+/// identical whatever parallelism the host offers.  Public so distributed
+/// coordinators can partition the permutation indices into chunk-aligned
+/// ranges (see [`PermutationCorrection::collect_stats_range`]).
+pub const PERMS_PER_CHUNK: usize = 8;
 
 /// What one chunk of permutations reduces to.
 struct ChunkStats {
@@ -410,13 +632,63 @@ impl PermutationCorrection {
         tables: Option<&SharedTableSet>,
         cancel: &CancelToken,
     ) -> Result<PermutationStats, Cancelled> {
+        // The full run is exactly the range run over 0..N: one engine, so a
+        // distributed merge can only ever reproduce what this path computes.
+        let partial = self.collect_stats_range(mined, tables, cancel, 0, self.n_permutations)?;
+        Ok(PermutationStats {
+            minima: partial.minima,
+            pool_counts_leq: partial.pool_counts_leq,
+            pool_size: partial.pool_size,
+        })
+    }
+
+    /// Runs only permutations `start..end` and returns their partial null.
+    /// The serial, rayon, and batched paths all derive permutation `i`'s RNG
+    /// from `(seed, i)` alone, so a range run is a *subsequence* of the full
+    /// run by construction, and disjoint ranges merged with
+    /// [`PermutationStats::merge`] are bit-identical to one
+    /// [`collect_stats`](Self::collect_stats) pass.
+    ///
+    /// Ranges must be chunk-aligned so the fixed chunking is preserved:
+    /// `start` and `end` must be multiples of [`PERMS_PER_CHUNK`], except
+    /// that `end` may equal `n_permutations` (the tail chunk may be short,
+    /// exactly as in a full run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or not chunk-aligned — a
+    /// coordinator bug, not a data error; remote inputs are validated before
+    /// this is reached.
+    pub fn collect_stats_range(
+        &self,
+        mined: &MinedRuleSet,
+        tables: Option<&SharedTableSet>,
+        cancel: &CancelToken,
+        start: usize,
+        end: usize,
+    ) -> Result<PartialPermutationStats, Cancelled> {
+        assert!(
+            start <= end && end <= self.n_permutations,
+            "range {start}..{end} out of bounds for {} permutations",
+            self.n_permutations
+        );
+        assert!(
+            start.is_multiple_of(PERMS_PER_CHUNK),
+            "range start {start} is not chunk-aligned"
+        );
+        assert!(
+            end.is_multiple_of(PERMS_PER_CHUNK) || end == self.n_permutations,
+            "range end {end} is neither chunk-aligned nor the final permutation"
+        );
         cancel.check()?;
         let n_rules = mined.rules().len();
-        if n_rules == 0 || self.n_permutations == 0 {
-            return Ok(PermutationStats {
+        if n_rules == 0 || start == end {
+            return Ok(PartialPermutationStats {
+                start,
+                end,
                 minima: Vec::new(),
                 pool_counts_leq: vec![0; n_rules],
-                pool_size: (self.n_permutations as u64) * (n_rules as u64),
+                pool_size: ((end - start) as u64) * (n_rules as u64),
             });
         }
 
@@ -444,7 +716,7 @@ impl PermutationCorrection {
         // count.  Each chunk re-checks the token before running, so on the
         // parallel path a fired token turns every not-yet-started chunk into a
         // cheap early return rather than tearing threads down.
-        let chunk_starts: Vec<usize> = (0..self.n_permutations).step_by(PERMS_PER_CHUNK).collect();
+        let chunk_starts: Vec<usize> = (start..end).step_by(PERMS_PER_CHUNK).collect();
         let chunk_results: Vec<Result<ChunkStats, Cancelled>> = match self.mode {
             ExecutionMode::Serial => {
                 let mut out = Vec::with_capacity(chunk_starts.len());
@@ -468,7 +740,7 @@ impl PermutationCorrection {
 
         // Merge in chunk (= permutation) order: minima are keyed by
         // permutation index, histogram cells add exactly.
-        let mut minima = Vec::with_capacity(self.n_permutations);
+        let mut minima = Vec::with_capacity(end - start);
         let mut cnt = vec![0u64; n_rules + 1];
         for chunk in chunks {
             minima.extend_from_slice(&chunk.minima);
@@ -498,10 +770,12 @@ impl PermutationCorrection {
             })
             .collect();
 
-        Ok(PermutationStats {
+        Ok(PartialPermutationStats {
+            start,
+            end,
             minima,
             pool_counts_leq,
-            pool_size: (self.n_permutations as u64) * (n_rules as u64),
+            pool_size: ((end - start) as u64) * (n_rules as u64),
         })
     }
 
@@ -773,6 +1047,195 @@ impl PermutationCorrection {
     }
 }
 
+/// Why a shard dispatch failed.
+///
+/// The distinction matters to a coordinator: a [`Cancelled`](ShardError::Cancelled)
+/// shard means the whole run's token fired (deadline or explicit cancel) and
+/// nothing should be re-dispatched, while a [`Failed`](ShardError::Failed)
+/// shard is an executor-local casualty — a dead worker, a protocol error —
+/// whose range can be handed to any surviving executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The run's cancellation token fired; the run is over.
+    Cancelled(Cancelled),
+    /// The executor failed; the range is intact and re-dispatchable.
+    Failed(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Cancelled(c) => write!(f, "shard cancelled: {c}"),
+            ShardError::Failed(msg) => write!(f, "shard failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<Cancelled> for ShardError {
+    fn from(c: Cancelled) -> Self {
+        ShardError::Cancelled(c)
+    }
+}
+
+/// One executor a null-collection coordinator can scatter permutation ranges
+/// to.  The contract is narrow on purpose: given a chunk-aligned range and a
+/// token, either produce that range's *exact* partial null or fail with a
+/// [`ShardError`] that tells the coordinator whether to re-dispatch.  The
+/// in-process implementation is [`LocalExecutor`]; the remote one (a
+/// `sigrule serve` worker driven over the line protocol) lives in the server
+/// crate.
+pub trait NullExecutor: Send + Sync {
+    /// A short human-readable label for logs, warnings, and counters
+    /// (`"local"`, `"tcp:host:port"`, …).
+    fn label(&self) -> String;
+
+    /// True for executors that cross a process boundary — drives the
+    /// remote-vs-local split of the shard counters.  Defaults to local.
+    fn is_remote(&self) -> bool {
+        false
+    }
+
+    /// Collects the partial null for permutations `start..end`.
+    fn run_range(
+        &self,
+        start: usize,
+        end: usize,
+        cancel: &CancelToken,
+    ) -> Result<PartialPermutationStats, ShardError>;
+}
+
+/// The in-process [`NullExecutor`]: runs ranges through
+/// [`PermutationCorrection::collect_stats_range`] on this process's CPU.  A
+/// coordinator always holds one — it is the transparent fallback that makes
+/// remote workers an optimisation, never a dependency (a dead fleet costs
+/// time, not answers).
+///
+/// A `LocalExecutor` optionally owns its own rayon pool: coordinators drive
+/// executors from plain `std::thread` workers, where the ambient
+/// [`rayon::ThreadPool::install`] pinning of the *caller* does not reach, so
+/// the pool must travel with the executor to keep its parallelism bounded.
+pub struct LocalExecutor<'a> {
+    correction: PermutationCorrection,
+    mined: &'a MinedRuleSet,
+    tables: Option<&'a SharedTableSet>,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<'a> LocalExecutor<'a> {
+    /// Creates a local executor over an already-mined rule set, reusing
+    /// prebuilt static p-value tables when the caller holds them.
+    pub fn new(
+        correction: PermutationCorrection,
+        mined: &'a MinedRuleSet,
+        tables: Option<&'a SharedTableSet>,
+    ) -> Self {
+        LocalExecutor {
+            correction,
+            mined,
+            tables,
+            pool: None,
+        }
+    }
+
+    /// Pins this executor's rayon parallelism to `threads` workers (`0`
+    /// keeps the ambient default).
+    pub fn with_threads(mut self, threads: usize) -> Result<Self, rayon::ThreadPoolBuildError> {
+        self.pool = if threads == 0 {
+            None
+        } else {
+            Some(rayon_pool(threads)?)
+        };
+        Ok(self)
+    }
+}
+
+impl NullExecutor for LocalExecutor<'_> {
+    fn label(&self) -> String {
+        "local".to_string()
+    }
+
+    fn run_range(
+        &self,
+        start: usize,
+        end: usize,
+        cancel: &CancelToken,
+    ) -> Result<PartialPermutationStats, ShardError> {
+        let collect = || {
+            self.correction
+                .collect_stats_range(self.mined, self.tables, cancel, start, end)
+        };
+        let out = match &self.pool {
+            Some(pool) => pool.install(collect),
+            None => collect(),
+        };
+        out.map_err(ShardError::from)
+    }
+}
+
+/// Process-wide distributed-shard counters, mirroring the support-kernel
+/// counters in `sigrule_data::kernel`: cheap relaxed atomics bumped by
+/// coordinators as shards complete, snapshotted into `EngineStats` and the
+/// eval human footer.  All zero unless a distributed null ran in this
+/// process.
+pub mod shard_counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SHARDS_LOCAL: AtomicU64 = AtomicU64::new(0);
+    static SHARDS_REMOTE: AtomicU64 = AtomicU64::new(0);
+    static SHARD_RETRIES: AtomicU64 = AtomicU64::new(0);
+    static REMOTE_MS: AtomicU64 = AtomicU64::new(0);
+
+    /// Records `n` permutation ranges completed by the in-process executor.
+    pub fn note_local_shards(n: u64) {
+        SHARDS_LOCAL.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` permutation ranges completed by remote workers, plus the
+    /// wall-clock milliseconds spent waiting on their responses.
+    pub fn note_remote_shards(n: u64, ms: u64) {
+        SHARDS_REMOTE.fetch_add(n, Ordering::Relaxed);
+        REMOTE_MS.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Records `n` range re-dispatches (straggler steals and dead-worker
+    /// recoveries alike).
+    pub fn note_retries(n: u64) {
+        SHARD_RETRIES.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the shard counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ShardCounters {
+        /// Ranges completed by the in-process executor.
+        pub shards_local: u64,
+        /// Ranges completed by remote `sigrule serve` workers.
+        pub shards_remote: u64,
+        /// Ranges dispatched more than once (stragglers + failures).
+        pub shard_retries: u64,
+        /// Total milliseconds spent waiting on remote shard responses.
+        pub remote_ms: u64,
+    }
+
+    impl ShardCounters {
+        /// True when any distributed work has been recorded.
+        pub fn distribution_active(&self) -> bool {
+            self.shards_remote > 0 || self.shard_retries > 0
+        }
+    }
+
+    /// Snapshots the process-wide counters.
+    pub fn counters() -> ShardCounters {
+        ShardCounters {
+            shards_local: SHARDS_LOCAL.load(Ordering::Relaxed),
+            shards_remote: SHARDS_REMOTE.load(Ordering::Relaxed),
+            shard_retries: SHARD_RETRIES.load(Ordering::Relaxed),
+            remote_ms: REMOTE_MS.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1038,5 +1501,132 @@ mod tests {
         assert_eq!(stats.pool_size, 0);
         let r = perm(10).control_fwer(&m, 0.05);
         assert_eq!(r.n_significant(), 0);
+    }
+
+    #[test]
+    fn range_runs_merge_bit_identically() {
+        // Any chunk-aligned tiling of 0..N, merged in any order — with
+        // duplicate deliveries thrown in — reproduces the single-pass null
+        // bit for bit, for both batch policies.
+        let m = mined_with_rule(0.9, 31);
+        let none = CancelToken::none();
+        for batch in [BatchPolicy::PerPermutation, BatchPolicy::Batched] {
+            let c = perm(21).with_batch(batch);
+            let full = c.collect_stats(&m);
+            let ranges = [(8usize, 16usize), (0, 8), (16, 21)];
+            let mut partials: Vec<PartialPermutationStats> = ranges
+                .iter()
+                .map(|&(s, e)| c.collect_stats_range(&m, None, &none, s, e).unwrap())
+                .collect();
+            // A straggler re-dispatch delivers one range twice.
+            partials.push(partials[0].clone());
+            let merged = PermutationStats::merge(&partials).unwrap();
+            assert_eq!(merged, full, "batch {batch:?}");
+        }
+    }
+
+    #[test]
+    fn range_run_of_empty_rule_set_merges() {
+        let params = SyntheticParams::default()
+            .with_records(120)
+            .with_attributes(6);
+        let (d, _) = SyntheticGenerator::new(params).unwrap().generate(21);
+        let m = mine_rules(&d, &RuleMiningConfig::new(121));
+        assert!(m.rules().is_empty());
+        let c = perm(16);
+        let none = CancelToken::none();
+        let partials: Vec<_> = [(0usize, 8usize), (8, 16)]
+            .iter()
+            .map(|&(s, e)| c.collect_stats_range(&m, None, &none, s, e).unwrap())
+            .collect();
+        let merged = PermutationStats::merge(&partials).unwrap();
+        assert_eq!(merged, c.collect_stats(&m));
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_inconsistent_shapes() {
+        let m = mined_with_rule(0.9, 32);
+        let c = perm(24);
+        let none = CancelToken::none();
+        let a = c.collect_stats_range(&m, None, &none, 0, 8).unwrap();
+        let b = c.collect_stats_range(&m, None, &none, 16, 24).unwrap();
+        // 8..16 missing: the tiling has a gap.
+        assert!(PermutationStats::merge(&[a.clone(), b]).is_err());
+        // Nothing at all.
+        assert!(PermutationStats::merge(&[]).is_err());
+        // Not starting at zero.
+        let tail = c.collect_stats_range(&m, None, &none, 8, 24).unwrap();
+        assert!(PermutationStats::merge(&[tail]).is_err());
+        // Inconsistent rule counts across partials.
+        let other = mined_with_rule(0.9, 33);
+        if other.rules().len() != m.rules().len() {
+            let foreign = c.collect_stats_range(&other, None, &none, 8, 24).unwrap();
+            assert!(PermutationStats::merge(&[a, foreign]).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk-aligned")]
+    fn range_rejects_unaligned_start() {
+        let m = mined_with_rule(0.9, 34);
+        let _ = perm(24).collect_stats_range(&m, None, &CancelToken::none(), 4, 24);
+    }
+
+    #[test]
+    fn shard_encoding_round_trips_bit_exactly() {
+        // Satellite: the wire form and `resident_bytes` share one encoding
+        // helper, and decode(encode(x)) == x bit for bit — proto drift would
+        // break this test before it could corrupt a merged null.
+        let m = mined_with_rule(0.9, 35);
+        let c = perm(21);
+        let none = CancelToken::none();
+        for (s, e) in [(0usize, 8usize), (8, 16), (16, 21)] {
+            let partial = c.collect_stats_range(&m, None, &none, s, e).unwrap();
+            let bytes = partial.to_bytes();
+            // Header (4 words) + the same canonical payload the cache
+            // accounts for.
+            assert_eq!(
+                bytes.len(),
+                32 + encoded_stats_bytes(partial.minima.len(), partial.pool_counts_leq.len())
+            );
+            let decoded = PartialPermutationStats::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, partial);
+        }
+        // The full stats' resident accounting is that same helper.
+        let full = c.collect_stats(&m);
+        assert_eq!(
+            full.resident_bytes(),
+            encoded_stats_bytes(full.minima.len(), full.pool_counts_leq.len())
+        );
+        // Corruption is rejected, not absorbed.
+        let partial = c.collect_stats_range(&m, None, &none, 0, 8).unwrap();
+        let bytes = partial.to_bytes();
+        assert!(PartialPermutationStats::from_bytes(&bytes[..bytes.len() - 8]).is_err());
+        assert!(PartialPermutationStats::from_bytes(&bytes[..13]).is_err());
+        let mut header_lies = bytes.clone();
+        header_lies[16] ^= 0xff; // minima count no longer matches the length
+        assert!(PartialPermutationStats::from_bytes(&header_lies).is_err());
+    }
+
+    #[test]
+    fn local_executor_matches_direct_range_runs() {
+        let m = mined_with_rule(0.9, 36);
+        let c = perm(24);
+        let none = CancelToken::none();
+        let tables = c.build_shared_tables(&m);
+        let exec = LocalExecutor::new(c.clone(), &m, Some(&tables))
+            .with_threads(2)
+            .unwrap();
+        assert_eq!(exec.label(), "local");
+        let via_exec = exec.run_range(8, 16, &none).unwrap();
+        let direct = c.collect_stats_range(&m, None, &none, 8, 16).unwrap();
+        assert_eq!(via_exec, direct);
+        // Cancellation surfaces as ShardError::Cancelled, not Failed.
+        let fired = CancelToken::new();
+        fired.cancel();
+        match exec.run_range(0, 8, &fired) {
+            Err(ShardError::Cancelled(_)) => {}
+            other => panic!("expected cancelled, got {other:?}"),
+        }
     }
 }

@@ -542,6 +542,19 @@ pub struct EngineStats {
     pub batched_sweeps: u64,
     /// Forest sweeps run one permutation at a time.  Process-wide.
     pub per_perm_sweeps: u64,
+    /// Distributed-null permutation ranges completed by the in-process
+    /// executor.  Process-wide, like the kernel counters; zero unless a
+    /// distributed null ran.
+    pub shards_local: u64,
+    /// Distributed-null permutation ranges completed by remote workers.
+    /// Process-wide.
+    pub shards_remote: u64,
+    /// Permutation ranges dispatched more than once (straggler steals and
+    /// dead-worker re-dispatches).  Process-wide.
+    pub shard_retries: u64,
+    /// Total milliseconds spent waiting on remote shard responses.
+    /// Process-wide.
+    pub remote_ms: u64,
 }
 
 impl EngineStats {
@@ -729,6 +742,103 @@ impl Engine {
         }
     }
 
+    /// Mines (via the cache) and returns the rule set together with its
+    /// shared static p-value tables, building them on first use and caching
+    /// them thereafter — what a `perm_shard` request needs to run one
+    /// permutation range without rebuilding the tables per shard.  The
+    /// tables are a deterministic function of the mined rule set, so reuse
+    /// changes only cost, never a statistic.
+    pub fn mined_with_tables(
+        &self,
+        config: &RuleMiningConfig,
+        n_permutations: usize,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<MinedRuleSet>, SharedTableSet), Cancelled> {
+        let (entry, _elapsed, _cached) = self.mine_entry(config, cancel)?;
+        let tables = entry
+            .tables
+            .get_or_init(|| {
+                PermutationApproach {
+                    n_permutations,
+                    seed,
+                }
+                .correction()
+                .build_shared_tables(&entry.mined)
+            })
+            .clone();
+        Ok((entry.mined.clone(), tables))
+    }
+
+    /// Fills (or fetches) the permutation-null cache entry for
+    /// `(mining, n_permutations, seed)` using a caller-supplied collector —
+    /// the entry point a **distributed coordinator** uses to pour a
+    /// scatter/merge null into the same cache slot a local query would fill.
+    ///
+    /// The collector runs inside the same abortable fill cell as a local
+    /// collection: concurrent identical queries block on it instead of
+    /// duplicating the work, and if it errors or panics the cell reverts to
+    /// empty — the cache is **cold or complete, never partial**, whatever a
+    /// worker fleet does.  Mining and the shared static p-value tables are
+    /// resolved through the usual caches first, so the collector receives
+    /// exactly the inputs a local run would.
+    ///
+    /// The caller contracts that the collector's output is bit-identical to
+    /// [`collect_stats`](crate::correction::permutation::PermutationCorrection::collect_stats)
+    /// for the same parameters (the distributed merge guarantees this by
+    /// construction); the cache trusts it the way it trusts a local fill.
+    /// Returns the resident stats and whether the cache already held them
+    /// (in which case the collector was never called).
+    pub fn fill_null_with<F>(
+        &self,
+        mining: &RuleMiningConfig,
+        n_permutations: usize,
+        seed: u64,
+        cancel: &CancelToken,
+        collect: F,
+    ) -> Result<(Arc<PermutationStats>, bool), Cancelled>
+    where
+        F: FnOnce(
+            &MinedRuleSet,
+            &SharedTableSet,
+            &CancelToken,
+        ) -> Result<PermutationStats, Cancelled>,
+    {
+        let (entry, _mine_time, _mined_cached) = self.mine_entry(mining, cancel)?;
+        let key: NullKey = (MiningKey::from(mining), n_permutations, seed);
+        let cell = self
+            .nulls
+            .lock()
+            .expect("null cache lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        cancel.check()?;
+        let tables = entry.tables.get_or_init(|| {
+            PermutationApproach {
+                n_permutations,
+                seed,
+            }
+            .correction()
+            .build_shared_tables(&entry.mined)
+        });
+        let (null_entry, cached) = cell.get_or_fill(|| -> Result<NullEntry, Cancelled> {
+            cancel.check()?;
+            let stats = collect(&entry.mined, tables, cancel)?;
+            Ok(NullEntry {
+                stats: Arc::new(stats),
+                last_used: AtomicU64::new(0),
+            })
+        })?;
+        if cached {
+            self.null_hits.fetch_add(1, Relaxed);
+        } else {
+            self.null_misses.fetch_add(1, Relaxed);
+        }
+        null_entry.last_used.store(self.tick(), Relaxed);
+        Ok((null_entry.stats.clone(), cached))
+    }
+
     /// Answers one query, consulting and populating the caches.  Warm results
     /// are bit-identical to cold ones (and to a one-shot
     /// [`Pipeline`](crate::pipeline::Pipeline) run with the same parameters).
@@ -891,6 +1001,7 @@ impl Engine {
             .map(|e| e.stats.resident_bytes())
             .sum();
         let kernel_counters = sigrule_data::kernel::counters();
+        let shard = crate::correction::permutation::shard_counters::counters();
         EngineStats {
             queries: self.queries.load(Relaxed),
             mine_hits: self.mine_hits.load(Relaxed),
@@ -908,6 +1019,10 @@ impl Engine {
             kernel: kernel_counters.kernel,
             batched_sweeps: kernel_counters.batched_sweeps,
             per_perm_sweeps: kernel_counters.per_perm_sweeps,
+            shards_local: shard.shards_local,
+            shards_remote: shard.shards_remote,
+            shard_retries: shard.shard_retries,
+            remote_ms: shard.remote_ms,
         }
     }
 
@@ -1283,6 +1398,45 @@ mod tests {
         assert!(aborter.join().unwrap().is_err());
         let (v, cached) = waiter.join().unwrap().unwrap();
         assert_eq!((*v, cached), (42, false), "waiter took the fill over");
+    }
+
+    #[test]
+    fn fill_null_with_primes_the_cache_a_query_then_hits() {
+        use crate::correction::permutation::{PermutationCorrection, PermutationStats};
+        let engine = Engine::new(synth(11));
+        let mining = RuleMiningConfig::new(30);
+        // Pour a scatter/merge null (two ranges, merged out of order) into
+        // the cache slot the equivalent query would fill.
+        let (_stats, cached) = engine
+            .fill_null_with(
+                &mining,
+                40,
+                11,
+                &CancelToken::none(),
+                |mined, tables, cancel| {
+                    let c = PermutationCorrection::new(40).with_seed(11);
+                    let head = c.collect_stats_range(mined, Some(tables), cancel, 0, 24)?;
+                    let tail = c.collect_stats_range(mined, Some(tables), cancel, 24, 40)?;
+                    Ok(PermutationStats::merge(&[tail, head]).expect("complete tiling"))
+                },
+            )
+            .unwrap();
+        assert!(!cached);
+
+        // The matching query hits the primed null and answers exactly what a
+        // purely local engine answers.
+        let warm = engine.query(&perm_query(30)).unwrap();
+        assert_eq!(warm.null_cached, Some(true));
+        let reference = Engine::new(synth(11)).query(&perm_query(30)).unwrap();
+        assert_eq!(warm.result, reference.result);
+
+        // A second fill is a hit: the collector must not run.
+        let (_, cached) = engine
+            .fill_null_with(&mining, 40, 11, &CancelToken::none(), |_, _, _| {
+                panic!("collector must not run on a cache hit")
+            })
+            .unwrap();
+        assert!(cached);
     }
 
     #[test]

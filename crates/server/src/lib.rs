@@ -34,6 +34,7 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod client;
+pub mod coordinate;
 pub mod error;
 pub mod json;
 pub mod proto;
@@ -41,6 +42,10 @@ pub mod registry;
 pub mod transport;
 
 pub use client::{ClientStream, RetryPolicy};
+pub use coordinate::{
+    fill_engine_null, parse_worker_list, DistributedFill, DistributedNull, RemoteExecutor,
+    ShardReport, ShardSpec,
+};
 pub use error::{ErrorCode, ErrorKind, ServerError};
 pub use proto::{handle_line, ServerOptions, ServerState};
 pub use registry::{EngineRegistry, RegistrySnapshot};

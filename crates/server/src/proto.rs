@@ -37,13 +37,15 @@ use crate::error::{ErrorCode, ServerError};
 use crate::json::{Json, JsonError, ObjectBuilder};
 use crate::registry::EngineRegistry;
 use sigrule::cancel::CancelToken;
+use sigrule::correction::permutation::{PermutationCorrection, PERMS_PER_CHUNK};
 use sigrule::engine::{Engine, Loader, Query, QueryOutcome};
 use sigrule::pipeline::CorrectionApproach;
 use sigrule::rule::sort_by_significance;
 use sigrule::{ClassRule, RuleMiningConfig};
 use sigrule_data::loader::{BasketOptions, LoadOptions};
 use sigrule_data::InputFormat;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The dataset name `load` registers under — and requests query — when none
@@ -64,6 +66,11 @@ pub struct ServerOptions {
 pub struct ServerState {
     registry: EngineRegistry,
     started: Instant,
+    /// For each loaded dataset, the `load` request that produced it (minus
+    /// per-request fields), so a `correct` request carrying `"workers"` can
+    /// replay the load on each worker.  Workers therefore must see the same
+    /// file path — a shared filesystem or identical layout.
+    sources: Mutex<HashMap<String, String>>,
 }
 
 impl Default for ServerState {
@@ -83,7 +90,17 @@ impl ServerState {
         ServerState {
             registry: EngineRegistry::with_budget(options.cache_budget_bytes),
             started: Instant::now(),
+            sources: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The replayable `load` request line for a loaded dataset, if any.
+    pub fn load_line_for(&self, name: &str) -> Option<String> {
+        self.sources
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
     }
 
     /// The engine registry.
@@ -301,6 +318,11 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerE
 
     let format = loaded.format;
     let engine = state.registry.insert(&name, loaded.into_engine());
+    state
+        .sources
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(name.clone(), render_forward_load(req));
     let mut resp = ObjectBuilder::new();
     resp.string("path", &path)
         .string("name", &name)
@@ -319,6 +341,22 @@ fn handle_load(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerE
         .number("load_ms", millis(engine.load_time()))
         .strings("warnings", &warnings);
     Ok(resp)
+}
+
+/// Re-renders a successful `load` request as the line a shard worker should
+/// replay: the same dataset-shaping fields, with the per-request plumbing
+/// (`id`, `async`, `timeout_ms`) stripped.
+fn render_forward_load(req: &Json) -> String {
+    let mut out = ObjectBuilder::new();
+    out.string("cmd", "load");
+    if let Json::Object(fields) = req {
+        for (key, value) in fields {
+            if key != "cmd" && !COMMON_FIELDS.contains(&key.as_str()) {
+                out.json(key, value);
+            }
+        }
+    }
+    out.finish()
 }
 
 fn handle_mine(
@@ -398,6 +436,7 @@ fn handle_correct(
         "seed",
         "threads",
         "top",
+        "workers",
     ]);
     reject_unknown_fields(req, &allowed)?;
     let (name, engine) = state.engine_for(req)?;
@@ -418,8 +457,40 @@ fn handle_correct(
         query = query.with_threads(threads);
     }
     let top = get_usize(req, "top")?.unwrap_or(20);
+    let workers = match get_str(req, "workers")? {
+        Some(spec) => crate::coordinate::parse_worker_list(&spec)
+            .map_err(|e| ServerError::new(ErrorCode::InvalidRequest, e))?,
+        None => Vec::new(),
+    };
 
     sigrule::fault::point("req.correct");
+
+    // A permutation request naming workers scatters its cold null across
+    // them first; the query below then hits the warm cache.  The answer is
+    // bit-identical to a local run by the merge contract, so the only
+    // response-visible difference is `null_cached` (and the `stats` shard
+    // counters).
+    if !workers.is_empty()
+        && approach == CorrectionApproach::Permutation
+        && query.n_permutations > 0
+    {
+        let spec = crate::coordinate::ShardSpec {
+            dataset: name.clone(),
+            mining: query.mining.clone(),
+            n_permutations: query.n_permutations,
+            seed: query.seed,
+            threads: get_usize(req, "threads")?,
+            timeout_ms: None,
+        };
+        let plan = crate::coordinate::DistributedNull {
+            workers,
+            load_line: state.load_line_for(&name),
+            spec,
+        };
+        let filled = crate::coordinate::fill_engine_null(&engine, &plan, cancel);
+        state.registry.enforce_budget();
+        filled?;
+    }
     // Enforce the budget on the error path too: a query aborted mid-null
     // may still have filled the mine cache before the deadline fired.
     let queried = engine.query(&query);
@@ -454,6 +525,75 @@ fn handle_correct(
     Ok(resp)
 }
 
+/// Handles a `perm_shard` request: run permutations `start..end` of a null
+/// and return the partial statistics, hex-encoded in the shared shard wire
+/// form, for a coordinator to merge.  This is the worker half of the
+/// distributed null — the dataset must already be loaded (coordinators
+/// replay the `load` first), and the range must be chunk-aligned so the
+/// merged null stays bit-identical to a single-process run.
+fn handle_perm_shard(
+    state: &ServerState,
+    req: &Json,
+    cancel: &CancelToken,
+) -> Result<ObjectBuilder, ServerError> {
+    let mut allowed = MINE_FIELDS.to_vec();
+    allowed.extend(["permutations", "seed", "start", "end", "threads"]);
+    reject_unknown_fields(req, &allowed)?;
+    let (name, engine) = state.engine_for(req)?;
+    let mining = mining_config(req, engine.dataset().n_records())?;
+    let n_permutations = get_usize(req, "permutations")?.unwrap_or(1000);
+    let seed = get_u64(req, "seed")?.unwrap_or(17);
+    let Some(start) = get_usize(req, "start")? else {
+        return Err("\"start\" is required".to_string().into());
+    };
+    let Some(end) = get_usize(req, "end")? else {
+        return Err("\"end\" is required".to_string().into());
+    };
+    if start > end || end > n_permutations {
+        return Err(format!(
+            "shard range {start}..{end} out of bounds for {n_permutations} permutations"
+        )
+        .into());
+    }
+    if start % PERMS_PER_CHUNK != 0 || (end % PERMS_PER_CHUNK != 0 && end != n_permutations) {
+        return Err(format!(
+            "shard range {start}..{end} is not aligned to the {PERMS_PER_CHUNK}-permutation chunk"
+        )
+        .into());
+    }
+
+    sigrule::fault::point("shard.run");
+    let began = Instant::now();
+    // Enforce the budget on the error path too: a cancelled shard may still
+    // have filled the mine cache before aborting.
+    let mine_outcome = engine.mined_with_tables(&mining, n_permutations, seed, cancel);
+    state.registry.enforce_budget();
+    let (mined, tables) = mine_outcome?;
+    let correction = PermutationCorrection::new(n_permutations).with_seed(seed);
+    let collect = || correction.collect_stats_range(&mined, Some(&tables), cancel, start, end);
+    let collected = match get_usize(req, "threads")? {
+        Some(threads) if threads > 0 => sigrule::correction::permutation::rayon_pool(threads)
+            .map_err(|e| format!("could not build a {threads}-thread pool: {e}"))?
+            .install(collect),
+        _ => collect(),
+    };
+    let partial = collected?;
+
+    let mut resp = ObjectBuilder::new();
+    resp.string("dataset", &name)
+        .number("permutations", n_permutations as f64)
+        .number("seed", seed as f64)
+        .number("start", partial.start() as f64)
+        .number("end", partial.end() as f64)
+        .number("n_rules", partial.n_rules() as f64)
+        .string(
+            "payload",
+            &crate::coordinate::encode_hex(&partial.to_bytes()),
+        )
+        .number("shard_ms", millis(began.elapsed()));
+    Ok(resp)
+}
+
 /// Appends one engine's dataset shape, counters and cache/size accounting.
 fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
     let stats = engine.stats();
@@ -476,7 +616,11 @@ fn engine_stats_fields(resp: &mut ObjectBuilder, engine: &Engine) {
         .number("evicted_nulls", stats.evicted_nulls as f64)
         .string("kernel", stats.kernel)
         .number("batched_sweeps", stats.batched_sweeps as f64)
-        .number("per_perm_sweeps", stats.per_perm_sweeps as f64);
+        .number("per_perm_sweeps", stats.per_perm_sweeps as f64)
+        .number("shards_local", stats.shards_local as f64)
+        .number("shards_remote", stats.shards_remote as f64)
+        .number("shard_retries", stats.shard_retries as f64)
+        .number("remote_ms", stats.remote_ms as f64);
 }
 
 fn handle_stats(state: &ServerState, req: &Json) -> Result<ObjectBuilder, ServerError> {
@@ -588,13 +732,14 @@ pub(crate) fn handle_parsed(
         "load" => handle_load(state, &req),
         "mine" => handle_mine(state, &req, &request_cancel),
         "correct" => handle_correct(state, &req, &request_cancel),
+        "perm_shard" => handle_perm_shard(state, &req, &request_cancel),
         "stats" => handle_stats(state, &req),
         "registry_stats" => handle_registry_stats(state, &req),
         other => Err(ServerError::new(
             ErrorCode::InvalidRequest,
             format!(
-                "unknown cmd {other:?} (expected load, mine, correct, stats, registry_stats \
-                 or shutdown)"
+                "unknown cmd {other:?} (expected load, mine, correct, perm_shard, stats, \
+                 registry_stats or shutdown)"
             ),
         )),
     });
@@ -619,8 +764,9 @@ fn request_token(req: &Json, cancel: &CancelToken) -> Result<CancelToken, Server
     }
 }
 
-/// True when a request opted into concurrent handling: a `mine`, `correct`
-/// or `stats` request carrying `"async":true` runs on a worker thread over
+/// True when a request opted into concurrent handling: a `mine`, `correct`,
+/// `perm_shard` or `stats` request carrying `"async":true` runs on a worker
+/// thread over
 /// the shared registry, without blocking its connection's reader.
 /// Everything else — including `load` (which swaps a registered engine),
 /// `registry_stats` and `shutdown` — is handled in request order, after
@@ -632,7 +778,7 @@ pub(crate) fn runs_async(parsed: &Result<Json, JsonError>) -> bool {
         Ok(req) => {
             matches!(
                 req.get("cmd").and_then(Json::as_str),
-                Some("mine") | Some("correct") | Some("stats")
+                Some("mine") | Some("correct") | Some("perm_shard") | Some("stats")
             ) && req.get("async").and_then(Json::as_bool) == Some(true)
         }
         Err(_) => false,

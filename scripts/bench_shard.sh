@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark behind BENCH_shard.json: a cold permutation null on
+# the paper's D2kA20R5 workload (2000 records × 20 attributes, min_sup
+# 100, N=1000 permutations, seed 7), single-process vs. scattered across
+# the local pool plus one and two `sigrule serve` workers on loopback TCP.
+#
+# Usage:
+#   scripts/bench_shard.sh [binary]   # default: target/release/sigrule
+#
+# Each case is one fresh `sigrule correct` process (cold caches), repeated
+# REPS times with the median reported.  On a single shared core the remote
+# workers compete with the coordinator for the same CPU, so this script
+# measures the *overhead floor* of distribution there; the speedup claim
+# only holds with workers on their own cores/hosts.  All three cases are
+# diffed (timings normalised) to re-prove bit-identity on the big
+# workload before any number is reported.
+
+set -euo pipefail
+
+BIN="${1:-target/release/sigrule}"
+REPS="${REPS:-3}"
+PERMS="${PERMS:-1000}"
+WORKDIR="$(mktemp -d)"
+W1_PID=""
+W2_PID=""
+trap 'kill "$W1_PID" "$W2_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+[ -x "$BIN" ] || { echo "error: $BIN not built (cargo build --release)"; exit 1; }
+
+DATA="$WORKDIR/d2k_a20_r5.csv"
+cargo run -q --release --example export_d2k >"$DATA"
+
+await_ready() { # <ready-file>
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && break
+    sleep 0.1
+  done
+  sed -nE 's/.*"listening":"([^"]+)".*/\1/p' "$1" | head -n1
+}
+
+"$BIN" serve --listen tcp:127.0.0.1:0 >"$WORKDIR/w1.out" 2>&1 &
+W1_PID=$!
+"$BIN" serve --listen tcp:127.0.0.1:0 >"$WORKDIR/w2.out" 2>&1 &
+W2_PID=$!
+W1_ADDR="$(await_ready "$WORKDIR/w1.out")"
+W2_ADDR="$(await_ready "$WORKDIR/w2.out")"
+[ -n "$W1_ADDR" ] && [ -n "$W2_ADDR" ] || { echo "error: workers never became ready"; exit 1; }
+
+ARGS=(correct --input "$DATA" --min-sup 100 --permutations "$PERMS" --seed 7 --format json)
+
+run_case() { # <label> [--workers list] — prints "label median_ms"
+  local label="$1"
+  shift
+  local times=()
+  for rep in $(seq 1 "$REPS"); do
+    local t0 t1
+    t0=$(date +%s%3N)
+    "$BIN" "${ARGS[@]}" "$@" >"$WORKDIR/$label.json" 2>"$WORKDIR/$label.err"
+    t1=$(date +%s%3N)
+    times+=($((t1 - t0)))
+  done
+  local median
+  median=$(printf '%s\n' "${times[@]}" | sort -n | awk -v n="$REPS" 'NR == int((n + 1) / 2)')
+  echo "$label $median"
+}
+
+echo "# workload: D2kA20R5, min_sup 100, N=$PERMS, seed 7, $REPS reps (median ms)"
+run_case single_process
+run_case one_worker --workers "$W1_ADDR"
+run_case two_workers --workers "$W1_ADDR,$W2_ADDR"
+
+# Bit-identity on the big workload: every case must agree byte for byte
+# once timings are normalised.
+normalize() {
+  sed -E 's/"(load|mine)_ms":"[0-9.]+"/"\1_ms":"-"/g; s/,"[0-9]+\.[0-9]+"\]/,"-"]/g' "$1"
+}
+normalize "$WORKDIR/single_process.json" >"$WORKDIR/ref.norm"
+for label in one_worker two_workers; do
+  normalize "$WORKDIR/$label.json" >"$WORKDIR/$label.norm"
+  diff -u "$WORKDIR/ref.norm" "$WORKDIR/$label.norm" \
+    || { echo "error: $label diverged from the single-process run"; exit 1; }
+done
+echo "# all three cases bit-identical"
+
+for ADDR in "$W1_ADDR" "$W2_ADDR"; do
+  printf '%s\n' '{"cmd":"shutdown"}' | "$BIN" client --connect "$ADDR" >/dev/null
+done
+wait "$W1_PID"
+wait "$W2_PID"
+W1_PID=""
+W2_PID=""

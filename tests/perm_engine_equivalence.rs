@@ -43,6 +43,32 @@ fn engine(n_perms: usize, seed: u64) -> PermutationCorrection {
     PermutationCorrection::new(n_perms).with_seed(seed)
 }
 
+/// A random chunk-aligned partition of `0..n_perms`, returned in a shuffled
+/// merge order.  Driven by a tiny xorshift so the partition is a pure
+/// function of the proptest-supplied seed (which must be nonzero).
+fn random_partition(n_perms: usize, mut state: u64) -> Vec<(usize, usize)> {
+    use sigrule_repro::core::correction::permutation::PERMS_PER_CHUNK;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < n_perms {
+        let step = ((next() % 3) as usize + 1) * PERMS_PER_CHUNK;
+        let end = (start + step).min(n_perms);
+        ranges.push((start, end));
+        start = end;
+    }
+    for i in (1..ranges.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        ranges.swap(i, j);
+    }
+    ranges
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -125,6 +151,41 @@ proptest! {
                     .collect_stats(&mined);
                 prop_assert_eq!(&reference, &stats, "batch={:?} mode={:?}", batch, mode);
             }
+        }
+    }
+
+    /// Any chunk-aligned partition of 0..N, with the partial statistics
+    /// merged in any order, is bit-identical to one serial `collect_stats`
+    /// pass — under both batch policies (and, via the CI kernel matrix, both
+    /// SIGRULE_KERNEL settings).  This is the contract the distributed
+    /// null-collection coordinator rests on: scattering ranges across
+    /// processes can never change a statistic.
+    #[test]
+    fn chunk_aligned_partitions_merge_bit_identically(
+        ((mined, n_perms, seed), part_seed) in (engine_case(), 1u64..u64::MAX)
+    ) {
+        use sigrule_repro::core::correction::permutation::PartialPermutationStats;
+
+        let ranges = random_partition(n_perms, part_seed | 1);
+        let cancel = CancelToken::none();
+        for batch in [BatchPolicy::PerPermutation, BatchPolicy::Batched] {
+            let serial = engine(n_perms, seed)
+                .with_mode(ExecutionMode::Serial)
+                .with_batch(batch)
+                .collect_stats(&mined);
+            // Range runs keep the default parallel mode, so the partition
+            // equivalence also crosses the serial/parallel boundary.
+            let correction = engine(n_perms, seed).with_batch(batch);
+            let partials: Vec<PartialPermutationStats> = ranges
+                .iter()
+                .map(|&(start, end)| {
+                    correction
+                        .collect_stats_range(&mined, None, &cancel, start, end)
+                        .expect("token never fires")
+                })
+                .collect();
+            let merged = PermutationStats::merge(&partials).expect("partition tiles 0..N");
+            prop_assert_eq!(&serial, &merged, "batch={:?} ranges={:?}", batch, &ranges);
         }
     }
 
