@@ -147,6 +147,29 @@ pub fn run_eval(argv: &[String]) -> RunOutcome {
             ));
         }
     }
+    // The same counters, as a structured event for every format — the
+    // human footer stays human, json/csv stay byte-identical, and machine
+    // consumers read the numbers off stderr under SIGRULE_LOG=debug.
+    {
+        let counters = sigrule_data::kernel::counters();
+        let shards = sigrule::correction::permutation::shard_counters::counters();
+        sigrule_obs::log::debug(
+            "sigrule::eval",
+            "sweep complete",
+            &[
+                ("cells", (sweep.cells.len() as u64).into()),
+                (
+                    "null_ms",
+                    (sweep.cache.null_time.as_secs_f64() * 1e3).into(),
+                ),
+                ("batched_sweeps", counters.batched_sweeps.into()),
+                ("per_perm_sweeps", counters.per_perm_sweeps.into()),
+                ("shards_local", shards.shards_local.into()),
+                ("shards_remote", shards.shards_remote.into()),
+                ("shard_retries", shards.shard_retries.into()),
+            ],
+        );
+    }
     RunOutcome::ok(rendered)
 }
 

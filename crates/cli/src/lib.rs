@@ -217,10 +217,23 @@ pub fn run(argv: &[String]) -> RunOutcome {
                 Err(_) => args::Format::Human,
             };
             let mut outcome = RunOutcome::ok(report.render(format));
+            // Warnings are structured JSON-line log events (not bare
+            // `sigrule: warning:` prose), rendered unconditionally — they
+            // were always shown, so the SIGRULE_LOG filter does not gate
+            // them.  Stdout stays byte-identical either way.
             outcome.stderr = report
                 .warnings
                 .iter()
-                .map(|w| format!("sigrule: warning: {w}\n"))
+                .map(|w| {
+                    let mut line = sigrule_obs::log::render_event(
+                        sigrule_obs::log::Level::Warn,
+                        "sigrule::cli",
+                        "warning",
+                        &[("detail", w.as_str().into())],
+                    );
+                    line.push('\n');
+                    line
+                })
                 .collect();
             outcome
         }

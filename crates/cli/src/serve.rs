@@ -41,6 +41,14 @@ OPTIONS:
   --cache-budget-mb <n>    evict least-recently-used cached rule sets /
                            permutation nulls once resident cache bytes
                            exceed n MiB (default: unbounded)
+  --slow-query-ms <n>      log a structured slow-query record (stderr, JSON
+                           lines, with the per-phase breakdown) for any
+                           mine/correct slower than n ms (default: off)
+
+Structured logs go to stderr as JSON lines; filter with SIGRULE_LOG
+(error|warn|info|debug, per-target overrides like
+SIGRULE_LOG=info,sigrule::coordinate=debug).  SIGRULE_METRICS=off disables
+metric collection.
 
 One JSON object per line in, one per line out.  Requests:
   {\"cmd\":\"load\",\"path\":\"data.basket\",\"name\":\"a\"}   load + register a dataset
@@ -52,6 +60,9 @@ One JSON object per line in, one per line out.  Requests:
                                                    (distributed-null worker)
   {\"cmd\":\"stats\",\"dataset\":\"a\"}                     one dataset's cache stats
   {\"cmd\":\"registry_stats\"}                          every dataset + totals
+  {\"cmd\":\"metrics\"}                                 Prometheus exposition of the
+                                                   process metrics (or
+                                                   \"format\":\"json\")
   {\"cmd\":\"shutdown\"}                                drain all clients and exit
 
 `name`/`dataset` default to \"default\", so single-dataset sessions can omit
@@ -117,6 +128,12 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
                     .map_err(|_| "--cache-budget-mb must be a non-negative integer".to_string())?;
                 config.cache_budget_bytes = Some(n * 1024 * 1024);
             }
+            "--slow-query-ms" => {
+                let n: u64 = flag_value(argv, i, "--slow-query-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-query-ms must be a non-negative integer".to_string())?;
+                config.slow_query_ms = Some(n);
+            }
             other => {
                 return Err(format!("serve takes no option {other:?}"));
             }
@@ -149,6 +166,7 @@ pub fn run_serve(argv: &[String]) -> i32 {
             std::io::stdout(),
             ServerOptions {
                 cache_budget_bytes: args.config.cache_budget_bytes,
+                slow_query_ms: args.config.slow_query_ms,
             },
         ),
         Some(addr) => {
@@ -167,7 +185,14 @@ pub fn run_serve(argv: &[String]) -> i32 {
             match outcome {
                 Ok(code) => code,
                 Err(e) => {
-                    eprintln!("sigrule: error: cannot serve on {addr}: {e}");
+                    sigrule_obs::log::error(
+                        "sigrule::serve",
+                        "cannot serve",
+                        &[
+                            ("addr", addr.to_string().into()),
+                            ("detail", e.to_string().into()),
+                        ],
+                    );
                     1
                 }
             }
@@ -204,7 +229,14 @@ pub fn run_client(argv: &[String]) -> i32 {
     match piped {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("sigrule: error: cannot reach {addr}: {e}");
+            sigrule_obs::log::error(
+                "sigrule::client",
+                "cannot reach server",
+                &[
+                    ("addr", addr.to_string().into()),
+                    ("detail", e.to_string().into()),
+                ],
+            );
             1
         }
     }
@@ -254,15 +286,19 @@ mod tests {
             "8",
             "--cache-budget-mb",
             "64",
+            "--slow-query-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(args.listen, Some(ListenAddr::Tcp("127.0.0.1:0".into())));
         assert_eq!(args.config.max_connections, 8);
         assert_eq!(args.config.cache_budget_bytes, Some(64 * 1024 * 1024));
+        assert_eq!(args.config.slow_query_ms, Some(250));
 
         let default = parse_serve_args(&[]).unwrap();
         assert_eq!(default.listen, None);
         assert_eq!(default.config.cache_budget_bytes, None);
+        assert_eq!(default.config.slow_query_ms, None);
 
         for bad in [
             argv(&["--bogus"]),
@@ -270,6 +306,7 @@ mod tests {
             argv(&["--listen", "nope"]),
             argv(&["--max-connections", "0"]),
             argv(&["--cache-budget-mb", "lots"]),
+            argv(&["--slow-query-ms", "soon"]),
         ] {
             assert!(parse_serve_args(&bad).is_err(), "{bad:?} should fail");
         }

@@ -1190,6 +1190,7 @@ pub mod shard_counters {
     /// Records `n` permutation ranges completed by the in-process executor.
     pub fn note_local_shards(n: u64) {
         SHARDS_LOCAL.fetch_add(n, Ordering::Relaxed);
+        crate::obs_metrics::shards_total("local").add(n);
     }
 
     /// Records `n` permutation ranges completed by remote workers, plus the
@@ -1197,12 +1198,15 @@ pub mod shard_counters {
     pub fn note_remote_shards(n: u64, ms: u64) {
         SHARDS_REMOTE.fetch_add(n, Ordering::Relaxed);
         REMOTE_MS.fetch_add(ms, Ordering::Relaxed);
+        crate::obs_metrics::shards_total("remote").add(n);
+        crate::obs_metrics::shard_remote_wait_ms().add(ms);
     }
 
     /// Records `n` range re-dispatches (straggler steals and dead-worker
     /// recoveries alike).
     pub fn note_retries(n: u64) {
         SHARD_RETRIES.fetch_add(n, Ordering::Relaxed);
+        crate::obs_metrics::shard_retries_total().add(n);
     }
 
     /// A point-in-time snapshot of the shard counters.

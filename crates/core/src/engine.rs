@@ -600,6 +600,10 @@ pub struct Engine {
     shared: SharedDataset,
     load_time: Duration,
     warnings: Vec<LoadWarning>,
+    /// The `dataset` label this engine's metrics and log events carry
+    /// (`"local"` for one-shot pipelines; a registry overwrites it with the
+    /// served dataset name).  Observation only — never part of a cache key.
+    label: String,
     mined: Mutex<HashMap<MiningKey, Arc<FillCell<MineEntry>>>>,
     nulls: Mutex<HashMap<NullKey, Arc<FillCell<NullEntry>>>>,
     queries: AtomicU64,
@@ -629,6 +633,7 @@ impl Engine {
             shared,
             load_time: Duration::ZERO,
             warnings: Vec::new(),
+            label: "local".to_string(),
             mined: Mutex::new(HashMap::new()),
             nulls: Mutex::new(HashMap::new()),
             queries: AtomicU64::new(0),
@@ -649,6 +654,17 @@ impl Engine {
     /// `fetch_add`, so sharing is race-free.
     pub fn set_clock(&mut self, clock: Arc<AtomicU64>) {
         self.clock = clock;
+    }
+
+    /// Sets the `dataset` label carried by this engine's metrics and log
+    /// events.  Purely observational: answers and cache keys are untouched.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The `dataset` label carried by this engine's metrics and log events.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Stamps the next LRU tick.
@@ -855,7 +871,58 @@ impl Engine {
         if matches!(outcome, Err(PipelineError::Cancelled(_))) {
             self.cancelled_queries.fetch_add(1, Relaxed);
         }
+        self.observe_query(&outcome);
         outcome
+    }
+
+    /// Records metrics and span events for a finished query.  Observation
+    /// only, after the answer exists — it can never change one.
+    fn observe_query(&self, outcome: &Result<QueryOutcome, PipelineError>) {
+        let dataset = self.label.as_str();
+        crate::obs_metrics::queries_total(dataset).inc();
+        match outcome {
+            Ok(outcome) => {
+                let (cache, hit) = ("mine", outcome.mined_cached);
+                if hit {
+                    crate::obs_metrics::cache_hits_total(dataset, cache).inc();
+                } else {
+                    crate::obs_metrics::cache_misses_total(dataset, cache).inc();
+                }
+                if let Some(null_hit) = outcome.null_cached {
+                    if null_hit {
+                        crate::obs_metrics::cache_hits_total(dataset, "null").inc();
+                    } else {
+                        crate::obs_metrics::cache_misses_total(dataset, "null").inc();
+                    }
+                }
+                for (phase, elapsed) in [
+                    ("mine", outcome.timings.mine),
+                    ("null", outcome.timings.null),
+                    ("correct", outcome.timings.correct),
+                ] {
+                    crate::obs_metrics::query_phase_seconds(dataset, phase)
+                        .observe(elapsed.as_secs_f64());
+                    sigrule_obs::trace::span_ms(
+                        "sigrule::engine",
+                        phase,
+                        elapsed.as_secs_f64() * 1e3,
+                        &[("dataset", dataset.into())],
+                    );
+                }
+            }
+            Err(PipelineError::Cancelled(cancelled)) => {
+                crate::obs_metrics::queries_cancelled_total(dataset).inc();
+                sigrule_obs::log::debug(
+                    "sigrule::engine",
+                    "query cancelled",
+                    &[
+                        ("dataset", dataset.into()),
+                        ("reason", format!("{:?}", cancelled.reason).into()),
+                    ],
+                );
+            }
+            Err(_) => {}
+        }
     }
 
     /// Answers a batch of queries against this engine, in order, stopping at
@@ -1090,27 +1157,42 @@ impl Engine {
             (None, Some(_)) => false,
             (Some((_, m)), Some((_, n))) => m <= n,
         };
-        if mine_is_lru {
+        let evicted = if mine_is_lru {
             let (key, stamp) = lru_mine.expect("checked above");
             let cell = mined.remove(&key).expect("key taken under the lock");
             let entry = cell.get().expect("filtered to filled cells");
             self.evicted_rule_sets.fetch_add(1, Relaxed);
-            Some(CacheEntry {
+            CacheEntry {
                 kind: CacheEntryKind::RuleSet,
                 bytes: entry.bytes(),
                 last_used: stamp,
-            })
+            }
         } else {
             let (key, stamp) = lru_null.expect("checked above");
             let cell = nulls.remove(&key).expect("key taken under the lock");
             let entry = cell.get().expect("filtered to filled cells");
             self.evicted_nulls.fetch_add(1, Relaxed);
-            Some(CacheEntry {
+            CacheEntry {
                 kind: CacheEntryKind::Null,
                 bytes: entry.stats.resident_bytes(),
                 last_used: stamp,
-            })
-        }
+            }
+        };
+        let kind = match evicted.kind {
+            CacheEntryKind::RuleSet => "rule_set",
+            CacheEntryKind::Null => "null",
+        };
+        crate::obs_metrics::cache_evictions_total(&self.label, kind).inc();
+        sigrule_obs::log::debug(
+            "sigrule::engine",
+            "cache entry evicted",
+            &[
+                ("dataset", self.label.as_str().into()),
+                ("kind", kind.into()),
+                ("bytes", (evicted.bytes as u64).into()),
+            ],
+        );
+        Some(evicted)
     }
 }
 

@@ -103,11 +103,33 @@ mod active {
         Some((action, *hit))
     }
 
+    /// Emits the structured injected-fault event (warn level, so it shows
+    /// under the default filter) before the action strikes — a panic would
+    /// otherwise leave no structured trace of its cause.
+    fn observe(site: &str, action: Action, hit: u64, firing: bool) {
+        if !firing {
+            return;
+        }
+        crate::obs_metrics::faults_injected_total(site).inc();
+        sigrule_obs::log::warn(
+            "sigrule::fault",
+            "injected fault",
+            &[
+                ("site", site.into()),
+                ("action", format!("{action:?}").into()),
+                ("hit", hit.into()),
+            ],
+        );
+    }
+
     /// A fault point that may panic or delay, per the configured plan.
     pub fn point(site: &str) {
         let Some((action, hit)) = fire(site) else {
             return;
         };
+        let firing = matches!(action, Action::Panic | Action::Delay(_))
+            || matches!(action, Action::PanicAt(n) if hit == n);
+        observe(site, action, hit, firing);
         match action {
             Action::Panic => panic!("injected fault: panic at {site} (hit {hit})"),
             Action::PanicAt(n) if hit == n => {
@@ -124,6 +146,9 @@ mod active {
         let Some((action, hit)) = fire(site) else {
             return Ok(());
         };
+        let firing = matches!(action, Action::Panic | Action::Delay(_) | Action::Io)
+            || matches!(action, Action::PanicAt(n) | Action::IoAt(n) if hit == n);
+        observe(site, action, hit, firing);
         match action {
             Action::Panic => panic!("injected fault: panic at {site} (hit {hit})"),
             Action::PanicAt(n) if hit == n => {

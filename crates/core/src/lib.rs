@@ -51,6 +51,7 @@ pub mod correction;
 pub mod engine;
 pub mod fault;
 pub mod miner;
+pub mod obs_metrics;
 pub mod pipeline;
 pub mod rule;
 

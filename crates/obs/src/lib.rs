@@ -1,0 +1,45 @@
+//! Unified observability for the sigrule workspace.
+//!
+//! Three small, dependency-free facilities, shared by every crate in the
+//! workspace:
+//!
+//! * [`metrics`] — a process-wide registry of counters, gauges, and
+//!   log-bucketed latency histograms with Prometheus text / JSON
+//!   exposition.  Handles are cheap clones around relaxed atomics, so the
+//!   hot permutation path never takes a lock or allocates.
+//! * [`log`] — structured leveled logging as JSON lines on stderr, behind
+//!   a `SIGRULE_LOG=error|warn|info|debug[,target=level]` environment
+//!   filter parsed once per process.
+//! * [`trace`] — 128-bit trace ids minted at the serve front (or accepted
+//!   from a request), carried in a thread-local so every log event emitted
+//!   while handling a request is correlated, and rendered on the wire so a
+//!   remote shard worker's events join the coordinator's trace.
+//!
+//! The cardinal rule, enforced by the serve end-to-end suite: none of this
+//! may ever change an answer.  Metrics and logs are observation only —
+//! output bytes are identical with `SIGRULE_LOG=debug` and
+//! `SIGRULE_METRICS=off` in any combination.
+//!
+//! ```
+//! use sigrule_obs::{log, metrics, trace};
+//!
+//! let queries = metrics::counter(
+//!     "doc_queries_total",
+//!     "Queries answered.",
+//!     &[("dataset", "demo")],
+//! );
+//! queries.inc();
+//!
+//! let _guard = trace::enter(trace::TraceId::mint());
+//! log::info("sigrule::doc", "query done", &[("rules", log::Value::U64(12))]);
+//!
+//! let text = metrics::render_prometheus();
+//! assert!(text.contains("# TYPE doc_queries_total counter"));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;

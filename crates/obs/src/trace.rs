@@ -1,0 +1,146 @@
+//! Trace ids and span events: correlate every log line a request produces,
+//! across threads and across processes.
+//!
+//! A [`TraceId`] is a 128-bit id rendered as 32 lowercase hex digits.  The
+//! serve front mints one per request (or adopts the client-supplied
+//! `"trace_id"` field), installs it in a thread-local with [`enter`], and
+//! every [`crate::log`] event emitted under that guard carries it
+//! automatically.  The coordinator copies the id onto each `perm_shard`
+//! wire request, the remote worker adopts it the same way, and the result
+//! is one trace id across the whole scatter — coordinator and worker logs
+//! line up without clock games.
+//!
+//! Spans are plain debug-level log events (`"event":"span"`) with a phase
+//! name and a millisecond duration, emitted where the timing already
+//! exists; there is no span storage to leak and no timing taken that the
+//! engine was not already taking.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A 128-bit trace id; `Display` renders 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u128);
+
+impl TraceId {
+    /// Mints a fresh id: wall-clock nanoseconds, the process id, and a
+    /// process-wide sequence number stirred through SplitMix64.  Unique in
+    /// practice across the processes of one distributed run, which is all
+    /// correlation needs — this is an id, not a secret.
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ (u64::from(std::process::id()) << 32));
+        let lo = splitmix64(seq.wrapping_add(hi).wrapping_add(0x9e37_79b9_7f4a_7c15));
+        TraceId(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Parses the 32-hex-digit wire form back into an id.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// The trace id installed on this thread, if any.
+pub fn current() -> Option<TraceId> {
+    CURRENT.with(Cell::get)
+}
+
+/// Restores the previous trace id when dropped.
+pub struct Guard {
+    previous: Option<TraceId>,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        CURRENT.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Installs `id` as this thread's current trace id until the returned
+/// guard drops; guards nest.
+#[must_use = "the trace id is uninstalled when the guard drops"]
+pub fn enter(id: TraceId) -> Guard {
+    let previous = CURRENT.with(|cell| cell.replace(Some(id)));
+    Guard { previous }
+}
+
+/// Emits a debug-level span event (`"event":"span"`) for `phase` under
+/// the current trace id.  Call where a duration was already measured.
+pub fn span_ms(target: &str, phase: &str, ms: f64, fields: &[(&str, crate::log::Value)]) {
+    if !crate::log::enabled(crate::log::Level::Debug, target) {
+        return;
+    }
+    let mut all = Vec::with_capacity(fields.len() + 3);
+    all.push(("event", crate::log::Value::Str("span".to_string())));
+    all.push(("phase", crate::log::Value::Str(phase.to_string())));
+    all.push(("ms", crate::log::Value::F64(ms)));
+    all.extend_from_slice(fields);
+    crate::log::log(crate::log::Level::Debug, target, "span", &all);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_distinct_and_roundtrip() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        let hex = a.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::parse(&hex), Some(a));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_ids() {
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse(&"a".repeat(31)), None);
+        assert_eq!(TraceId::parse(&"g".repeat(32)), None);
+        assert!(TraceId::parse(&"0".repeat(32)).is_some());
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = TraceId::mint();
+        let inner = TraceId::mint();
+        {
+            let _g1 = enter(outer);
+            assert_eq!(current(), Some(outer));
+            {
+                let _g2 = enter(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert_eq!(current(), None);
+    }
+}

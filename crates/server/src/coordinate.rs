@@ -144,9 +144,14 @@ impl ShardSpec {
 
     /// Renders the `perm_shard` request line for one range.  `min_conf`
     /// survives the trip exactly: the JSON layer prints floats in Rust's
-    /// shortest round-trip form.
+    /// shortest round-trip form.  When the calling thread is inside a trace
+    /// span the trace id rides along as `"trace_id"`, so the worker's
+    /// structured log joins the coordinator's trace.
     pub fn shard_line(&self, start: usize, end: usize) -> String {
         let mut out = ObjectBuilder::new();
+        if let Some(trace) = sigrule_obs::trace::current() {
+            out.string("trace_id", &trace.to_string());
+        }
         out.string("cmd", "perm_shard")
             .string("dataset", &self.dataset)
             .number("min_sup", self.mining.min_sup as f64)
@@ -372,96 +377,129 @@ pub fn scatter_collect(
         fatal: None,
     });
     let wake = Condvar::new();
+    // Thread-local trace context does not cross thread boundaries on its
+    // own; capture the caller's span and re-enter it on every coordinator
+    // thread so shard requests and log events stay on one trace.
+    let trace = sigrule_obs::trace::current();
 
     std::thread::scope(|scope| {
         for (index, executor) in executors.iter().enumerate() {
             let state = &state;
             let wake = &wake;
-            scope.spawn(move || loop {
-                // Claim a range: pending first, then steal a straggler.
-                let claimed = {
-                    let mut sched = lock(state);
-                    loop {
-                        if sched.fatal.is_some() || sched.done.len() == sched.total {
-                            break None;
+            scope.spawn(move || {
+                let _trace = trace.map(sigrule_obs::trace::enter);
+                loop {
+                    // Claim a range: pending first, then steal a straggler.
+                    let claimed = {
+                        let mut sched = lock(state);
+                        loop {
+                            if sched.fatal.is_some() || sched.done.len() == sched.total {
+                                break None;
+                            }
+                            if let Err(cause) = cancel.check() {
+                                sched.fatal = Some(cause);
+                                wake.notify_all();
+                                break None;
+                            }
+                            if let Some(range) = sched.pending.pop_front() {
+                                sched.inflight.push((range.0, range.1, index));
+                                break Some((range.0, range.1, false));
+                            }
+                            let steal = sched
+                                .inflight
+                                .iter()
+                                .find(|&&(start, _, owner)| {
+                                    owner != index && !sched.done.contains_key(&start)
+                                })
+                                .map(|&(start, end, _)| (start, end));
+                            if let Some((start, end)) = steal {
+                                sched.report.retries += 1;
+                                sched.inflight.push((start, end, index));
+                                break Some((start, end, true));
+                            }
+                            // Nothing to do yet: park until a completion (or
+                            // the poll interval, to notice cancellation).
+                            sched = wake
+                                .wait_timeout(sched, STEAL_POLL)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0;
                         }
-                        if let Err(cause) = cancel.check() {
-                            sched.fatal = Some(cause);
-                            wake.notify_all();
-                            break None;
-                        }
-                        if let Some(range) = sched.pending.pop_front() {
-                            sched.inflight.push((range.0, range.1, index));
-                            break Some(range);
-                        }
-                        let steal = sched
-                            .inflight
-                            .iter()
-                            .find(|&&(start, _, owner)| {
-                                owner != index && !sched.done.contains_key(&start)
-                            })
-                            .map(|&(start, end, _)| (start, end));
-                        if let Some((start, end)) = steal {
-                            sched.report.retries += 1;
-                            sched.inflight.push((start, end, index));
-                            break Some((start, end));
-                        }
-                        // Nothing to do yet: park until a completion (or
-                        // the poll interval, to notice cancellation).
-                        sched = wake
-                            .wait_timeout(sched, STEAL_POLL)
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .0;
-                    }
-                };
-                let Some((start, end)) = claimed else { return };
-
-                let began = Instant::now();
-                let outcome = executor.run_range(start, end, cancel);
-                let elapsed_ms = began.elapsed().as_millis() as u64;
-
-                let mut sched = lock(state);
-                if let Some(position) = sched
-                    .inflight
-                    .iter()
-                    .position(|&(s, _, owner)| s == start && owner == index)
-                {
-                    sched.inflight.remove(position);
-                }
-                match outcome {
-                    Ok(partial) => {
-                        if executor.is_remote() {
-                            sched.report.shards_remote += 1;
-                            sched.report.remote_ms += elapsed_ms;
+                    };
+                    let Some((start, end, stolen)) = claimed else {
+                        return;
+                    };
+                    sigrule_obs::log::debug(
+                        "sigrule::coordinate",
+                        if stolen {
+                            "range stolen"
                         } else {
-                            sched.report.shards_local += 1;
-                        }
-                        // First completion of a range wins; a stolen
-                        // duplicate arriving later merges into nothing.
-                        sched.done.entry(start).or_insert(partial);
-                        wake.notify_all();
+                            "range dispatched"
+                        },
+                        &[
+                            ("executor", executor.label().into()),
+                            ("start", (start as u64).into()),
+                            ("end", (end as u64).into()),
+                        ],
+                    );
+
+                    let began = Instant::now();
+                    let outcome = executor.run_range(start, end, cancel);
+                    let elapsed_ms = began.elapsed().as_millis() as u64;
+
+                    let mut sched = lock(state);
+                    if let Some(position) = sched
+                        .inflight
+                        .iter()
+                        .position(|&(s, _, owner)| s == start && owner == index)
+                    {
+                        sched.inflight.remove(position);
                     }
-                    Err(ShardError::Cancelled(cause)) => {
-                        if sched.fatal.is_none() {
-                            sched.fatal = Some(cause);
+                    match outcome {
+                        Ok(partial) => {
+                            if executor.is_remote() {
+                                sched.report.shards_remote += 1;
+                                sched.report.remote_ms += elapsed_ms;
+                            } else {
+                                sched.report.shards_local += 1;
+                            }
+                            // First completion of a range wins; a stolen
+                            // duplicate arriving later merges into nothing.
+                            sched.done.entry(start).or_insert(partial);
+                            wake.notify_all();
                         }
-                        wake.notify_all();
-                        return;
-                    }
-                    Err(ShardError::Failed(detail)) => {
-                        // The executor is dead.  Put its range back unless
-                        // someone else already has (or had) it covered.
-                        let covered = sched.done.contains_key(&start)
-                            || sched.pending.iter().any(|&(s, _)| s == start)
-                            || sched.inflight.iter().any(|&(s, _, _)| s == start);
-                        if !covered {
-                            sched.pending.push_back((start, end));
-                            sched.report.retries += 1;
+                        Err(ShardError::Cancelled(cause)) => {
+                            if sched.fatal.is_none() {
+                                sched.fatal = Some(cause);
+                            }
+                            wake.notify_all();
+                            return;
                         }
-                        let label = executor.label();
-                        sched.report.lost_workers.push(format!("{label}: {detail}"));
-                        wake.notify_all();
-                        return;
+                        Err(ShardError::Failed(detail)) => {
+                            // The executor is dead.  Put its range back unless
+                            // someone else already has (or had) it covered.
+                            let covered = sched.done.contains_key(&start)
+                                || sched.pending.iter().any(|&(s, _)| s == start)
+                                || sched.inflight.iter().any(|&(s, _, _)| s == start);
+                            if !covered {
+                                sched.pending.push_back((start, end));
+                                sched.report.retries += 1;
+                            }
+                            let label = executor.label();
+                            sigrule_obs::log::warn(
+                                "sigrule::coordinate",
+                                "worker lost mid-shard",
+                                &[
+                                    ("worker", label.clone().into()),
+                                    ("detail", detail.clone().into()),
+                                    ("start", (start as u64).into()),
+                                    ("end", (end as u64).into()),
+                                    ("redispatched", (!covered).into()),
+                                ],
+                            );
+                            sched.report.lost_workers.push(format!("{label}: {detail}"));
+                            wake.notify_all();
+                            return;
+                        }
                     }
                 }
             });
@@ -547,9 +585,19 @@ pub fn fill_engine_null(
                     mined.rules().len(),
                 ) {
                     Ok(remote) => remotes.push(remote),
-                    Err(detail) => warnings.push(format!(
-                        "worker {addr} skipped ({detail}); continuing without it"
-                    )),
+                    Err(detail) => {
+                        sigrule_obs::log::warn(
+                            "sigrule::coordinate",
+                            "worker skipped",
+                            &[
+                                ("worker", addr.to_string().into()),
+                                ("detail", detail.clone().into()),
+                            ],
+                        );
+                        warnings.push(format!(
+                            "worker {addr} skipped ({detail}); continuing without it"
+                        ));
+                    }
                 }
             }
             let local = LocalExecutor::new(correction.clone(), mined, Some(tables));
@@ -578,6 +626,21 @@ pub fn fill_engine_null(
     shard_counters::note_local_shards(report.shards_local);
     shard_counters::note_remote_shards(report.shards_remote, report.remote_ms);
     shard_counters::note_retries(report.retries);
+    if !cached {
+        sigrule_obs::log::debug(
+            "sigrule::coordinate",
+            "scatter complete",
+            &[
+                ("dataset", spec.dataset.clone().into()),
+                ("permutations", (spec.n_permutations as u64).into()),
+                ("shards_local", report.shards_local.into()),
+                ("shards_remote", report.shards_remote.into()),
+                ("retries", report.retries.into()),
+                ("remote_ms", report.remote_ms.into()),
+                ("lost_workers", (report.lost_workers.len() as u64).into()),
+            ],
+        );
+    }
     for lost in &report.lost_workers {
         warnings.push(format!(
             "worker lost mid-shard, range re-dispatched: {lost}"

@@ -96,11 +96,12 @@ impl EngineRegistry {
     }
 
     /// Registers `engine` under `name`, pointing it at the registry's shared
-    /// LRU clock, and returns the shared handle.  An engine already
-    /// registered under the name is replaced (its in-flight queries finish
-    /// on their own `Arc`).
+    /// LRU clock and labeling its metrics/log events with the name, and
+    /// returns the shared handle.  An engine already registered under the
+    /// name is replaced (its in-flight queries finish on their own `Arc`).
     pub fn insert(&self, name: &str, mut engine: Engine) -> Arc<Engine> {
         engine.set_clock(self.clock.clone());
+        engine.set_label(name);
         let engine = Arc::new(engine);
         self.engines
             .lock()
@@ -214,6 +215,17 @@ impl EngineRegistry {
             evicted += 1;
         }
         self.evictions.fetch_add(evicted as u64, Relaxed);
+        if evicted > 0 {
+            sigrule_obs::log::debug(
+                "sigrule::registry",
+                "budget enforced",
+                &[
+                    ("evicted", (evicted as u64).into()),
+                    ("budget_bytes", (budget as u64).into()),
+                    ("resident_bytes", (self.total_bytes(&engines) as u64).into()),
+                ],
+            );
+        }
         evicted
     }
 

@@ -76,6 +76,9 @@ pub struct ServerConfig {
     /// Byte budget over the registry's resident caches (`None` =
     /// unbounded).
     pub cache_budget_bytes: Option<usize>,
+    /// Log a structured slow-query record for any `mine`/`correct` request
+    /// slower than this many milliseconds (`None` = disabled).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +86,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             cache_budget_bytes: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -91,6 +95,7 @@ impl ServerConfig {
     fn options(&self) -> ServerOptions {
         ServerOptions {
             cache_budget_bytes: self.cache_budget_bytes,
+            slow_query_ms: self.slow_query_ms,
         }
     }
 }
@@ -728,6 +733,7 @@ mod tests {
         let config = ServerConfig {
             max_connections: 1,
             cache_budget_bytes: None,
+            slow_query_ms: None,
         };
         let (send_ready, recv_ready) = std::sync::mpsc::channel::<String>();
         let server = std::thread::spawn(move || {

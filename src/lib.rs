@@ -14,7 +14,10 @@
 //! * [`eval`] — the paper's evaluation methodology, every figure/table, and
 //!   the `sigrule eval` planted-truth sweep harness;
 //! * [`server`] — the multi-dataset engine registry (byte-budget LRU cache
-//!   eviction) and the concurrent stdin/TCP/Unix-socket serve transports.
+//!   eviction) and the concurrent stdin/TCP/Unix-socket serve transports;
+//! * [`obs`] — the unified observability layer: metrics registry with
+//!   Prometheus/JSON exposition, structured JSON-lines logging, and
+//!   cross-worker trace propagation (docs/OBSERVABILITY.md).
 
 #![deny(missing_docs)]
 
@@ -22,6 +25,7 @@ pub use sigrule as core;
 pub use sigrule_data as data;
 pub use sigrule_eval as eval;
 pub use sigrule_mining as mining;
+pub use sigrule_obs as obs;
 pub use sigrule_server as server;
 pub use sigrule_stats as stats;
 pub use sigrule_synth as synth;
